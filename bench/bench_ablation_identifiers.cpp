@@ -1,0 +1,90 @@
+// Ablation: which parts of the paper's identifier design actually matter?
+//
+//  A. Engine ID alone vs engine ID + (last reboot, boots) tuple — the
+//     tuple splits misconfigured/buggy shared engine IDs (§4.3, App. B).
+//  B. One-scan vs two-scan methodology — without the second scan the
+//     consistency filters cannot run and ephemeral/recycled addresses
+//     contaminate the alias sets (§4.1.1, §4.4).
+//  C. Precision/recall against simulation ground truth for each variant —
+//     the "ground truth" evaluation the paper itself could not perform.
+#include "baselines/compare.hpp"
+#include "common.hpp"
+
+using namespace snmpv3fp;
+
+namespace {
+
+baselines::PairMetrics metrics_for(const core::AliasResolution& resolution,
+                                   const topo::World& world,
+                                   const std::vector<net::IpAddress>& universe) {
+  baselines::AliasSets sets;
+  for (const auto& set : resolution.sets) sets.push_back(set.addresses);
+  return baselines::pair_metrics(
+      sets,
+      [&](const net::IpAddress& address) -> std::int64_t {
+        const auto index = world.device_index_at(address);
+        return index == topo::kNoDevice ? -1
+                                        : static_cast<std::int64_t>(index);
+      },
+      universe);
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_header("Ablation", "identifier design choices");
+  const auto& r = benchx::full_pipeline();
+
+  std::vector<core::JoinedRecord> filtered = r.v4_records;
+  filtered.insert(filtered.end(), r.v6_records.begin(), r.v6_records.end());
+  std::vector<net::IpAddress> universe;
+  for (const auto& record : filtered) universe.push_back(record.address);
+
+  util::TablePrinter table({"Variant", "Alias sets", "Non-singleton",
+                            "Pair precision", "Pair recall"});
+  const auto add_variant = [&](const std::string& name,
+                               const core::AliasOptions& options,
+                               std::span<const core::JoinedRecord> records,
+                               const std::vector<net::IpAddress>& uni) {
+    const auto resolution = core::resolve_aliases(records, options);
+    const auto metrics = metrics_for(resolution, r.world, uni);
+    table.add_row({name, util::fmt_count(resolution.sets.size()),
+                   util::fmt_count(resolution.non_singleton_count()),
+                   util::fmt_double(metrics.precision(), 4),
+                   util::fmt_double(metrics.recall(), 4)});
+    return metrics;
+  };
+
+  // A: engine ID alone vs the shipped key.
+  core::AliasOptions id_only;
+  id_only.engine_id_only = true;
+  const auto id_only_metrics =
+      add_variant("engine ID only", id_only, filtered, universe);
+  const auto shipped_metrics =
+      add_variant("engine ID + tuple (shipped)", {}, filtered, universe);
+
+  // B: skip the consistency filtering entirely (single-scan world view):
+  // resolve over the raw join of scan 1 with itself.
+  std::vector<core::JoinedRecord> unfiltered = r.v4_joined;
+  unfiltered.insert(unfiltered.end(), r.v6_joined.begin(), r.v6_joined.end());
+  for (auto& record : unfiltered) record.second = record.first;  // one scan
+  std::vector<net::IpAddress> raw_universe;
+  for (const auto& record : unfiltered) raw_universe.push_back(record.address);
+  core::AliasOptions one_scan;
+  one_scan.use_both_scans = false;
+  add_variant("no filters, one scan", one_scan, unfiltered, raw_universe);
+
+  table.print(std::cout);
+
+  std::cout << "\nShape checks:\n";
+  benchx::print_paper_row(
+      "tuple rescues precision vs engine-ID-only", "yes (App. B)",
+      shipped_metrics.precision() > id_only_metrics.precision() ? "yes"
+                                                                 : "NO");
+  benchx::print_paper_row("shipped precision", "~1.0 (validated §6.2.2)",
+                          util::fmt_double(shipped_metrics.precision(), 4));
+  std::cout << "\n(The paper's operator survey §6.2.2 confirmed all surveyed\n"
+               "alias sets; against full simulation ground truth we can also\n"
+               "measure recall, which no Internet measurement could.)\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// §5.3-§5.4: comparison with IP-ID based alias resolution (MIDAR for IPv4,
+// Speedtrap for IPv6) and the combined-coverage argument.
+// Paper: MIDAR: 8.4M sets, 94k non-singleton (363k IPs, 3.9/set);
+// Speedtrap: 525k sets, 5.3k non-singleton; SNMPv3 finds almost an order
+// of magnitude more non-singleton sets; combining techniques raises
+// de-aliased router IPv4 coverage from 11.7% / 14.8% to ~23%.
+#include <set>
+
+#include "baselines/compare.hpp"
+#include "baselines/midar.hpp"
+#include "baselines/speedtrap.hpp"
+#include "common.hpp"
+#include "sim/stack.hpp"
+
+using namespace snmpv3fp;
+
+int main() {
+  benchx::print_header("§5.3-5.4", "comparison with MIDAR / Speedtrap");
+  const auto& r = benchx::router_pipeline();
+
+  // Probe the union router dataset, as MIDAR does with candidate router IPs.
+  std::vector<net::IpAddress> v4_targets, v6_targets;
+  std::set<net::IpAddress> seen;
+  for (const auto* dataset : {&r.itdk_v4, &r.itdk_v6, &r.atlas}) {
+    for (const auto& a : dataset->addresses) {
+      if (!seen.insert(a).second) continue;
+      (a.is_v4() ? v4_targets : v6_targets).push_back(a);
+    }
+  }
+  // Cap runtime: MIDAR-style probing is far heavier than SNMPv3 — sample.
+  const std::size_t kMaxTargets = 60000;
+  if (v4_targets.size() > kMaxTargets) v4_targets.resize(kMaxTargets);
+  if (v6_targets.size() > kMaxTargets) v6_targets.resize(kMaxTargets);
+
+  sim::StackSimulator stack(r.world, 4242);
+  const auto midar = baselines::run_midar(stack, v4_targets, 20 * util::kDay);
+  const auto speedtrap =
+      baselines::run_speedtrap(stack, v6_targets, 22 * util::kDay);
+
+  const auto summarize = [](const char* name,
+                            const baselines::AliasSets& sets,
+                            std::size_t probed) {
+    std::size_t non_singleton = 0, ips = 0;
+    for (const auto& set : sets)
+      if (set.size() > 1) {
+        ++non_singleton;
+        ips += set.size();
+      }
+    std::printf("%-10s probed %6zu IPs -> %6zu sets, %5zu non-singleton "
+                "(%zu IPs, %.1f per set)\n",
+                name, probed, sets.size(), non_singleton, ips,
+                non_singleton == 0 ? 0.0
+                                   : static_cast<double>(ips) /
+                                         static_cast<double>(non_singleton));
+    return std::pair{non_singleton, ips};
+  };
+  const auto [midar_ns, midar_ips] =
+      summarize("MIDAR", midar.alias_sets, v4_targets.size());
+  const auto [st_ns, st_ips] =
+      summarize("Speedtrap", speedtrap.alias_sets, v6_targets.size());
+
+  baselines::AliasSets snmp_sets;
+  for (const auto& set : r.resolution.sets) snmp_sets.push_back(set.addresses);
+  std::size_t snmp_ns = r.resolution.non_singleton_count();
+  std::printf("%-10s %6s %8s -> %6zu sets, %5zu non-singleton\n", "SNMPv3", "",
+              "", r.resolution.sets.size(), snmp_ns);
+
+  const auto midar_cmp = baselines::compare_alias_sets(snmp_sets,
+                                                       midar.alias_sets);
+  std::printf("\nMIDAR sets matching SNMPv3 exactly: %zu, partially: %zu\n",
+              midar_cmp.exact_matches, midar_cmp.partial_overlaps);
+
+  // §5.4 combined coverage over the IPv4 union dataset.
+  core::AddressSet snmp_dealiased;
+  for (const auto& set : r.resolution.sets)
+    if (set.addresses.size() > 1)
+      for (const auto& a : set.addresses) snmp_dealiased.insert(a);
+  core::AddressSet midar_dealiased;
+  for (const auto& set : midar.alias_sets)
+    if (set.size() > 1)
+      for (const auto& a : set) midar_dealiased.insert(a);
+
+  std::size_t universe = 0, by_snmp = 0, by_midar = 0, by_either = 0;
+  for (const auto& a : v4_targets) {
+    ++universe;
+    const bool s = snmp_dealiased.count(a) > 0;
+    const bool m = midar_dealiased.count(a) > 0;
+    by_snmp += s;
+    by_midar += m;
+    by_either += s || m;
+  }
+  std::cout << "\nCombined de-aliased coverage of router IPv4 addresses "
+               "(paper §5.4):\n";
+  benchx::print_paper_row("MIDAR only", "11.7%",
+                          util::fmt_percent(static_cast<double>(by_midar) /
+                                            static_cast<double>(universe)));
+  benchx::print_paper_row("SNMPv3 only", "14.8%",
+                          util::fmt_percent(static_cast<double>(by_snmp) /
+                                            static_cast<double>(universe)));
+  benchx::print_paper_row("combined", "~23%",
+                          util::fmt_percent(static_cast<double>(by_either) /
+                                            static_cast<double>(universe)));
+
+  std::cout << "\nShape checks:\n";
+  benchx::print_paper_row("SNMPv3 non-singleton sets vs MIDAR", "~9x",
+                          util::fmt_double(static_cast<double>(snmp_ns) /
+                                           static_cast<double>(std::max<
+                                               std::size_t>(midar_ns, 1)),
+                                           1) + "x");
+  benchx::print_paper_row("MIDAR IPs per non-singleton set", "3.9",
+                          util::fmt_double(midar_ns == 0 ? 0.0
+                              : static_cast<double>(midar_ips) /
+                                    static_cast<double>(midar_ns), 1));
+  (void)st_ns; (void)st_ips;
+  return 0;
+}

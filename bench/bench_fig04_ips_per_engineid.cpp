@@ -1,0 +1,29 @@
+// Figure 4: ECDF of the number of IP addresses per engine ID, per family.
+// Paper: >80% of IPv4 engine IDs appear on a single IP, >50% for IPv6;
+// heavy tail with some engine IDs on 1000+ IPs.
+#include "common.hpp"
+
+using namespace snmpv3fp;
+
+int main() {
+  benchx::print_header("Figure 4", "number of occurrences per engine ID");
+  const auto& r = benchx::full_pipeline();
+
+  const auto v4 = core::ips_per_engine_id(r.v4_joined);
+  const auto v6 = core::ips_per_engine_id(r.v6_joined);
+
+  const std::vector<double> xs = {1, 2, 5, 10, 100, 1000};
+  benchx::print_ecdf_at("IPv4: IPs per engine ID", v4, xs);
+  benchx::print_ecdf_at("IPv6: IPs per engine ID", v6, xs);
+
+  std::cout << "\nShape checks:\n";
+  benchx::print_paper_row("IPv4 engine IDs on a single IP", ">80%",
+                          util::fmt_percent(v4.fraction_at_most(1.0)));
+  benchx::print_paper_row("IPv6 engine IDs on a single IP", ">50%",
+                          util::fmt_percent(v6.fraction_at_most(1.0)));
+  benchx::print_paper_row("IPv4 engine IDs on <= 10 IPs", "vast majority",
+                          util::fmt_percent(v4.fraction_at_most(10.0)));
+  benchx::print_paper_row("max IPs on one IPv4 engine ID", ">1000 (181k bug)",
+                          util::fmt_compact(v4.max()));
+  return 0;
+}

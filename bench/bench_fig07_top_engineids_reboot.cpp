@@ -1,0 +1,49 @@
+// Figure 7: last-reboot-time spread of the most-shared engine IDs.
+// Paper: five of the six most popular engine IDs have last-reboot values
+// spanning multiple years — proof they are *reused* across devices (the
+// Cisco constant-engine-ID bug is the #1 IPv4 entry with 181k IPs) and why
+// the (last reboot, boots) tuple must back the engine ID up.
+#include "common.hpp"
+
+using namespace snmpv3fp;
+
+namespace {
+void print_top(const std::string& family,
+               const std::vector<core::SharedEngineId>& top) {
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const auto& shared = top[i];
+    const double span_days =
+        shared.last_reboots.max() - shared.last_reboots.min();
+    std::printf("  %s #%zu: %-28s IPs=%-7zu reboot span=%.0f days\n",
+                family.c_str(), i + 1,
+                shared.engine_id.to_hex().substr(0, 28).c_str(),
+                shared.address_count, span_days);
+  }
+}
+}  // namespace
+
+int main() {
+  benchx::print_header("Figure 7",
+                       "last reboot time of the top-3 engine IDs per family");
+  const auto& r = benchx::full_pipeline();
+
+  const auto top_v4 = core::top_shared_engine_ids(r.v4_joined, 3);
+  const auto top_v6 = core::top_shared_engine_ids(r.v6_joined, 3);
+  print_top("IPv4", top_v4);
+  print_top("IPv6", top_v6);
+
+  std::cout << "\nShape checks:\n";
+  if (!top_v4.empty()) {
+    benchx::print_paper_row("#1 IPv4 engine ID", "800000090300000000000000",
+                            top_v4.front().engine_id.to_hex());
+    const double span_years = (top_v4.front().last_reboots.max() -
+                               top_v4.front().last_reboots.min()) /
+                              365.0;
+    benchx::print_paper_row("#1 IPv4 reboot span", "multiple years",
+                            util::fmt_double(span_years, 1) + " years");
+  }
+  std::cout << "\n(An engine ID reused across devices shows a last-reboot\n"
+               "distribution spanning years; a genuinely unique engine ID\n"
+               "would collapse to one point.)\n";
+  return 0;
+}

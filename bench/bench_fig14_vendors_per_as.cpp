@@ -1,0 +1,48 @@
+// Figure 14: number of distinct router vendors per AS, as ECDFs over ASes
+// with >= 5/20/100/1000 identified routers. Paper: in 40% of 5+ router
+// networks all routers are single-vendor; <10% of networks exceed five
+// vendors; bigger networks host more vendors.
+#include "common.hpp"
+
+using namespace snmpv3fp;
+
+int main() {
+  benchx::print_header("Figure 14", "router vendors per AS");
+  const auto& r = benchx::router_pipeline();
+  const auto rollups = core::rollup_by_as(r.devices);
+
+  std::printf("ASes with identified routers: %zu\n\n", rollups.size());
+
+  const std::vector<double> xs = {1, 2, 3, 5, 10};
+  for (const std::size_t threshold : {1u, 5u, 20u, 100u, 1000u}) {
+    util::Ecdf ecdf;
+    for (const auto& rollup : rollups)
+      if (rollup.routers >= threshold)
+        ecdf.add(static_cast<double>(rollup.distinct_vendors()));
+    ecdf.finalize();
+    if (ecdf.empty()) continue;
+    benchx::print_ecdf_at("ASes with " + std::to_string(threshold) +
+                              "+ routers: #vendors",
+                          ecdf, xs);
+  }
+
+  util::Ecdf five_plus;
+  for (const auto& rollup : rollups)
+    if (rollup.routers >= 5)
+      five_plus.add(static_cast<double>(rollup.distinct_vendors()));
+  five_plus.finalize();
+  std::cout << "\nShape checks:\n";
+  benchx::print_paper_row("5+ router ASes with a single vendor", "~40%",
+                          util::fmt_percent(five_plus.fraction_at_most(1)));
+  benchx::print_paper_row("5+ router ASes with > 5 vendors", "<10%",
+                          util::fmt_percent(1.0 -
+                                            five_plus.fraction_at_most(5)));
+  std::cout << "\nPer-AS router-count funnel (paper §6.4.1: 22,787 / 4,059 / "
+               "1,557 / 381 / 55 at 1:1):\n";
+  for (const std::size_t threshold : {1u, 5u, 20u, 100u, 1000u}) {
+    std::size_t count = 0;
+    for (const auto& rollup : rollups) count += rollup.routers >= threshold;
+    std::printf("  ASes with >= %4u routers: %zu\n", threshold, count);
+  }
+  return 0;
+}

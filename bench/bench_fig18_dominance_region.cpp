@@ -1,0 +1,42 @@
+// Figure 18: vendor dominance per region for ASes with >= 10 routers.
+// Paper: two groups — (SA, AS, AF) run less homogeneous networks than
+// (OC, NA, EU).
+#include <map>
+
+#include "common.hpp"
+
+using namespace snmpv3fp;
+
+int main() {
+  benchx::print_header("Figure 18",
+                       "vendor dominance per region (ASes with 10+ routers)");
+  const auto& r = benchx::router_pipeline();
+  const auto rollups = core::rollup_by_as(r.devices);
+
+  std::map<std::string, util::Ecdf> by_region;
+  for (const auto& rollup : rollups) {
+    if (rollup.routers < 10) continue;
+    by_region[rollup.region].add(rollup.vendor_dominance());
+  }
+
+  const std::vector<double> xs = {0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  std::map<std::string, double> median;
+  for (auto& [region, ecdf] : by_region) {
+    ecdf.finalize();
+    median[region] = ecdf.median();
+    benchx::print_ecdf_at(region, ecdf, xs);
+  }
+
+  std::cout << "\nShape checks (median dominance):\n";
+  for (const auto& [region, value] : median)
+    std::printf("  %-4s median dominance = %.2f\n", region.c_str(), value);
+  const auto get = [&](const char* region) {
+    const auto it = median.find(region);
+    return it == median.end() ? 0.0 : it->second;
+  };
+  const double group1 = (get("SA") + get("AS") + get("AF")) / 3.0;
+  const double group2 = (get("OC") + get("NA") + get("EU")) / 3.0;
+  benchx::print_paper_row("(SA,AS,AF) less dominant than (OC,NA,EU)", "yes",
+                          group1 < group2 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark): the wire codec hot path. An
+// Internet-scale campaign encodes/decodes tens of millions of messages;
+// these benches keep that path honest.
+#include <benchmark/benchmark.h>
+
+#include "net/registry.hpp"
+#include "snmp/usm.hpp"
+#include "snmp/message.hpp"
+#include "util/rng.hpp"
+
+using namespace snmpv3fp;
+
+namespace {
+
+void BM_EncodeDiscoveryRequest(benchmark::State& state) {
+  std::int32_t id = 4242;
+  for (auto _ : state) {
+    const auto message = snmp::make_discovery_request(id, id + 1);
+    benchmark::DoNotOptimize(message.encode());
+    id = (id + 1) % 30000 + 200;
+  }
+}
+BENCHMARK(BM_EncodeDiscoveryRequest);
+
+void BM_DecodeDiscoveryRequest(benchmark::State& state) {
+  const auto wire = snmp::make_discovery_request(4242, 4243).encode();
+  for (auto _ : state) {
+    auto message = snmp::V3Message::decode(wire);
+    benchmark::DoNotOptimize(message);
+  }
+}
+BENCHMARK(BM_DecodeDiscoveryRequest);
+
+void BM_EncodeReport(benchmark::State& state) {
+  const auto request = snmp::make_discovery_request(4242, 4243);
+  const auto engine_id = snmp::EngineId::make_mac(
+      net::kPenCisco, net::MacAddress::from_oui(0x00000c, 0x31db80));
+  for (auto _ : state) {
+    const auto report =
+        snmp::make_discovery_report(request, engine_id, 148, 10043812, 7);
+    benchmark::DoNotOptimize(report.encode());
+  }
+}
+BENCHMARK(BM_EncodeReport);
+
+void BM_DecodeReport(benchmark::State& state) {
+  const auto request = snmp::make_discovery_request(4242, 4243);
+  const auto engine_id = snmp::EngineId::make_mac(
+      net::kPenCisco, net::MacAddress::from_oui(0x00000c, 0x31db80));
+  const auto wire =
+      snmp::make_discovery_report(request, engine_id, 148, 10043812, 7)
+          .encode();
+  for (auto _ : state) {
+    auto message = snmp::V3Message::decode(wire);
+    benchmark::DoNotOptimize(message);
+  }
+}
+BENCHMARK(BM_DecodeReport);
+
+void BM_ClassifyEngineId(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<snmp::EngineId> ids;
+  for (int i = 0; i < 1024; ++i) {
+    ids.push_back(snmp::EngineId::make_mac(
+        net::kPenCisco,
+        net::MacAddress::from_oui(0x00000c,
+                                  static_cast<std::uint32_t>(rng.next()) &
+                                      0xffffff)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ids[i % ids.size()].format());
+    benchmark::DoNotOptimize(ids[i % ids.size()].mac());
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassifyEngineId);
+
+void BM_OuiLookup(benchmark::State& state) {
+  const auto& registry = net::OuiRegistry::embedded();
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        registry.vendor_of(static_cast<std::uint32_t>(rng.next()) & 0xffffff));
+  }
+}
+BENCHMARK(BM_OuiLookup);
+
+void BM_PasswordToKeySha1(benchmark::State& state) {
+  // The 1 MiB key-stretch of RFC 3414 A.2 — the rate limiter of the
+  // offline brute-force attack (examples/engineid_bruteforce.cpp).
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snmp::password_to_key(
+        snmp::AuthProtocol::kHmacSha1_96, "candidate" + std::to_string(i++)));
+  }
+  state.SetLabel("candidates/sec gate for password cracking");
+}
+BENCHMARK(BM_PasswordToKeySha1);
+
+void BM_VerifyAuthentication(benchmark::State& state) {
+  const auto engine_id = snmp::EngineId::make_mac(
+      net::kPenCisco, net::MacAddress::from_oui(0x00000c, 0x31db80));
+  const auto key = snmp::derive_localized_key(snmp::AuthProtocol::kHmacSha1_96,
+                                              "pw", engine_id);
+  auto message = snmp::make_discovery_request(1, 2);
+  message.usm.authoritative_engine_id = engine_id;
+  message.usm.user_name = "netops";
+  const auto signed_message =
+      snmp::authenticate(snmp::AuthProtocol::kHmacSha1_96, key, message);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snmp::verify_authentication(
+        snmp::AuthProtocol::kHmacSha1_96, key, signed_message));
+  }
+}
+BENCHMARK(BM_VerifyAuthentication);
+
+}  // namespace
+
+BENCHMARK_MAIN();

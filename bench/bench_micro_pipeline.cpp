@@ -1,0 +1,75 @@
+// Microbenchmarks (google-benchmark): the analysis pipeline — join,
+// filter and alias-resolution throughput over synthetic record sets.
+#include <benchmark/benchmark.h>
+
+#include "core/alias.hpp"
+#include "core/filters.hpp"
+#include "core/fingerprint.hpp"
+#include "net/registry.hpp"
+#include "util/rng.hpp"
+
+using namespace snmpv3fp;
+
+namespace {
+
+std::vector<core::JoinedRecord> make_records(std::size_t count) {
+  util::Rng rng(42);
+  std::vector<core::JoinedRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    core::JoinedRecord record;
+    record.address = net::Ipv4(static_cast<std::uint32_t>(0x05000000 + i));
+    // ~8 addresses share a device.
+    const auto device = static_cast<std::uint32_t>(i / 8);
+    record.first.target = record.address;
+    record.first.engine_id = snmp::EngineId::make_mac(
+        net::kPenCisco, net::MacAddress::from_oui(0x00000c, device));
+    record.first.engine_boots = 3 + device % 40;
+    record.first.engine_time = 100000 + device * 13;
+    record.first.receive_time = 100 * util::kSecond;
+    record.second = record.first;
+    record.second.receive_time += 6 * util::kDay;
+    record.second.engine_time += 6 * 86400;
+    if (rng.chance(0.1)) record.second.engine_boots += 1;  // rebooted
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void BM_FilterPipeline(benchmark::State& state) {
+  const auto base = make_records(static_cast<std::size_t>(state.range(0)));
+  const core::FilterPipeline pipeline;
+  for (auto _ : state) {
+    auto records = base;
+    benchmark::DoNotOptimize(pipeline.apply(records));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FilterPipeline)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AliasResolution(benchmark::State& state) {
+  auto records = make_records(static_cast<std::size_t>(state.range(0)));
+  const core::FilterPipeline pipeline;
+  pipeline.apply(records);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::resolve_aliases(records));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(
+                                                   records.size()));
+}
+BENCHMARK(BM_AliasResolution)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Fingerprint(benchmark::State& state) {
+  const auto records = make_records(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::fingerprint_engine_id(records[i % records.size()].engine_id()));
+    ++i;
+  }
+}
+BENCHMARK(BM_Fingerprint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

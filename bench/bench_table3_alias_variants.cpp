@@ -1,0 +1,46 @@
+// Table 3 (Appendix A): the alias-resolution strategy matrix — exact /
+// round / divide-by-20 / divide-by-20+round last-reboot matching, keyed on
+// the first scan only or on both scans.
+#include "common.hpp"
+
+using namespace snmpv3fp;
+
+int main() {
+  benchx::print_header("Table 3 (Appendix A)",
+                       "comparison of alias resolution approaches");
+  const auto& r = benchx::full_pipeline();
+
+  std::vector<core::JoinedRecord> combined = r.v4_records;
+  combined.insert(combined.end(), r.v6_records.begin(), r.v6_records.end());
+
+  util::TablePrinter table({"Strategy", "Alias sets", "Non-singleton sets",
+                            "IPs in non-singletons", "IPs per non-singleton"});
+  for (const auto match :
+       {core::RebootMatch::kExact, core::RebootMatch::kRound,
+        core::RebootMatch::kDivide20, core::RebootMatch::kDivide20Round}) {
+    for (const bool both : {false, true}) {
+      core::AliasOptions options;
+      options.match = match;
+      options.use_both_scans = both;
+      const auto resolution = core::resolve_aliases(combined, options);
+      table.add_row({std::string(core::to_string(match)) +
+                         (both ? " both" : " first"),
+                     util::fmt_count(resolution.sets.size()),
+                     util::fmt_count(resolution.non_singleton_count()),
+                     util::fmt_count(resolution.ips_in_non_singletons()),
+                     util::fmt_double(resolution.mean_ips_per_non_singleton(),
+                                      1)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\nPaper (Table 3): Exact first 5.3M sets / 903k ns / 8.2M IPs / 9.1;"
+      "\n                 Exact both 5.9M / 892k / 7.5M / 8.4;"
+      "\n                 Round first 4.6M / 826k / 8.7M / 10.6;"
+      "\n                 Divide-by-20 both (shipped) 4.6M / 824k / 8.7M / 10.6\n"
+      "\nExpected shape: exact matching fragments sets (more sets, fewer IPs"
+      "\nper set); coarser binning merges them back. Both-scan keying splits"
+      "\nsets that exact matching over one scan would (wrongly) keep merged.\n";
+  return 0;
+}

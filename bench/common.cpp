@@ -1,0 +1,47 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+namespace snmpv3fp::benchx {
+
+const core::PipelineResult& full_pipeline() {
+  static const core::PipelineResult result = [] {
+    std::fprintf(stderr, "[bench] building full-Internet world + campaigns...\n");
+    core::PipelineOptions options;
+    options.world = topo::WorldConfig::full_internet();
+    return core::run_full_pipeline(options);
+  }();
+  return result;
+}
+
+const core::PipelineResult& router_pipeline() {
+  static const core::PipelineResult result = [] {
+    std::fprintf(stderr, "[bench] building router-focus world + campaigns...\n");
+    core::PipelineOptions options;
+    options.world = topo::WorldConfig::router_focus();
+    return core::run_full_pipeline(options);
+  }();
+  return result;
+}
+
+void print_header(const std::string& experiment, const std::string& title) {
+  std::cout << "\n=== " << experiment << ": " << title << " ===\n"
+            << "(simulated reproduction of Albakour et al., IMC 2021 — "
+               "scaled world; compare shapes/ratios, not magnitudes)\n\n";
+}
+
+void print_ecdf_at(const std::string& label, const util::Ecdf& ecdf,
+                   const std::vector<double>& xs) {
+  std::cout << label << " (n=" << ecdf.size() << ")\n";
+  for (const double x : xs) {
+    std::printf("  F(%-10.6g) = %.3f\n", x, ecdf.fraction_at_most(x));
+  }
+}
+
+void print_paper_row(const std::string& metric, const std::string& paper,
+                     const std::string& measured) {
+  std::printf("  %-52s paper: %-14s measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace snmpv3fp::benchx

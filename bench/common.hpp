@@ -1,0 +1,31 @@
+// Shared plumbing for the experiment benches: cached pipeline runs (one
+// per world flavour) and small print helpers so every bench emits the same
+// "paper vs measured" layout.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/table.hpp"
+
+namespace snmpv3fp::benchx {
+
+// Full-Internet world (all device kinds): Figures 4-9, 11, Tables 1-3.
+const core::PipelineResult& full_pipeline();
+
+// Router-focused world (deep infrastructure): Figures 10, 12-20.
+const core::PipelineResult& router_pipeline();
+
+void print_header(const std::string& experiment, const std::string& title);
+
+// Prints an ECDF as "F(x)" rows at the given x positions.
+void print_ecdf_at(const std::string& label, const util::Ecdf& ecdf,
+                   const std::vector<double>& xs);
+
+// One "paper vs measured" comparison row.
+void print_paper_row(const std::string& metric, const std::string& paper,
+                     const std::string& measured);
+
+}  // namespace snmpv3fp::benchx

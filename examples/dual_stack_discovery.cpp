@@ -1,0 +1,53 @@
+// Dual-stack discovery: the paper's most novel capability — tying IPv4 and
+// IPv6 addresses to one physical router via the shared SNMP engine — shown
+// against ground truth, with precision/recall the paper could not compute.
+#include <iostream>
+
+#include "baselines/compare.hpp"
+#include "core/pipeline.hpp"
+
+using namespace snmpv3fp;
+
+int main() {
+  core::PipelineOptions options;
+  options.world = topo::WorldConfig::tiny();
+  const auto result = core::run_full_pipeline(options);
+
+  std::cout << "dual-stack alias sets discovered by SNMPv3:\n\n";
+  std::size_t shown = 0, dual_sets = 0;
+  for (const auto& set : result.resolution.sets) {
+    if (!set.dual_stack()) continue;
+    ++dual_sets;
+    if (shown < 8) {
+      ++shown;
+      std::cout << "  device (engineID " << set.engine_id.to_hex().substr(0, 20)
+                << "..., boots " << set.engine_boots << "):\n";
+      for (const auto& address : set.addresses)
+        std::cout << "    " << (address.is_v4() ? "v4 " : "v6 ")
+                  << address.to_string() << "\n";
+    }
+  }
+  std::cout << "\ntotal dual-stack sets: " << dual_sets << "\n";
+
+  // Validate against simulation ground truth.
+  baselines::AliasSets dual;
+  for (const auto& set : result.resolution.sets)
+    if (set.dual_stack()) dual.push_back(set.addresses);
+  std::vector<net::IpAddress> universe;
+  for (const auto& record : result.v4_records) universe.push_back(record.address);
+  for (const auto& record : result.v6_records) universe.push_back(record.address);
+
+  const auto& world = result.world;
+  const auto metrics = baselines::pair_metrics(
+      dual,
+      [&](const net::IpAddress& address) -> std::int64_t {
+        const auto index = world.device_index_at(address);
+        return index == topo::kNoDevice ? -1 : static_cast<std::int64_t>(index);
+      },
+      universe);
+  std::printf("\ndual-stack pair precision vs ground truth: %.3f "
+              "(%zu of %zu inferred pairs correct)\n",
+              metrics.precision(), metrics.correct_pairs,
+              metrics.inferred_pairs);
+  return 0;
+}

@@ -1,0 +1,246 @@
+#include "asn1/ber.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snmpv3fp::asn1 {
+
+std::string oid_to_string(const Oid& oid) {
+  std::string out;
+  for (std::size_t i = 0; i < oid.size(); ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(oid[i]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+void write_length(Bytes& out, std::size_t length) {
+  if (length < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(length));
+    return;
+  }
+  // Long form: count the bytes needed.
+  Bytes digits;
+  std::size_t v = length;
+  while (v > 0) {
+    digits.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+  out.push_back(static_cast<std::uint8_t>(0x80 | digits.size()));
+  out.insert(out.end(), digits.rbegin(), digits.rend());
+}
+
+void write_tlv(Bytes& out, std::uint8_t tag, ByteView content) {
+  out.push_back(tag);
+  write_length(out, content.size());
+  out.insert(out.end(), content.begin(), content.end());
+}
+
+Bytes encode_integer(std::int64_t value) {
+  // Minimal two's-complement big-endian content.
+  Bytes content;
+  bool more = true;
+  while (more) {
+    const auto byte = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;  // arithmetic shift keeps the sign
+    // Done when the remaining value is pure sign extension of this byte.
+    more = !((value == 0 && (byte & 0x80) == 0) ||
+             (value == -1 && (byte & 0x80) != 0));
+    content.push_back(byte);
+  }
+  std::reverse(content.begin(), content.end());
+  Bytes out;
+  write_tlv(out, kTagInteger, content);
+  return out;
+}
+
+Bytes encode_unsigned(std::uint64_t value, std::uint8_t tag) {
+  Bytes content;
+  do {
+    content.push_back(static_cast<std::uint8_t>(value & 0xff));
+    value >>= 8;
+  } while (value > 0);
+  // A leading 1-bit would read as negative: prepend 0x00.
+  if (content.back() & 0x80) content.push_back(0x00);
+  std::reverse(content.begin(), content.end());
+  Bytes out;
+  write_tlv(out, tag, content);
+  return out;
+}
+
+Bytes encode_octet_string(ByteView value) {
+  Bytes out;
+  write_tlv(out, kTagOctetString, value);
+  return out;
+}
+
+Bytes encode_null() {
+  Bytes out;
+  write_tlv(out, kTagNull, {});
+  return out;
+}
+
+Bytes encode_oid(const Oid& oid) {
+  assert(oid.size() >= 2 && oid[0] <= 2 && oid[1] < 40);
+  Bytes content;
+  content.push_back(static_cast<std::uint8_t>(oid[0] * 40 + oid[1]));
+  for (std::size_t i = 2; i < oid.size(); ++i) {
+    // Base-128, high bit marks continuation.
+    std::uint32_t v = oid[i];
+    Bytes chunk;
+    chunk.push_back(static_cast<std::uint8_t>(v & 0x7f));
+    v >>= 7;
+    while (v > 0) {
+      chunk.push_back(static_cast<std::uint8_t>(0x80 | (v & 0x7f)));
+      v >>= 7;
+    }
+    content.insert(content.end(), chunk.rbegin(), chunk.rend());
+  }
+  Bytes out;
+  write_tlv(out, kTagOid, content);
+  return out;
+}
+
+SequenceBuilder& SequenceBuilder::add(ByteView encoded_child) {
+  content_.insert(content_.end(), encoded_child.begin(), encoded_child.end());
+  return *this;
+}
+
+SequenceBuilder& SequenceBuilder::add(const Bytes& encoded_child) {
+  return add(ByteView(encoded_child));
+}
+
+Bytes SequenceBuilder::finish(std::uint8_t tag) const {
+  Bytes out;
+  write_tlv(out, tag, content_);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+Result<Tlv> Reader::read_tlv() {
+  if (remaining() < 2) return Result<Tlv>::failure("truncated TLV header");
+  const std::uint8_t tag = data_[pos_];
+  if ((tag & 0x1f) == 0x1f)
+    return Result<Tlv>::failure("multi-byte tags unsupported");
+  std::size_t cursor = pos_ + 1;
+  std::uint8_t first_len = data_[cursor++];
+  std::size_t length = 0;
+  if (first_len < 0x80) {
+    length = first_len;
+  } else {
+    const std::size_t num_bytes = first_len & 0x7f;
+    if (num_bytes == 0) return Result<Tlv>::failure("indefinite length");
+    if (num_bytes > sizeof(std::size_t))
+      return Result<Tlv>::failure("length too large");
+    if (data_.size() - cursor < num_bytes)
+      return Result<Tlv>::failure("truncated long length");
+    for (std::size_t i = 0; i < num_bytes; ++i)
+      length = (length << 8) | data_[cursor++];
+  }
+  if (data_.size() - cursor < length)
+    return Result<Tlv>::failure("content overruns buffer");
+  Tlv tlv;
+  tlv.tag = tag;
+  tlv.content = data_.subspan(cursor, length);
+  pos_ = cursor + length;
+  return tlv;
+}
+
+Result<Tlv> Reader::expect(std::uint8_t tag) {
+  auto tlv = read_tlv();
+  if (!tlv) return tlv;
+  if (tlv.value().tag != tag)
+    return Result<Tlv>::failure("unexpected tag " +
+                                std::to_string(tlv.value().tag) + ", wanted " +
+                                std::to_string(tag));
+  return tlv;
+}
+
+Result<std::int64_t> decode_integer_content(ByteView content) {
+  if (content.empty())
+    return Result<std::int64_t>::failure("empty INTEGER content");
+  if (content.size() > 8)
+    return Result<std::int64_t>::failure("INTEGER too wide");
+  // Sign-extend from the first byte.
+  std::int64_t value = (content[0] & 0x80) ? -1 : 0;
+  for (std::uint8_t b : content) value = (value << 8) | b;
+  return value;
+}
+
+Result<std::int64_t> Reader::read_integer() {
+  auto tlv = expect(kTagInteger);
+  if (!tlv) return Result<std::int64_t>::failure(tlv.error());
+  return decode_integer_content(tlv.value().content);
+}
+
+Result<std::uint64_t> Reader::read_unsigned(std::uint8_t tag) {
+  auto tlv = expect(tag);
+  if (!tlv) return Result<std::uint64_t>::failure(tlv.error());
+  const ByteView content = tlv.value().content;
+  if (content.empty())
+    return Result<std::uint64_t>::failure("empty unsigned content");
+  if (content.size() > 9 || (content.size() == 9 && content[0] != 0))
+    return Result<std::uint64_t>::failure("unsigned too wide");
+  std::uint64_t value = 0;
+  for (std::uint8_t b : content) value = (value << 8) | b;
+  return value;
+}
+
+Result<ByteView> Reader::read_octet_string() {
+  auto tlv = expect(kTagOctetString);
+  if (!tlv) return Result<ByteView>::failure(tlv.error());
+  return tlv.value().content;
+}
+
+util::Status Reader::read_null() {
+  auto tlv = expect(kTagNull);
+  if (!tlv) return util::Status::failure(tlv.error());
+  if (!tlv.value().content.empty())
+    return util::Status::failure("NULL with non-empty content");
+  return {};
+}
+
+Result<Oid> decode_oid_content(ByteView content) {
+  if (content.empty()) return Result<Oid>::failure("empty OID content");
+  Oid oid;
+  const std::uint8_t head = content[0];
+  oid.push_back(std::min<std::uint32_t>(head / 40, 2));
+  oid.push_back(oid[0] == 2 ? head - 80 : head % 40);
+  std::uint32_t acc = 0;
+  int continuation = 0;
+  for (std::size_t i = 1; i < content.size(); ++i) {
+    const std::uint8_t b = content[i];
+    if (continuation > 4) return Result<Oid>::failure("OID arc too wide");
+    acc = (acc << 7) | (b & 0x7f);
+    if (b & 0x80) {
+      ++continuation;
+    } else {
+      oid.push_back(acc);
+      acc = 0;
+      continuation = 0;
+    }
+  }
+  if (continuation != 0) return Result<Oid>::failure("truncated OID arc");
+  return oid;
+}
+
+Result<Oid> Reader::read_oid() {
+  auto tlv = expect(kTagOid);
+  if (!tlv) return Result<Oid>::failure(tlv.error());
+  return decode_oid_content(tlv.value().content);
+}
+
+Result<Reader> Reader::enter(std::uint8_t tag) {
+  auto tlv = expect(tag);
+  if (!tlv) return Result<Reader>::failure(tlv.error());
+  return Reader(tlv.value().content);
+}
+
+}  // namespace snmpv3fp::asn1

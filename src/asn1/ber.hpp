@@ -1,0 +1,113 @@
+// ASN.1 Basic Encoding Rules, the subset SNMP needs (RFC 1157 §3.2 and
+// X.690): definite-length TLVs for INTEGER, OCTET STRING, NULL, OBJECT
+// IDENTIFIER, SEQUENCE, and context-class tags for PDU selection.
+//
+// Encoding is infallible; decoding takes untrusted bytes off the wire and
+// therefore returns Result<> and never reads out of bounds (every access
+// goes through a remaining-length check).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace snmpv3fp::asn1 {
+
+using util::Bytes;
+using util::ByteView;
+using util::Result;
+
+// Universal tags used by SNMP.
+inline constexpr std::uint8_t kTagInteger = 0x02;
+inline constexpr std::uint8_t kTagOctetString = 0x04;
+inline constexpr std::uint8_t kTagNull = 0x05;
+inline constexpr std::uint8_t kTagOid = 0x06;
+inline constexpr std::uint8_t kTagSequence = 0x30;
+// SNMP application tags.
+inline constexpr std::uint8_t kTagCounter32 = 0x41;
+inline constexpr std::uint8_t kTagTimeTicks = 0x43;
+// Context-class constructed tag n (PDU selectors).
+constexpr std::uint8_t context_tag(std::uint8_t n) {
+  return static_cast<std::uint8_t>(0xa0 | n);
+}
+
+// Object identifier as its component list, e.g. {1,3,6,1,6,3,15,1,1,3,0}.
+using Oid = std::vector<std::uint32_t>;
+
+std::string oid_to_string(const Oid& oid);  // "1.3.6.1.6.3.15.1.1.3.0"
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+// Appends the BER definite length encoding of `length`.
+void write_length(Bytes& out, std::size_t length);
+
+// Appends tag + length + content.
+void write_tlv(Bytes& out, std::uint8_t tag, ByteView content);
+
+Bytes encode_integer(std::int64_t value);
+// Unsigned variant for Counter32/TimeTicks-style values (tag selectable).
+Bytes encode_unsigned(std::uint64_t value, std::uint8_t tag);
+Bytes encode_octet_string(ByteView value);
+Bytes encode_null();
+Bytes encode_oid(const Oid& oid);
+
+// Accumulates already-encoded children and wraps them in a constructed TLV.
+class SequenceBuilder {
+ public:
+  SequenceBuilder& add(ByteView encoded_child);
+  SequenceBuilder& add(const Bytes& encoded_child);
+  Bytes finish(std::uint8_t tag = kTagSequence) const;
+
+ private:
+  Bytes content_;
+};
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Tlv {
+  std::uint8_t tag = 0;
+  ByteView content;  // view into the Reader's underlying buffer
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  bool at_end() const { return pos_ >= data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  // Reads the next TLV header + content. Rejects indefinite lengths,
+  // truncated headers and content that overruns the buffer.
+  Result<Tlv> read_tlv();
+
+  // Reads the next TLV and requires its tag to equal `tag`.
+  Result<Tlv> expect(std::uint8_t tag);
+
+  // Typed readers; each checks the universal tag.
+  Result<std::int64_t> read_integer();
+  Result<std::uint64_t> read_unsigned(std::uint8_t tag = kTagInteger);
+  Result<ByteView> read_octet_string();
+  util::Status read_null();
+  Result<Oid> read_oid();
+
+  // Reads a constructed TLV with tag `tag` and returns a Reader over its
+  // content, for descending into SEQUENCEs / context PDUs.
+  Result<Reader> enter(std::uint8_t tag = kTagSequence);
+
+ private:
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+// Decodes an integer content (post-TLV) honoring two's complement.
+Result<std::int64_t> decode_integer_content(ByteView content);
+Result<Oid> decode_oid_content(ByteView content);
+
+}  // namespace snmpv3fp::asn1

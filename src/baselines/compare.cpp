@@ -1,0 +1,72 @@
+#include "baselines/compare.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace snmpv3fp::baselines {
+
+SetComparison compare_alias_sets(const AliasSets& ours,
+                                 const AliasSets& theirs) {
+  SetComparison result;
+  result.ours_sets = ours.size();
+  result.theirs_sets = theirs.size();
+
+  std::set<std::vector<net::IpAddress>> ours_sorted;
+  std::unordered_map<net::IpAddress, std::size_t> ours_by_address;
+  for (std::size_t i = 0; i < ours.size(); ++i) {
+    auto sorted = ours[i];
+    std::sort(sorted.begin(), sorted.end());
+    ours_sorted.insert(std::move(sorted));
+    for (const auto& address : ours[i]) ours_by_address.emplace(address, i);
+  }
+
+  for (const auto& their_set : theirs) {
+    auto sorted = their_set;
+    std::sort(sorted.begin(), sorted.end());
+    if (ours_sorted.count(sorted) > 0) ++result.exact_matches;
+    const bool overlaps = std::any_of(
+        their_set.begin(), their_set.end(), [&](const net::IpAddress& a) {
+          return ours_by_address.count(a) > 0;
+        });
+    if (overlaps) ++result.partial_overlaps;
+  }
+  return result;
+}
+
+PairMetrics pair_metrics(
+    const AliasSets& inferred,
+    const std::function<std::int64_t(const net::IpAddress&)>& truth_of,
+    const std::vector<net::IpAddress>& universe) {
+  PairMetrics metrics;
+  for (const auto& set : inferred) {
+    if (set.size() < 2) continue;
+    metrics.inferred_pairs += set.size() * (set.size() - 1) / 2;
+    // Count correct pairs by grouping the set's addresses by truth device.
+    std::map<std::int64_t, std::size_t> by_device;
+    for (const auto& address : set) {
+      const std::int64_t device = truth_of(address);
+      if (device >= 0) ++by_device[device];
+    }
+    for (const auto& [device, count] : by_device)
+      metrics.correct_pairs += count * (count - 1) / 2;
+  }
+  std::map<std::int64_t, std::size_t> truth_sizes;
+  for (const auto& address : universe) {
+    const std::int64_t device = truth_of(address);
+    if (device >= 0) ++truth_sizes[device];
+  }
+  for (const auto& [device, count] : truth_sizes)
+    metrics.truth_pairs += count * (count - 1) / 2;
+  return metrics;
+}
+
+std::size_t dealiased_addresses(const AliasSets& sets) {
+  std::size_t total = 0;
+  for (const auto& set : sets)
+    if (set.size() > 1) total += set.size();
+  return total;
+}
+
+}  // namespace snmpv3fp::baselines

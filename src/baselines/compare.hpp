@@ -1,0 +1,57 @@
+// Alias-set comparison machinery for §5.2-§5.4's cross-technique analyses
+// and for validating inferences against simulation ground truth.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace snmpv3fp::baselines {
+
+using AliasSets = std::vector<std::vector<net::IpAddress>>;
+
+struct SetComparison {
+  std::size_t exact_matches = 0;     // identical sets in both collections
+  std::size_t partial_overlaps = 0;  // sets of `theirs` sharing >= 1 IP with ours
+  std::size_t ours_sets = 0;
+  std::size_t theirs_sets = 0;
+};
+
+// `exact` counts sets whose sorted address lists are identical; `partial`
+// counts sets of `theirs` with at least one address inside any of `ours`
+// (the paper's §5.2 methodology).
+SetComparison compare_alias_sets(const AliasSets& ours, const AliasSets& theirs);
+
+// Pairwise precision/recall of inferred alias sets against ground truth:
+// a pair of addresses is correct iff both map to the same truth device.
+struct PairMetrics {
+  std::size_t inferred_pairs = 0;
+  std::size_t correct_pairs = 0;
+  std::size_t truth_pairs = 0;  // pairs achievable over the probed universe
+  double precision() const {
+    return inferred_pairs == 0
+               ? 1.0
+               : static_cast<double>(correct_pairs) /
+                     static_cast<double>(inferred_pairs);
+  }
+  double recall() const {
+    return truth_pairs == 0 ? 1.0
+                            : static_cast<double>(correct_pairs) /
+                                  static_cast<double>(truth_pairs);
+  }
+};
+
+// `truth_of` maps an address to a device id (or a negative value when the
+// address is unknown). `universe` restricts truth pairs to addresses the
+// technique had any chance to see.
+PairMetrics pair_metrics(
+    const AliasSets& inferred,
+    const std::function<std::int64_t(const net::IpAddress&)>& truth_of,
+    const std::vector<net::IpAddress>& universe);
+
+// Count of addresses inside non-singleton sets (de-aliased addresses),
+// used by §5.4's combined-coverage computation.
+std::size_t dealiased_addresses(const AliasSets& sets);
+
+}  // namespace snmpv3fp::baselines

@@ -1,0 +1,83 @@
+#include "baselines/nmap_lite.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace snmpv3fp::baselines {
+
+namespace {
+// Nmap's default "fast" behaviour probes only a handful of top ports
+// (paper: "by default, Nmap will attempt to find an open TCP port by
+// scanning only the top 10 services").
+constexpr std::uint16_t kTopPorts[] = {80, 23, 443, 21, 22, 25, 3389, 110, 445, 139};
+}  // namespace
+
+NmapLite::NmapLite() {
+  // Train the signature database the same way the simulator derives vendor
+  // personalities (deterministic hash of the vendor name) — standing in
+  // for nmap-os-db entries.
+  for (const auto* table :
+       {&topo::builtin_router_vendors(), &topo::builtin_cpe_vendors(),
+        &topo::builtin_server_vendors()}) {
+    for (const auto& vendor : *table) {
+      const auto vendor_hash =
+          static_cast<std::uint32_t>(util::fnv1a64(vendor.name));
+      database_.push_back({vendor.name,
+                           static_cast<std::uint16_t>(4096 + vendor_hash % 60000),
+                           static_cast<std::uint8_t>(vendor_hash % 17),
+                           vendor.initial_ttl});
+    }
+  }
+}
+
+NmapFingerprint NmapLite::fingerprint(sim::StackSimulator& stack,
+                                      const net::IpAddress& target,
+                                      util::VTime now) {
+  NmapSignature signature;
+  bool open_found = false;
+  for (const std::uint16_t port : kTopPorts) {
+    const auto reply = stack.tcp_syn(target, port, now);
+    if (reply.outcome == sim::TcpProbeOutcome::kOpen && !open_found) {
+      open_found = true;
+      signature.window = reply.window;
+      signature.options_signature = reply.options_signature;
+      signature.initial_ttl = reply.ttl;
+    } else if (reply.outcome == sim::TcpProbeOutcome::kClosed) {
+      signature.has_closed_port = true;
+    }
+  }
+
+  if (!open_found) return {};  // the common case for secured routers
+
+  if (signature.has_closed_port) {
+    // Complete test suite: exact database match possible.
+    for (const auto& entry : database_) {
+      if (entry.window == signature.window &&
+          entry.options_signature == signature.options_signature &&
+          entry.initial_ttl == signature.initial_ttl)
+        return {NmapOutcome::kExactMatch, entry.vendor};
+    }
+  }
+
+  // Incomplete tests (or no DB hit): best guess by nearest window size
+  // among entries with the same initial TTL class — frequently wrong.
+  const DbEntry* best = nullptr;
+  std::uint32_t best_distance = std::numeric_limits<std::uint32_t>::max();
+  for (const auto& entry : database_) {
+    if (entry.initial_ttl != signature.initial_ttl) continue;
+    const std::uint32_t distance =
+        entry.window > signature.window
+            ? entry.window - signature.window
+            : signature.window - entry.window;
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = &entry;
+    }
+  }
+  if (best == nullptr) return {};
+  return {NmapOutcome::kBestGuess, best->vendor};
+}
+
+}  // namespace snmpv3fp::baselines

@@ -1,0 +1,129 @@
+#include "baselines/router_names.hpp"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+
+#include "util/strings.hpp"
+
+namespace snmpv3fp::baselines {
+
+namespace {
+
+// The registrable zone for our synthetic names is the last four labels
+// ("asN.<region>.example.net").
+std::string domain_of(const std::string& hostname) {
+  const auto labels = util::split(hostname, '.');
+  if (labels.size() <= 4) return hostname;
+  std::vector<std::string> tail(labels.end() - 4, labels.end());
+  return util::join(tail, ".");
+}
+
+using Extractor = std::string (*)(const std::string&);
+
+struct RuleScore {
+  std::size_t parsed = 0;
+  std::size_t groups = 0;
+  std::size_t largest_group = 0;
+};
+
+RuleScore score_rule(const std::vector<const topo::PtrRecord*>& records,
+                     Extractor rule) {
+  std::map<std::string, std::size_t> groups;
+  RuleScore score;
+  for (const auto* record : records) {
+    const std::string name = rule(record->name);
+    if (name.empty()) continue;
+    ++score.parsed;
+    ++groups[name];
+  }
+  score.groups = groups.size();
+  for (const auto& [name, count] : groups)
+    score.largest_group = std::max(score.largest_group, count);
+  return score;
+}
+
+}  // namespace
+
+std::string extract_suffix_rule(const std::string& hostname) {
+  // Drop the first (interface) label; the rest must still contain a
+  // router-specific label, i.e. be longer than the registrable domain.
+  const auto dot = hostname.find('.');
+  if (dot == std::string::npos) return {};
+  std::string rest = hostname.substr(dot + 1);
+  if (util::split(rest, '.').size() <= 4) return {};  // nothing device-specific
+  return rest;
+}
+
+std::string extract_dash_rule(const std::string& hostname) {
+  // First label of the form "<router>-<ifname>" where ifname looks like an
+  // interface (xe-0-0-1, ge-0-1-2, eth3, te1-0, hu0-0-0-1).
+  static const std::regex kPattern(
+      R"(^(.+)-(?:xe|ge|eth|te|hu)[0-9][0-9-]*$)",
+      std::regex::ECMAScript | std::regex::optimize);
+  const auto dot = hostname.find('.');
+  if (dot == std::string::npos) return {};
+  const std::string first = hostname.substr(0, dot);
+  std::smatch match;
+  if (!std::regex_match(first, match, kPattern)) return {};
+  return match[1].str() + "." + hostname.substr(dot + 1);
+}
+
+RouterNamesResult run_router_names(const std::vector<topo::PtrRecord>& records,
+                                   const RouterNamesOptions& options) {
+  RouterNamesResult result;
+
+  // Bucket PTR records by domain.
+  std::map<std::string, std::vector<const topo::PtrRecord*>> by_domain;
+  for (const auto& record : records)
+    by_domain[domain_of(record.name)].push_back(&record);
+  result.domains_total = by_domain.size();
+
+  constexpr Extractor kRules[] = {&extract_suffix_rule, &extract_dash_rule};
+
+  for (const auto& [domain, domain_records] : by_domain) {
+    // Score both candidate rules; keep the best acceptable one.
+    Extractor best = nullptr;
+    RuleScore best_score;
+    for (const Extractor rule : kRules) {
+      const RuleScore score = score_rule(domain_records, rule);
+      if (score.parsed <
+          static_cast<std::size_t>(options.min_rule_support *
+                                   static_cast<double>(domain_records.size())))
+        continue;
+      // A rule that throws (nearly) everything into one group has no
+      // discriminating power (e.g. suffix-stripping "ip-a-b-c-d" names).
+      if (score.groups <= 1 && score.parsed > 3) continue;
+      if (score.largest_group > 256) continue;
+      // Prefer rules that actually group interfaces together.
+      const bool better =
+          best == nullptr ||
+          (score.parsed > score.groups &&
+           best_score.parsed <= best_score.groups) ||
+          score.parsed > best_score.parsed;
+      if (better) {
+        best = rule;
+        best_score = score;
+      }
+    }
+    if (best == nullptr) continue;
+    ++result.domains_with_rule;
+
+    std::map<std::string, std::vector<net::IpAddress>> groups;
+    for (const auto* record : domain_records) {
+      const std::string name = best(record->name);
+      if (name.empty()) continue;
+      ++result.records_parsed;
+      groups[name].push_back(record->address);
+    }
+    for (auto& [name, addresses] : groups) {
+      std::sort(addresses.begin(), addresses.end());
+      addresses.erase(std::unique(addresses.begin(), addresses.end()),
+                      addresses.end());
+      result.alias_sets.push_back(std::move(addresses));
+    }
+  }
+  return result;
+}
+
+}  // namespace snmpv3fp::baselines

@@ -1,0 +1,49 @@
+// Router Names: rDNS-based alias resolution (Luckie et al., IMC 2019;
+// paper §5.2).
+//
+// Operators often encode a router identity in interface PTR records
+// ("xe-0-0-1.cr1-fra.as3320.eu.example.net"). CAIDA learns per-domain
+// regexes that extract that identity; interfaces sharing an extracted name
+// are aliases, and because PTR records exist for both families, this was
+// the paper's only prior dual-stack-capable comparison point.
+//
+// We reproduce the approach: per domain, candidate extraction rules are
+// scored by how *consistently* they group records (a proxy for CAIDA's
+// positive predictive value threshold of 0.8), and only domains with a
+// winning rule contribute alias sets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "topo/datasets.hpp"
+
+namespace snmpv3fp::baselines {
+
+struct RouterNamesOptions {
+  // Minimum fraction of a domain's records the winning rule must parse.
+  double min_rule_support = 0.5;
+  // Rules whose extracted names are almost all unique carry no alias
+  // information (e.g. ip-1-2-3-4 schemes) — require some grouping.
+  std::size_t min_groups_smaller_than_records = 1;
+};
+
+struct RouterNamesResult {
+  // Alias sets (hostname groups with >= 1 address); dual-stack when a
+  // name appears in both families' PTR records.
+  std::vector<std::vector<net::IpAddress>> alias_sets;
+  std::size_t domains_total = 0;
+  std::size_t domains_with_rule = 0;
+  std::size_t records_parsed = 0;
+};
+
+RouterNamesResult run_router_names(const std::vector<topo::PtrRecord>& records,
+                                   const RouterNamesOptions& options = {});
+
+// Extraction rules, exposed for tests: returns the router identity or ""
+// if the rule does not parse the hostname.
+std::string extract_suffix_rule(const std::string& hostname);  // drop 1st label
+std::string extract_dash_rule(const std::string& hostname);    // strip -if suffix
+
+}  // namespace snmpv3fp::baselines

@@ -1,0 +1,123 @@
+#include "baselines/speedtrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "baselines/midar.hpp"  // monotonic_bounds_test
+
+namespace snmpv3fp::baselines {
+
+namespace {
+constexpr std::uint64_t kModulus = 1ULL << 32;
+}
+
+SpeedtrapResult run_speedtrap(sim::StackSimulator& stack,
+                              const std::vector<net::IpAddress>& targets,
+                              util::VTime start_time,
+                              const SpeedtrapOptions& options) {
+  SpeedtrapResult result;
+
+  struct Estimate {
+    net::IpAddress address;
+    double velocity = 0.0;
+    bool usable = false;
+  };
+  std::vector<Estimate> estimates;
+  util::VTime t = start_time;
+  for (const auto& target : targets) {
+    if (!target.is_v6()) continue;
+    Estimate estimate;
+    estimate.address = target;
+    std::vector<std::pair<util::VTime, std::uint32_t>> samples;
+    for (std::size_t i = 0; i < options.estimation_samples; ++i) {
+      const util::VTime when =
+          t + static_cast<util::VTime>(i) * options.estimation_spacing;
+      const auto id = stack.fragment_id(target.v6(), when);
+      if (!id) break;
+      samples.emplace_back(when, *id);
+    }
+    if (samples.size() == options.estimation_samples &&
+        monotonic_bounds_test(samples, kModulus, options.max_velocity)) {
+      // Velocity from first/last sample.
+      const double span =
+          util::to_seconds(samples.back().first - samples.front().first);
+      const std::uint64_t diff =
+          (samples.back().second + kModulus - samples.front().second) %
+          kModulus;
+      estimate.velocity = static_cast<double>(diff) / std::max(span, 1e-9);
+      if (estimate.velocity > 0.01) {
+        estimate.usable = true;
+        ++result.monotonic_targets;
+      }
+    }
+    estimates.push_back(std::move(estimate));
+    t += util::kMillisecond;
+  }
+
+  // Velocity-sorted sliding-window candidate pairing (see midar.cpp).
+  std::vector<std::size_t> ordered;
+  for (std::size_t i = 0; i < estimates.size(); ++i)
+    if (estimates[i].usable) ordered.push_back(i);
+  std::sort(ordered.begin(), ordered.end(), [&](std::size_t a, std::size_t b) {
+    return estimates[a].velocity < estimates[b].velocity;
+  });
+
+  std::vector<std::size_t> parent(estimates.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+
+  util::VTime verify_time = t + util::kMinute;
+  {
+    const std::size_t window = options.max_bin_size;
+    for (std::size_t a = 0; a < ordered.size(); ++a) {
+      for (std::size_t b = a + 1;
+           b < ordered.size() && b - a <= window; ++b) {
+        const std::size_t ia = ordered[a], ib = ordered[b];
+        if (estimates[ib].velocity >
+            estimates[ia].velocity * (1.0 + options.velocity_tolerance) + 0.5)
+          break;
+        if (find(ia) == find(ib)) continue;
+        std::vector<std::pair<util::VTime, std::uint32_t>> merged;
+        util::VTime when = verify_time;
+        bool responsive = true;
+        for (std::size_t round = 0;
+             round < options.verification_rounds && responsive; ++round) {
+          for (const std::size_t index : {ia, ib}) {
+            const auto id =
+                stack.fragment_id(estimates[index].address.v6(), when);
+            if (!id) {
+              responsive = false;
+              break;
+            }
+            merged.emplace_back(when, *id);
+            when += 500 * util::kMillisecond;
+          }
+        }
+        verify_time = when + util::kSecond;
+        if (!responsive) continue;
+        const double cap =
+            (estimates[ia].velocity + estimates[ib].velocity) * 0.75 + 4.0;
+        if (monotonic_bounds_test(merged, kModulus, cap)) {
+          parent[find(ia)] = find(ib);
+          ++result.verified_pairs;
+        }
+      }
+    }
+  }
+
+  std::map<std::size_t, std::vector<net::IpAddress>> groups;
+  for (std::size_t i = 0; i < estimates.size(); ++i)
+    groups[find(i)].push_back(estimates[i].address);
+  for (auto& [root, addresses] : groups) {
+    std::sort(addresses.begin(), addresses.end());
+    result.alias_sets.push_back(std::move(addresses));
+  }
+  return result;
+}
+
+}  // namespace snmpv3fp::baselines

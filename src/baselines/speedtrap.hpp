@@ -1,0 +1,35 @@
+// Speedtrap-style IPv6 alias resolution (Luckie et al., IMC 2013; §5.3).
+//
+// IPv6 has no IP-ID in the base header; Speedtrap elicits fragmented
+// responses whose 32-bit fragment identifiers, on many stacks, come from a
+// shared sequential counter. The inference machinery is the same monotonic
+// reasoning as MIDAR over a larger modulus (so wraps are rare).
+#pragma once
+
+#include <vector>
+
+#include "sim/stack.hpp"
+
+namespace snmpv3fp::baselines {
+
+struct SpeedtrapOptions {
+  std::size_t estimation_samples = 6;
+  util::VTime estimation_spacing = 2 * util::kSecond;
+  std::size_t verification_rounds = 4;
+  double max_velocity = 50000.0;  // 32-bit counters rarely wrap
+  double velocity_tolerance = 0.03;
+  std::size_t max_bin_size = 24;  // sliding-window width
+};
+
+struct SpeedtrapResult {
+  std::vector<std::vector<net::IpAddress>> alias_sets;
+  std::size_t monotonic_targets = 0;
+  std::size_t verified_pairs = 0;
+};
+
+SpeedtrapResult run_speedtrap(sim::StackSimulator& stack,
+                              const std::vector<net::IpAddress>& targets,
+                              util::VTime start_time,
+                              const SpeedtrapOptions& options = {});
+
+}  // namespace snmpv3fp::baselines

@@ -1,0 +1,37 @@
+#include "baselines/ttl_fingerprint.hpp"
+
+#include <set>
+
+namespace snmpv3fp::baselines {
+
+std::uint8_t infer_initial_ttl(std::uint8_t observed) {
+  for (const std::uint8_t initial : {std::uint8_t{32}, std::uint8_t{64},
+                                     std::uint8_t{128}}) {
+    if (observed <= initial) return initial;
+  }
+  return 255;
+}
+
+TtlFingerprint ttl_fingerprint(sim::StackSimulator& stack,
+                               const net::Ipv4& target, util::VTime now) {
+  TtlFingerprint result;
+  const auto reply = stack.icmp_echo(target, now);
+  if (!reply) return result;
+  result.responsive = true;
+  result.initial_ttl = infer_initial_ttl(reply->ttl);
+
+  // Every builtin vendor whose personality shares this iTTL is a
+  // candidate — the method cannot distinguish within the class.
+  std::set<std::string> candidates;
+  for (const auto* table :
+       {&topo::builtin_router_vendors(), &topo::builtin_cpe_vendors(),
+        &topo::builtin_server_vendors()}) {
+    for (const auto& vendor : *table)
+      if (vendor.initial_ttl == result.initial_ttl)
+        candidates.insert(vendor.name);
+  }
+  result.candidate_vendors.assign(candidates.begin(), candidates.end());
+  return result;
+}
+
+}  // namespace snmpv3fp::baselines

@@ -1,0 +1,31 @@
+// TTL-based router fingerprinting (Vanaubel et al., IMC 2013; paper §7.1).
+//
+// The tuple of *initial* TTLs inferred from different probe responses can
+// separate some router platforms — but the signature universe is tiny and
+// Huawei shares Cisco's (255), the paper's example of the method's
+// ambiguity. We infer iTTL by rounding the observed remaining TTL up to
+// the next canonical initial value {32, 64, 128, 255}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stack.hpp"
+
+namespace snmpv3fp::baselines {
+
+// Rounds an observed TTL up to the canonical initial TTL.
+std::uint8_t infer_initial_ttl(std::uint8_t observed);
+
+struct TtlFingerprint {
+  bool responsive = false;
+  std::uint8_t initial_ttl = 0;
+  // All vendor classes consistent with the signature — usually several.
+  std::vector<std::string> candidate_vendors;
+};
+
+TtlFingerprint ttl_fingerprint(sim::StackSimulator& stack,
+                               const net::Ipv4& target, util::VTime now);
+
+}  // namespace snmpv3fp::baselines

@@ -1,0 +1,136 @@
+#include "core/alias.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+namespace snmpv3fp::core {
+
+namespace {
+
+std::int64_t match_key(RebootMatch match, util::VTime last_reboot) {
+  const double seconds = util::to_seconds(last_reboot);
+  switch (match) {
+    case RebootMatch::kExact:
+      return static_cast<std::int64_t>(std::floor(seconds));
+    case RebootMatch::kRound:
+      // Round the last decimal digit away: nearest 10 seconds.
+      return static_cast<std::int64_t>(std::llround(seconds / 10.0));
+    case RebootMatch::kDivide20:
+      return static_cast<std::int64_t>(std::floor(seconds / 20.0));
+    case RebootMatch::kDivide20Round:
+      return static_cast<std::int64_t>(std::llround(seconds / 20.0));
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string_view to_string(RebootMatch match) {
+  switch (match) {
+    case RebootMatch::kExact: return "Exact";
+    case RebootMatch::kRound: return "Round";
+    case RebootMatch::kDivide20: return "Divide by 20";
+    case RebootMatch::kDivide20Round: return "Divide by 20+round";
+  }
+  return "?";
+}
+
+std::size_t AliasSet::v4_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(addresses.begin(), addresses.end(),
+                    [](const net::IpAddress& a) { return a.is_v4(); }));
+}
+
+std::size_t AliasSet::v6_count() const {
+  return addresses.size() - v4_count();
+}
+
+std::size_t AliasResolution::non_singleton_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(sets.begin(), sets.end(),
+                    [](const AliasSet& s) { return !s.singleton(); }));
+}
+
+std::size_t AliasResolution::ips_in_non_singletons() const {
+  std::size_t total = 0;
+  for (const auto& set : sets)
+    if (!set.singleton()) total += set.addresses.size();
+  return total;
+}
+
+std::size_t AliasResolution::total_ips() const {
+  std::size_t total = 0;
+  for (const auto& set : sets) total += set.addresses.size();
+  return total;
+}
+
+double AliasResolution::mean_ips_per_non_singleton() const {
+  const std::size_t sets_count = non_singleton_count();
+  if (sets_count == 0) return 0.0;
+  return static_cast<double>(ips_in_non_singletons()) /
+         static_cast<double>(sets_count);
+}
+
+AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
+                                const AliasOptions& options) {
+  // Key: engine ID bytes + boots/reboot of scan 1 (+ scan 2 when enabled).
+  using Key = std::tuple<util::Bytes, std::uint32_t, std::int64_t,
+                         std::uint32_t, std::int64_t>;
+  std::map<Key, AliasSet> groups;
+  for (const auto& record : records) {
+    Key key{record.engine_id().raw(), 0, 0, 0, 0};
+    if (!options.engine_id_only) {
+      std::get<1>(key) = record.first.engine_boots;
+      std::get<2>(key) = match_key(options.match, record.first.last_reboot());
+      if (options.use_both_scans) {
+        std::get<3>(key) = record.second.engine_boots;
+        std::get<4>(key) =
+            match_key(options.match, record.second.last_reboot());
+      }
+    }
+    auto& set = groups[std::move(key)];
+    if (set.addresses.empty()) {
+      set.engine_id = record.engine_id();
+      set.engine_boots = record.first.engine_boots;
+      set.last_reboot = record.first.last_reboot();
+    }
+    set.addresses.push_back(record.address);
+  }
+
+  AliasResolution resolution;
+  resolution.sets.reserve(groups.size());
+  for (auto& [key, set] : groups) {
+    std::sort(set.addresses.begin(), set.addresses.end());
+    resolution.sets.push_back(std::move(set));
+  }
+  return resolution;
+}
+
+StackBreakdown breakdown_by_stack(const AliasResolution& resolution) {
+  StackBreakdown out;
+  for (const auto& set : resolution.sets) {
+    const std::size_t v4 = set.v4_count();
+    const std::size_t v6 = set.v6_count();
+    if (v4 > 0 && v6 > 0) {
+      ++out.dual_sets;
+      out.dual_ips += set.addresses.size();
+    } else if (v4 > 0) {
+      ++out.v4_only_sets;
+      if (v4 > 1) {
+        ++out.v4_only_non_singleton;
+        out.v4_only_ips_nonsingleton += v4;
+      }
+    } else {
+      ++out.v6_only_sets;
+      if (v6 > 1) {
+        ++out.v6_only_non_singleton;
+        out.v6_only_ips_nonsingleton += v6;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace snmpv3fp::core

@@ -1,0 +1,72 @@
+// SNMPv3-based alias resolution (paper §5, Appendix A).
+//
+// Filtered records are grouped into alias sets by (engine ID, engine boots
+// in both scans, matched last-reboot time in both scans). The last-reboot
+// matching strategy is configurable — Appendix A's Table 3 compares exact
+// matching, rounding, and 20-second binning over one or both scans; the
+// paper ships "divide by 20, both scans" and so does our default.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/join.hpp"
+
+namespace snmpv3fp::core {
+
+enum class RebootMatch : std::uint8_t {
+  kExact,          // full seconds resolution
+  kRound,          // rounded to the nearest 10 s
+  kDivide20,       // floored into 20 s bins
+  kDivide20Round,  // divided by 20 and rounded
+};
+
+std::string_view to_string(RebootMatch match);
+
+struct AliasOptions {
+  RebootMatch match = RebootMatch::kDivide20;
+  // Appendix A "first" vs "both": whether scan2's boots/reboot also key.
+  bool use_both_scans = true;
+  // Ablation: group on engine ID alone (shows why the tuple matters —
+  // the constant-engine-ID bug would merge hundreds of devices).
+  bool engine_id_only = false;
+};
+
+struct AliasSet {
+  std::vector<net::IpAddress> addresses;  // sorted
+  snmp::EngineId engine_id;
+  std::uint32_t engine_boots = 0;
+  util::VTime last_reboot = 0;  // representative (first scan)
+
+  bool singleton() const { return addresses.size() == 1; }
+  std::size_t v4_count() const;
+  std::size_t v6_count() const;
+  bool dual_stack() const { return v4_count() > 0 && v6_count() > 0; }
+};
+
+struct AliasResolution {
+  std::vector<AliasSet> sets;
+
+  std::size_t non_singleton_count() const;
+  std::size_t ips_in_non_singletons() const;
+  std::size_t total_ips() const;
+  double mean_ips_per_non_singleton() const;
+};
+
+// Groups records into alias sets. Records from both families may be mixed;
+// identical keys then produce dual-stack sets (paper §5.1's final step).
+AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
+                                const AliasOptions& options = {});
+
+// Breakdown of a resolution into v4-only / v6-only / dual-stack sets.
+struct StackBreakdown {
+  std::size_t v4_only_sets = 0, v6_only_sets = 0, dual_sets = 0;
+  std::size_t v4_only_non_singleton = 0, v6_only_non_singleton = 0;
+  std::size_t v4_only_ips_nonsingleton = 0, v6_only_ips_nonsingleton = 0;
+  std::size_t dual_ips = 0;
+};
+StackBreakdown breakdown_by_stack(const AliasResolution& resolution);
+
+}  // namespace snmpv3fp::core

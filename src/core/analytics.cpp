@@ -1,0 +1,301 @@
+#include "core/analytics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace snmpv3fp::core {
+
+namespace {
+
+// Unique engine IDs with their address counts.
+std::map<util::Bytes, std::size_t> count_by_engine_id(
+    std::span<const JoinedRecord> records) {
+  std::map<util::Bytes, std::size_t> counts;
+  for (const auto& record : records) {
+    if (record.engine_id().empty()) continue;
+    ++counts[record.engine_id().raw()];
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::string_view to_string(StackClass stack) {
+  switch (stack) {
+    case StackClass::kV4Only: return "IPv4 Only";
+    case StackClass::kV6Only: return "IPv6 Only";
+    case StackClass::kDualStack: return "Dual-Stack";
+  }
+  return "?";
+}
+
+std::vector<DeviceRecord> annotate_devices(const AliasResolution& resolution,
+                                           const net::AsTable& as_table,
+                                           const AddressSet& router_addresses) {
+  std::vector<DeviceRecord> devices;
+  devices.reserve(resolution.sets.size());
+  for (const auto& set : resolution.sets) {
+    DeviceRecord device;
+    device.set = &set;
+    device.fingerprint = fingerprint_engine_id(set.engine_id);
+    const std::size_t v4 = set.v4_count();
+    const std::size_t v6 = set.v6_count();
+    device.stack = v4 > 0 && v6 > 0 ? StackClass::kDualStack
+                   : v4 > 0         ? StackClass::kV4Only
+                                    : StackClass::kV6Only;
+    device.is_router =
+        std::any_of(set.addresses.begin(), set.addresses.end(),
+                    [&](const net::IpAddress& address) {
+                      return router_addresses.count(address) > 0;
+                    });
+    device.as_info = as_table.lookup(set.addresses.front());
+    device.last_reboot = set.last_reboot;
+    devices.push_back(std::move(device));
+  }
+  return devices;
+}
+
+util::Ecdf ips_per_engine_id(std::span<const JoinedRecord> records) {
+  util::Ecdf ecdf;
+  for (const auto& [id, count] : count_by_engine_id(records))
+    ecdf.add(static_cast<double>(count));
+  ecdf.finalize();
+  return ecdf;
+}
+
+util::Tally engine_id_format_shares(std::span<const JoinedRecord> records) {
+  util::Tally tally;
+  std::set<util::Bytes> seen;
+  for (const auto& record : records) {
+    const auto& id = record.engine_id();
+    if (id.empty()) continue;
+    if (!seen.insert(id.raw()).second) continue;
+    tally.add(std::string(snmp::to_string(id.format())));
+  }
+  return tally;
+}
+
+std::vector<double> relative_hamming_weights(
+    std::span<const JoinedRecord> records, snmp::EngineIdFormat format) {
+  std::vector<double> weights;
+  std::set<util::Bytes> seen;
+  for (const auto& record : records) {
+    const auto& id = record.engine_id();
+    if (id.format() != format) continue;
+    if (!seen.insert(id.raw()).second) continue;
+    // For conforming formats the informative bytes are the payload; for
+    // non-conforming IDs the whole value.
+    const auto payload = id.payload();
+    weights.push_back(util::relative_hamming_weight(
+        payload.has_value() ? *payload : util::ByteView(id.raw())));
+  }
+  return weights;
+}
+
+std::vector<SharedEngineId> top_shared_engine_ids(
+    std::span<const JoinedRecord> records, std::size_t k) {
+  const auto counts = count_by_engine_id(records);
+  std::vector<std::pair<util::Bytes, std::size_t>> ranked(counts.begin(),
+                                                          counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  ranked.resize(std::min(k, ranked.size()));
+
+  std::vector<SharedEngineId> out;
+  for (const auto& [raw, count] : ranked) {
+    SharedEngineId shared;
+    shared.engine_id = snmp::EngineId(raw);
+    shared.address_count = count;
+    for (const auto& record : records) {
+      if (record.engine_id().raw() != raw) continue;
+      shared.last_reboots.add(util::to_seconds(record.first.last_reboot()) /
+                              86400.0);
+    }
+    shared.last_reboots.finalize();
+    out.push_back(std::move(shared));
+  }
+  return out;
+}
+
+util::Ecdf reboot_delta_ecdf(std::span<const JoinedRecord> records,
+                             const AddressSet* only_addresses) {
+  util::Ecdf ecdf;
+  for (const auto& record : records) {
+    if (only_addresses != nullptr &&
+        only_addresses->count(record.address) == 0)
+      continue;
+    ecdf.add(record.reboot_delta_seconds());
+  }
+  ecdf.finalize();
+  return ecdf;
+}
+
+util::Ecdf alias_set_sizes(const AliasResolution& resolution,
+                           std::optional<net::Family> family,
+                           const AddressSet* only_addresses) {
+  util::Ecdf ecdf;
+  for (const auto& set : resolution.sets) {
+    if (family.has_value() &&
+        std::none_of(set.addresses.begin(), set.addresses.end(),
+                     [&](const net::IpAddress& a) {
+                       return a.family() == *family;
+                     }))
+      continue;
+    if (only_addresses != nullptr &&
+        std::none_of(set.addresses.begin(), set.addresses.end(),
+                     [&](const net::IpAddress& a) {
+                       return only_addresses->count(a) > 0;
+                     }))
+      continue;
+    ecdf.add(static_cast<double>(set.addresses.size()));
+  }
+  ecdf.finalize();
+  return ecdf;
+}
+
+std::vector<std::pair<std::size_t, double>> as_coverage(
+    const std::vector<net::IpAddress>& dataset_addresses,
+    const AddressSet& responsive, const net::AsTable& as_table) {
+  std::map<std::uint32_t, std::pair<std::size_t, std::size_t>> per_as;
+  for (const auto& address : dataset_addresses) {
+    const auto info = as_table.lookup(address);
+    if (!info) continue;
+    auto& [total, covered] = per_as[info->asn];
+    ++total;
+    if (responsive.count(address) > 0) ++covered;
+  }
+  std::vector<std::pair<std::size_t, double>> out;
+  out.reserve(per_as.size());
+  for (const auto& [asn, counts] : per_as) {
+    const auto& [total, covered] = counts;
+    out.emplace_back(total, total == 0
+                                ? 0.0
+                                : static_cast<double>(covered) /
+                                      static_cast<double>(total));
+  }
+  return out;
+}
+
+std::vector<VendorPopularity> vendor_popularity(
+    std::span<const DeviceRecord> devices, bool routers_only) {
+  std::map<std::string, VendorPopularity> by_vendor;
+  for (const auto& device : devices) {
+    if (routers_only && !device.is_router) continue;
+    auto& entry = by_vendor[device.fingerprint.vendor];
+    entry.vendor = device.fingerprint.vendor;
+    switch (device.stack) {
+      case StackClass::kV4Only: ++entry.v4_only; break;
+      case StackClass::kV6Only: ++entry.v6_only; break;
+      case StackClass::kDualStack: ++entry.dual; break;
+    }
+  }
+  std::vector<VendorPopularity> out;
+  out.reserve(by_vendor.size());
+  for (auto& [vendor, entry] : by_vendor) out.push_back(std::move(entry));
+  std::sort(out.begin(), out.end(),
+            [](const VendorPopularity& a, const VendorPopularity& b) {
+              return a.total() > b.total();
+            });
+  return out;
+}
+
+util::Ecdf uptime_days(std::span<const DeviceRecord> devices,
+                       bool routers_only, util::VTime scan_time) {
+  util::Ecdf ecdf;
+  for (const auto& device : devices) {
+    if (routers_only && !device.is_router) continue;
+    ecdf.add(util::to_seconds(scan_time - device.last_reboot) / 86400.0);
+  }
+  ecdf.finalize();
+  return ecdf;
+}
+
+double AsRollup::vendor_dominance() const {
+  if (routers == 0) return 0.0;
+  std::size_t top = 0;
+  for (const auto& [vendor, count] : vendor_tally.raw())
+    top = std::max(top, count);
+  return static_cast<double>(top) / static_cast<double>(routers);
+}
+
+std::vector<AsRollup> rollup_by_as(std::span<const DeviceRecord> devices) {
+  std::map<std::uint32_t, AsRollup> by_as;
+  for (const auto& device : devices) {
+    if (!device.is_router || !device.as_info) continue;
+    auto& rollup = by_as[device.as_info->asn];
+    rollup.asn = device.as_info->asn;
+    rollup.region = device.as_info->region;
+    ++rollup.routers;
+    rollup.vendor_tally.add(device.fingerprint.vendor);
+  }
+  std::vector<AsRollup> out;
+  out.reserve(by_as.size());
+  for (auto& [asn, rollup] : by_as) out.push_back(std::move(rollup));
+  return out;
+}
+
+std::vector<ShareRow> vendor_share_by_region(
+    std::span<const DeviceRecord> devices) {
+  std::map<std::string, ShareRow> rows;
+  for (const auto& device : devices) {
+    if (!device.is_router || !device.as_info) continue;
+    auto& row = rows[device.as_info->region];
+    row.label = device.as_info->region;
+    ++row.routers;
+    row.vendor_tally.add(device.fingerprint.vendor);
+  }
+  std::vector<ShareRow> out;
+  for (auto& [region, row] : rows) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(), [](const ShareRow& a, const ShareRow& b) {
+    return a.routers > b.routers;
+  });
+  return out;
+}
+
+std::vector<ShareRow> vendor_share_top_ases(
+    std::span<const DeviceRecord> devices, std::size_t k) {
+  auto rollups = rollup_by_as(devices);
+  std::sort(rollups.begin(), rollups.end(),
+            [](const AsRollup& a, const AsRollup& b) {
+              return a.routers > b.routers;
+            });
+  rollups.resize(std::min(k, rollups.size()));
+  std::vector<ShareRow> out;
+  std::map<std::string, int> region_counter;
+  for (const auto& rollup : rollups) {
+    ShareRow row;
+    row.label = rollup.region + "-" +
+                std::to_string(++region_counter[rollup.region]);
+    row.routers = rollup.routers;
+    row.vendor_tally = rollup.vendor_tally;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<std::size_t> engine_ids_per_tuple(
+    std::span<const JoinedRecord> records) {
+  // Tuple key: (engine boots, last reboot floored to seconds).
+  using Tuple = std::pair<std::uint32_t, std::int64_t>;
+  std::map<Tuple, std::set<util::Bytes>> ids_by_tuple;
+  for (const auto& record : records) {
+    const Tuple tuple{record.first.engine_boots,
+                      static_cast<std::int64_t>(std::floor(
+                          util::to_seconds(record.first.last_reboot())))};
+    ids_by_tuple[tuple].insert(record.engine_id().raw());
+  }
+  std::vector<std::size_t> per_ip;
+  per_ip.reserve(records.size());
+  for (const auto& record : records) {
+    const Tuple tuple{record.first.engine_boots,
+                      static_cast<std::int64_t>(std::floor(
+                          util::to_seconds(record.first.last_reboot())))};
+    per_ip.push_back(ids_by_tuple[tuple].size());
+  }
+  return per_ip;
+}
+
+}  // namespace snmpv3fp::core

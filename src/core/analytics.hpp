@@ -1,0 +1,123 @@
+// Deployment analytics over alias sets (paper §4.2-§6.5 and appendices).
+//
+// Each function computes the data behind one of the paper's figures; the
+// bench binaries format and print them. Everything works on three inputs:
+// scan records (raw), joined records (two-scan), and annotated DeviceRecords
+// (one per alias set, with vendor / router tag / AS / region).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/alias.hpp"
+#include "core/fingerprint.hpp"
+#include "net/as_table.hpp"
+#include "util/stats.hpp"
+
+namespace snmpv3fp::core {
+
+using AddressSet = std::unordered_set<net::IpAddress>;
+
+enum class StackClass : std::uint8_t { kV4Only, kV6Only, kDualStack };
+
+std::string_view to_string(StackClass stack);
+
+// One de-aliased device: an alias set annotated with everything the
+// deployment analyses need. Holds a pointer into the AliasResolution it
+// was built from — keep that resolution alive.
+struct DeviceRecord {
+  const AliasSet* set = nullptr;
+  Fingerprint fingerprint;
+  StackClass stack = StackClass::kV4Only;
+  bool is_router = false;                // >= 1 address in a router dataset
+  std::optional<net::AsInfo> as_info;    // from the first address
+  util::VTime last_reboot = 0;
+};
+
+std::vector<DeviceRecord> annotate_devices(const AliasResolution& resolution,
+                                           const net::AsTable& as_table,
+                                           const AddressSet& router_addresses);
+
+// ---- Figure 4: number of IPs per engine ID (per family) -------------------
+util::Ecdf ips_per_engine_id(std::span<const JoinedRecord> records);
+
+// ---- Figure 5: engine-ID format shares over unique engine IDs -------------
+util::Tally engine_id_format_shares(std::span<const JoinedRecord> records);
+
+// ---- Figure 6: relative Hamming weights of a format's unique engine IDs ---
+std::vector<double> relative_hamming_weights(
+    std::span<const JoinedRecord> records, snmp::EngineIdFormat format);
+
+// ---- Figure 7: last-reboot spread of the k most-shared engine IDs ---------
+struct SharedEngineId {
+  snmp::EngineId engine_id;
+  std::size_t address_count = 0;
+  util::Ecdf last_reboots;  // one sample per IP, in days before epoch
+};
+std::vector<SharedEngineId> top_shared_engine_ids(
+    std::span<const JoinedRecord> records, std::size_t k);
+
+// ---- Figure 8: |delta last reboot| between scans ---------------------------
+util::Ecdf reboot_delta_ecdf(std::span<const JoinedRecord> records,
+                             const AddressSet* only_addresses = nullptr);
+
+// ---- Figure 9: alias set sizes ---------------------------------------------
+util::Ecdf alias_set_sizes(const AliasResolution& resolution,
+                           std::optional<net::Family> family = std::nullopt,
+                           const AddressSet* only_addresses = nullptr);
+
+// ---- Figure 10: SNMPv3 coverage per AS -------------------------------------
+// coverage[AS] = |responsive router IPs| / |router-dataset IPs| per AS;
+// returns (total IPs in AS, coverage) so callers can apply thresholds.
+std::vector<std::pair<std::size_t, double>> as_coverage(
+    const std::vector<net::IpAddress>& dataset_addresses,
+    const AddressSet& responsive, const net::AsTable& as_table);
+
+// ---- Figures 11/12: vendor popularity by stack class -----------------------
+struct VendorPopularity {
+  std::string vendor;
+  std::size_t v4_only = 0, v6_only = 0, dual = 0;
+  std::size_t total() const { return v4_only + v6_only + dual; }
+};
+std::vector<VendorPopularity> vendor_popularity(
+    std::span<const DeviceRecord> devices, bool routers_only);
+
+// ---- Figure 13: time since last reboot (days before the scan) --------------
+util::Ecdf uptime_days(std::span<const DeviceRecord> devices,
+                       bool routers_only, util::VTime scan_time);
+
+// ---- Figures 14/17/18/20: per-AS rollups ------------------------------------
+struct AsRollup {
+  std::uint32_t asn = 0;
+  std::string region;
+  std::size_t routers = 0;
+  util::Tally vendor_tally;  // router vendors in this AS
+
+  std::size_t distinct_vendors() const { return vendor_tally.raw().size(); }
+  // Fraction of routers belonging to the most common vendor (paper §6.5).
+  double vendor_dominance() const;
+};
+std::vector<AsRollup> rollup_by_as(std::span<const DeviceRecord> devices);
+
+// ---- Figures 15/16: vendor share matrices -----------------------------------
+// Rows: regions (or top ASes); columns: vendor share of routers.
+struct ShareRow {
+  std::string label;
+  std::size_t routers = 0;
+  util::Tally vendor_tally;
+};
+std::vector<ShareRow> vendor_share_by_region(
+    std::span<const DeviceRecord> devices);
+std::vector<ShareRow> vendor_share_top_ases(
+    std::span<const DeviceRecord> devices, std::size_t k);
+
+// ---- Figure 19 (Appendix B): tuple uniqueness -------------------------------
+// For each IP: how many distinct engine IDs share its (last reboot, boots)
+// tuple. Returns the per-IP counts (ECDF these for the figure).
+std::vector<std::size_t> engine_ids_per_tuple(
+    std::span<const JoinedRecord> records);
+
+}  // namespace snmpv3fp::core

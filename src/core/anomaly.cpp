@@ -1,0 +1,159 @@
+#include "core/anomaly.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "snmp/message.hpp"
+
+namespace snmpv3fp::core {
+
+namespace {
+
+using snmp::EngineId;
+
+// All engines observed at a record (first + any within-scan extras).
+std::vector<EngineId> engines_of(const scan::ScanRecord& record) {
+  std::vector<EngineId> engines;
+  if (!record.engine_id.empty()) engines.push_back(record.engine_id);
+  for (const auto& extra : record.extra_engines)
+    if (!extra.empty()) engines.push_back(extra);
+  return engines;
+}
+
+// Re-probes one address and returns the distinct engines that answered.
+std::set<util::Bytes> reprobe(net::Transport& transport,
+                              const net::Endpoint& source,
+                              const net::IpAddress& target,
+                              const AnomalyOptions& options) {
+  std::set<util::Bytes> engines;
+  std::int32_t id = 21000;
+  for (std::size_t i = 0; i < options.reprobe_count; ++i) {
+    const std::int32_t msg_id = ++id;
+    const std::int32_t request_id = ++id;
+    const auto request = snmp::make_discovery_request(msg_id, request_id);
+    net::Datagram probe;
+    probe.source = source;
+    probe.destination = {target, net::kSnmpPort};
+    probe.payload = request.encode();
+    probe.time = transport.now();
+    transport.send(std::move(probe));
+    transport.run_until(transport.now() + 500 * util::kMillisecond);
+  }
+  transport.run_until(transport.now() + options.reprobe_timeout);
+  while (auto datagram = transport.receive()) {
+    if (datagram->source.address != target) continue;
+    const auto message = snmp::V3Message::decode(datagram->payload);
+    if (!message) continue;
+    const auto& engine = message.value().usm.authoritative_engine_id;
+    if (!engine.empty()) engines.insert(engine.raw());
+  }
+  return engines;
+}
+
+}  // namespace
+
+std::string_view to_string(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kLoadBalancer: return "load balancer";
+    case AnomalyKind::kAddressChurn: return "address churn";
+    case AnomalyKind::kNat: return "NAT frontend";
+    case AnomalyKind::kUnstable: return "unstable";
+  }
+  return "?";
+}
+
+std::size_t AnomalyReport::count(AnomalyKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(anomalies.begin(), anomalies.end(),
+                    [&](const Anomaly& a) { return a.kind == kind; }));
+}
+
+AnomalyReport classify_anomalies(const scan::ScanResult& scan1,
+                                 const scan::ScanResult& scan2,
+                                 net::Transport& transport,
+                                 const net::Endpoint& prober_source,
+                                 const net::AsTable& as_table,
+                                 const AnomalyOptions& options) {
+  AnomalyReport report;
+  const auto index2 = scan2.index();
+
+  // Engine -> addresses index of scan 2, for the churn relocation check.
+  std::map<util::Bytes, std::vector<net::IpAddress>> engine_locations2;
+  for (const auto& record : scan2.records)
+    if (!record.engine_id.empty())
+      engine_locations2[record.engine_id.raw()].push_back(record.target);
+
+  for (const auto& record1 : scan1.records) {
+    const auto it2 = index2.find(record1.target);
+    if (it2 == index2.end()) continue;  // one-scan-only: not classifiable
+    const auto& record2 = scan2.records[it2->second];
+
+    // Collect every engine seen at this address across both scans.
+    std::set<util::Bytes> engines;
+    for (const auto& e : engines_of(record1)) engines.insert(e.raw());
+    for (const auto& e : engines_of(record2)) engines.insert(e.raw());
+    if (engines.size() <= 1) continue;  // stable identity: not anomalous
+
+    Anomaly anomaly;
+    anomaly.address = record1.target;
+    for (const auto& raw : engines) anomaly.engines.emplace_back(raw);
+
+    // Active confirmation: a burst of probes separates a rotating VIP from
+    // a one-time identity change.
+    const auto live =
+        reprobe(transport, prober_source, record1.target, options);
+    if (live.size() >= options.min_lb_engines) {
+      anomaly.kind = AnomalyKind::kLoadBalancer;
+    } else if (!record1.engine_id.empty() && !record2.engine_id.empty() &&
+               record1.engine_id != record2.engine_id) {
+      // Did the scan-1 engine move to a different address by scan 2?
+      const auto moved = engine_locations2.find(record1.engine_id.raw());
+      const bool relocated =
+          moved != engine_locations2.end() &&
+          std::any_of(moved->second.begin(), moved->second.end(),
+                      [&](const net::IpAddress& a) {
+                        return !(a == record1.target);
+                      });
+      anomaly.kind = relocated ? AnomalyKind::kAddressChurn
+                               : AnomalyKind::kUnstable;
+    } else {
+      anomaly.kind = AnomalyKind::kUnstable;
+    }
+    report.anomalies.push_back(std::move(anomaly));
+  }
+
+  // NAT frontends: a *stable* engine identity (same boots, close last
+  // reboot) answering from addresses in several ASes.
+  std::map<util::Bytes, std::vector<const scan::ScanRecord*>> by_engine;
+  for (const auto& record : scan1.records)
+    if (!record.engine_id.empty() && record.extra_engines.empty())
+      by_engine[record.engine_id.raw()].push_back(&record);
+  for (const auto& [raw, records] : by_engine) {
+    if (records.size() < 2) continue;
+    std::set<std::uint32_t> ases;
+    bool identity_consistent = true;
+    for (const auto* record : records) {
+      if (record->engine_boots != records.front()->engine_boots ||
+          std::abs(util::to_seconds(record->last_reboot() -
+                                    records.front()->last_reboot())) >
+              options.reboot_window_seconds) {
+        identity_consistent = false;
+        break;
+      }
+      if (const auto info = as_table.lookup(record->target))
+        ases.insert(info->asn);
+    }
+    if (!identity_consistent || ases.size() < options.min_nat_ases) continue;
+    for (const auto* record : records) {
+      Anomaly anomaly;
+      anomaly.address = record->target;
+      anomaly.kind = AnomalyKind::kNat;
+      anomaly.engines.emplace_back(raw);
+      report.anomalies.push_back(std::move(anomaly));
+    }
+  }
+  return report;
+}
+
+}  // namespace snmpv3fp::core

@@ -1,0 +1,83 @@
+// Anomaly classification of inconsistent responders — the paper's stated
+// future work (§9: "inferring NAT and load balancers in the wild").
+//
+// The filtering pipeline *discards* addresses whose engine identity is
+// inconsistent; this module explains them instead. Signals per address:
+//
+//   * kLoadBalancer   — one address returned multiple *different* engines
+//                       within a single scan: several real devices share
+//                       the VIP (L4 load balancing / anycast).
+//   * kAddressChurn   — scans 1 and 2 saw different single engines, and
+//                       the scan-1 engine re-appeared elsewhere in scan 2:
+//                       a DHCP lease moved (CPE churn).
+//   * kNat            — one engine with one (boots, last-reboot) identity
+//                       answers on addresses in multiple ASes: the same
+//                       box is reachable through translated frontends.
+//   * kUnstable       — inconsistent with none of the above signatures
+//                       (flapping agents, resets, measurement noise).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/join.hpp"
+#include "net/as_table.hpp"
+#include "net/transport.hpp"
+
+namespace snmpv3fp::core {
+
+enum class AnomalyKind : std::uint8_t {
+  kLoadBalancer,
+  kAddressChurn,
+  kNat,
+  kUnstable,
+};
+
+std::string_view to_string(AnomalyKind kind);
+
+struct Anomaly {
+  net::IpAddress address;
+  AnomalyKind kind = AnomalyKind::kUnstable;
+  // Distinct engine IDs observed at this address across both scans.
+  std::vector<snmp::EngineId> engines;
+};
+
+struct AnomalyOptions {
+  // Minimum distinct engines within one scan to call a load balancer.
+  std::size_t min_lb_engines = 2;
+  // Minimum distinct ASes one engine identity must span for NAT.
+  std::size_t min_nat_ases = 2;
+  // Last-reboot agreement window for "same engine identity" (seconds).
+  double reboot_window_seconds = 20.0;
+  // Active re-probes per candidate address.
+  std::size_t reprobe_count = 5;
+  util::VTime reprobe_timeout = 3 * util::kSecond;
+};
+
+struct AnomalyReport {
+  std::vector<Anomaly> anomalies;
+
+  std::size_t count(AnomalyKind kind) const;
+  std::size_t churn_count() const { return count(AnomalyKind::kAddressChurn); }
+  std::size_t load_balancer_count() const {
+    return count(AnomalyKind::kLoadBalancer);
+  }
+  std::size_t nat_count() const { return count(AnomalyKind::kNat); }
+  std::size_t unstable_count() const { return count(AnomalyKind::kUnstable); }
+};
+
+// Classifies every address whose engine identity is not a single stable
+// engine across both scans (the records the filter pipeline would drop),
+// plus NAT frontends (which look consistent per address but span ASes).
+//
+// Candidate addresses are actively RE-PROBED `reprobe_count` times through
+// `transport` — a single probe per scan cannot distinguish a rotating
+// load-balancer VIP from a relocated DHCP lease; a burst can.
+AnomalyReport classify_anomalies(const scan::ScanResult& scan1,
+                                 const scan::ScanResult& scan2,
+                                 net::Transport& transport,
+                                 const net::Endpoint& prober_source,
+                                 const net::AsTable& as_table,
+                                 const AnomalyOptions& options = {});
+
+}  // namespace snmpv3fp::core

@@ -1,0 +1,141 @@
+#include "core/filters.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "net/registry.hpp"
+
+namespace snmpv3fp::core {
+
+namespace {
+
+using snmp::EngineIdFormat;
+
+// True if the record survives a single-record stage.
+bool passes(FilterStage stage, const JoinedRecord& record,
+            const FilterOptions& options) {
+  const auto& id = record.engine_id();
+  switch (stage) {
+    case FilterStage::kMissingEngineId:
+      return !record.first.engine_id.empty() &&
+             !record.second.engine_id.empty();
+    case FilterStage::kInconsistentEngineId:
+      return record.engine_ids_match();
+    case FilterStage::kTooShortEngineId:
+      return id.size() >= options.min_engine_id_bytes;
+    case FilterStage::kUnroutableIpv4: {
+      const auto addr = id.ipv4();
+      return !addr.has_value() || addr->is_routable();
+    }
+    case FilterStage::kUnregisteredMac: {
+      const auto mac = id.mac();
+      return !mac.has_value() ||
+             net::OuiRegistry::embedded().contains(mac->oui());
+    }
+    case FilterStage::kZeroTimeOrBoots:
+      return record.first.engine_time != 0 && record.first.engine_boots != 0 &&
+             record.second.engine_time != 0 && record.second.engine_boots != 0;
+    case FilterStage::kFutureEngineTime:
+      // An engineTime exceeding the seconds since the Unix epoch implies a
+      // reboot before 1970 — "engine time in the future" in the paper.
+      return record.first.last_reboot() >= util::kUnixEpochVtime &&
+             record.second.last_reboot() >= util::kUnixEpochVtime;
+    case FilterStage::kInconsistentBoots:
+      return record.boots_match();
+    case FilterStage::kInconsistentReboot:
+      return record.reboot_delta_seconds() <= options.reboot_threshold_seconds;
+    case FilterStage::kPromiscuousEngineId:
+      return true;  // handled as a global stage
+  }
+  return true;
+}
+
+// Promiscuous detection is global: the same format-specific payload seen
+// under more than one enterprise number marks every holder for removal.
+std::set<util::Bytes> promiscuous_payloads(
+    const std::vector<JoinedRecord>& records) {
+  std::map<util::Bytes, std::set<std::uint32_t>> enterprises_by_payload;
+  for (const auto& record : records) {
+    const auto& id = record.engine_id();
+    const auto enterprise = id.enterprise();
+    const auto payload = id.payload();
+    if (!enterprise || !payload || payload->empty()) continue;
+    enterprises_by_payload[util::Bytes(payload->begin(), payload->end())]
+        .insert(*enterprise);
+  }
+  std::set<util::Bytes> promiscuous;
+  for (const auto& [payload, enterprises] : enterprises_by_payload)
+    if (enterprises.size() > 1) promiscuous.insert(payload);
+  return promiscuous;
+}
+
+}  // namespace
+
+std::string_view to_string(FilterStage stage) {
+  switch (stage) {
+    case FilterStage::kMissingEngineId: return "missing engine ID";
+    case FilterStage::kInconsistentEngineId: return "inconsistent engine ID";
+    case FilterStage::kTooShortEngineId: return "too short engine ID";
+    case FilterStage::kPromiscuousEngineId: return "promiscuous engine ID";
+    case FilterStage::kUnroutableIpv4: return "unroutable IPv4 engine ID";
+    case FilterStage::kUnregisteredMac: return "unregistered MAC engine ID";
+    case FilterStage::kZeroTimeOrBoots: return "zero engine time or boots";
+    case FilterStage::kFutureEngineTime: return "engine time in the future";
+    case FilterStage::kInconsistentBoots: return "inconsistent engine boots";
+    case FilterStage::kInconsistentReboot: return "inconsistent last reboot";
+  }
+  return "?";
+}
+
+std::size_t FilterReport::valid_engine_id_count() const {
+  // Stages 0..5 are the engine-ID validity stages.
+  std::size_t survivors = input;
+  for (std::size_t i = 0;
+       i <= static_cast<std::size_t>(FilterStage::kUnregisteredMac); ++i)
+    survivors -= dropped[i];
+  return survivors;
+}
+
+std::size_t FilterReport::total_dropped() const {
+  std::size_t total = 0;
+  for (const auto d : dropped) total += d;
+  return total;
+}
+
+FilterReport FilterPipeline::apply(std::vector<JoinedRecord>& records) const {
+  FilterReport report;
+  report.input = records.size();
+
+  constexpr FilterStage kOrder[] = {
+      FilterStage::kMissingEngineId,    FilterStage::kInconsistentEngineId,
+      FilterStage::kTooShortEngineId,   FilterStage::kPromiscuousEngineId,
+      FilterStage::kUnroutableIpv4,     FilterStage::kUnregisteredMac,
+      FilterStage::kZeroTimeOrBoots,    FilterStage::kFutureEngineTime,
+      FilterStage::kInconsistentBoots,  FilterStage::kInconsistentReboot,
+  };
+
+  for (const FilterStage stage : kOrder) {
+    const std::size_t before = records.size();
+    if (stage == FilterStage::kPromiscuousEngineId) {
+      const auto promiscuous = promiscuous_payloads(records);
+      if (!promiscuous.empty()) {
+        std::erase_if(records, [&](const JoinedRecord& record) {
+          const auto payload = record.engine_id().payload();
+          if (!payload) return false;
+          return promiscuous.count(
+                     util::Bytes(payload->begin(), payload->end())) > 0;
+        });
+      }
+    } else {
+      std::erase_if(records, [&](const JoinedRecord& record) {
+        return !passes(stage, record, options_);
+      });
+    }
+    report.dropped[static_cast<std::size_t>(stage)] = before - records.size();
+  }
+  report.output = records.size();
+  return report;
+}
+
+}  // namespace snmpv3fp::core

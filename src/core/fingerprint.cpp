@@ -1,0 +1,42 @@
+#include "core/fingerprint.hpp"
+
+#include "net/registry.hpp"
+
+namespace snmpv3fp::core {
+
+std::string_view to_string(FingerprintSource source) {
+  switch (source) {
+    case FingerprintSource::kMacOui: return "MAC OUI";
+    case FingerprintSource::kEnterprise: return "Enterprise ID";
+    case FingerprintSource::kNetSnmp: return "Net-SNMP";
+    case FingerprintSource::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+Fingerprint fingerprint_engine_id(const snmp::EngineId& engine_id) {
+  using snmp::EngineIdFormat;
+
+  if (engine_id.format() == EngineIdFormat::kNetSnmp)
+    return {"Net-SNMP", FingerprintSource::kNetSnmp};
+
+  // MAC OUI first: strongest signal. An all-zero MAC (the Cisco constant
+  // engine-ID bug) carries no hardware information, so fall through to the
+  // enterprise number for those.
+  if (const auto mac = engine_id.mac();
+      mac.has_value() && !(mac->oui() == 0 && mac->nic() == 0)) {
+    if (const auto vendor = net::OuiRegistry::embedded().vendor_of(*mac))
+      return {std::string(*vendor), FingerprintSource::kMacOui};
+  }
+
+  if (const auto pen = engine_id.enterprise()) {
+    if (const auto vendor = net::EnterpriseRegistry::embedded().vendor_of(*pen)) {
+      if (*pen == net::kPenNetSnmp)
+        return {std::string(*vendor), FingerprintSource::kNetSnmp};
+      return {std::string(*vendor), FingerprintSource::kEnterprise};
+    }
+  }
+  return {};
+}
+
+}  // namespace snmpv3fp::core

@@ -1,0 +1,30 @@
+// Vendor fingerprinting from SNMPv3 engine IDs (paper §3.1, §6).
+//
+// Highest confidence: the OUI of a MAC-format engine ID. The enterprise
+// number embedded in every RFC 3411-conforming engine ID is the fallback
+// and cross-check. Net-SNMP's scheme identifies the software agent itself.
+#pragma once
+
+#include <string>
+
+#include "snmp/engine_id.hpp"
+
+namespace snmpv3fp::core {
+
+enum class FingerprintSource : std::uint8_t {
+  kMacOui,      // IEEE OUI of the embedded MAC address
+  kEnterprise,  // IANA enterprise number in the engine ID prefix
+  kNetSnmp,     // Net-SNMP enterprise-specific scheme
+  kUnknown,     // nothing identifiable (non-conforming, unknown numbers)
+};
+
+std::string_view to_string(FingerprintSource source);
+
+struct Fingerprint {
+  std::string vendor = "Unknown";
+  FingerprintSource source = FingerprintSource::kUnknown;
+};
+
+Fingerprint fingerprint_engine_id(const snmp::EngineId& engine_id);
+
+}  // namespace snmpv3fp::core

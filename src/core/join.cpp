@@ -1,0 +1,34 @@
+#include "core/join.hpp"
+
+#include <algorithm>
+
+namespace snmpv3fp::core {
+
+std::vector<JoinedRecord> join_scans(const scan::ScanResult& first,
+                                     const scan::ScanResult& second,
+                                     JoinStats* stats) {
+  const auto second_index = second.index();
+  std::vector<JoinedRecord> joined;
+  joined.reserve(std::min(first.records.size(), second.records.size()));
+  std::size_t matched = 0;
+  for (const auto& record : first.records) {
+    const auto it = second_index.find(record.target);
+    if (it == second_index.end()) continue;
+    ++matched;
+    joined.push_back(
+        {record.target, record, second.records[it->second]});
+  }
+  if (stats != nullptr) {
+    stats->overlap = matched;
+    stats->first_only = first.records.size() - matched;
+    stats->second_only = second.records.size() - matched;
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(joined.begin(), joined.end(),
+            [](const JoinedRecord& a, const JoinedRecord& b) {
+              return a.address < b.address;
+            });
+  return joined;
+}
+
+}  // namespace snmpv3fp::core

@@ -1,0 +1,45 @@
+// Joining the two scan campaigns per target (paper §4.4, "Inconsistent
+// engine IDs" step): only addresses responsive in *both* scans continue
+// into the filtering pipeline; the join also exposes the cross-scan
+// consistency signals every later stage keys on.
+#pragma once
+
+#include <vector>
+
+#include "scan/record.hpp"
+
+namespace snmpv3fp::core {
+
+struct JoinedRecord {
+  net::IpAddress address;
+  scan::ScanRecord first;
+  scan::ScanRecord second;
+
+  const snmp::EngineId& engine_id() const { return first.engine_id; }
+
+  bool engine_ids_match() const {
+    return first.engine_id == second.engine_id;
+  }
+  bool boots_match() const {
+    return first.engine_boots == second.engine_boots;
+  }
+  // |delta| of the derived last-reboot times, in seconds.
+  double reboot_delta_seconds() const {
+    const util::VTime delta = first.last_reboot() - second.last_reboot();
+    return std::abs(util::to_seconds(delta));
+  }
+};
+
+struct JoinStats {
+  std::size_t first_only = 0;
+  std::size_t second_only = 0;
+  std::size_t overlap = 0;
+};
+
+// Inner-joins the scans by target address; records responsive in only one
+// scan are dropped (counted in stats).
+std::vector<JoinedRecord> join_scans(const scan::ScanResult& first,
+                                     const scan::ScanResult& second,
+                                     JoinStats* stats = nullptr);
+
+}  // namespace snmpv3fp::core

@@ -1,0 +1,93 @@
+#include "core/pipeline.hpp"
+
+namespace snmpv3fp::core {
+
+AddressSet PipelineResult::responsive_v4() const {
+  AddressSet set;
+  set.reserve(v4_joined.size());
+  for (const auto& record : v4_joined) set.insert(record.address);
+  return set;
+}
+
+std::size_t PipelineResult::router_device_count() const {
+  std::size_t count = 0;
+  for (const auto& device : devices) count += device.is_router;
+  return count;
+}
+
+PipelineResult run_full_pipeline(const PipelineOptions& options) {
+  return run_full_pipeline(topo::generate_world(options.world), options);
+}
+
+PipelineResult run_full_pipeline(topo::World world,
+                                 const PipelineOptions& options) {
+  PipelineResult result;
+
+  // Datasets are snapshots of the pre-scan epoch, like the March 2021 ITDK
+  // against April 2021 scans.
+  result.as_table = topo::build_as_table(world);
+  result.itdk_v4 = topo::export_itdk_v4(world, options.datasets);
+  result.itdk_v6 = topo::export_itdk_v6(world, options.datasets);
+  result.atlas = topo::export_atlas(world, options.datasets);
+  result.hitlist_v6 = topo::export_hitlist_v6(world, options.seed);
+  if (options.exclude_aliased_prefixes && !result.hitlist_v6.empty()) {
+    sim::Fabric prescan(world, {.seed = options.seed ^ 0xa11a5ed});
+    result.aliased_prefixes = scan::detect_aliased_prefixes(
+        prescan, {net::Ipv4(198, 51, 100, 7), 54320}, result.hitlist_v6);
+    result.hitlist_v6 =
+        scan::filter_aliased(result.hitlist_v6, result.aliased_prefixes);
+  }
+  for (const auto* dataset :
+       {&result.itdk_v4, &result.itdk_v6, &result.atlas})
+    result.router_addresses.insert(dataset->addresses.begin(),
+                                   dataset->addresses.end());
+
+  // IPv6 campaign first (paper: Apr 13-14), over the hitlist.
+  if (options.scan_ipv6) {
+    scan::CampaignOptions v6;
+    v6.family = net::Family::kIpv6;
+    v6.targets = result.hitlist_v6;
+    v6.first_scan_start = 0;
+    v6.scan_gap = options.v6_scan_gap;
+    v6.rate_pps = options.v6_rate_pps;
+    v6.seed = options.seed + 1;
+    result.v6_campaign = scan::run_two_scan_campaign(world, v6);
+  }
+
+  // IPv4 campaign (paper: Apr 16-20 and 22-27).
+  {
+    scan::CampaignOptions v4;
+    v4.family = net::Family::kIpv4;
+    v4.first_scan_start = 3 * util::kDay;
+    v4.scan_gap = options.v4_scan_gap;
+    v4.rate_pps = options.v4_rate_pps;
+    v4.seed = options.seed + 2;
+    result.v4_campaign = scan::run_two_scan_campaign(world, v4);
+  }
+
+  // Join, filter, resolve.
+  result.v4_joined = join_scans(result.v4_campaign.scan1,
+                                result.v4_campaign.scan2,
+                                &result.v4_join_stats);
+  result.v6_joined = join_scans(result.v6_campaign.scan1,
+                                result.v6_campaign.scan2,
+                                &result.v6_join_stats);
+
+  const FilterPipeline pipeline(options.filter);
+  result.v4_records = result.v4_joined;
+  result.v4_report = pipeline.apply(result.v4_records);
+  result.v6_records = result.v6_joined;
+  result.v6_report = pipeline.apply(result.v6_records);
+
+  std::vector<JoinedRecord> combined = result.v4_records;
+  combined.insert(combined.end(), result.v6_records.begin(),
+                  result.v6_records.end());
+  result.resolution = resolve_aliases(combined, options.alias);
+  result.devices = annotate_devices(result.resolution, result.as_table,
+                                    result.router_addresses);
+
+  result.world = std::move(world);
+  return result;
+}
+
+}  // namespace snmpv3fp::core

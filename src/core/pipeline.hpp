@@ -1,0 +1,78 @@
+// End-to-end measurement pipeline: the library's one-call entry point.
+//
+// Builds (or takes) a simulated world, runs the paper's full methodology —
+// two IPv4 scans, two IPv6 scans over the hitlist, joining, the ten-stage
+// filter pipeline, combined alias resolution, dual-stack merging, router
+// tagging against the synthetic topology datasets, and vendor
+// fingerprinting — and returns every intermediate product the analyses and
+// benches need.
+#pragma once
+
+#include "core/alias.hpp"
+#include "core/analytics.hpp"
+#include "core/filters.hpp"
+#include "core/join.hpp"
+#include "scan/aliased_prefix.hpp"
+#include "scan/campaign.hpp"
+#include "topo/datasets.hpp"
+#include "topo/generator.hpp"
+
+namespace snmpv3fp::core {
+
+struct PipelineOptions {
+  topo::WorldConfig world = topo::WorldConfig::full_internet();
+  FilterOptions filter;
+  AliasOptions alias;
+  topo::DatasetOptions datasets;
+  double v4_rate_pps = 5000.0;   // paper §3.2
+  double v6_rate_pps = 20000.0;  // paper §3.2
+  util::VTime v4_scan_gap = 6 * util::kDay;  // Apr 16-20 vs 22-27
+  util::VTime v6_scan_gap = 1 * util::kDay;  // Apr 13 vs 14
+  bool scan_ipv6 = true;
+  // Pre-scan the hitlist's /64s with random interface identifiers and
+  // exclude aliased prefixes (the hitlist-service preprocessing the paper
+  // relies on, §4.1.1).
+  bool exclude_aliased_prefixes = true;
+  std::uint64_t seed = 20210413;
+};
+
+struct PipelineResult {
+  topo::World world;  // ground truth (address state: final epoch)
+  net::AsTable as_table;
+
+  // Third-party-style datasets, exported before any scan ran.
+  topo::RouterDataset itdk_v4;
+  topo::RouterDataset itdk_v6;
+  topo::RouterDataset atlas;
+  std::vector<net::IpAddress> hitlist_v6;  // aliased /64s already excluded
+  scan::AliasedPrefixResult aliased_prefixes;
+  AddressSet router_addresses;  // ITDK + Atlas union (paper §6.1)
+
+  // Scan campaigns.
+  scan::CampaignPair v4_campaign;
+  scan::CampaignPair v6_campaign;
+
+  // Joined (pre-filter) and filtered records per family.
+  std::vector<JoinedRecord> v4_joined;  // raw join, for Figures 4-8/19
+  std::vector<JoinedRecord> v6_joined;
+  std::vector<JoinedRecord> v4_records;  // post-filter
+  std::vector<JoinedRecord> v6_records;
+  JoinStats v4_join_stats, v6_join_stats;
+  FilterReport v4_report, v6_report;
+
+  // Alias resolution over both families (dual-stack merge included).
+  AliasResolution resolution;
+  std::vector<DeviceRecord> devices;
+
+  // Convenience lookups.
+  AddressSet responsive_v4() const;
+  std::size_t router_device_count() const;
+};
+
+PipelineResult run_full_pipeline(const PipelineOptions& options = {});
+
+// Variant for callers that already built a world (tests, ablations).
+PipelineResult run_full_pipeline(topo::World world,
+                                 const PipelineOptions& options);
+
+}  // namespace snmpv3fp::core

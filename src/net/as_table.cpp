@@ -1,0 +1,32 @@
+#include "net/as_table.hpp"
+
+namespace snmpv3fp::net {
+
+void AsTable::add_v4(const Prefix4& prefix, AsInfo info) {
+  v4_[prefix.base().value()] = {prefix.length(), std::move(info)};
+}
+
+void AsTable::add_v6(const std::array<std::uint16_t, 2>& prefix, AsInfo info) {
+  const std::uint32_t key =
+      (std::uint32_t{prefix[0]} << 16) | prefix[1];
+  v6_[key] = std::move(info);
+}
+
+std::optional<AsInfo> AsTable::lookup(const IpAddress& address) const {
+  if (address.is_v4()) {
+    const std::uint32_t value = address.v4().value();
+    auto it = v4_.upper_bound(value);
+    if (it == v4_.begin()) return std::nullopt;
+    --it;
+    const auto& [len, info] = it->second;
+    if (Prefix4(Ipv4(it->first), len).contains(address.v4())) return info;
+    return std::nullopt;
+  }
+  const std::uint32_t key = (std::uint32_t{address.v6().group(0)} << 16) |
+                            address.v6().group(1);
+  const auto it = v6_.find(key);
+  if (it == v6_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace snmpv3fp::net

@@ -1,0 +1,36 @@
+// IP -> autonomous-system mapping (the role of public BGP/ASN data in the
+// paper's per-AS and per-region analyses, §5.4 and §6.4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/ip.hpp"
+
+namespace snmpv3fp::net {
+
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::string region;  // continent code: EU/NA/AS/SA/AF/OC
+};
+
+class AsTable {
+ public:
+  void add_v4(const Prefix4& prefix, AsInfo info);
+  // IPv6 allocations are keyed by their leading two 16-bit groups (/32).
+  void add_v6(const std::array<std::uint16_t, 2>& prefix, AsInfo info);
+
+  std::optional<AsInfo> lookup(const IpAddress& address) const;
+  std::size_t size() const { return v4_.size() + v6_.size(); }
+
+ private:
+  // Longest-prefix is unnecessary here: allocations are non-overlapping
+  // /16s (v4) and /32s (v6), so an ordered map keyed by the base works.
+  std::map<std::uint32_t, std::pair<int, AsInfo>> v4_;  // base -> (len, info)
+  std::map<std::uint32_t, AsInfo> v6_;                  // group0<<16|group1
+};
+
+}  // namespace snmpv3fp::net

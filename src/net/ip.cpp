@@ -1,0 +1,251 @@
+#include "net/ip.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace snmpv3fp::net {
+
+namespace {
+Result<std::uint32_t> parse_decimal_octet(std::string_view text) {
+  if (text.empty() || text.size() > 3)
+    return Result<std::uint32_t>::failure("bad octet");
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || value > 255)
+    return Result<std::uint32_t>::failure("bad octet");
+  return value;
+}
+}  // namespace
+
+Result<Ipv4> Ipv4::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return Result<Ipv4>::failure("IPv4 needs 4 octets");
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    auto octet = parse_decimal_octet(part);
+    if (!octet) return Result<Ipv4>::failure(octet.error());
+    value = (value << 8) | octet.value();
+  }
+  return Ipv4(value);
+}
+
+Result<Ipv4> Ipv4::from_bytes(ByteView bytes) {
+  if (bytes.size() != 4) return Result<Ipv4>::failure("IPv4 needs 4 bytes");
+  return Ipv4(static_cast<std::uint32_t>(util::read_be(bytes)));
+}
+
+std::string Ipv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+Bytes Ipv4::to_bytes() const {
+  Bytes out;
+  util::append_be(out, value_, 4);
+  return out;
+}
+
+bool Ipv4::is_routable() const {
+  const std::uint8_t a = octet(0);
+  if (a == 0 || a == 10 || a == 127) return false;
+  if (a >= 224) return false;  // multicast + reserved 240/4 + broadcast
+  if (a == 169 && octet(1) == 254) return false;  // link-local
+  if (a == 172 && octet(1) >= 16 && octet(1) <= 31) return false;
+  if (a == 192 && octet(1) == 168) return false;
+  if (a == 192 && octet(1) == 0 && octet(2) == 2) return false;  // TEST-NET-1
+  if (a == 198 && (octet(1) == 18 || octet(1) == 19)) return false;  // benchmark
+  if (a == 100 && octet(1) >= 64 && octet(1) <= 127) return false;  // CGN
+  return true;
+}
+
+Result<Ipv6> Ipv6::parse(std::string_view text) {
+  // Handles full and '::'-compressed forms (no embedded IPv4 dotted quads).
+  const auto fail = [] { return Result<Ipv6>::failure("bad IPv6 literal"); };
+  std::array<std::uint16_t, 8> groups{};
+  std::size_t double_colon = std::string_view::npos;
+  std::vector<std::uint16_t> parsed;
+
+  std::string_view rest = text;
+  if (util::starts_with(rest, "::")) {
+    double_colon = 0;
+    rest.remove_prefix(2);
+    if (rest.empty()) return Ipv6{};  // "::"
+  }
+  while (!rest.empty()) {
+    const std::size_t colon = rest.find(':');
+    const std::string_view group_text =
+        colon == std::string_view::npos ? rest : rest.substr(0, colon);
+    if (group_text.empty()) return fail();
+    if (group_text.size() > 4) return fail();
+    std::uint32_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        group_text.data(), group_text.data() + group_text.size(), value, 16);
+    if (ec != std::errc() || ptr != group_text.data() + group_text.size())
+      return fail();
+    parsed.push_back(static_cast<std::uint16_t>(value));
+    if (colon == std::string_view::npos) {
+      rest = {};
+    } else {
+      rest.remove_prefix(colon + 1);
+      if (util::starts_with(rest, ":")) {  // a second ':' → '::'
+        if (double_colon != std::string_view::npos) return fail();
+        double_colon = parsed.size();
+        rest.remove_prefix(1);
+        if (rest.empty()) break;
+      } else if (rest.empty()) {
+        return fail();  // trailing single ':'
+      }
+    }
+  }
+  if (double_colon == std::string_view::npos) {
+    if (parsed.size() != 8) return fail();
+    std::copy(parsed.begin(), parsed.end(), groups.begin());
+  } else {
+    if (parsed.size() >= 8) return fail();
+    const std::size_t tail = parsed.size() - double_colon;
+    for (std::size_t i = 0; i < double_colon; ++i) groups[i] = parsed[i];
+    for (std::size_t i = 0; i < tail; ++i)
+      groups[8 - tail + i] = parsed[double_colon + i];
+  }
+  return from_groups(groups);
+}
+
+Result<Ipv6> Ipv6::from_bytes(ByteView bytes) {
+  if (bytes.size() != 16) return Result<Ipv6>::failure("IPv6 needs 16 bytes");
+  std::array<std::uint8_t, 16> arr{};
+  std::copy(bytes.begin(), bytes.end(), arr.begin());
+  return Ipv6(arr);
+}
+
+Ipv6 Ipv6::from_groups(const std::array<std::uint16_t, 8>& groups) {
+  std::array<std::uint8_t, 16> bytes{};
+  for (int i = 0; i < 8; ++i) {
+    bytes[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+    bytes[2 * i + 1] = static_cast<std::uint8_t>(groups[i] & 0xff);
+  }
+  return Ipv6(bytes);
+}
+
+std::string Ipv6::to_string() const {
+  // RFC 5952: compress the longest (leftmost on tie) run of >=2 zero groups.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (group(i) != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && group(j) == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  char buf[8];
+  const auto joined = [&](int from, int to) {
+    std::string part;
+    for (int i = from; i < to; ++i) {
+      if (i != from) part += ":";
+      std::snprintf(buf, sizeof buf, "%x", group(i));
+      part += buf;
+    }
+    return part;
+  };
+  if (best_start < 0) return joined(0, 8);
+  return joined(0, best_start) + "::" + joined(best_start + best_len, 8);
+}
+
+Bytes Ipv6::to_bytes() const { return Bytes(bytes_.begin(), bytes_.end()); }
+
+bool Ipv6::is_routable() const {
+  const std::uint8_t first = bytes_[0];
+  if (first == 0xff) return false;                       // multicast
+  if (first == 0xfe && (bytes_[1] & 0xc0) == 0x80) return false;  // link-local
+  if ((first & 0xfe) == 0xfc) return false;              // ULA fc00::/7
+  // Unspecified / loopback.
+  bool all_zero = true;
+  for (int i = 0; i < 15; ++i) all_zero = all_zero && bytes_[i] == 0;
+  if (all_zero && (bytes_[15] == 0 || bytes_[15] == 1)) return false;
+  return true;
+}
+
+Result<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) {
+    auto v6 = Ipv6::parse(text);
+    if (!v6) return Result<IpAddress>::failure(v6.error());
+    return IpAddress(v6.value());
+  }
+  auto v4 = Ipv4::parse(text);
+  if (!v4) return Result<IpAddress>::failure(v4.error());
+  return IpAddress(v4.value());
+}
+
+std::string IpAddress::to_string() const {
+  return is_v4() ? v4().to_string() : v6().to_string();
+}
+
+bool IpAddress::is_routable() const {
+  return is_v4() ? v4().is_routable() : v6().is_routable();
+}
+
+Prefix4::Prefix4(Ipv4 base, int length) : base_(base), length_(length) {
+  assert(length >= 0 && length <= 32);
+  // Canonicalize: clear host bits.
+  if (length < 32) {
+    const std::uint32_t mask = length == 0 ? 0 : ~0u << (32 - length);
+    base_ = Ipv4(base.value() & mask);
+  }
+}
+
+Result<Prefix4> Prefix4::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos)
+    return Result<Prefix4>::failure("missing '/'");
+  auto base = Ipv4::parse(text.substr(0, slash));
+  if (!base) return Result<Prefix4>::failure(base.error());
+  int length = 0;
+  const auto len_text = text.substr(slash + 1);
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc() || ptr != len_text.data() + len_text.size() ||
+      length < 0 || length > 32)
+    return Result<Prefix4>::failure("bad prefix length");
+  return Prefix4(base.value(), length);
+}
+
+bool Prefix4::contains(Ipv4 addr) const {
+  if (length_ == 0) return true;
+  const std::uint32_t mask = ~0u << (32 - length_);
+  return (addr.value() & mask) == base_.value();
+}
+
+Ipv4 Prefix4::at(std::uint64_t offset) const {
+  assert(offset < size());
+  return Ipv4(base_.value() + static_cast<std::uint32_t>(offset));
+}
+
+std::string Prefix4::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace snmpv3fp::net
+
+std::size_t std::hash<snmpv3fp::net::IpAddress>::operator()(
+    const snmpv3fp::net::IpAddress& a) const noexcept {
+  using namespace snmpv3fp;
+  if (a.is_v4()) return util::fnv1a64("4") ^ a.v4().value();
+  const auto& b = a.v6().bytes();
+  return util::fnv1a64(
+      std::string_view(reinterpret_cast<const char*>(b.data()), b.size()));
+}

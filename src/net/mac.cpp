@@ -1,0 +1,36 @@
+#include "net/mac.hpp"
+
+#include <cstdio>
+
+namespace snmpv3fp::net {
+
+util::Result<MacAddress> MacAddress::parse(std::string_view text) {
+  auto bytes = util::from_hex(text);
+  if (!bytes) return util::Result<MacAddress>::failure(bytes.error());
+  return from_bytes(bytes.value());
+}
+
+util::Result<MacAddress> MacAddress::from_bytes(util::ByteView bytes) {
+  if (bytes.size() != 6)
+    return util::Result<MacAddress>::failure("MAC needs 6 bytes");
+  std::array<std::uint8_t, 6> arr{};
+  std::copy(bytes.begin(), bytes.end(), arr.begin());
+  return MacAddress(arr);
+}
+
+MacAddress MacAddress::from_oui(std::uint32_t oui, std::uint32_t nic) {
+  std::array<std::uint8_t, 6> bytes{
+      static_cast<std::uint8_t>(oui >> 16), static_cast<std::uint8_t>(oui >> 8),
+      static_cast<std::uint8_t>(oui),       static_cast<std::uint8_t>(nic >> 16),
+      static_cast<std::uint8_t>(nic >> 8),  static_cast<std::uint8_t>(nic)};
+  return MacAddress(bytes);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+}  // namespace snmpv3fp::net

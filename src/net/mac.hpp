@@ -1,0 +1,51 @@
+// IEEE MAC-48 addresses and OUI extraction.
+//
+// The paper's strongest identifier is an engine ID carrying one of the
+// device's MAC addresses; the upper three bytes (the OUI) identify the
+// vendor. MacAddress is a value type usable as a map key.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace snmpv3fp::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit MacAddress(const std::array<std::uint8_t, 6>& bytes) : bytes_(bytes) {}
+
+  static util::Result<MacAddress> parse(std::string_view text);  // aa:bb:cc:dd:ee:ff
+  static util::Result<MacAddress> from_bytes(util::ByteView bytes);
+  // Builds a MAC from a 24-bit OUI and a 24-bit NIC-specific suffix.
+  static MacAddress from_oui(std::uint32_t oui, std::uint32_t nic);
+
+  const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+  util::Bytes to_bytes() const { return {bytes_.begin(), bytes_.end()}; }
+  std::string to_string() const;  // "74:8e:f8:31:db:80"
+
+  // Upper 24 bits: the Organizationally Unique Identifier.
+  std::uint32_t oui() const {
+    return (std::uint32_t{bytes_[0]} << 16) | (std::uint32_t{bytes_[1]} << 8) |
+           bytes_[2];
+  }
+  std::uint32_t nic() const {
+    return (std::uint32_t{bytes_[3]} << 16) | (std::uint32_t{bytes_[4]} << 8) |
+           bytes_[5];
+  }
+  bool is_locally_administered() const { return (bytes_[0] & 0x02) != 0; }
+  bool is_multicast() const { return (bytes_[0] & 0x01) != 0; }
+
+  auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+}  // namespace snmpv3fp::net

@@ -1,0 +1,60 @@
+// Datagram transport abstraction.
+//
+// The scanner sends SNMPv3 probes through a Transport and reads responses
+// back; the same scanner code runs against the in-memory simulated fabric
+// (sim::Fabric) or, for small-scale live probing, a real UDP socket
+// (net::UdpSocket behind UdpTransport).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ip.hpp"
+#include "util/bytes.hpp"
+#include "util/vclock.hpp"
+
+namespace snmpv3fp::net {
+
+inline constexpr std::uint16_t kSnmpPort = 161;
+
+struct Endpoint {
+  IpAddress address;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  std::string to_string() const {
+    return address.to_string() + ":" + std::to_string(port);
+  }
+};
+
+struct Datagram {
+  Endpoint source;
+  Endpoint destination;
+  util::Bytes payload;
+  // Send time for outbound, receive time for inbound datagrams.
+  util::VTime time = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  // Queues a datagram for delivery. Never blocks.
+  virtual void send(Datagram datagram) = 0;
+
+  // Pops the next datagram that has arrived by the transport's current
+  // time, or nullopt if none is pending.
+  virtual std::optional<Datagram> receive() = 0;
+
+  // Current transport time (virtual in simulation, wall-clock otherwise).
+  virtual util::VTime now() const = 0;
+
+  // Advances virtual time / waits on real sockets until `deadline`,
+  // allowing in-flight datagrams to arrive.
+  virtual void run_until(util::VTime deadline) = 0;
+};
+
+}  // namespace snmpv3fp::net

@@ -1,0 +1,128 @@
+#include "net/udp_socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace snmpv3fp::net {
+
+namespace {
+using util::Result;
+
+Result<sockaddr_storage> to_sockaddr(const Endpoint& ep, socklen_t& len) {
+  sockaddr_storage storage{};
+  if (ep.address.is_v4()) {
+    auto* sa = reinterpret_cast<sockaddr_in*>(&storage);
+    sa->sin_family = AF_INET;
+    sa->sin_port = htons(ep.port);
+    sa->sin_addr.s_addr = htonl(ep.address.v4().value());
+    len = sizeof(sockaddr_in);
+  } else {
+    auto* sa = reinterpret_cast<sockaddr_in6*>(&storage);
+    sa->sin6_family = AF_INET6;
+    sa->sin6_port = htons(ep.port);
+    std::memcpy(sa->sin6_addr.s6_addr, ep.address.v6().bytes().data(), 16);
+    len = sizeof(sockaddr_in6);
+  }
+  return storage;
+}
+
+Endpoint from_sockaddr(const sockaddr_storage& storage) {
+  Endpoint ep;
+  if (storage.ss_family == AF_INET) {
+    const auto* sa = reinterpret_cast<const sockaddr_in*>(&storage);
+    ep.address = Ipv4(ntohl(sa->sin_addr.s_addr));
+    ep.port = ntohs(sa->sin_port);
+  } else {
+    const auto* sa = reinterpret_cast<const sockaddr_in6*>(&storage);
+    std::array<std::uint8_t, 16> bytes{};
+    std::memcpy(bytes.data(), sa->sin6_addr.s6_addr, 16);
+    ep.address = Ipv6(bytes);
+    ep.port = ntohs(sa->sin6_port);
+  }
+  return ep;
+}
+}  // namespace
+
+Result<UdpSocket> UdpSocket::open(Family family) {
+  const int domain = family == Family::kIpv4 ? AF_INET : AF_INET6;
+  const int fd = ::socket(domain, SOCK_DGRAM, IPPROTO_UDP);
+  if (fd < 0)
+    return Result<UdpSocket>::failure(std::string("socket: ") +
+                                      std::strerror(errno));
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    return Result<UdpSocket>::failure(std::string("fcntl: ") +
+                                      std::strerror(saved));
+  }
+  return UdpSocket(fd, family);
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), family_(other.family_) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    family_ = other.family_;
+  }
+  return *this;
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<bool> UdpSocket::send_to(const Endpoint& destination,
+                                util::ByteView payload) {
+  socklen_t len = 0;
+  auto addr = to_sockaddr(destination, len);
+  if (!addr) return Result<bool>::failure(addr.error());
+  const ssize_t sent =
+      ::sendto(fd_, payload.data(), payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr.value()), len);
+  if (sent < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+    return Result<bool>::failure(std::string("sendto: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+Result<std::optional<Datagram>> UdpSocket::receive(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0)
+    return Result<std::optional<Datagram>>::failure(std::string("poll: ") +
+                                                    std::strerror(errno));
+  if (ready == 0) return std::optional<Datagram>{};
+
+  util::Bytes buffer(65536);
+  sockaddr_storage storage{};
+  socklen_t len = sizeof storage;
+  const ssize_t received =
+      ::recvfrom(fd_, buffer.data(), buffer.size(), 0,
+                 reinterpret_cast<sockaddr*>(&storage), &len);
+  if (received < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return std::optional<Datagram>{};
+    return Result<std::optional<Datagram>>::failure(std::string("recvfrom: ") +
+                                                    std::strerror(errno));
+  }
+  buffer.resize(static_cast<std::size_t>(received));
+  Datagram dg;
+  dg.source = from_sockaddr(storage);
+  dg.payload = std::move(buffer);
+  return std::optional<Datagram>(std::move(dg));
+}
+
+}  // namespace snmpv3fp::net

@@ -1,0 +1,42 @@
+// RAII wrapper over a non-blocking POSIX UDP socket (one per family).
+//
+// This is the "live" path: the same probe bytes the simulator answers can
+// be sent at a real SNMP agent (see examples/quickstart.cpp --live). The
+// wrapper owns the file descriptor (Core Guidelines R.1) and exposes only
+// datagram-level operations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/transport.hpp"
+#include "util/result.hpp"
+
+namespace snmpv3fp::net {
+
+class UdpSocket {
+ public:
+  // Opens an unbound, non-blocking socket for the given family.
+  static util::Result<UdpSocket> open(Family family);
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  ~UdpSocket();
+
+  // Sends one datagram; returns false if the kernel would block.
+  util::Result<bool> send_to(const Endpoint& destination, util::ByteView payload);
+
+  // Receives one datagram if available within `timeout_ms` (0 = poll).
+  util::Result<std::optional<Datagram>> receive(int timeout_ms);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit UdpSocket(int fd, Family family) : fd_(fd), family_(family) {}
+  int fd_ = -1;
+  Family family_ = Family::kIpv4;
+};
+
+}  // namespace snmpv3fp::net

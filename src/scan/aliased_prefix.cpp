@@ -1,0 +1,91 @@
+#include "scan/aliased_prefix.hpp"
+
+#include <map>
+
+#include "snmp/message.hpp"
+#include "util/rng.hpp"
+
+namespace snmpv3fp::scan {
+
+std::uint64_t prefix64_of(const net::Ipv6& address) {
+  return util::read_be(util::ByteView(address.bytes()).first(8));
+}
+
+namespace {
+
+net::Ipv6 random_iid_in(std::uint64_t prefix64, util::Rng& rng) {
+  std::array<std::uint8_t, 16> bytes{};
+  for (int i = 0; i < 8; ++i)
+    bytes[i] = static_cast<std::uint8_t>(prefix64 >> (8 * (7 - i)));
+  // Pseudorandom interface identifier; astronomically unlikely to hit a
+  // genuinely assigned address.
+  for (int i = 8; i < 16; ++i)
+    bytes[i] = static_cast<std::uint8_t>(rng.next());
+  return net::Ipv6(bytes);
+}
+
+}  // namespace
+
+AliasedPrefixResult detect_aliased_prefixes(
+    net::Transport& transport, const net::Endpoint& source,
+    const std::vector<net::IpAddress>& candidates,
+    const AliasedPrefixOptions& options) {
+  util::Rng rng(options.seed);
+  AliasedPrefixResult result;
+
+  // Candidate /64s, deduplicated.
+  std::set<std::uint64_t> prefixes;
+  for (const auto& candidate : candidates)
+    if (candidate.is_v6()) prefixes.insert(prefix64_of(candidate.v6()));
+  result.prefixes_tested = prefixes.size();
+
+  // Fire all probes, remembering which prefix each random target tests.
+  std::map<net::IpAddress, std::uint64_t> probe_prefix;
+  std::int32_t id = 12000;
+  for (const std::uint64_t prefix : prefixes) {
+    for (std::size_t i = 0; i < options.probes_per_prefix; ++i) {
+      const net::Ipv6 target = random_iid_in(prefix, rng);
+      const std::int32_t msg_id = (++id % 30000) + 200;
+      const std::int32_t request_id = (++id % 30000) + 200;
+      const auto request = snmp::make_discovery_request(msg_id, request_id);
+      net::Datagram probe;
+      probe.source = source;
+      probe.destination = {net::IpAddress(target), net::kSnmpPort};
+      probe.payload = request.encode();
+      probe.time = transport.now();
+      transport.send(std::move(probe));
+      probe_prefix[net::IpAddress(target)] = prefix;
+      ++result.probes_sent;
+    }
+  }
+
+  // Collect responses and count per prefix.
+  transport.run_until(transport.now() + options.response_timeout);
+  std::map<std::uint64_t, std::size_t> responses;
+  while (auto datagram = transport.receive()) {
+    const auto it = probe_prefix.find(datagram->source.address);
+    if (it == probe_prefix.end()) continue;
+    if (!snmp::V3Message::decode(datagram->payload).ok()) continue;
+    ++responses[it->second];
+    probe_prefix.erase(it);  // count each random target once
+  }
+  for (const auto& [prefix, count] : responses)
+    if (count >= options.min_responses) result.aliased_prefixes.insert(prefix);
+  return result;
+}
+
+std::vector<net::IpAddress> filter_aliased(
+    const std::vector<net::IpAddress>& candidates,
+    const AliasedPrefixResult& detection) {
+  std::vector<net::IpAddress> out;
+  out.reserve(candidates.size());
+  for (const auto& candidate : candidates) {
+    if (candidate.is_v6() &&
+        detection.aliased_prefixes.count(prefix64_of(candidate.v6())) > 0)
+      continue;
+    out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace snmpv3fp::scan

@@ -1,0 +1,49 @@
+// Aliased IPv6 prefix detection (Gasser et al. [21], the hitlist-service
+// preprocessing the paper relies on in §4.1.1: "we target ~364M addresses
+// in non-aliased IPv6 prefixes").
+//
+// A /64 is *aliased* when one machine answers on every interface
+// identifier — probing random IIDs inside the prefix is then meaningless
+// (every probe "discovers" the same box). Detection: send discovery
+// probes to a handful of pseudorandom IIDs that nobody would assign; if
+// (nearly) all respond, the prefix is aliased and must be excluded from
+// hitlist-style target sets.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace snmpv3fp::scan {
+
+struct AliasedPrefixOptions {
+  std::size_t probes_per_prefix = 4;
+  // Minimum responding random IIDs to call the prefix aliased.
+  std::size_t min_responses = 3;
+  std::uint64_t seed = 424242;
+  util::VTime response_timeout = 3 * util::kSecond;
+};
+
+// The /64 network part of an address (upper 8 bytes, big-endian).
+std::uint64_t prefix64_of(const net::Ipv6& address);
+
+struct AliasedPrefixResult {
+  std::set<std::uint64_t> aliased_prefixes;  // keys per prefix64_of
+  std::size_t prefixes_tested = 0;
+  std::size_t probes_sent = 0;
+};
+
+// Tests the /64 of every candidate address (deduplicated) by probing
+// random interface identifiers inside it.
+AliasedPrefixResult detect_aliased_prefixes(
+    net::Transport& transport, const net::Endpoint& source,
+    const std::vector<net::IpAddress>& candidates,
+    const AliasedPrefixOptions& options = {});
+
+// Removes every candidate living in an aliased /64.
+std::vector<net::IpAddress> filter_aliased(
+    const std::vector<net::IpAddress>& candidates,
+    const AliasedPrefixResult& detection);
+
+}  // namespace snmpv3fp::scan

@@ -1,0 +1,55 @@
+#include "scan/campaign.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace snmpv3fp::scan {
+
+CampaignPair run_two_scan_campaign(topo::World& world,
+                                   const CampaignOptions& options) {
+  const std::uint64_t churn_seed = options.seed ^ 0xc0ffee;
+
+  // Target list: explicit, or every address of the family assigned in
+  // either epoch (the paper probes all routable space; probing known-dead
+  // space only burns simulated time, so we probe the live superset).
+  std::vector<net::IpAddress> targets;
+  if (options.targets.has_value()) {
+    targets = *options.targets;
+  } else {
+    targets = world.addresses(options.family);
+    topo::World second_epoch = world;
+    second_epoch.rebind_churning_devices(churn_seed);
+    const auto later = second_epoch.addresses(options.family);
+    std::set<net::IpAddress> merged(targets.begin(), targets.end());
+    merged.insert(later.begin(), later.end());
+    targets.assign(merged.begin(), merged.end());
+  }
+
+  sim::Fabric fabric(world, options.fabric);
+  const net::Endpoint prober_source{
+      options.family == net::Family::kIpv4
+          ? net::IpAddress(net::Ipv4(198, 51, 100, 7))
+          : net::IpAddress(
+                net::Ipv6::from_groups({0x2001, 0xdb8, 0, 0, 0, 0, 0, 7})),
+      54321};
+  Prober prober(fabric, prober_source);
+
+  ProbeConfig probe;
+  probe.rate_pps = options.rate_pps;
+
+  CampaignPair out;
+  probe.label = "scan1";
+  probe.seed = options.seed * 2 + 1;
+  out.scan1 = prober.run(targets, probe, options.first_scan_start);
+
+  world.rebind_churning_devices(churn_seed);
+
+  probe.label = "scan2";
+  probe.seed = options.seed * 2 + 2;
+  out.scan2 = prober.run(targets, probe,
+                         options.first_scan_start + options.scan_gap);
+  out.fabric_stats = fabric.stats();
+  return out;
+}
+
+}  // namespace snmpv3fp::scan

@@ -1,0 +1,109 @@
+#include "scan/prober.hpp"
+
+#include <algorithm>
+
+#include "snmp/message.hpp"
+
+namespace snmpv3fp::scan {
+
+namespace {
+// msg_id/request_id in [128, 32767] encode as exactly two content bytes,
+// which keeps the discovery probe at the paper's 60-byte payload
+// (88 bytes on the IPv4 wire, 108 on IPv6).
+std::int32_t two_byte_id(util::Rng& rng) {
+  return static_cast<std::int32_t>(128 + rng.next_below(32767 - 128));
+}
+}  // namespace
+
+std::size_t ScanResult::unique_engine_ids() const {
+  std::vector<const snmp::EngineId*> ids;
+  ids.reserve(records.size());
+  for (const auto& r : records)
+    if (!r.engine_id.empty()) ids.push_back(&r.engine_id);
+  std::sort(ids.begin(), ids.end(),
+            [](const auto* a, const auto* b) { return a->raw() < b->raw(); });
+  const auto end = std::unique(ids.begin(), ids.end(),
+                               [](const auto* a, const auto* b) {
+                                 return a->raw() == b->raw();
+                               });
+  return static_cast<std::size_t>(end - ids.begin());
+}
+
+void Prober::drain(ScanResult& result,
+                   std::unordered_map<net::IpAddress, std::size_t>& by_source,
+                   const std::unordered_map<net::IpAddress, util::VTime>&
+                       sent_at) {
+  while (auto datagram = transport_.receive()) {
+    auto message = snmp::V3Message::decode(datagram->payload);
+    if (!message) continue;  // non-SNMPv3 noise
+    const auto& source = datagram->source.address;
+    const auto it = by_source.find(source);
+    if (it == by_source.end()) {
+      // First response from this address.
+      ScanRecord record;
+      record.target = source;
+      record.engine_id = message.value().usm.authoritative_engine_id;
+      record.engine_boots = message.value().usm.engine_boots;
+      record.engine_time = message.value().usm.engine_time;
+      if (const auto sent = sent_at.find(source); sent != sent_at.end())
+        record.send_time = sent->second;
+      record.receive_time = datagram->time;
+      record.response_count = 1;
+      record.response_bytes = datagram->payload.size();
+      by_source.emplace(source, result.records.size());
+      result.records.push_back(std::move(record));
+    } else {
+      auto& record = result.records[it->second];
+      ++record.response_count;
+      const auto& engine = message.value().usm.authoritative_engine_id;
+      if (engine != record.engine_id &&
+          std::find(record.extra_engines.begin(), record.extra_engines.end(),
+                    engine) == record.extra_engines.end())
+        record.extra_engines.push_back(engine);
+    }
+  }
+}
+
+ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
+                       const ProbeConfig& config, util::VTime start_time) {
+  util::Rng rng(config.seed);
+  std::vector<net::IpAddress> order = targets;
+  if (config.randomize_order) rng.shuffle(order);
+
+  ScanResult result;
+  result.label = config.label;
+  result.targets_probed = order.size();
+  transport_.run_until(start_time);
+  result.start_time = transport_.now();
+
+  std::unordered_map<net::IpAddress, std::size_t> by_source;
+  by_source.reserve(order.size() / 4);
+  std::unordered_map<net::IpAddress, util::VTime> sent_at;
+  sent_at.reserve(order.size());
+
+  const auto gap =
+      static_cast<util::VTime>(static_cast<double>(util::kSecond) /
+                               std::max(config.rate_pps, 1.0));
+  util::VTime next_send = transport_.now();
+  for (const auto& target : order) {
+    transport_.run_until(next_send);
+    const auto request =
+        snmp::make_discovery_request(two_byte_id(rng), two_byte_id(rng));
+    net::Datagram probe;
+    probe.source = source_;
+    probe.destination = {target, net::kSnmpPort};
+    probe.payload = request.encode();
+    probe.time = transport_.now();
+    sent_at.emplace(target, probe.time);
+    result.probe_bytes = probe.payload.size();
+    transport_.send(std::move(probe));
+    next_send += gap;
+    drain(result, by_source, sent_at);
+  }
+  transport_.run_until(next_send + config.response_timeout);
+  drain(result, by_source, sent_at);
+  result.end_time = transport_.now();
+  return result;
+}
+
+}  // namespace snmpv3fp::scan

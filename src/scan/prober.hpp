@@ -1,0 +1,46 @@
+// The SNMPv3 discovery prober (the paper's ZMap role, §3.2).
+//
+// Sends one well-formed unauthenticated discovery packet per target at a
+// paced rate in randomized order, captures REPORT responses, and matches
+// them to targets by source address. Works against any net::Transport —
+// the simulated fabric or (for small target lists) a real UDP socket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "scan/record.hpp"
+#include "util/rng.hpp"
+
+namespace snmpv3fp::scan {
+
+struct ProbeConfig {
+  std::string label = "scan";
+  double rate_pps = 5000.0;  // paper: 5 kpps IPv4, 20 kpps IPv6
+  util::VTime response_timeout = 5 * util::kSecond;  // drain after last send
+  std::uint64_t seed = 1;
+  bool randomize_order = true;
+};
+
+class Prober {
+ public:
+  Prober(net::Transport& transport, net::Endpoint source)
+      : transport_(transport), source_(std::move(source)) {}
+
+  // Runs one campaign over `targets` starting at `start_time` (transport
+  // time is advanced to it first). One probe per target, no retries.
+  ScanResult run(const std::vector<net::IpAddress>& targets,
+                 const ProbeConfig& config, util::VTime start_time);
+
+ private:
+  void drain(ScanResult& result,
+             std::unordered_map<net::IpAddress, std::size_t>& by_source,
+             const std::unordered_map<net::IpAddress, util::VTime>& sent_at);
+
+  net::Transport& transport_;
+  net::Endpoint source_;
+};
+
+}  // namespace snmpv3fp::scan

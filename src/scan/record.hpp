@@ -1,0 +1,62 @@
+// Scan campaign results.
+//
+// A ScanRecord is one responsive target of one campaign: the raw SNMPv3
+// engine fields plus timing. The derived last-reboot time (receive time
+// minus engine time, paper §2.3) is computed here once and reused by the
+// filters and the alias resolver.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "snmp/engine_id.hpp"
+#include "util/vclock.hpp"
+
+namespace snmpv3fp::scan {
+
+struct ScanRecord {
+  net::IpAddress target;
+  snmp::EngineId engine_id;          // may be empty (missing)
+  std::uint32_t engine_boots = 0;
+  std::uint32_t engine_time = 0;     // seconds since engine boot
+  util::VTime send_time = 0;
+  util::VTime receive_time = 0;      // first response
+  std::size_t response_count = 0;    // >1 = duplicated/amplified
+  std::size_t response_bytes = 0;    // size of the first response payload
+  // Engines other than `engine_id` seen at this address within THIS scan
+  // (load balancers / anycast VIPs rotate backends per request).
+  std::vector<snmp::EngineId> extra_engines;
+
+  // Derived: when the SNMP engine last rebooted, on the prober's clock.
+  util::VTime last_reboot() const {
+    return receive_time -
+           static_cast<util::VTime>(engine_time) * util::kSecond;
+  }
+};
+
+struct ScanResult {
+  std::string label;
+  util::VTime start_time = 0;
+  util::VTime end_time = 0;
+  std::size_t targets_probed = 0;
+  std::size_t probe_bytes = 0;  // payload size of one probe
+  std::vector<ScanRecord> records;  // responsive targets only
+
+  std::size_t responsive() const { return records.size(); }
+
+  // Index from target address to record position, for joining two scans.
+  std::unordered_map<net::IpAddress, std::size_t> index() const {
+    std::unordered_map<net::IpAddress, std::size_t> map;
+    map.reserve(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i)
+      map.emplace(records[i].target, i);
+    return map;
+  }
+
+  std::size_t unique_engine_ids() const;
+};
+
+}  // namespace snmpv3fp::scan

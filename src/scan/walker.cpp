@@ -1,0 +1,61 @@
+#include "scan/walker.hpp"
+
+#include <algorithm>
+
+namespace snmpv3fp::scan {
+
+bool oid_in_subtree(const asn1::Oid& root, const asn1::Oid& oid) {
+  return oid.size() >= root.size() &&
+         std::equal(root.begin(), root.end(), oid.begin());
+}
+
+std::vector<snmp::VarBind> snmp_walk(net::Transport& transport,
+                                     const net::Endpoint& source,
+                                     const net::Endpoint& agent,
+                                     const WalkOptions& options) {
+  std::vector<snmp::VarBind> out;
+  asn1::Oid cursor = options.root;
+  std::int32_t request_id = 7000;
+
+  while (out.size() < options.max_entries) {
+    snmp::V2cMessage request;
+    request.community = options.community;
+    request.pdu.type = snmp::PduType::kGetNextRequest;
+    request.pdu.request_id = ++request_id;
+    request.pdu.bindings = {{cursor, snmp::VarValue::null()}};
+
+    net::Datagram probe;
+    probe.source = source;
+    probe.destination = agent;
+    probe.payload = request.encode();
+    probe.time = transport.now();
+    transport.send(std::move(probe));
+
+    const util::VTime deadline = transport.now() + options.per_request_timeout;
+    std::optional<net::Datagram> reply;
+    while (!reply.has_value() && transport.now() < deadline) {
+      transport.run_until(
+          std::min<util::VTime>(deadline,
+                                transport.now() + 50 * util::kMillisecond));
+      while (auto datagram = transport.receive()) {
+        if (datagram->source == agent) {
+          reply = std::move(datagram);
+          break;
+        }
+      }
+    }
+    if (!reply.has_value()) break;  // agent vanished / timeout
+
+    const auto response = snmp::V2cMessage::decode(reply->payload);
+    if (!response.ok() || response.value().pdu.bindings.empty()) break;
+    const auto& binding = response.value().pdu.bindings.front();
+    if (binding.value.is_null()) break;  // endOfMibView simplification
+    if (!oid_in_subtree(options.root, binding.oid)) break;  // left the subtree
+    if (binding.oid == cursor) break;  // agent not advancing: bail out
+    out.push_back(binding);
+    cursor = binding.oid;
+  }
+  return out;
+}
+
+}  // namespace snmpv3fp::scan

@@ -1,0 +1,31 @@
+// SNMPv2c MIB walker: repeated GetNext over a transport, the classic
+// `snmpwalk` loop. Used by the lab-validation flow and the MIB tests;
+// works over the simulated fabric or a real UDP socket transport.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "snmp/message.hpp"
+
+namespace snmpv3fp::scan {
+
+struct WalkOptions {
+  std::string community = "pass123";
+  asn1::Oid root = {1, 3, 6, 1, 2, 1};  // mib-2
+  std::size_t max_entries = 4096;       // runaway guard
+  util::VTime per_request_timeout = 2 * util::kSecond;
+};
+
+// Walks the subtree under `options.root`; stops at the end of the subtree,
+// on timeout, on an endOfMibView-style NULL, or after max_entries.
+std::vector<snmp::VarBind> snmp_walk(net::Transport& transport,
+                                     const net::Endpoint& source,
+                                     const net::Endpoint& agent,
+                                     const WalkOptions& options = {});
+
+// True when `oid` is inside the subtree rooted at `root`.
+bool oid_in_subtree(const asn1::Oid& root, const asn1::Oid& oid);
+
+}  // namespace snmpv3fp::scan

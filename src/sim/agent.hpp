@@ -1,0 +1,39 @@
+// Per-device SNMP agent behaviour.
+//
+// The agent consumes the *actual wire bytes* of a probe and produces actual
+// wire bytes back, so the scanner exercises the same codec path it would
+// against real devices: discovery GETs are answered with REPORTs carrying
+// engine ID / boots / time (RFC 3414 §4), authenticated-looking requests
+// with a wrong user get usmStatsUnknownUserNames (the lab experiment of
+// paper §6.2.1), and SNMPv2c GETs are answered when the community matches.
+#pragma once
+
+#include <vector>
+
+#include "snmp/message.hpp"
+#include "topo/world.hpp"
+#include "util/rng.hpp"
+#include "util/vclock.hpp"
+
+namespace snmpv3fp::sim {
+
+struct AgentConfig {
+  // SNMPv2c community accepted by devices with v2c configured.
+  std::string community = "pass123";
+  // sysDescr returned to an authorized v2c GET.
+  std::string sys_descr_prefix = "Simulated OS";
+};
+
+// Handles one inbound UDP payload addressed to `device` at virtual time
+// `now`. Returns zero or more response payloads (amplifiers return many).
+std::vector<util::Bytes> handle_udp(const topo::Device& device,
+                                    util::ByteView payload, util::VTime now,
+                                    util::Rng& rng,
+                                    const AgentConfig& config = {});
+
+// The engine time value the device reports at `now`, including the
+// zero-time and future-time bug behaviours and per-response jitter.
+std::uint32_t reported_engine_time(const topo::Device& device, util::VTime now,
+                                   util::Rng& rng);
+
+}  // namespace snmpv3fp::sim

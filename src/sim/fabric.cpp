@@ -1,0 +1,57 @@
+#include "sim/fabric.hpp"
+
+namespace snmpv3fp::sim {
+
+Fabric::Fabric(const topo::World& world, const FabricConfig& config)
+    : world_(world), config_(config), rng_(config.seed) {}
+
+void Fabric::send(net::Datagram datagram) {
+  ++stats_.datagrams_sent;
+  if (rng_.chance(config_.probe_loss)) return;
+
+  const topo::Device* device = world_.device_at(datagram.destination.address);
+  if (device == nullptr) return;  // dead address space
+  if (datagram.destination.port != net::kSnmpPort) return;
+
+  const util::VTime rtt =
+      config_.min_rtt +
+      static_cast<util::VTime>(rng_.uniform01() *
+                               static_cast<double>(config_.max_rtt -
+                                                   config_.min_rtt));
+  const util::VTime at_device = clock_.now() + rtt / 2;
+  ++stats_.datagrams_delivered;
+
+  const auto responses = handle_udp(*device, datagram.payload, at_device, rng_,
+                                    config_.agent);
+  util::VTime arrival = at_device + rtt / 2;
+  for (const auto& payload : responses) {
+    ++stats_.responses_generated;
+    if (rng_.chance(config_.response_loss)) continue;
+    net::Datagram response;
+    response.source = datagram.destination;  // agents reply from the probed IP
+    response.destination = datagram.source;
+    response.payload = payload;
+    response.time = arrival;
+    in_flight_.push({arrival, std::move(response)});
+    // Amplified duplicates trickle out over time (paper §8 reports
+    // responses arriving over hours; we compress so most copies land
+    // within the prober's drain window).
+    arrival += static_cast<util::VTime>(rng_.next_below(4 * util::kMillisecond));
+  }
+}
+
+std::optional<net::Datagram> Fabric::receive() {
+  while (!in_flight_.empty() && in_flight_.top().arrival <= clock_.now()) {
+    inbox_.push_back(std::move(const_cast<InFlight&>(in_flight_.top()).datagram));
+    in_flight_.pop();
+  }
+  if (inbox_.empty()) return std::nullopt;
+  net::Datagram out = std::move(inbox_.front());
+  inbox_.pop_front();
+  ++stats_.responses_received;
+  return out;
+}
+
+void Fabric::run_until(util::VTime deadline) { clock_.advance_to(deadline); }
+
+}  // namespace snmpv3fp::sim

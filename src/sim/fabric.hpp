@@ -1,0 +1,68 @@
+// The in-memory UDP fabric: the simulated Internet's data plane.
+//
+// Implements net::Transport over the World: a datagram sent to an address
+// is delivered (after latency, unless lost) to the owning device's agent;
+// the agent's response datagrams are scheduled back toward the prober.
+// All timing uses the virtual clock, so a full Internet-wide campaign runs
+// in milliseconds of wall time and is bit-reproducible from the seed.
+#pragma once
+
+#include <deque>
+#include <queue>
+
+#include "net/transport.hpp"
+#include "sim/agent.hpp"
+#include "topo/world.hpp"
+#include "util/rng.hpp"
+#include "util/vclock.hpp"
+
+namespace snmpv3fp::sim {
+
+struct FabricConfig {
+  std::uint64_t seed = 1;
+  double probe_loss = 0.01;     // probe never reaches the target
+  double response_loss = 0.01;  // response never reaches the prober
+  util::VTime min_rtt = 10 * util::kMillisecond;
+  util::VTime max_rtt = 400 * util::kMillisecond;
+  AgentConfig agent;
+};
+
+struct FabricStats {
+  std::size_t datagrams_sent = 0;       // by the prober
+  std::size_t datagrams_delivered = 0;  // to agents
+  std::size_t responses_generated = 0;  // by agents (incl. amplification)
+  std::size_t responses_received = 0;   // by the prober
+};
+
+class Fabric final : public net::Transport {
+ public:
+  // The world must outlive the fabric.
+  Fabric(const topo::World& world, const FabricConfig& config);
+
+  void send(net::Datagram datagram) override;
+  std::optional<net::Datagram> receive() override;
+  util::VTime now() const override { return clock_.now(); }
+  void run_until(util::VTime deadline) override;
+
+  const FabricStats& stats() const { return stats_; }
+  util::VirtualClock& clock() { return clock_; }
+
+ private:
+  struct InFlight {
+    util::VTime arrival;
+    net::Datagram datagram;
+    bool operator>(const InFlight& other) const {
+      return arrival > other.arrival;
+    }
+  };
+
+  const topo::World& world_;
+  FabricConfig config_;
+  util::Rng rng_;
+  util::VirtualClock clock_;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> in_flight_;
+  std::deque<net::Datagram> inbox_;
+  FabricStats stats_;
+};
+
+}  // namespace snmpv3fp::sim

@@ -1,0 +1,88 @@
+#include "sim/mib.hpp"
+
+#include <algorithm>
+
+namespace snmpv3fp::sim {
+
+using asn1::Oid;
+using snmp::VarBind;
+using snmp::VarValue;
+
+const Oid kOidSysObjectId = {1, 3, 6, 1, 2, 1, 1, 2, 0};
+const Oid kOidSysContact = {1, 3, 6, 1, 2, 1, 1, 4, 0};
+const Oid kOidSysName = {1, 3, 6, 1, 2, 1, 1, 5, 0};
+const Oid kOidSysLocation = {1, 3, 6, 1, 2, 1, 1, 6, 0};
+const Oid kOidIfNumber = {1, 3, 6, 1, 2, 1, 2, 1, 0};
+const Oid kOidIfTable = {1, 3, 6, 1, 2, 1, 2, 2};
+
+namespace {
+
+Oid if_entry(std::uint32_t column, std::uint32_t index) {
+  // ifEntry: 1.3.6.1.2.1.2.2.1.<column>.<ifIndex>
+  Oid oid = kOidIfTable;
+  oid.push_back(1);
+  oid.push_back(column);
+  oid.push_back(index);
+  return oid;
+}
+
+}  // namespace
+
+std::vector<VarBind> build_mib(const topo::Device& device, util::VTime now) {
+  std::vector<VarBind> mib;
+
+  const std::string name = device.vendor->name + "-" +
+                           std::string(topo::to_string(device.kind)) + "-" +
+                           std::to_string(device.index);
+  mib.push_back({snmp::kOidSysDescr,
+                 VarValue::string(device.vendor->name + " " +
+                                  std::string(topo::to_string(device.kind)) +
+                                  " (simulated)")});
+  mib.push_back({kOidSysObjectId,
+                 VarValue{.data = Oid{1, 3, 6, 1, 4, 1,
+                                      device.vendor->enterprise_pen, 1}}});
+  mib.push_back({snmp::kOidSysUpTime,
+                 VarValue::timeticks(device.engine_time_at(now) * 100u)});
+  mib.push_back({kOidSysContact, VarValue::string("noc@example.net")});
+  mib.push_back({kOidSysName, VarValue::string(name)});
+  mib.push_back({kOidSysLocation, VarValue::string("rack-sim")});
+  mib.push_back({kOidIfNumber,
+                 VarValue::integer(
+                     static_cast<std::int64_t>(device.interfaces.size()))});
+
+  for (std::uint32_t i = 0; i < device.interfaces.size(); ++i) {
+    const auto& itf = device.interfaces[i];
+    const std::uint32_t index = i + 1;  // ifIndex is 1-based
+    mib.push_back({if_entry(1, index),
+                   VarValue::integer(static_cast<std::int64_t>(index))});
+    mib.push_back({if_entry(2, index),
+                   VarValue::string("eth" + std::to_string(i))});
+    mib.push_back({if_entry(6, index),  // ifPhysAddress
+                   VarValue::octets(itf.mac.to_bytes())});
+    mib.push_back({if_entry(8, index),  // ifOperStatus: up(1)
+                   VarValue::integer(1)});
+  }
+
+  std::sort(mib.begin(), mib.end(), [](const VarBind& a, const VarBind& b) {
+    return a.oid < b.oid;
+  });
+  return mib;
+}
+
+const VarBind* mib_get(const std::vector<VarBind>& mib, const Oid& oid) {
+  const auto it =
+      std::lower_bound(mib.begin(), mib.end(), oid,
+                       [](const VarBind& vb, const Oid& o) { return vb.oid < o; });
+  if (it == mib.end() || it->oid != oid) return nullptr;
+  return &*it;
+}
+
+const VarBind* mib_next(const std::vector<VarBind>& mib, const Oid& oid) {
+  const auto it =
+      std::upper_bound(mib.begin(), mib.end(), oid,
+                       [](const Oid& o, const VarBind& vb) { return o < vb.oid; });
+  if (it == mib.end()) return nullptr;
+  return &*it;
+}
+
+}  // namespace snmpv3fp::sim

@@ -1,0 +1,40 @@
+// Minimal MIB-II view of a simulated device (RFC 1213 subset).
+//
+// Once v2c credentials are right (the lab experiment) or a v3 user is
+// authenticated, real management tooling walks the agent with GetNext.
+// This module materializes the sorted (OID, value) table those walks
+// traverse: the system group plus one ifTable row per interface — enough
+// for sysDescr fingerprinting, uptime queries and interface inventory.
+#pragma once
+
+#include <vector>
+
+#include "snmp/message.hpp"
+#include "topo/world.hpp"
+#include "util/vclock.hpp"
+
+namespace snmpv3fp::sim {
+
+// Well-known MIB-II OIDs (scalars carry the .0 instance suffix).
+extern const asn1::Oid kOidSysObjectId;   // 1.3.6.1.2.1.1.2.0
+extern const asn1::Oid kOidSysContact;    // 1.3.6.1.2.1.1.4.0
+extern const asn1::Oid kOidSysName;       // 1.3.6.1.2.1.1.5.0
+extern const asn1::Oid kOidSysLocation;   // 1.3.6.1.2.1.1.6.0
+extern const asn1::Oid kOidIfNumber;      // 1.3.6.1.2.1.2.1.0
+extern const asn1::Oid kOidIfTable;       // 1.3.6.1.2.1.2.2
+
+// The device's full MIB view at virtual time `now`, sorted by OID
+// (GetNext order). Deterministic for a given (device, now).
+std::vector<snmp::VarBind> build_mib(const topo::Device& device,
+                                     util::VTime now);
+
+// Exact lookup; nullptr when the OID is not instantiated.
+const snmp::VarBind* mib_get(const std::vector<snmp::VarBind>& mib,
+                             const asn1::Oid& oid);
+
+// First entry with OID strictly greater than `oid` (GetNext semantics);
+// nullptr at end of MIB.
+const snmp::VarBind* mib_next(const std::vector<snmp::VarBind>& mib,
+                              const asn1::Oid& oid);
+
+}  // namespace snmpv3fp::sim

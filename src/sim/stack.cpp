@@ -1,0 +1,123 @@
+#include "sim/stack.hpp"
+
+#include <cmath>
+
+namespace snmpv3fp::sim {
+
+namespace {
+
+// Background traffic rate (IP-ID increments per second) for a device:
+// deterministic per device, heavy-tailed — busy routers wrap the 16-bit
+// counter faster than it can be sampled, MIDAR's documented failure mode.
+double background_rate(const topo::Device& device) {
+  const std::uint64_t h = util::fnv1a64("ipid" + std::to_string(device.index));
+  const double u = static_cast<double>(h % 100000) / 100000.0;
+  // 10 .. ~30000 ids/sec, log-uniform: busy routers wrap the 16-bit
+  // counter between samples, MIDAR's documented failure mode.
+  return std::pow(10.0, 1.0 + u * 3.5);
+}
+
+std::uint32_t interface_salt(const topo::Device& device,
+                             const net::IpAddress& target) {
+  return static_cast<std::uint32_t>(
+      util::fnv1a64(target.to_string() + std::to_string(device.index)));
+}
+
+}  // namespace
+
+StackSimulator::StackSimulator(const topo::World& world, std::uint64_t seed)
+    : world_(world), rng_(seed) {}
+
+std::uint16_t StackSimulator::ip_id_for(const topo::Device& device,
+                                        const net::IpAddress& target,
+                                        util::VTime now) {
+  const double t = util::to_seconds(now);
+  switch (device.ipid_policy) {
+    case topo::IpIdPolicy::kSharedCounter: {
+      const double base = static_cast<double>(device.index * 7919u % 65536u);
+      const double count =
+          base + background_rate(device) * t + probe_counts_[device.index];
+      return static_cast<std::uint16_t>(static_cast<std::uint64_t>(count) %
+                                        65536u);
+    }
+    case topo::IpIdPolicy::kPerInterface: {
+      const double base = interface_salt(device, target) % 65536u;
+      const double count = base + background_rate(device) * 0.3 * t;
+      return static_cast<std::uint16_t>(static_cast<std::uint64_t>(count) %
+                                        65536u);
+    }
+    case topo::IpIdPolicy::kRandom:
+      return static_cast<std::uint16_t>(rng_.next());
+    case topo::IpIdPolicy::kZero:
+      return 0;
+  }
+  return 0;
+}
+
+std::optional<IcmpEchoReply> StackSimulator::icmp_echo(const net::Ipv4& target,
+                                                       util::VTime now) {
+  const topo::Device* device = world_.device_at(net::IpAddress(target));
+  if (device == nullptr) return std::nullopt;
+  // A sliver of devices filter ICMP entirely.
+  if (util::fnv1a64("icmpf" + std::to_string(device->index)) % 12 == 0)
+    return std::nullopt;
+  ++probe_counts_[device->index];
+  IcmpEchoReply reply;
+  reply.ip_id = ip_id_for(*device, net::IpAddress(target), now);
+  // 10..25 hops consumed on the way back.
+  reply.ttl = static_cast<std::uint8_t>(
+      device->initial_ttl - 10 - (interface_salt(*device, target) % 16));
+  return reply;
+}
+
+std::optional<std::uint32_t> StackSimulator::fragment_id(
+    const net::Ipv6& target, util::VTime now) {
+  const topo::Device* device = world_.device_at(net::IpAddress(target));
+  if (device == nullptr) return std::nullopt;
+  // Many IPv6 stacks use randomized fragment IDs; only shared sequential
+  // counters give Speedtrap a signal (mirrors the vendor's IPv4 policy).
+  if (device->ipid_policy == topo::IpIdPolicy::kRandom ||
+      device->ipid_policy == topo::IpIdPolicy::kZero)
+    return static_cast<std::uint32_t>(rng_.next());
+  ++probe_counts_[device->index];
+  const double t = util::to_seconds(now);
+  const double base = static_cast<double>(device->index * 104729u % 0xffffffu);
+  const double rate = device->ipid_policy == topo::IpIdPolicy::kSharedCounter
+                          ? background_rate(*device) * 0.2
+                          : background_rate(*device) * 0.05;
+  const double salt = device->ipid_policy == topo::IpIdPolicy::kSharedCounter
+                          ? 0.0
+                          : interface_salt(*device, net::IpAddress(target));
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(base + salt + rate * t +
+                                 probe_counts_[device->index]) %
+      0xffffffffULL);
+}
+
+TcpProbeReply StackSimulator::tcp_syn(const net::IpAddress& target,
+                                      std::uint16_t port, util::VTime) {
+  TcpProbeReply reply;
+  const topo::Device* device = world_.device_at(target);
+  if (device == nullptr) return reply;
+
+  const bool management_port = port == 22 || port == 23 || port == 443;
+  if (device->tcp_open && management_port) {
+    reply.outcome = TcpProbeOutcome::kOpen;
+  } else if (device->tcp_open) {
+    // A host with some open service answers RST on closed ports.
+    reply.outcome = TcpProbeOutcome::kClosed;
+  } else {
+    // Tightly secured: drop silently (paper §6.2.3 — Nmap gets nothing).
+    reply.outcome = TcpProbeOutcome::kSilent;
+    return reply;
+  }
+  reply.ttl = device->initial_ttl;
+  // Vendor-flavoured TCP signature for Nmap's database matching.
+  const auto vendor_hash =
+      static_cast<std::uint32_t>(util::fnv1a64(device->vendor->name));
+  reply.window = static_cast<std::uint16_t>(4096 + vendor_hash % 60000);
+  reply.options_signature = static_cast<std::uint8_t>(vendor_hash % 17);
+  return reply;
+}
+
+}  // namespace snmpv3fp::sim

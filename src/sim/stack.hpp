@@ -1,0 +1,63 @@
+// TCP/IP stack probing simulator for the baseline techniques.
+//
+// The paper compares SNMPv3 fingerprinting/aliasing against methods that
+// read other stack signals: MIDAR samples IPv4 IP-ID counters, Speedtrap
+// elicits IPv6 fragment IDs, Nmap needs open/closed TCP ports plus probe
+// responses, and TTL fingerprinting reads initial TTLs. StackSimulator
+// answers those probes from the same ground-truth devices the SNMP agents
+// run on, with the vendor personalities of topo::VendorProfile.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "topo/world.hpp"
+#include "util/rng.hpp"
+#include "util/vclock.hpp"
+
+namespace snmpv3fp::sim {
+
+struct IcmpEchoReply {
+  std::uint16_t ip_id = 0;
+  std::uint8_t ttl = 0;  // remaining TTL as seen by the prober
+};
+
+enum class TcpProbeOutcome : std::uint8_t { kSilent, kClosed, kOpen };
+
+struct TcpProbeReply {
+  TcpProbeOutcome outcome = TcpProbeOutcome::kSilent;
+  std::uint16_t window = 0;
+  std::uint8_t ttl = 0;
+  std::uint8_t options_signature = 0;  // vendor-specific option ordering
+};
+
+class StackSimulator {
+ public:
+  StackSimulator(const topo::World& world, std::uint64_t seed);
+
+  // ICMP echo toward an IPv4 address; nullopt if the address is dead or
+  // the device rate-limits/filters ICMP.
+  std::optional<IcmpEchoReply> icmp_echo(const net::Ipv4& target,
+                                         util::VTime now);
+
+  // IPv6 fragment-ID elicitation (too-big/echo trick used by Speedtrap).
+  std::optional<std::uint32_t> fragment_id(const net::Ipv6& target,
+                                           util::VTime now);
+
+  // TCP SYN to a port (Nmap prerequisite).
+  TcpProbeReply tcp_syn(const net::IpAddress& target, std::uint16_t port,
+                        util::VTime now);
+
+ private:
+  // IP-ID value for a device/interface pair under the vendor's policy.
+  std::uint16_t ip_id_for(const topo::Device& device,
+                          const net::IpAddress& target, util::VTime now);
+
+  const topo::World& world_;
+  util::Rng rng_;
+  // Per-device extra increments caused by our own probes.
+  std::unordered_map<topo::DeviceIndex, std::uint32_t> probe_counts_;
+};
+
+}  // namespace snmpv3fp::sim

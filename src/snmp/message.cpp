@@ -1,0 +1,381 @@
+#include "snmp/message.hpp"
+
+namespace snmpv3fp::snmp {
+
+namespace {
+using asn1::Reader;
+using asn1::SequenceBuilder;
+
+constexpr std::int64_t kVersionV2c = 1;
+constexpr std::int64_t kVersionV3 = 3;
+
+std::uint8_t pdu_tag(PduType type) {
+  return asn1::context_tag(static_cast<std::uint8_t>(type));
+}
+
+Result<PduType> pdu_type_from_tag(std::uint8_t tag) {
+  if ((tag & 0xe0) != 0xa0)
+    return Result<PduType>::failure("not a context PDU tag");
+  const std::uint8_t n = tag & 0x1f;
+  switch (n) {
+    case 0: return PduType::kGetRequest;
+    case 1: return PduType::kGetNextRequest;
+    case 2: return PduType::kResponse;
+    case 3: return PduType::kSetRequest;
+    case 5: return PduType::kGetBulkRequest;
+    case 6: return PduType::kInformRequest;
+    case 7: return PduType::kTrap;
+    case 8: return PduType::kReport;
+    default:
+      return Result<PduType>::failure("unknown PDU tag " + std::to_string(n));
+  }
+}
+
+Bytes encode_var_value(const VarValue& value) {
+  if (std::holds_alternative<std::monostate>(value.data))
+    return asn1::encode_null();
+  if (const auto* i = std::get_if<std::int64_t>(&value.data))
+    return asn1::encode_integer(*i);
+  if (const auto* u = std::get_if<std::uint64_t>(&value.data))
+    return asn1::encode_unsigned(*u, value.app_tag);
+  if (const auto* b = std::get_if<Bytes>(&value.data))
+    return asn1::encode_octet_string(*b);
+  return asn1::encode_oid(std::get<Oid>(value.data));
+}
+
+Result<VarValue> decode_var_value(const asn1::Tlv& tlv) {
+  VarValue value;
+  switch (tlv.tag) {
+    case asn1::kTagNull:
+      return value;
+    case asn1::kTagInteger: {
+      auto i = asn1::decode_integer_content(tlv.content);
+      if (!i) return Result<VarValue>::failure(i.error());
+      value.data = i.value();
+      return value;
+    }
+    case asn1::kTagCounter32:
+    case asn1::kTagTimeTicks: {
+      if (tlv.content.empty() || tlv.content.size() > 5)
+        return Result<VarValue>::failure("bad unsigned width");
+      std::uint64_t v = 0;
+      for (std::uint8_t b : tlv.content) v = (v << 8) | b;
+      value.data = v;
+      value.app_tag = tlv.tag;
+      return value;
+    }
+    case asn1::kTagOctetString:
+      value.data = Bytes(tlv.content.begin(), tlv.content.end());
+      return value;
+    case asn1::kTagOid: {
+      auto oid = asn1::decode_oid_content(tlv.content);
+      if (!oid) return Result<VarValue>::failure(oid.error());
+      value.data = oid.value();
+      return value;
+    }
+    default:
+      return Result<VarValue>::failure("unsupported varbind value tag");
+  }
+}
+
+Bytes encode_pdu(const Pdu& pdu) {
+  SequenceBuilder bindings;
+  for (const auto& vb : pdu.bindings) {
+    SequenceBuilder one;
+    one.add(asn1::encode_oid(vb.oid));
+    one.add(encode_var_value(vb.value));
+    bindings.add(one.finish());
+  }
+  SequenceBuilder body;
+  body.add(asn1::encode_integer(pdu.request_id));
+  body.add(asn1::encode_integer(pdu.error_status));
+  body.add(asn1::encode_integer(pdu.error_index));
+  body.add(bindings.finish());
+  return body.finish(pdu_tag(pdu.type));
+}
+
+Result<Pdu> decode_pdu(Reader& reader) {
+  auto tlv = reader.read_tlv();
+  if (!tlv) return Result<Pdu>::failure(tlv.error());
+  auto type = pdu_type_from_tag(tlv.value().tag);
+  if (!type) return Result<Pdu>::failure(type.error());
+
+  Pdu pdu;
+  pdu.type = type.value();
+  Reader body(tlv.value().content);
+  auto request_id = body.read_integer();
+  if (!request_id) return Result<Pdu>::failure("request-id: " + request_id.error());
+  auto error_status = body.read_integer();
+  if (!error_status)
+    return Result<Pdu>::failure("error-status: " + error_status.error());
+  auto error_index = body.read_integer();
+  if (!error_index)
+    return Result<Pdu>::failure("error-index: " + error_index.error());
+  pdu.request_id = static_cast<std::int32_t>(request_id.value());
+  pdu.error_status = static_cast<std::int32_t>(error_status.value());
+  pdu.error_index = static_cast<std::int32_t>(error_index.value());
+
+  auto bindings = body.enter();
+  if (!bindings) return Result<Pdu>::failure("varbinds: " + bindings.error());
+  while (!bindings.value().at_end()) {
+    auto one = bindings.value().enter();
+    if (!one) return Result<Pdu>::failure("varbind: " + one.error());
+    auto oid = one.value().read_oid();
+    if (!oid) return Result<Pdu>::failure("varbind oid: " + oid.error());
+    auto value_tlv = one.value().read_tlv();
+    if (!value_tlv)
+      return Result<Pdu>::failure("varbind value: " + value_tlv.error());
+    auto value = decode_var_value(value_tlv.value());
+    if (!value) return Result<Pdu>::failure(value.error());
+    pdu.bindings.push_back({std::move(oid).value(), std::move(value).value()});
+  }
+  return pdu;
+}
+
+Bytes encode_usm(const UsmSecurityParameters& usm) {
+  SequenceBuilder seq;
+  seq.add(asn1::encode_octet_string(usm.authoritative_engine_id.raw()));
+  seq.add(asn1::encode_integer(usm.engine_boots));
+  seq.add(asn1::encode_integer(usm.engine_time));
+  seq.add(asn1::encode_octet_string(
+      ByteView(reinterpret_cast<const std::uint8_t*>(usm.user_name.data()),
+               usm.user_name.size())));
+  seq.add(asn1::encode_octet_string(usm.authentication_parameters));
+  seq.add(asn1::encode_octet_string(usm.privacy_parameters));
+  return seq.finish();
+}
+
+Result<UsmSecurityParameters> decode_usm(ByteView wire) {
+  Reader outer(wire);
+  auto seq = outer.enter();
+  if (!seq) return Result<UsmSecurityParameters>::failure(seq.error());
+  Reader& r = seq.value();
+  UsmSecurityParameters usm;
+  auto engine_id = r.read_octet_string();
+  if (!engine_id)
+    return Result<UsmSecurityParameters>::failure("engineID: " + engine_id.error());
+  usm.authoritative_engine_id =
+      EngineId(Bytes(engine_id.value().begin(), engine_id.value().end()));
+  auto boots = r.read_integer();
+  if (!boots)
+    return Result<UsmSecurityParameters>::failure("boots: " + boots.error());
+  auto time = r.read_integer();
+  if (!time)
+    return Result<UsmSecurityParameters>::failure("time: " + time.error());
+  if (boots.value() < 0 || time.value() < 0)
+    return Result<UsmSecurityParameters>::failure("negative boots/time");
+  usm.engine_boots = static_cast<std::uint32_t>(boots.value());
+  usm.engine_time = static_cast<std::uint32_t>(time.value());
+  auto user = r.read_octet_string();
+  if (!user)
+    return Result<UsmSecurityParameters>::failure("user: " + user.error());
+  usm.user_name.assign(user.value().begin(), user.value().end());
+  auto auth = r.read_octet_string();
+  if (!auth)
+    return Result<UsmSecurityParameters>::failure("auth: " + auth.error());
+  usm.authentication_parameters.assign(auth.value().begin(), auth.value().end());
+  auto priv = r.read_octet_string();
+  if (!priv)
+    return Result<UsmSecurityParameters>::failure("priv: " + priv.error());
+  usm.privacy_parameters.assign(priv.value().begin(), priv.value().end());
+  return usm;
+}
+
+}  // namespace
+
+std::string_view to_string(PduType type) {
+  switch (type) {
+    case PduType::kGetRequest: return "get-request";
+    case PduType::kGetNextRequest: return "get-next-request";
+    case PduType::kResponse: return "response";
+    case PduType::kSetRequest: return "set-request";
+    case PduType::kGetBulkRequest: return "get-bulk-request";
+    case PduType::kInformRequest: return "inform-request";
+    case PduType::kTrap: return "trap";
+    case PduType::kReport: return "report";
+  }
+  return "?";
+}
+
+std::optional<std::string> VarValue::as_string() const {
+  const auto* bytes = std::get_if<Bytes>(&data);
+  if (!bytes) return std::nullopt;
+  return std::string(bytes->begin(), bytes->end());
+}
+
+const Oid kOidUsmStatsUnknownEngineIds = {1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0};
+const Oid kOidUsmStatsUnknownUserNames = {1, 3, 6, 1, 6, 3, 15, 1, 1, 3, 0};
+const Oid kOidSysDescr = {1, 3, 6, 1, 2, 1, 1, 1, 0};
+const Oid kOidSysUpTime = {1, 3, 6, 1, 2, 1, 1, 3, 0};
+
+Bytes V3Message::encode() const {
+  SequenceBuilder header_seq;
+  header_seq.add(asn1::encode_integer(header.msg_id));
+  header_seq.add(asn1::encode_integer(header.msg_max_size));
+  const std::uint8_t flags = header.msg_flags;
+  header_seq.add(asn1::encode_octet_string(ByteView(&flags, 1)));
+  header_seq.add(asn1::encode_integer(header.security_model));
+
+  SequenceBuilder message;
+  message.add(asn1::encode_integer(kVersionV3));
+  message.add(header_seq.finish());
+  message.add(asn1::encode_octet_string(encode_usm(usm)));
+  if ((header.msg_flags & kFlagPriv) && encrypted_scoped_pdu.has_value()) {
+    // Encrypted msgData: an OCTET STRING of ciphertext (RFC 3412 §6.7).
+    message.add(asn1::encode_octet_string(*encrypted_scoped_pdu));
+  } else {
+    SequenceBuilder scoped_seq;
+    scoped_seq.add(asn1::encode_octet_string(scoped_pdu.context_engine_id));
+    scoped_seq.add(asn1::encode_octet_string(ByteView(
+        reinterpret_cast<const std::uint8_t*>(scoped_pdu.context_name.data()),
+        scoped_pdu.context_name.size())));
+    scoped_seq.add(encode_pdu(scoped_pdu.pdu));
+    message.add(scoped_seq.finish());
+  }
+  return message.finish();
+}
+
+Result<V3Message> V3Message::decode(ByteView wire) {
+  Reader outer(wire);
+  auto msg = outer.enter();
+  if (!msg) return Result<V3Message>::failure("message: " + msg.error());
+  Reader& r = msg.value();
+
+  auto version = r.read_integer();
+  if (!version) return Result<V3Message>::failure("version: " + version.error());
+  if (version.value() != kVersionV3)
+    return Result<V3Message>::failure("not an SNMPv3 message");
+
+  V3Message out;
+  auto header = r.enter();
+  if (!header) return Result<V3Message>::failure("header: " + header.error());
+  {
+    Reader& h = header.value();
+    auto msg_id = h.read_integer();
+    if (!msg_id) return Result<V3Message>::failure("msgID: " + msg_id.error());
+    auto max_size = h.read_integer();
+    if (!max_size)
+      return Result<V3Message>::failure("maxSize: " + max_size.error());
+    auto flags = h.read_octet_string();
+    if (!flags) return Result<V3Message>::failure("flags: " + flags.error());
+    if (flags.value().size() != 1)
+      return Result<V3Message>::failure("msgFlags must be one byte");
+    auto model = h.read_integer();
+    if (!model) return Result<V3Message>::failure("model: " + model.error());
+    out.header.msg_id = static_cast<std::int32_t>(msg_id.value());
+    out.header.msg_max_size = static_cast<std::int32_t>(max_size.value());
+    out.header.msg_flags = flags.value()[0];
+    out.header.security_model = static_cast<std::int32_t>(model.value());
+  }
+
+  auto usm_wire = r.read_octet_string();
+  if (!usm_wire)
+    return Result<V3Message>::failure("security params: " + usm_wire.error());
+  auto usm = decode_usm(usm_wire.value());
+  if (!usm) return Result<V3Message>::failure("USM: " + usm.error());
+  out.usm = std::move(usm).value();
+
+  if (out.header.msg_flags & kFlagPriv) {
+    // Encrypted msgData: keep the ciphertext; snmp::decrypt_scoped_pdu
+    // (usm.hpp) recovers the plaintext scoped PDU.
+    auto ciphertext = r.read_octet_string();
+    if (!ciphertext)
+      return Result<V3Message>::failure("encrypted msgData: " +
+                                        ciphertext.error());
+    out.encrypted_scoped_pdu =
+        Bytes(ciphertext.value().begin(), ciphertext.value().end());
+    return out;
+  }
+
+  auto scoped = r.enter();
+  if (!scoped) return Result<V3Message>::failure("scopedPDU: " + scoped.error());
+  {
+    Reader& s = scoped.value();
+    auto ctx_engine = s.read_octet_string();
+    if (!ctx_engine)
+      return Result<V3Message>::failure("ctxEngine: " + ctx_engine.error());
+    out.scoped_pdu.context_engine_id.assign(ctx_engine.value().begin(),
+                                            ctx_engine.value().end());
+    auto ctx_name = s.read_octet_string();
+    if (!ctx_name)
+      return Result<V3Message>::failure("ctxName: " + ctx_name.error());
+    out.scoped_pdu.context_name.assign(ctx_name.value().begin(),
+                                       ctx_name.value().end());
+    auto pdu = decode_pdu(s);
+    if (!pdu) return Result<V3Message>::failure("PDU: " + pdu.error());
+    out.scoped_pdu.pdu = std::move(pdu).value();
+  }
+  return out;
+}
+
+V3Message make_discovery_request(std::int32_t msg_id, std::int32_t request_id) {
+  V3Message msg;
+  msg.header.msg_id = msg_id;
+  msg.header.msg_max_size = 65507;
+  msg.header.msg_flags = kFlagReportable;  // noAuthNoPriv, reportable
+  msg.header.security_model = kSecurityModelUsm;
+  // usm: everything empty/zero (Figure 2).
+  msg.scoped_pdu.pdu.type = PduType::kGetRequest;
+  msg.scoped_pdu.pdu.request_id = request_id;
+  return msg;
+}
+
+V3Message make_discovery_report(const V3Message& request,
+                                const EngineId& engine_id,
+                                std::uint32_t engine_boots,
+                                std::uint32_t engine_time,
+                                std::uint32_t report_counter,
+                                const Oid& report_oid) {
+  V3Message msg;
+  msg.header.msg_id = request.header.msg_id;
+  msg.header.msg_max_size = 65507;
+  msg.header.msg_flags = 0;  // response: not reportable, noAuthNoPriv
+  msg.header.security_model = kSecurityModelUsm;
+  msg.usm.authoritative_engine_id = engine_id;
+  msg.usm.engine_boots = engine_boots;
+  msg.usm.engine_time = engine_time;
+  msg.scoped_pdu.context_engine_id = engine_id.raw();
+  msg.scoped_pdu.pdu.type = PduType::kReport;
+  msg.scoped_pdu.pdu.request_id = request.scoped_pdu.pdu.request_id;
+  msg.scoped_pdu.pdu.bindings.push_back(
+      {report_oid, VarValue::counter32(report_counter)});
+  return msg;
+}
+
+Bytes V2cMessage::encode() const {
+  SequenceBuilder message;
+  message.add(asn1::encode_integer(kVersionV2c));
+  message.add(asn1::encode_octet_string(ByteView(
+      reinterpret_cast<const std::uint8_t*>(community.data()), community.size())));
+  message.add(encode_pdu(pdu));
+  return message.finish();
+}
+
+Result<V2cMessage> V2cMessage::decode(ByteView wire) {
+  Reader outer(wire);
+  auto msg = outer.enter();
+  if (!msg) return Result<V2cMessage>::failure("message: " + msg.error());
+  Reader& r = msg.value();
+  auto version = r.read_integer();
+  if (!version) return Result<V2cMessage>::failure("version: " + version.error());
+  if (version.value() != kVersionV2c)
+    return Result<V2cMessage>::failure("not an SNMPv2c message");
+  V2cMessage out;
+  auto community = r.read_octet_string();
+  if (!community)
+    return Result<V2cMessage>::failure("community: " + community.error());
+  out.community.assign(community.value().begin(), community.value().end());
+  auto pdu = decode_pdu(r);
+  if (!pdu) return Result<V2cMessage>::failure("PDU: " + pdu.error());
+  out.pdu = std::move(pdu).value();
+  return out;
+}
+
+Result<std::int64_t> peek_version(ByteView wire) {
+  Reader outer(wire);
+  auto msg = outer.enter();
+  if (!msg) return Result<std::int64_t>::failure(msg.error());
+  return msg.value().read_integer();
+}
+
+}  // namespace snmpv3fp::snmp

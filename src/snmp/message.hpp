@@ -1,0 +1,167 @@
+// SNMPv3 message model and wire codec (RFC 3412 message format with the
+// User-based Security Model parameters of RFC 3414 §2.4), plus the subset
+// of SNMPv2c (RFC 1901) needed for the lab-validation experiment.
+//
+// The measurement path is the unauthenticated one — the discovery
+// (synchronization) GET with an empty engine ID and the REPORT answering
+// it with msgAuthoritativeEngineID / Boots / Time in the clear. The codec
+// also carries authenticated (usm.hpp HMAC) and encrypted (RFC 3826
+// AES-CFB, `encrypted_scoped_pdu`) messages for the lab/attack studies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "asn1/ber.hpp"
+#include "snmp/engine_id.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace snmpv3fp::snmp {
+
+using asn1::Oid;
+using util::Bytes;
+using util::ByteView;
+using util::Result;
+
+// ---------------------------------------------------------------------------
+// PDUs
+// ---------------------------------------------------------------------------
+
+enum class PduType : std::uint8_t {
+  kGetRequest = 0,
+  kGetNextRequest = 1,
+  kResponse = 2,
+  kSetRequest = 3,
+  kGetBulkRequest = 5,
+  kInformRequest = 6,
+  kTrap = 7,
+  kReport = 8,
+};
+
+std::string_view to_string(PduType type);
+
+// Variable binding value: the subset of SMI types our agents emit.
+struct VarValue {
+  // monostate = NULL (unSpecified); int64 = INTEGER; uint64 pairs with
+  // `app_tag` for Counter32 / TimeTicks; Bytes = OCTET STRING; Oid = OID.
+  std::variant<std::monostate, std::int64_t, std::uint64_t, Bytes, Oid> data;
+  std::uint8_t app_tag = asn1::kTagCounter32;  // tag for the uint64 case
+
+  static VarValue null() { return {}; }
+  static VarValue integer(std::int64_t v) { return {.data = v}; }
+  static VarValue counter32(std::uint32_t v) {
+    return {.data = std::uint64_t{v}, .app_tag = asn1::kTagCounter32};
+  }
+  static VarValue timeticks(std::uint32_t v) {
+    return {.data = std::uint64_t{v}, .app_tag = asn1::kTagTimeTicks};
+  }
+  static VarValue octets(Bytes v) { return {.data = std::move(v)}; }
+  static VarValue string(std::string_view v) {
+    return {.data = Bytes(v.begin(), v.end())};
+  }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data); }
+  std::optional<std::string> as_string() const;
+};
+
+struct VarBind {
+  Oid oid;
+  VarValue value;
+};
+
+struct Pdu {
+  PduType type = PduType::kGetRequest;
+  std::int32_t request_id = 0;
+  std::int32_t error_status = 0;  // or non-repeaters for GetBulk
+  std::int32_t error_index = 0;   // or max-repetitions for GetBulk
+  std::vector<VarBind> bindings;
+};
+
+// ---------------------------------------------------------------------------
+// SNMPv3
+// ---------------------------------------------------------------------------
+
+// msgFlags bits (RFC 3412 §6.4).
+inline constexpr std::uint8_t kFlagAuth = 0x01;
+inline constexpr std::uint8_t kFlagPriv = 0x02;
+inline constexpr std::uint8_t kFlagReportable = 0x04;
+
+inline constexpr std::int32_t kSecurityModelUsm = 3;
+
+struct V3HeaderData {
+  std::int32_t msg_id = 0;
+  std::int32_t msg_max_size = 65507;
+  std::uint8_t msg_flags = kFlagReportable;
+  std::int32_t security_model = kSecurityModelUsm;
+};
+
+// RFC 3414 §2.4 UsmSecurityParameters (itself BER inside an OCTET STRING).
+struct UsmSecurityParameters {
+  EngineId authoritative_engine_id;  // empty in a discovery request
+  std::uint32_t engine_boots = 0;
+  std::uint32_t engine_time = 0;
+  std::string user_name;
+  Bytes authentication_parameters;
+  Bytes privacy_parameters;
+};
+
+struct ScopedPdu {
+  Bytes context_engine_id;
+  std::string context_name;
+  Pdu pdu;
+};
+
+struct V3Message {
+  V3HeaderData header;
+  UsmSecurityParameters usm;
+  ScopedPdu scoped_pdu;  // meaningful when the priv bit is clear
+  // When msgFlags carries kFlagPriv, msgData is this AES-CFB ciphertext of
+  // the BER-encoded scoped PDU (RFC 3826) instead of `scoped_pdu`.
+  std::optional<Bytes> encrypted_scoped_pdu;
+
+  Bytes encode() const;
+  static Result<V3Message> decode(ByteView wire);
+};
+
+// usmStats OIDs (RFC 3414 §5) reported by REPORT PDUs.
+extern const Oid kOidUsmStatsUnknownEngineIds;   // 1.3.6.1.6.3.15.1.1.4.0
+extern const Oid kOidUsmStatsUnknownUserNames;   // 1.3.6.1.6.3.15.1.1.3.0
+extern const Oid kOidSysDescr;                   // 1.3.6.1.2.1.1.1.0
+extern const Oid kOidSysUpTime;                  // 1.3.6.1.2.1.1.3.0
+
+// The probe of the paper's Figure 2: msgVersion 3, empty engine ID, zero
+// boots/time, empty user name, reportable flag, empty-varbind GET.
+// With msg_id/request_id in [128, 32767] the encoding is exactly 60 bytes,
+// i.e. the paper's 88-byte IPv4 / 108-byte IPv6 on-the-wire sizes once the
+// 28/48-byte IP+UDP headers are added.
+V3Message make_discovery_request(std::int32_t msg_id, std::int32_t request_id);
+
+// The agent's answer (paper Figure 3): a REPORT carrying the authoritative
+// engine ID, boots and time, with a usmStats varbind.
+V3Message make_discovery_report(const V3Message& request,
+                                const EngineId& engine_id,
+                                std::uint32_t engine_boots,
+                                std::uint32_t engine_time,
+                                std::uint32_t report_counter,
+                                const Oid& report_oid = kOidUsmStatsUnknownEngineIds);
+
+// ---------------------------------------------------------------------------
+// SNMPv2c (community-based) — used by the lab-validation experiment only.
+// ---------------------------------------------------------------------------
+
+struct V2cMessage {
+  std::string community;
+  Pdu pdu;
+
+  Bytes encode() const;
+  static Result<V2cMessage> decode(ByteView wire);
+};
+
+// Peeks the msgVersion integer of any SNMP message (0=v1, 1=v2c, 3=v3).
+Result<std::int64_t> peek_version(ByteView wire);
+
+}  // namespace snmpv3fp::snmp

@@ -1,0 +1,210 @@
+#include "snmp/usm.hpp"
+
+#include "util/aes.hpp"
+#include "util/digest.hpp"
+
+namespace snmpv3fp::snmp {
+
+namespace {
+
+constexpr std::size_t kMegabyte = 1048576;
+
+Bytes hmac_for(AuthProtocol protocol, ByteView key, ByteView message) {
+  return protocol == AuthProtocol::kHmacMd5_96 ? util::hmac_md5(key, message)
+                                               : util::hmac_sha1(key, message);
+}
+
+bool constant_time_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace
+
+std::string_view to_string(AuthProtocol protocol) {
+  return protocol == AuthProtocol::kHmacMd5_96 ? "HMAC-MD5-96"
+                                               : "HMAC-SHA1-96";
+}
+
+Bytes password_to_key(AuthProtocol protocol, std::string_view password) {
+  // Feed the password cyclically until one mebibyte has been digested
+  // (RFC 3414 A.2.1/A.2.2) — the deliberate "key stretching" step.
+  const auto* pw = reinterpret_cast<const std::uint8_t*>(password.data());
+  const ByteView pw_view(pw, password.size());
+  const auto stretch = [&](auto hasher) {
+    std::size_t fed = 0;
+    while (fed + password.size() <= kMegabyte) {
+      hasher.update(pw_view);
+      fed += password.size();
+    }
+    if (fed < kMegabyte) hasher.update(pw_view.first(kMegabyte - fed));
+    const auto digest = hasher.finish();
+    return Bytes(digest.begin(), digest.end());
+  };
+  if (password.empty()) return {};
+  return protocol == AuthProtocol::kHmacMd5_96 ? stretch(util::Md5())
+                                               : stretch(util::Sha1());
+}
+
+Bytes localize_key(AuthProtocol protocol, ByteView user_key,
+                   const EngineId& engine_id) {
+  const auto localize = [&](auto hasher) {
+    hasher.update(user_key);
+    hasher.update(engine_id.raw());
+    hasher.update(user_key);
+    const auto digest = hasher.finish();
+    return Bytes(digest.begin(), digest.end());
+  };
+  return protocol == AuthProtocol::kHmacMd5_96 ? localize(util::Md5())
+                                               : localize(util::Sha1());
+}
+
+Bytes derive_localized_key(AuthProtocol protocol, std::string_view password,
+                           const EngineId& engine_id) {
+  return localize_key(protocol, password_to_key(protocol, password),
+                      engine_id);
+}
+
+Bytes compute_auth_params(AuthProtocol protocol, ByteView localized_key,
+                          const V3Message& message) {
+  // Serialize with msgAuthenticationParameters = 12 zero bytes, HMAC the
+  // whole message, truncate to 96 bits (RFC 3414 §6.3.1).
+  V3Message zeroed = message;
+  zeroed.usm.authentication_parameters.assign(kAuthParamsLength, 0);
+  auto mac = hmac_for(protocol, localized_key, zeroed.encode());
+  mac.resize(kAuthParamsLength);
+  return mac;
+}
+
+V3Message authenticate(AuthProtocol protocol, ByteView localized_key,
+                       V3Message message) {
+  message.header.msg_flags |= kFlagAuth;
+  message.usm.authentication_parameters.assign(kAuthParamsLength, 0);
+  message.usm.authentication_parameters =
+      compute_auth_params(protocol, localized_key, message);
+  return message;
+}
+
+bool verify_authentication(AuthProtocol protocol, ByteView localized_key,
+                           const V3Message& message) {
+  if (message.usm.authentication_parameters.size() != kAuthParamsLength)
+    return false;
+  const auto expected = compute_auth_params(protocol, localized_key, message);
+  return constant_time_equal(expected, message.usm.authentication_parameters);
+}
+
+Bytes derive_privacy_key(AuthProtocol protocol, std::string_view password,
+                         const EngineId& engine_id) {
+  auto key = derive_localized_key(protocol, password, engine_id);
+  key.resize(16);  // AES-128 key size; truncates SHA-1's 20 bytes
+  return key;
+}
+
+namespace {
+
+// RFC 3826 §3.1.2.1: IV = engineBoots(4) || engineTime(4) || salt(8).
+Bytes make_iv(const V3Message& message, ByteView salt) {
+  Bytes iv;
+  util::append_be(iv, message.usm.engine_boots, 4);
+  util::append_be(iv, message.usm.engine_time, 4);
+  iv.insert(iv.end(), salt.begin(), salt.end());
+  return iv;
+}
+
+Bytes encode_scoped_pdu_plaintext(const ScopedPdu& scoped) {
+  asn1::SequenceBuilder seq;
+  seq.add(asn1::encode_octet_string(scoped.context_engine_id));
+  seq.add(asn1::encode_octet_string(ByteView(
+      reinterpret_cast<const std::uint8_t*>(scoped.context_name.data()),
+      scoped.context_name.size())));
+  // Re-encode the whole message once to reuse the PDU encoder: cheaper to
+  // just encode the PDU via a temporary message? The PDU encoder is file-
+  // local to message.cpp, so round-trip through a plaintext message.
+  V3Message shim;
+  shim.scoped_pdu = scoped;
+  const auto wire = shim.encode();
+  // Extract the scoped-PDU SEQUENCE (last element of the message).
+  asn1::Reader outer{ByteView(wire)};
+  auto msg = outer.enter();
+  (void)msg.value().read_integer();          // version
+  (void)msg.value().read_tlv();              // header
+  (void)msg.value().read_octet_string();     // usm
+  auto scoped_tlv = msg.value().read_tlv();  // the scoped PDU SEQUENCE
+  Bytes out;
+  asn1::write_tlv(out, scoped_tlv.value().tag, scoped_tlv.value().content);
+  return out;
+}
+
+}  // namespace
+
+V3Message encrypt_scoped_pdu(ByteView privacy_key, std::uint64_t salt,
+                             V3Message message) {
+  Bytes salt_bytes;
+  util::append_be(salt_bytes, salt, 8);
+  message.usm.privacy_parameters = salt_bytes;
+  message.header.msg_flags |= kFlagPriv;
+  const util::Aes128 cipher(privacy_key);
+  message.encrypted_scoped_pdu = cipher.cfb_encrypt(
+      make_iv(message, salt_bytes),
+      encode_scoped_pdu_plaintext(message.scoped_pdu));
+  message.scoped_pdu = {};  // plaintext no longer travels
+  return message;
+}
+
+Result<V3Message> decrypt_scoped_pdu(ByteView privacy_key,
+                                     const V3Message& message) {
+  if (!(message.header.msg_flags & kFlagPriv) ||
+      !message.encrypted_scoped_pdu.has_value())
+    return Result<V3Message>::failure("message is not encrypted");
+  if (message.usm.privacy_parameters.size() != 8)
+    return Result<V3Message>::failure("privacy parameters must be 8 bytes");
+  const util::Aes128 cipher(privacy_key);
+  const Bytes plaintext =
+      cipher.cfb_decrypt(make_iv(message, message.usm.privacy_parameters),
+                         *message.encrypted_scoped_pdu);
+
+  // Re-assemble a plaintext message and decode it, which validates the
+  // recovered scoped PDU (a wrong key yields BER garbage here).
+  V3Message shim = message;
+  shim.header.msg_flags &= static_cast<std::uint8_t>(~kFlagPriv);
+  shim.encrypted_scoped_pdu.reset();
+  asn1::SequenceBuilder wire;
+  wire.add(asn1::encode_integer(3));
+  asn1::SequenceBuilder header;
+  header.add(asn1::encode_integer(shim.header.msg_id));
+  header.add(asn1::encode_integer(shim.header.msg_max_size));
+  const std::uint8_t flags = shim.header.msg_flags;
+  header.add(asn1::encode_octet_string(ByteView(&flags, 1)));
+  header.add(asn1::encode_integer(shim.header.security_model));
+  wire.add(header.finish());
+  // Serialize USM params through a plain encode of the shim (cheap trick:
+  // encode shim fully, then replace its scoped PDU with the plaintext).
+  const auto shim_wire = shim.encode();
+  asn1::Reader outer{ByteView(shim_wire)};
+  auto msg = outer.enter();
+  (void)msg.value().read_integer();
+  (void)msg.value().read_tlv();
+  auto usm_tlv = msg.value().read_octet_string();
+  wire.add(asn1::encode_octet_string(usm_tlv.value()));
+  wire.add(plaintext);
+  auto decoded = V3Message::decode(wire.finish());
+  if (!decoded)
+    return Result<V3Message>::failure("decryption failed: " + decoded.error());
+  return decoded;
+}
+
+std::optional<std::string> brute_force_password(
+    AuthProtocol protocol, const V3Message& captured,
+    std::span<const std::string> dictionary) {
+  const EngineId& engine_id = captured.usm.authoritative_engine_id;
+  if (engine_id.empty()) return std::nullopt;  // nothing to localize against
+  for (const auto& candidate : dictionary) {
+    const auto key = derive_localized_key(protocol, candidate, engine_id);
+    if (verify_authentication(protocol, key, captured)) return candidate;
+  }
+  return std::nullopt;
+}
+
+}  // namespace snmpv3fp::snmp

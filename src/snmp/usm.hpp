@@ -1,0 +1,79 @@
+// RFC 3414 User-based Security Model: password-to-key, key localization,
+// and HMAC-MD5-96 / HMAC-SHA1-96 message authentication.
+//
+// This is the mechanism that makes the engine ID leak consequential: the
+// per-agent key is derived from (password, engine ID) only, so anyone who
+// captures ONE authenticated message AND knows the engine ID — which the
+// agent hands out unauthenticated (the paper's whole point) — can brute
+// force the password offline (paper §8, citing Thomas 2021).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "snmp/message.hpp"
+
+namespace snmpv3fp::snmp {
+
+enum class AuthProtocol : std::uint8_t { kHmacMd5_96, kHmacSha1_96 };
+
+std::string_view to_string(AuthProtocol protocol);
+
+// msgAuthenticationParameters length for both protocols (the "-96" part).
+inline constexpr std::size_t kAuthParamsLength = 12;
+
+// RFC 3414 A.2: digest over the password repeated to 1,048,576 bytes.
+Bytes password_to_key(AuthProtocol protocol, std::string_view password);
+
+// RFC 3414 §2.6: localized key = H(Ku || snmpEngineID || Ku).
+Bytes localize_key(AuthProtocol protocol, ByteView user_key,
+                   const EngineId& engine_id);
+
+// Convenience: password -> localized key in one step.
+Bytes derive_localized_key(AuthProtocol protocol, std::string_view password,
+                           const EngineId& engine_id);
+
+// Computes the 12-byte MAC over the message serialized with zeroed
+// msgAuthenticationParameters (RFC 3414 §6.3.1).
+Bytes compute_auth_params(AuthProtocol protocol, ByteView localized_key,
+                          const V3Message& message);
+
+// Returns a copy of `message` with msgFlags' auth bit set and the MAC
+// filled in.
+V3Message authenticate(AuthProtocol protocol, ByteView localized_key,
+                       V3Message message);
+
+// Recomputes and compares the MAC (constant-time comparison).
+bool verify_authentication(AuthProtocol protocol, ByteView localized_key,
+                           const V3Message& message);
+
+// ---------------------------------------------------------------------------
+// Privacy (RFC 3826 usmAesCfb128Protocol)
+// ---------------------------------------------------------------------------
+
+// Localized 16-byte privacy key: same derivation as the auth key (for
+// SHA-1, the 20-byte localized key truncated to 16).
+Bytes derive_privacy_key(AuthProtocol protocol, std::string_view password,
+                         const EngineId& engine_id);
+
+// Encrypts `message.scoped_pdu` under AES-128-CFB: sets the priv flag,
+// fills msgPrivacyParameters with the 8-byte salt, and stores the
+// ciphertext. IV = engineBoots || engineTime || salt (RFC 3826 §3.1.2.1).
+V3Message encrypt_scoped_pdu(ByteView privacy_key, std::uint64_t salt,
+                             V3Message message);
+
+// Reverses encrypt_scoped_pdu: decrypts and parses the scoped PDU; fails
+// on a wrong key (the plaintext no longer parses as BER).
+Result<V3Message> decrypt_scoped_pdu(ByteView privacy_key,
+                                     const V3Message& message);
+
+// Offline dictionary attack against one captured authenticated message:
+// the engine ID inside the message plus a candidate password fully
+// determine the expected MAC. Returns the recovered password, if any.
+std::optional<std::string> brute_force_password(
+    AuthProtocol protocol, const V3Message& captured,
+    std::span<const std::string> dictionary);
+
+}  // namespace snmpv3fp::snmp

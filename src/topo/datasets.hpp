@@ -1,0 +1,71 @@
+// Synthetic third-party topology datasets.
+//
+// The paper tags router interfaces using CAIDA's ITDK (MIDAR + Speedtrap
+// alias sets), RIPE Atlas traceroute hops and the IPv6 Hitlist Service
+// (§4.1.2, Table 2), and compares alias sets against the Router Names
+// rDNS dataset (§5.2). These exporters derive the analogous datasets from
+// the simulated world with configurable partial coverage and pollution, so
+// the comparison sections reproduce the paper's "complementary, partially
+// overlapping" findings rather than a trivially perfect join.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/as_table.hpp"
+#include "net/ip.hpp"
+#include "topo/world.hpp"
+
+namespace snmpv3fp::topo {
+
+struct RouterDataset {
+  std::string name;
+  // Router-tagged addresses (the coverage join of Table 2).
+  std::vector<net::IpAddress> addresses;
+  // Alias sets as the dataset's own technique inferred them (mostly
+  // singletons, like MIDAR/Speedtrap in the paper).
+  std::vector<std::vector<net::IpAddress>> alias_sets;
+};
+
+struct PtrRecord {
+  net::IpAddress address;
+  std::string name;
+};
+
+struct DatasetOptions {
+  std::uint64_t seed = 1;
+  double router_coverage = 0.75;     // fraction of eligible routers seen
+  double interface_coverage = 0.80;  // fraction of a seen router's addrs
+  // Fraction of covered routers whose interfaces were correctly grouped
+  // into a non-singleton alias set (the rest stay singletons).
+  double alias_grouping_rate = 0.12;
+};
+
+// CAIDA ITDK-like IPv4 router topology (MIDAR-curated).
+RouterDataset export_itdk_v4(const World& world, const DatasetOptions& options);
+
+// CAIDA ITDK-like IPv6 router topology (Speedtrap-curated).
+RouterDataset export_itdk_v6(const World& world, const DatasetOptions& options);
+
+// RIPE Atlas-like intermediate hop addresses (both families, thinner
+// coverage, no alias sets).
+RouterDataset export_atlas(const World& world, const DatasetOptions& options);
+
+// IPv6 Hitlist-like address list: routers plus a large CPE/server corpus
+// whose addresses churn (paper: "many CPE device addresses").
+std::vector<net::IpAddress> export_hitlist_v6(const World& world,
+                                              std::uint64_t seed);
+
+// All reverse-DNS records of the world (paper §5.2 Router Names input).
+std::vector<PtrRecord> export_ptr_records(const World& world);
+
+// Union of router-tagged addresses across datasets (paper Table 2 last row).
+std::vector<net::IpAddress> dataset_union(
+    const std::vector<const RouterDataset*>& datasets);
+
+// IP -> (ASN, region) mapping derived from the world's allocations — the
+// stand-in for public BGP data used by the paper's per-AS analyses.
+net::AsTable build_as_table(const World& world);
+
+}  // namespace snmpv3fp::topo

@@ -1,0 +1,101 @@
+// Synthesis of the simulated Internet.
+//
+// The generator turns a WorldConfig into a World: autonomous systems with
+// regional vendor markets, router infrastructure with heavy-tailed per-AS
+// counts, CPE/server populations, SNMP engine state (engine IDs, reboot
+// histories, clock skew, implementation bugs), and reverse-DNS naming.
+//
+// Scale philosophy: per-AS structure (router counts, dominance, vendor
+// mixes) follows the paper's *distributions* at full fidelity, while the
+// NUMBER of ASes and the device populations are divided by configurable
+// scale factors so benches run in seconds. EXPERIMENTS.md records the
+// factors used for each experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/world.hpp"
+
+namespace snmpv3fp::topo {
+
+// One of the paper's Figure 16 mega networks (top-10 ASes by router count).
+struct MegaAsSpec {
+  std::string region;
+  std::size_t routers;  // pre-scale (paper magnitude)
+  // Dominant vendor (Figure 16 shows who runs each top-10 network);
+  // empty = sample from the regional market like any other AS.
+  std::string primary_vendor;
+};
+
+// A non-infrastructure device population (CPE, servers, enterprise
+// switches). Counts are *deployment* counts before responsiveness and
+// filtering shrink them to the paper's observed numbers.
+struct PopulationSpec {
+  std::string vendor;
+  DeviceKind kind = DeviceKind::kCpe;
+  double count = 0;        // pre-scale deployment count
+  bool itdk_eligible = false;
+};
+
+struct WorldConfig {
+  std::uint64_t seed = 20210416;  // first scan date as default seed
+
+  // ---- router infrastructure ----
+  std::size_t tail_as_count = 1900;
+  std::vector<MegaAsSpec> mega_ases;
+  // Per-AS router count tail: P(X >= x) = x^-alpha, truncated.
+  double pareto_alpha = 0.88;
+  std::size_t max_tail_as_routers = 2500;
+  double router_scale = 12.0;  // divides mega sizes (tail scales via AS count)
+  // Mega ASes use their own divisor so they stay ranked above the tail
+  // (tail per-AS counts are NOT divided — the AS *count* is the scaled
+  // knob — so megas must shrink less to keep Figure 16's ranking).
+  double mega_scale = 12.0;
+
+  // ---- other device populations ----
+  std::vector<PopulationSpec> populations;
+  double device_scale = 50.0;
+  // Fraction of tail ASes that host CPE/server populations ("eyeball" ASes).
+  double eyeball_as_fraction = 0.4;
+
+  // ---- reverse DNS ----
+  double rdns_as_coverage = 0.32;    // ASes with a consistent naming scheme
+  double ptr_record_coverage = 0.42; // interfaces with PTR in covered ASes
+
+  // ---- behaviour rates (population-wide) ----
+  double cpe_churn_rate = 0.35;
+  double empty_engine_id_rate = 0.0002;
+  double zero_time_rate = 0.030;
+  double future_time_rate = 0.0008;  // engine time implausibly large
+  double time_jitter_rate = 0.08;    // coarse engine-time counters
+  // One in this many responsive devices is a pathological mega-amplifier.
+  std::size_t mega_amplifier_inverse = 40000;
+  // §9 future-work extension populations.
+  double load_balancer_rate = 0.004;  // servers fronting several engines
+  double nat_frontend_rate = 0.002;   // routers with a translated frontend
+  double aliased_prefix_rate = 0.02;  // v6 servers answering their whole /64
+
+  // Factory configs used throughout benches/tests.
+  static WorldConfig full_internet();  // all device kinds; Figures 4-9, 11
+  static WorldConfig router_focus();   // deep router infra; Figures 10, 12-20
+  static WorldConfig tiny();           // fast unit-test world
+};
+
+// Deterministically builds the world for a config (same config -> same
+// world, byte for byte).
+World generate_world(const WorldConfig& config);
+
+// Observed router-vendor market share per region (paper Figure 15),
+// divided by each vendor's responsiveness to yield deployment weights.
+std::vector<std::pair<std::string, double>> router_vendor_weights(
+    const std::string& region);
+
+inline const std::vector<std::string>& region_names() {
+  static const std::vector<std::string> regions = {"EU", "NA", "AS",
+                                                   "SA", "AF", "OC"};
+  return regions;
+}
+
+}  // namespace snmpv3fp::topo

@@ -1,0 +1,246 @@
+#include "topo/vendor.hpp"
+
+#include <cstdlib>
+
+#include "net/registry.hpp"
+
+namespace snmpv3fp::topo {
+
+std::string_view to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kRouter: return "router";
+    case DeviceKind::kCpe: return "cpe";
+    case DeviceKind::kServer: return "server";
+  }
+  return "?";
+}
+
+namespace {
+
+VendorProfile router(std::string name, std::uint32_t pen) {
+  VendorProfile p;
+  p.name = std::move(name);
+  p.enterprise_pen = pen;
+  p.typical_kind = DeviceKind::kRouter;
+  // Routers keep decent clocks and reboot rarely.
+  p.clock_skew_ppm_sigma = 4.0;
+  p.mean_days_between_reboots = 300.0;
+  p.tcp_service_open = 0.08;  // mostly firewalled (paper §6.2.3)
+  return p;
+}
+
+VendorProfile cpe(std::string name, std::uint32_t pen) {
+  VendorProfile p;
+  p.name = std::move(name);
+  p.enterprise_pen = pen;
+  p.typical_kind = DeviceKind::kCpe;
+  p.engine_id_policy = {.mac = 0.70, .ipv4 = 0.08, .octets = 0.08,
+                        .non_conforming = 0.14};
+  p.snmpv3_responsive = 0.35;
+  p.clock_skew_ppm_sigma = 500.0;  // cheap clocks: drives Figure 8's spread
+  p.mean_days_between_reboots = 15.0;
+  p.ipid_policy = IpIdPolicy::kPerInterface;
+  p.initial_ttl = 64;
+  p.tcp_service_open = 0.02;
+  p.amplifier = 0.006;
+  p.mean_extra_interfaces = 0.05;
+  p.dual_stack = 0.20;
+  return p;
+}
+
+}  // namespace
+
+const std::vector<VendorProfile>& builtin_router_vendors() {
+  static const std::vector<VendorProfile> vendors = [] {
+    std::vector<VendorProfile> v;
+
+    // ---- Cisco: dominant router vendor; MAC engine IDs; the constant
+    // engine-ID bug (CSCts87275) lives here.
+    auto cisco = router("Cisco", net::kPenCisco);
+    cisco.engine_id_policy = {.mac = 0.78, .ipv4 = 0.10, .text = 0.04,
+                              .octets = 0.05, .non_conforming = 0.03};
+    cisco.snmpv3_responsive = 0.22;  // v2c config implicitly enables v3
+    cisco.constant_engine_id_bug = 0.035;
+    cisco.cloned_engine_id = 0.004;
+    cisco.amplifier = 0.005;
+    cisco.ipid_policy = IpIdPolicy::kSharedCounter;
+    cisco.initial_ttl = 255;
+    cisco.mean_extra_interfaces = 7.0;
+    cisco.dual_stack = 0.20;
+    v.push_back(cisco);
+
+    // ---- Huawei: strong in Asia/EU, absent in North America.
+    auto huawei = router("Huawei", net::kPenHuawei);
+    huawei.engine_id_policy = {.mac = 0.63, .ipv4 = 0.15, .text = 0.02,
+                               .octets = 0.12, .enterprise = 0.05,
+                               .non_conforming = 0.03};
+    huawei.snmpv3_responsive = 0.25;
+    huawei.cloned_engine_id = 0.006;
+    huawei.amplifier = 0.004;
+    huawei.ipid_policy = IpIdPolicy::kSharedCounter;
+    huawei.initial_ttl = 255;  // same iTTL signature as Cisco (paper §7.1)
+    huawei.mean_extra_interfaces = 6.0;
+    huawei.dual_stack = 0.25;
+    v.push_back(huawei);
+
+    // ---- Net-SNMP software routers/appliances (white-box, Linux-based).
+    auto netsnmp = router("Net-SNMP", net::kPenNetSnmp);
+    netsnmp.engine_id_policy = {.text = 0.05, .octets = 0.03, .net_snmp = 0.92};
+    netsnmp.snmpv3_responsive = 0.42;
+    netsnmp.clock_skew_ppm_sigma = 12.0;
+    netsnmp.ipid_policy = IpIdPolicy::kRandom;
+    netsnmp.initial_ttl = 64;
+    netsnmp.tcp_service_open = 0.45;  // hosts often run ssh
+    netsnmp.mean_extra_interfaces = 1.2;
+    netsnmp.dual_stack = 0.20;
+    v.push_back(netsnmp);
+
+    // ---- Juniper: requires explicit per-interface enablement, hence less
+    // visible (paper §6.2.1).
+    auto juniper = router("Juniper", net::kPenJuniper);
+    juniper.engine_id_policy = {.mac = 0.60, .ipv4 = 0.28, .text = 0.05,
+                                .octets = 0.07};
+    juniper.snmpv3_responsive = 0.09;
+    juniper.ipid_policy = IpIdPolicy::kSharedCounter;
+    juniper.initial_ttl = 64;
+    juniper.mean_extra_interfaces = 9.0;
+    juniper.dual_stack = 0.40;
+    v.push_back(juniper);
+
+    // ---- H3C.
+    auto h3c = router("H3C", net::kPenH3c);
+    h3c.engine_id_policy = {.mac = 0.60, .ipv4 = 0.15, .octets = 0.15,
+                            .enterprise = 0.10};
+    h3c.snmpv3_responsive = 0.22;
+    h3c.initial_ttl = 255;
+    h3c.mean_extra_interfaces = 5.0;
+    h3c.dual_stack = 0.10;
+    v.push_back(h3c);
+
+    // ---- The long tail of router vendors.
+    auto oneaccess = router("OneAccess", 13191);
+    oneaccess.engine_id_policy = {.mac = 0.80, .octets = 0.20};
+    oneaccess.snmpv3_responsive = 0.30;
+    oneaccess.mean_extra_interfaces = 2.0;
+    v.push_back(oneaccess);
+
+    auto ruijie = router("Ruijie", 4881);
+    ruijie.engine_id_policy = {.mac = 0.70, .ipv4 = 0.15, .octets = 0.15};
+    ruijie.snmpv3_responsive = 0.26;
+    ruijie.initial_ttl = 255;
+    ruijie.mean_extra_interfaces = 3.0;
+    v.push_back(ruijie);
+
+    auto brocade = router("Brocade", net::kPenBrocade);
+    brocade.engine_id_policy = {.mac = 0.85, .octets = 0.15};
+    brocade.snmpv3_responsive = 0.22;
+    brocade.mean_extra_interfaces = 6.0;
+    brocade.dual_stack = 0.15;
+    v.push_back(brocade);
+
+    auto adtran = router("Adtran", 664);
+    adtran.engine_id_policy = {.mac = 0.75, .ipv4 = 0.10, .octets = 0.15};
+    adtran.snmpv3_responsive = 0.26;
+    adtran.mean_extra_interfaces = 1.5;
+    v.push_back(adtran);
+
+    auto ambit = router("Ambit", 6889);
+    ambit.engine_id_policy = {.mac = 0.80, .non_conforming = 0.20};
+    ambit.snmpv3_responsive = 0.30;
+    ambit.mean_extra_interfaces = 1.0;
+    v.push_back(ambit);
+
+    auto nokia = router("Nokia", 6527);
+    nokia.engine_id_policy = {.mac = 0.40, .ipv4 = 0.45, .octets = 0.15};
+    nokia.snmpv3_responsive = 0.08;
+    nokia.mean_extra_interfaces = 8.0;
+    nokia.dual_stack = 0.45;
+    v.push_back(nokia);
+
+    auto mikrotik = router("MikroTik", 14988);
+    mikrotik.engine_id_policy = {.mac = 0.55, .text = 0.15, .octets = 0.30};
+    mikrotik.snmpv3_responsive = 0.19;
+    mikrotik.initial_ttl = 64;
+    mikrotik.mean_extra_interfaces = 2.0;
+    v.push_back(mikrotik);
+
+    auto zte = router("ZTE", 3902);
+    zte.engine_id_policy = {.mac = 0.65, .octets = 0.20, .non_conforming = 0.15};
+    zte.snmpv3_responsive = 0.19;
+    zte.mean_extra_interfaces = 4.0;
+    v.push_back(zte);
+
+    auto arista = router("Arista", 30065);
+    arista.engine_id_policy = {.mac = 0.85, .octets = 0.15};
+    arista.snmpv3_responsive = 0.06;
+    arista.initial_ttl = 64;
+    arista.mean_extra_interfaces = 8.0;
+    arista.dual_stack = 0.25;
+    v.push_back(arista);
+
+    auto extreme = router("Extreme", 1916);
+    extreme.engine_id_policy = {.mac = 0.80, .octets = 0.20};
+    extreme.snmpv3_responsive = 0.15;
+    extreme.mean_extra_interfaces = 4.0;
+    v.push_back(extreme);
+
+    return v;
+  }();
+  return vendors;
+}
+
+const std::vector<VendorProfile>& builtin_cpe_vendors() {
+  static const std::vector<VendorProfile> vendors = [] {
+    std::vector<VendorProfile> v;
+    // Broadcom reference designs show the SoC vendor's OUI, not the box
+    // brand — which is why "Broadcom" ranks so high in Figure 11.
+    v.push_back(cpe("Broadcom", 4413));
+    v.push_back(cpe("Thomson", 2863));
+    v.push_back(cpe("Netgear", 4526));
+    v.push_back(cpe("Ambit", 6889));
+    v.push_back(cpe("Sagemcom", 4329));
+    v.push_back(cpe("TP-Link", 11863));
+    v.push_back(cpe("AVM", 872));
+    v.push_back(cpe("Zyxel", 890));
+    v.push_back(cpe("D-Link", 171));
+    v.push_back(cpe("Ubiquiti", 41112));
+    v.push_back(cpe("Calix", 6321));
+    return v;
+  }();
+  return vendors;
+}
+
+const std::vector<VendorProfile>& builtin_server_vendors() {
+  static const std::vector<VendorProfile> vendors = [] {
+    std::vector<VendorProfile> v;
+    VendorProfile netsnmp;
+    netsnmp.name = "Net-SNMP";
+    netsnmp.enterprise_pen = net::kPenNetSnmp;
+    netsnmp.typical_kind = DeviceKind::kServer;
+    netsnmp.engine_id_policy = {.text = 0.06, .octets = 0.02, .net_snmp = 0.90,
+                                .non_conforming = 0.02};
+    netsnmp.snmpv3_responsive = 0.60;
+    netsnmp.clock_skew_ppm_sigma = 12.0;
+    netsnmp.mean_days_between_reboots = 120.0;
+    netsnmp.ipid_policy = IpIdPolicy::kRandom;
+    netsnmp.initial_ttl = 64;
+    netsnmp.tcp_service_open = 0.55;
+    netsnmp.mean_extra_interfaces = 0.1;
+    netsnmp.dual_stack = 0.20;
+    v.push_back(netsnmp);
+    return v;
+  }();
+  return vendors;
+}
+
+const VendorProfile& vendor_profile(std::string_view name) {
+  for (const auto* table :
+       {&builtin_router_vendors(), &builtin_cpe_vendors(),
+        &builtin_server_vendors()}) {
+    for (const auto& profile : *table)
+      if (profile.name == name) return profile;
+  }
+  std::abort();  // unknown vendor name is a programming error
+}
+
+}  // namespace snmpv3fp::topo

@@ -1,0 +1,100 @@
+// Vendor profiles: how each manufacturer behaves on the wire.
+//
+// The paper's measurements hinge on vendor-specific implementation choices:
+// which engine-ID format an agent emits (Figure 5), whether SNMPv3 answers
+// come back at all, the Cisco constant-engine-ID bug (Figure 7), IP-ID
+// counter policy (MIDAR baseline), initial TTL and open TCP services (Nmap
+// baseline). A VendorProfile bundles those policies; the builtin table is
+// calibrated so the simulated Internet reproduces the paper's mixtures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snmpv3fp::topo {
+
+enum class DeviceKind : std::uint8_t {
+  kRouter,  // core/edge network router, many interfaces
+  kCpe,     // customer premises equipment, one (churning) address
+  kServer,  // host running a software agent (Net-SNMP)
+};
+
+std::string_view to_string(DeviceKind kind);
+
+// How a device generates engine IDs (weights; normalized at use).
+struct EngineIdPolicy {
+  double mac = 0.0;             // RFC 3411 format 3, first interface MAC
+  double ipv4 = 0.0;            // format 1, one of the device's addresses
+  double text = 0.0;            // format 4, hostname-derived text
+  double octets = 0.0;          // format 5, random bytes
+  double enterprise = 0.0;      // format >= 128, vendor scheme
+  double net_snmp = 0.0;        // the Net-SNMP PEN-8072 scheme
+  double non_conforming = 0.0;  // conformance bit clear, raw skewed bytes
+};
+
+// IPv4 IP-ID assignment policy (drives the MIDAR-style baseline).
+enum class IpIdPolicy : std::uint8_t {
+  kSharedCounter,   // one sequential counter across all interfaces
+  kPerInterface,    // sequential but independent per interface
+  kRandom,          // random per packet
+  kZero,            // constant zero with DF set
+};
+
+struct VendorProfile {
+  std::string name;
+  std::uint32_t enterprise_pen = 0;
+  DeviceKind typical_kind = DeviceKind::kRouter;
+
+  EngineIdPolicy engine_id_policy;
+
+  // Fraction of this vendor's devices whose SNMPv3 engine answers
+  // unsolicited discovery from the open Internet (rest: disabled or ACLed).
+  double snmpv3_responsive = 0.5;
+
+  // Fraction of responsive devices afflicted by a constant-engine-ID bug
+  // (all afflicted devices share one engine ID — paper §4.3's
+  // 0x800000090300000000000000 with >181k IPs).
+  double constant_engine_id_bug = 0.0;
+
+  // Fraction of devices whose engine ID is cloned from a vendor-wide config
+  // template (misconfiguration; engine IDs reused across devices).
+  double cloned_engine_id = 0.0;
+
+  // Fraction answering each request with multiple copies (paper §8).
+  double amplifier = 0.0;
+
+  // Timekeeping: stddev of engine-clock skew in parts-per-million. Large
+  // values push devices over the 10 s last-reboot consistency threshold.
+  double clock_skew_ppm_sigma = 5.0;
+
+  // Mean time between reboots, in days (drives engine boots and Figure 13).
+  double mean_days_between_reboots = 240.0;
+
+  // Stack personality for the baselines.
+  IpIdPolicy ipid_policy = IpIdPolicy::kSharedCounter;
+  std::uint8_t initial_ttl = 255;
+  // Probability a TCP management service (ssh/telnet) is reachable — what
+  // Nmap needs for a fingerprint.
+  double tcp_service_open = 0.05;
+
+  // Interface count distribution for routers of this vendor:
+  // 1 + geometric-ish tail with this mean extra interfaces.
+  double mean_extra_interfaces = 3.0;
+
+  // Probability that a router of this vendor is dual-stack.
+  double dual_stack = 0.1;
+};
+
+// The builtin vendor tables. Shares are per-population weights used by the
+// generator; see generator.cpp for the regional mixing that produces the
+// paper's Figure 15.
+const std::vector<VendorProfile>& builtin_router_vendors();
+const std::vector<VendorProfile>& builtin_cpe_vendors();
+const std::vector<VendorProfile>& builtin_server_vendors();
+
+// Looks up a profile by name across all builtin tables; aborts on unknown
+// names (programming error, not input error).
+const VendorProfile& vendor_profile(std::string_view name);
+
+}  // namespace snmpv3fp::topo

@@ -1,0 +1,179 @@
+#include "topo/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace snmpv3fp::topo {
+
+std::uint32_t Device::engine_boots_at(util::VTime t) const {
+  const auto it = std::upper_bound(reboots.begin(), reboots.end(), t);
+  return boots_before_history +
+         static_cast<std::uint32_t>(it - reboots.begin());
+}
+
+util::VTime Device::last_reboot_before(util::VTime t) const {
+  assert(!reboots.empty());
+  const auto it = std::upper_bound(reboots.begin(), reboots.end(), t);
+  if (it == reboots.begin()) return reboots.front();
+  return *(it - 1);
+}
+
+std::uint32_t Device::engine_time_at(util::VTime t) const {
+  const util::VTime since = t - last_reboot_before(t);
+  double seconds = util::to_seconds(std::max<util::VTime>(since, 0));
+  seconds *= 1.0 + clock_skew_ppm * 1e-6;
+  if (seconds < 0) seconds = 0;
+  return static_cast<std::uint32_t>(seconds);
+}
+
+bool Device::dual_stack() const { return v4_count() > 0 && v6_count() > 0; }
+
+std::size_t Device::v4_count() const {
+  std::size_t n = 0;
+  for (const auto& itf : interfaces) n += itf.v4.has_value();
+  return n;
+}
+
+std::size_t Device::v6_count() const {
+  std::size_t n = 0;
+  for (const auto& itf : interfaces) n += itf.v6.has_value();
+  return n;
+}
+
+const Device* World::device_at(const net::IpAddress& address) const {
+  const auto index = device_index_at(address);
+  return index == kNoDevice ? nullptr : &devices[index];
+}
+
+std::uint64_t World::v6_prefix64(const net::Ipv6& address) {
+  return util::read_be(util::ByteView(address.bytes()).first(8));
+}
+
+DeviceIndex World::device_index_at(const net::IpAddress& address) const {
+  const auto it = address_map_.find(address);
+  if (it != address_map_.end()) return it->second;
+  // Aliased /64s answer on every interface identifier.
+  if (address.is_v6()) {
+    const auto aliased =
+        aliased_v6_prefixes_.find(v6_prefix64(address.v6()));
+    if (aliased != aliased_v6_prefixes_.end()) return aliased->second;
+  }
+  return kNoDevice;
+}
+
+std::vector<net::IpAddress> World::addresses(net::Family family) const {
+  std::vector<net::IpAddress> out;
+  for (const auto& [addr, index] : address_map_)
+    if (addr.family() == family) out.push_back(addr);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void World::rebind_churning_devices(std::uint64_t epoch_seed) {
+  util::Rng rng(epoch_seed);
+  // DHCP-style churn: within each AS, the dynamic pool is *recycled* — a
+  // churning device usually receives an address another churning device
+  // held during the previous epoch. This is what produces the paper's
+  // "inconsistent engine ID" filter drops: the same IP answers with a
+  // different device's engine ID in the second scan.
+  std::vector<std::vector<Interface*>> v4_slots(ases.size());
+  std::vector<std::vector<Interface*>> v6_slots(ases.size());
+  for (auto& device : devices) {
+    if (!device.churns) continue;
+    for (auto& itf : device.interfaces) {
+      if (itf.v4) v4_slots[device.as_index].push_back(&itf);
+      if (itf.v6) v6_slots[device.as_index].push_back(&itf);
+    }
+  }
+  constexpr double kFreshAddressRate = 0.3;  // leases from outside the pool
+  for (std::size_t as_index = 0; as_index < ases.size(); ++as_index) {
+    auto& as = ases[as_index];
+    auto& v4 = v4_slots[as_index];
+    if (v4.size() > 1) {
+      std::vector<net::Ipv4> pool;
+      pool.reserve(v4.size());
+      for (const auto* itf : v4) pool.push_back(*itf->v4);
+      // Rotation guarantees nobody keeps their own lease.
+      const std::size_t shift = 1 + rng.next_below(pool.size() - 1);
+      for (std::size_t i = 0; i < v4.size(); ++i) {
+        if (rng.chance(kFreshAddressRate)) {
+          const std::uint64_t offset =
+              v4_cursor[as_index]++ % as.v4_prefix.size();
+          v4[i]->v4 = as.v4_prefix.at(offset);
+        } else {
+          v4[i]->v4 = pool[(i + shift) % pool.size()];
+        }
+      }
+    }
+    auto& v6 = v6_slots[as_index];
+    if (v6.size() > 1) {
+      std::vector<net::Ipv6> pool;
+      pool.reserve(v6.size());
+      for (const auto* itf : v6) pool.push_back(*itf->v6);
+      const std::size_t shift = 1 + rng.next_below(pool.size() - 1);
+      for (std::size_t i = 0; i < v6.size(); ++i) {
+        if (rng.chance(kFreshAddressRate)) {
+          std::array<std::uint16_t, 8> groups{};
+          groups[0] = as.v6_prefix[0];
+          groups[1] = as.v6_prefix[1];
+          for (int g = 4; g < 8; ++g)
+            groups[g] = static_cast<std::uint16_t>(rng.next());
+          v6[i]->v6 = net::Ipv6::from_groups(groups);
+        } else {
+          v6[i]->v6 = pool[(i + shift) % pool.size()];
+        }
+      }
+    }
+  }
+  reindex();
+}
+
+void World::reindex() {
+  address_map_.clear();
+  if (v4_cursor.size() < ases.size()) v4_cursor.resize(ases.size(), 0);
+  aliased_v6_prefixes_.clear();
+  for (const auto& device : devices) {
+    for (const auto& itf : device.interfaces) {
+      if (itf.v4) address_map_[net::IpAddress(*itf.v4)] = device.index;
+      if (itf.v6) {
+        address_map_[net::IpAddress(*itf.v6)] = device.index;
+        if (device.answers_whole_v6_prefix)
+          aliased_v6_prefixes_[v6_prefix64(*itf.v6)] = device.index;
+      }
+    }
+  }
+}
+
+std::vector<std::vector<net::IpAddress>> World::truth_alias_sets() const {
+  std::vector<std::vector<net::IpAddress>> sets;
+  sets.reserve(devices.size());
+  for (const auto& device : devices) {
+    std::vector<net::IpAddress> set;
+    for (const auto& itf : device.interfaces) {
+      if (itf.v4) set.emplace_back(*itf.v4);
+      if (itf.v6) set.emplace_back(*itf.v6);
+    }
+    if (!set.empty()) {
+      std::sort(set.begin(), set.end());
+      sets.push_back(std::move(set));
+    }
+  }
+  return sets;
+}
+
+std::size_t World::router_count() const {
+  std::size_t n = 0;
+  for (const auto& d : devices) n += d.kind == DeviceKind::kRouter;
+  return n;
+}
+
+std::size_t World::address_count(net::Family family) const {
+  std::size_t n = 0;
+  for (const auto& [addr, index] : address_map_) n += addr.family() == family;
+  return n;
+}
+
+}  // namespace snmpv3fp::topo

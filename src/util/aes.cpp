@@ -1,0 +1,153 @@
+#include "util/aes.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace snmpv3fp::util {
+
+namespace {
+
+// GF(2^8) multiplication modulo the AES polynomial x^8+x^4+x^3+x+1 (0x11b).
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t result = 0;
+  while (b != 0) {
+    if (b & 1) result ^= a;
+    const bool carry = (a & 0x80) != 0;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (carry) a ^= 0x1b;
+    b >>= 1;
+  }
+  return result;
+}
+
+// The S-box computed from first principles: multiplicative inverse in
+// GF(2^8) followed by the FIPS 197 affine transformation.
+const std::array<std::uint8_t, 256>& sbox() {
+  static const std::array<std::uint8_t, 256> table = [] {
+    std::array<std::uint8_t, 256> t{};
+    for (int x = 0; x < 256; ++x) {
+      // Inverse by exhaustive search (x^254 would also do); inv(0) = 0.
+      std::uint8_t inv = 0;
+      if (x != 0) {
+        for (int candidate = 1; candidate < 256; ++candidate) {
+          if (gf_mul(static_cast<std::uint8_t>(x),
+                     static_cast<std::uint8_t>(candidate)) == 1) {
+            inv = static_cast<std::uint8_t>(candidate);
+            break;
+          }
+        }
+      }
+      std::uint8_t y = 0;
+      for (int bit = 0; bit < 8; ++bit) {
+        const int b = ((inv >> bit) ^ (inv >> ((bit + 4) % 8)) ^
+                       (inv >> ((bit + 5) % 8)) ^ (inv >> ((bit + 6) % 8)) ^
+                       (inv >> ((bit + 7) % 8)) ^ (0x63 >> bit)) &
+                      1;
+        y = static_cast<std::uint8_t>(y | (b << bit));
+      }
+      t[static_cast<std::size_t>(x)] = y;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+Aes128::Aes128(ByteView key) {
+  assert(key.size() == 16);
+  // Key expansion (FIPS 197 §5.2) for AES-128: 44 words.
+  std::memcpy(round_keys_.data(), key.data(), 16);
+  std::uint8_t rcon = 0x01;
+  for (int word = 4; word < 44; ++word) {
+    std::uint8_t temp[4];
+    std::memcpy(temp, round_keys_.data() + 4 * (word - 1), 4);
+    if (word % 4 == 0) {
+      // RotWord + SubWord + Rcon.
+      const std::uint8_t first = temp[0];
+      temp[0] = static_cast<std::uint8_t>(sbox()[temp[1]] ^ rcon);
+      temp[1] = sbox()[temp[2]];
+      temp[2] = sbox()[temp[3]];
+      temp[3] = sbox()[first];
+      rcon = gf_mul(rcon, 2);
+    }
+    for (int i = 0; i < 4; ++i)
+      round_keys_[4 * word + i] =
+          round_keys_[4 * (word - 4) + i] ^ temp[i];
+  }
+}
+
+void Aes128::encrypt_block(std::uint8_t block[16]) const {
+  const auto add_round_key = [&](int round) {
+    for (int i = 0; i < 16; ++i) block[i] ^= round_keys_[16 * round + i];
+  };
+  const auto sub_bytes = [&] {
+    for (int i = 0; i < 16; ++i) block[i] = sbox()[block[i]];
+  };
+  const auto shift_rows = [&] {
+    // State is column-major: byte index = 4*col + row.
+    std::uint8_t t[16];
+    std::memcpy(t, block, 16);
+    for (int row = 1; row < 4; ++row)
+      for (int col = 0; col < 4; ++col)
+        block[4 * col + row] = t[4 * ((col + row) % 4) + row];
+  };
+  const auto mix_columns = [&] {
+    for (int col = 0; col < 4; ++col) {
+      std::uint8_t* c = block + 4 * col;
+      const std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+      c[0] = gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
+      c[1] = a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
+      c[2] = a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
+      c[3] = gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round < 10; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+}
+
+Bytes Aes128::cfb_encrypt(ByteView iv, ByteView plaintext) const {
+  assert(iv.size() == 16);
+  Bytes out(plaintext.begin(), plaintext.end());
+  std::uint8_t feedback[16];
+  std::memcpy(feedback, iv.data(), 16);
+  for (std::size_t offset = 0; offset < out.size(); offset += 16) {
+    std::uint8_t keystream[16];
+    std::memcpy(keystream, feedback, 16);
+    encrypt_block(keystream);
+    const std::size_t chunk = std::min<std::size_t>(16, out.size() - offset);
+    for (std::size_t i = 0; i < chunk; ++i) out[offset + i] ^= keystream[i];
+    // Ciphertext becomes the next feedback (RFC 3826 tolerates a short
+    // final segment: the trailing keystream bytes are simply unused).
+    if (chunk == 16) std::memcpy(feedback, out.data() + offset, 16);
+  }
+  return out;
+}
+
+Bytes Aes128::cfb_decrypt(ByteView iv, ByteView ciphertext) const {
+  assert(iv.size() == 16);
+  Bytes out(ciphertext.begin(), ciphertext.end());
+  std::uint8_t feedback[16];
+  std::memcpy(feedback, iv.data(), 16);
+  for (std::size_t offset = 0; offset < out.size(); offset += 16) {
+    std::uint8_t keystream[16];
+    std::memcpy(keystream, feedback, 16);
+    encrypt_block(keystream);
+    const std::size_t chunk = std::min<std::size_t>(16, out.size() - offset);
+    // Feedback is the *ciphertext* block — copy before overwriting.
+    if (chunk == 16) std::memcpy(feedback, out.data() + offset, 16);
+    for (std::size_t i = 0; i < chunk; ++i) out[offset + i] ^= keystream[i];
+  }
+  return out;
+}
+
+}  // namespace snmpv3fp::util

@@ -1,0 +1,34 @@
+// AES-128 block cipher (FIPS 197) and CFB-128 mode, from scratch.
+//
+// SNMPv3's modern privacy protocol is usmAesCfb128Protocol (RFC 3826):
+// the scoped PDU travels AES-128-CFB-encrypted under a localized privacy
+// key. CFB only ever uses the forward cipher, so only encryption of a
+// single block is implemented. The S-box is computed (GF(2^8) inverse +
+// affine map) rather than transcribed, and validated against the FIPS 197
+// appendix vectors in the tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace snmpv3fp::util {
+
+class Aes128 {
+ public:
+  explicit Aes128(ByteView key);  // key must be 16 bytes
+
+  // Encrypts one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[16]) const;
+
+  // CFB-128 segment mode: ciphertext[i] = plaintext[i] XOR E(prev block);
+  // encryption and decryption differ only in which side feeds back.
+  Bytes cfb_encrypt(ByteView iv, ByteView plaintext) const;
+  Bytes cfb_decrypt(ByteView iv, ByteView ciphertext) const;
+
+ private:
+  std::array<std::uint8_t, 176> round_keys_{};  // 11 round keys
+};
+
+}  // namespace snmpv3fp::util

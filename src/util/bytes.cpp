@@ -1,0 +1,92 @@
+#include "util/bytes.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace snmpv3fp::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+std::string to_hex_colon(ByteView data) {
+  std::string out;
+  if (data.empty()) return out;
+  out.reserve(data.size() * 3 - 1);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i != 0) out.push_back(':');
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0x0f]);
+  }
+  return out;
+}
+
+Result<Bytes> from_hex(std::string_view hex) {
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  int high = -1;
+  for (char c : hex) {
+    if (c == ':' || c == ' ') continue;
+    const int v = hex_value(c);
+    if (v < 0) return Result<Bytes>::failure("invalid hex digit");
+    if (high < 0) {
+      high = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((high << 4) | v));
+      high = -1;
+    }
+  }
+  if (high >= 0) return Result<Bytes>::failure("odd number of hex digits");
+  return out;
+}
+
+void append_be(Bytes& out, std::uint64_t value, std::size_t width) {
+  assert(width <= 8);
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t shift = 8 * (width - 1 - i);
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xff));
+  }
+}
+
+std::uint64_t read_be(ByteView data) {
+  assert(data.size() <= 8);
+  std::uint64_t value = 0;
+  for (std::uint8_t b : data) value = (value << 8) | b;
+  return value;
+}
+
+std::size_t hamming_weight(ByteView data) {
+  std::size_t total = 0;
+  for (std::uint8_t b : data) total += static_cast<std::size_t>(std::popcount(b));
+  return total;
+}
+
+double relative_hamming_weight(ByteView data) {
+  if (data.empty()) return 0.0;
+  return static_cast<double>(hamming_weight(data)) /
+         static_cast<double>(data.size() * 8);
+}
+
+bool equal(ByteView a, ByteView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace snmpv3fp::util

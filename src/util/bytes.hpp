@@ -1,0 +1,44 @@
+// Byte-buffer helpers: hex encoding/decoding, big-endian integer packing,
+// and Hamming-weight utilities used by the engine-ID randomness analysis
+// (paper Figure 6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace snmpv3fp::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+// Lower-case hex without separators, e.g. {0x80,0x00} -> "8000".
+std::string to_hex(ByteView data);
+
+// Hex with ':' separators, e.g. "74:8e:f8:31:db:80".
+std::string to_hex_colon(ByteView data);
+
+// Parses hex (with or without ':' separators, case-insensitive).
+Result<Bytes> from_hex(std::string_view hex);
+
+// Appends `value`'s `width` least-significant bytes, most significant first.
+void append_be(Bytes& out, std::uint64_t value, std::size_t width);
+
+// Reads a big-endian unsigned integer of `data.size()` bytes (size <= 8).
+std::uint64_t read_be(ByteView data);
+
+// Number of bits set across the whole buffer.
+std::size_t hamming_weight(ByteView data);
+
+// hamming_weight / bit-length; 0 for an empty buffer.
+double relative_hamming_weight(ByteView data);
+
+// Lexicographic comparison helper for using Bytes as map keys is provided by
+// std::vector already; this is equality on a view for convenience.
+bool equal(ByteView a, ByteView b);
+
+}  // namespace snmpv3fp::util

@@ -1,0 +1,259 @@
+#include "util/digest.hpp"
+
+#include <cstring>
+
+namespace snmpv3fp::util {
+
+namespace {
+
+std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MD5 (RFC 1321)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kMd5K[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr int kMd5Shift[64] = {7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+                               7, 12, 17, 22, 5, 9,  14, 20, 5, 9,  14, 20,
+                               5, 9,  14, 20, 5, 9,  14, 20, 4, 11, 16, 23,
+                               4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+                               6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+                               6, 10, 15, 21};
+
+}  // namespace
+
+Md5::Md5() : state_{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476} {}
+
+void Md5::process_block(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[4 * i]) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 8) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 3]) << 24);
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t temp = d;
+    d = c;
+    c = b;
+    b = b + rotl32(a + f + kMd5K[i] + m[g], kMd5Shift[i]);
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(ByteView data) {
+  length_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Md5Digest Md5::finish() {
+  const std::uint64_t bit_length = length_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(ByteView(&pad, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(ByteView(&zero, 1));
+  std::uint8_t length_le[8];
+  for (int i = 0; i < 8; ++i)
+    length_le[i] = static_cast<std::uint8_t>(bit_length >> (8 * i));
+  update(ByteView(length_le, 8));
+
+  Md5Digest digest{};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      digest[4 * i + j] = static_cast<std::uint8_t>(state_[i] >> (8 * j));
+  return digest;
+}
+
+// ---------------------------------------------------------------------------
+// SHA-1 (RFC 3174)
+// ---------------------------------------------------------------------------
+
+Sha1::Sha1()
+    : state_{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0} {}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i)
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(ByteView data) {
+  length_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Sha1Digest Sha1::finish() {
+  const std::uint64_t bit_length = length_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(ByteView(&pad, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(ByteView(&zero, 1));
+  std::uint8_t length_be[8];
+  for (int i = 0; i < 8; ++i)
+    length_be[i] = static_cast<std::uint8_t>(bit_length >> (8 * (7 - i)));
+  update(ByteView(length_be, 8));
+
+  Sha1Digest digest{};
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 4; ++j)
+      digest[4 * i + j] = static_cast<std::uint8_t>(state_[i] >> (8 * (3 - j)));
+  return digest;
+}
+
+// ---------------------------------------------------------------------------
+// HMAC (RFC 2104)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Hash, std::size_t DigestSize>
+Bytes hmac(ByteView key, ByteView message) {
+  std::array<std::uint8_t, 64> padded_key{};
+  if (key.size() > 64) {
+    Hash hasher;
+    hasher.update(key);
+    const auto digest = hasher.finish();
+    std::memcpy(padded_key.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(padded_key.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> ipad{}, opad{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = padded_key[i] ^ 0x36;
+    opad[i] = padded_key[i] ^ 0x5c;
+  }
+
+  Hash inner;
+  inner.update(ipad);
+  inner.update(message);
+  const auto inner_digest = inner.finish();
+
+  Hash outer;
+  outer.update(opad);
+  outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+  const auto digest = outer.finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+}  // namespace
+
+Bytes hmac_md5(ByteView key, ByteView message) {
+  return hmac<Md5, 16>(key, message);
+}
+
+Bytes hmac_sha1(ByteView key, ByteView message) {
+  return hmac<Sha1, 20>(key, message);
+}
+
+}  // namespace snmpv3fp::util

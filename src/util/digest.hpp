@@ -1,0 +1,65 @@
+// MD5 (RFC 1321) and SHA-1 (RFC 3174) digests, implemented from scratch.
+//
+// SNMPv3's User-based Security Model authenticates messages with
+// HMAC-MD5-96 or HMAC-SHA1-96 over keys localized to the agent's engine ID
+// (RFC 3414). These are NOT general-purpose secure hash recommendations —
+// they are exactly the (dated) algorithms the deployed protocol uses, and
+// the brute-force demo in examples/ depends on bit-exact behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace snmpv3fp::util {
+
+using Md5Digest = std::array<std::uint8_t, 16>;
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+class Md5 {
+ public:
+  Md5();
+  void update(ByteView data);
+  Md5Digest finish();  // invalidates the context
+
+  static Md5Digest hash(ByteView data) {
+    Md5 md5;
+    md5.update(data);
+    return md5.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+  std::array<std::uint32_t, 4> state_;
+  std::uint64_t length_ = 0;  // total bytes fed
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+class Sha1 {
+ public:
+  Sha1();
+  void update(ByteView data);
+  Sha1Digest finish();
+
+  static Sha1Digest hash(ByteView data) {
+    Sha1 sha;
+    sha.update(data);
+    return sha.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+  std::array<std::uint32_t, 5> state_;
+  std::uint64_t length_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+// HMAC (RFC 2104) over either hash; key of any length; full-size output.
+Bytes hmac_md5(ByteView key, ByteView message);
+Bytes hmac_sha1(ByteView key, ByteView message);
+
+}  // namespace snmpv3fp::util

@@ -1,0 +1,78 @@
+// Minimal expected-like result type used by the no-throw decode paths.
+//
+// C++20 has no std::expected, and the BER/SNMP decoders must be able to
+// reject arbitrary attacker-controlled bytes without throwing (Core
+// Guidelines E.3: use exceptions only for genuinely exceptional conditions;
+// a malformed packet from the Internet is the common case, not the
+// exception). Result<T> carries either a value or a short error string.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace snmpv3fp::util {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result failure(std::string message) {
+    return Result(Error{std::move(message)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(data_).message;
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  struct Error {
+    std::string message;
+  };
+  explicit Result(Error e) : data_(std::move(e)) {}
+  std::variant<T, Error> data_;
+};
+
+// Success/failure with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  static Status failure(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const std::string& error() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace snmpv3fp::util

@@ -1,0 +1,148 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace snmpv3fp::util {
+
+Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)), sorted_(false) {
+  finalize();
+}
+
+void Ecdf::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Ecdf::finalize() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Ecdf::fraction_at_most(double x) const {
+  if (samples_.empty()) return 0.0;
+  assert(sorted_);
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  assert(!samples_.empty());
+  assert(sorted_);
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())) - 1.0);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double Ecdf::min() const {
+  assert(!samples_.empty() && sorted_);
+  return samples_.front();
+}
+
+double Ecdf::max() const {
+  assert(!samples_.empty() && sorted_);
+  return samples_.back();
+}
+
+double Ecdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  assert(sorted_);
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples_.size())) - 1.0);
+    const double x = samples_[std::min(idx, samples_.size() - 1)];
+    out.emplace_back(x, q);
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double sample) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>(std::floor((sample - lo_) / width));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return bin_low(bin) + width / 2.0;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Tally::add(const std::string& key, std::size_t count) {
+  counts_[key] += count;
+  total_ += count;
+}
+
+std::size_t Tally::get(const std::string& key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double Tally::fraction(const std::string& key) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(get(key)) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::string, std::size_t>> Tally::sorted() const {
+  std::vector<std::pair<std::string, std::size_t>> out(counts_.begin(),
+                                                       counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace snmpv3fp::util

@@ -1,0 +1,108 @@
+// Small statistics toolkit: ECDFs, histograms and summary statistics.
+//
+// Nearly every figure in the paper is an empirical CDF (Figures 4, 8, 9,
+// 10, 13, 14, 17-20) or a binned distribution (Figures 5, 6); Ecdf and
+// Histogram are the common currency between the analytics code and the
+// bench binaries that print those figures.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snmpv3fp::util {
+
+// Empirical cumulative distribution function over double samples.
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  void add(double sample);
+  // Must be called after the last add() and before queries; idempotent.
+  void finalize();
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Fraction of samples <= x (0 for empty ECDF).
+  double fraction_at_most(double x) const;
+
+  // Smallest sample s such that fraction_at_most(s) >= q, q in [0, 1].
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double median() const { return quantile(0.5); }
+
+  // Evaluates the ECDF at `points` evenly spaced sample positions;
+  // returns (x, F(x)) pairs convenient for printing a curve.
+  std::vector<std::pair<double, double>> curve(std::size_t points = 20) const;
+
+  const std::vector<double>& sorted_samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+// edge bins so no data is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double sample);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  double bin_fraction(std::size_t bin) const;
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t bin) const;
+  double bin_center(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Streaming mean / variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Counter keyed by string with convenience accessors; used for the many
+// "share per category" breakdowns (vendors, formats, regions).
+class Tally {
+ public:
+  void add(const std::string& key, std::size_t count = 1);
+  std::size_t get(const std::string& key) const;
+  std::size_t total() const { return total_; }
+  double fraction(const std::string& key) const;
+  // Keys sorted by descending count (ties broken lexicographically).
+  std::vector<std::pair<std::string, std::size_t>> sorted() const;
+  const std::map<std::string, std::size_t>& raw() const { return counts_; }
+
+ private:
+  std::map<std::string, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace snmpv3fp::util

@@ -1,0 +1,17 @@
+// String helpers shared across modules (parsing PTR names, CLI args, ...).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snmpv3fp::util {
+
+std::vector<std::string> split(std::string_view text, char delim);
+std::string_view trim(std::string_view text);
+std::string to_lower(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace snmpv3fp::util

@@ -1,0 +1,116 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace snmpv3fp::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << cells[i] << std::string(widths[i] - cells[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const { os << render(); }
+
+std::string fmt_count(std::size_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - first) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fmt_compact(double n) {
+  char buf[32];
+  const double a = std::fabs(n);
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fB", n / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fM", n / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", n / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", n);
+  }
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int dp) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", dp, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_double(double v, int dp) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", dp, v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string CsvWriter::render() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << escape(cells[i]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace snmpv3fp::util

@@ -1,0 +1,50 @@
+// Plain-text table rendering for the bench binaries.
+//
+// Every bench target prints "the same rows/series the paper reports";
+// TablePrinter keeps that output aligned and diff-friendly, and CsvWriter
+// dumps the same data machine-readably next to it.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace snmpv3fp::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Renders an aligned ASCII table (header, rule, rows).
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers used throughout the benches.
+std::string fmt_count(std::size_t n);              // 12345678 -> "12,345,678"
+std::string fmt_compact(double n);                 // 12.5e6 -> "12.5M", 31k...
+std::string fmt_percent(double fraction, int dp = 1);  // 0.123 -> "12.3%"
+std::string fmt_double(double v, int dp = 2);
+
+// Minimal CSV emitter (RFC 4180 quoting).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snmpv3fp::util

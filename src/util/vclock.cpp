@@ -1,0 +1,26 @@
+#include "util/vclock.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace snmpv3fp::util {
+
+std::string format_vtime(VTime t) {
+  const bool negative = t < 0;
+  std::int64_t us = negative ? -t : t;
+  const std::int64_t days = us / kDay;
+  us %= kDay;
+  const std::int64_t hours = us / kHour;
+  us %= kHour;
+  const std::int64_t minutes = us / kMinute;
+  us %= kMinute;
+  const std::int64_t seconds = us / kSecond;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%lld+%02lld:%02lld:%02lld",
+                negative ? "-" : "", static_cast<long long>(days),
+                static_cast<long long>(hours), static_cast<long long>(minutes),
+                static_cast<long long>(seconds));
+  return buf;
+}
+
+}  // namespace snmpv3fp::util

@@ -1,0 +1,57 @@
+// Virtual time.
+//
+// The paper's identifiers are *times*: engine time (seconds since SNMP
+// engine boot) and the derived last-reboot time. Scan campaigns run days
+// apart. Rather than sleeping, the whole simulation advances an explicit
+// virtual clock, which also makes campaigns reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace snmpv3fp::util {
+
+// Virtual timestamps count microseconds from a simulated epoch.
+using VTime = std::int64_t;
+
+constexpr VTime kMicrosecond = 1;
+constexpr VTime kMillisecond = 1000 * kMicrosecond;
+constexpr VTime kSecond = 1000 * kMillisecond;
+constexpr VTime kMinute = 60 * kSecond;
+constexpr VTime kHour = 60 * kMinute;
+constexpr VTime kDay = 24 * kHour;
+constexpr VTime kYear = 365 * kDay;
+
+// The simulated epoch (VTime 0) corresponds to 2021-04-16T00:00:00Z — the
+// paper's first scan day — which is 1,618,531,200 s after the Unix epoch.
+// Engine times larger than `now - kUnixEpochVtime` imply a reboot before
+// 1970 and are rejected by the "engine time in the future" filter.
+constexpr VTime kUnixEpochVtime = -1618531200LL * 1000000LL;
+
+constexpr double to_seconds(VTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr VTime from_seconds(double s) {
+  return static_cast<VTime>(s * static_cast<double>(kSecond));
+}
+
+// Renders a VTime as "D+hh:mm:ss" relative to the simulated epoch,
+// or "-D+hh:mm:ss" for negative times (events before the epoch).
+std::string format_vtime(VTime t);
+
+class VirtualClock {
+ public:
+  explicit VirtualClock(VTime start = 0) : now_(start) {}
+
+  VTime now() const { return now_; }
+  void advance(VTime delta) { now_ += delta; }
+  // Never moves backwards; a target in the past is a no-op.
+  void advance_to(VTime target) {
+    if (target > now_) now_ = target;
+  }
+
+ private:
+  VTime now_;
+};
+
+}  // namespace snmpv3fp::util

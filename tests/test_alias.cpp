@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/alias.hpp"
+#include "util/rng.hpp"
+#include "net/registry.hpp"
+
+namespace snmpv3fp::core {
+namespace {
+
+using snmp::EngineId;
+
+JoinedRecord record(std::uint32_t host, const EngineId& id,
+                    std::uint32_t boots, util::VTime last_reboot,
+                    bool v6 = false) {
+  JoinedRecord r;
+  if (v6) {
+    std::array<std::uint16_t, 8> groups{0x2001, 0xdb8, 0, 0, 0, 0, 0,
+                                        static_cast<std::uint16_t>(host)};
+    r.address = net::Ipv6::from_groups(groups);
+  } else {
+    r.address = net::Ipv4(0x08000000u + host);
+  }
+  r.first.target = r.address;
+  r.first.engine_id = id;
+  r.first.engine_boots = boots;
+  r.first.receive_time = 10 * util::kDay;
+  r.first.engine_time = static_cast<std::uint32_t>(
+      util::to_seconds(r.first.receive_time - last_reboot));
+  r.second = r.first;
+  r.second.receive_time = 16 * util::kDay;
+  r.second.engine_time = static_cast<std::uint32_t>(
+      util::to_seconds(r.second.receive_time - last_reboot));
+  return r;
+}
+
+EngineId engine(std::uint32_t n) {
+  return EngineId::make_mac(net::kPenCisco,
+                            net::MacAddress::from_oui(0x00000c, n));
+}
+
+TEST(Alias, GroupsByFullKey) {
+  const util::VTime reboot = -30 * util::kDay;
+  const std::vector<JoinedRecord> records = {
+      record(1, engine(7), 5, reboot), record(2, engine(7), 5, reboot),
+      record(3, engine(7), 5, reboot), record(4, engine(8), 5, reboot)};
+  const auto resolution = resolve_aliases(records);
+  EXPECT_EQ(resolution.sets.size(), 2u);
+  EXPECT_EQ(resolution.non_singleton_count(), 1u);
+  EXPECT_EQ(resolution.ips_in_non_singletons(), 3u);
+  EXPECT_EQ(resolution.total_ips(), 4u);
+}
+
+TEST(Alias, OutputIsAPartition) {
+  std::vector<JoinedRecord> records;
+  for (std::uint32_t i = 0; i < 100; ++i)
+    records.push_back(record(i, engine(i / 4), 3 + i % 3, -i * util::kDay));
+  const auto resolution = resolve_aliases(records);
+  std::set<net::IpAddress> seen;
+  std::size_t total = 0;
+  for (const auto& set : resolution.sets) {
+    for (const auto& address : set.addresses) {
+      EXPECT_TRUE(seen.insert(address).second) << "address in two sets";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, records.size());
+}
+
+TEST(Alias, SameEngineIdDifferentBootsSplits) {
+  const util::VTime reboot = -30 * util::kDay;
+  const std::vector<JoinedRecord> records = {
+      record(1, engine(7), 5, reboot), record(2, engine(7), 6, reboot)};
+  const auto resolution = resolve_aliases(records);
+  EXPECT_EQ(resolution.sets.size(), 2u);
+}
+
+TEST(Alias, SameEngineIdDistantRebootSplits) {
+  // The constant-engine-ID bug scenario: same engine ID, reboots years
+  // apart. The tuple keeps the devices separate.
+  const std::vector<JoinedRecord> records = {
+      record(1, engine(7), 5, -30 * util::kDay),
+      record(2, engine(7), 5, -800 * util::kDay)};
+  const auto resolution = resolve_aliases(records);
+  EXPECT_EQ(resolution.sets.size(), 2u);
+
+  AliasOptions id_only;
+  id_only.engine_id_only = true;
+  const auto merged = resolve_aliases(records, id_only);
+  EXPECT_EQ(merged.sets.size(), 1u);  // the ablation wrongly merges them
+}
+
+TEST(Alias, RebootWithinBinMerges) {
+  // Two records 5 s apart in derived last reboot: same 20 s bin (usually).
+  const util::VTime reboot = -30 * util::kDay;
+  const std::vector<JoinedRecord> records = {
+      record(1, engine(7), 5, reboot),
+      record(2, engine(7), 5, reboot + 5 * util::kSecond)};
+  AliasOptions options;
+  options.match = RebootMatch::kDivide20;
+  const auto resolution = resolve_aliases(records, options);
+  // 5 s apart lands in the same bin unless the pair straddles a boundary;
+  // with reboot at a day boundary (multiple of 20 s) they share a bin.
+  EXPECT_EQ(resolution.sets.size(), 1u);
+}
+
+TEST(Alias, ExactMatchingFragmentsWhatBinningMerges) {
+  const util::VTime reboot = -30 * util::kDay;
+  const std::vector<JoinedRecord> records = {
+      record(1, engine(7), 5, reboot),
+      record(2, engine(7), 5, reboot + 5 * util::kSecond)};
+  AliasOptions exact;
+  exact.match = RebootMatch::kExact;
+  EXPECT_EQ(resolve_aliases(records, exact).sets.size(), 2u);
+}
+
+// Table 3's monotonicity: coarser matching never yields more sets.
+TEST(Alias, CoarserBinningYieldsFewerOrEqualSets) {
+  std::vector<JoinedRecord> records;
+  util::Rng rng(77);
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    const util::VTime reboot =
+        -static_cast<util::VTime>(rng.next_below(90)) * util::kDay -
+        static_cast<util::VTime>(rng.next_below(40)) * util::kSecond;
+    records.push_back(record(i, engine(i / 5), 4, reboot));
+  }
+  AliasOptions exact, divide20;
+  exact.match = RebootMatch::kExact;
+  divide20.match = RebootMatch::kDivide20;
+  const auto exact_sets = resolve_aliases(records, exact).sets.size();
+  const auto binned_sets = resolve_aliases(records, divide20).sets.size();
+  EXPECT_GE(exact_sets, binned_sets);
+}
+
+TEST(Alias, FirstScanOnlyKeysIgnoreSecondScan) {
+  auto a = record(1, engine(7), 5, -30 * util::kDay);
+  auto b = record(2, engine(7), 5, -30 * util::kDay);
+  b.second.engine_boots = 9;  // differs only in scan 2
+  const std::vector<JoinedRecord> records = {a, b};
+  AliasOptions first_only;
+  first_only.use_both_scans = false;
+  EXPECT_EQ(resolve_aliases(records, first_only).sets.size(), 1u);
+  AliasOptions both;
+  both.use_both_scans = true;
+  EXPECT_EQ(resolve_aliases(records, both).sets.size(), 2u);
+}
+
+TEST(Alias, DualStackMergeAcrossFamilies) {
+  const util::VTime reboot = -10 * util::kDay;
+  const std::vector<JoinedRecord> records = {
+      record(1, engine(7), 5, reboot), record(2, engine(7), 5, reboot),
+      record(3, engine(7), 5, reboot, /*v6=*/true)};
+  const auto resolution = resolve_aliases(records);
+  ASSERT_EQ(resolution.sets.size(), 1u);
+  EXPECT_TRUE(resolution.sets[0].dual_stack());
+  EXPECT_EQ(resolution.sets[0].v4_count(), 2u);
+  EXPECT_EQ(resolution.sets[0].v6_count(), 1u);
+
+  const auto breakdown = breakdown_by_stack(resolution);
+  EXPECT_EQ(breakdown.dual_sets, 1u);
+  EXPECT_EQ(breakdown.dual_ips, 3u);
+  EXPECT_EQ(breakdown.v4_only_sets, 0u);
+}
+
+TEST(Alias, BreakdownCountsStacks) {
+  const util::VTime reboot = -10 * util::kDay;
+  const std::vector<JoinedRecord> records = {
+      record(1, engine(1), 5, reboot),
+      record(2, engine(2), 5, reboot),
+      record(3, engine(2), 5, reboot),
+      record(4, engine(3), 5, reboot, /*v6=*/true),
+  };
+  const auto breakdown = breakdown_by_stack(resolve_aliases(records));
+  EXPECT_EQ(breakdown.v4_only_sets, 2u);
+  EXPECT_EQ(breakdown.v6_only_sets, 1u);
+  EXPECT_EQ(breakdown.dual_sets, 0u);
+  EXPECT_EQ(breakdown.v4_only_non_singleton, 1u);
+  EXPECT_EQ(breakdown.v4_only_ips_nonsingleton, 2u);
+}
+
+TEST(Alias, SetsCarryRepresentativeMetadata) {
+  const util::VTime reboot = -10 * util::kDay;
+  const std::vector<JoinedRecord> records = {record(1, engine(7), 42, reboot)};
+  const auto resolution = resolve_aliases(records);
+  ASSERT_EQ(resolution.sets.size(), 1u);
+  EXPECT_EQ(resolution.sets[0].engine_boots, 42u);
+  EXPECT_EQ(resolution.sets[0].engine_id, engine(7));
+  // Representative last reboot is within a second of the truth.
+  EXPECT_NEAR(util::to_seconds(resolution.sets[0].last_reboot),
+              util::to_seconds(reboot), 1.0);
+}
+
+TEST(Alias, EmptyInputYieldsEmptyResolution) {
+  const auto resolution = resolve_aliases({});
+  EXPECT_TRUE(resolution.sets.empty());
+  EXPECT_EQ(resolution.total_ips(), 0u);
+  EXPECT_DOUBLE_EQ(resolution.mean_ips_per_non_singleton(), 0.0);
+}
+
+TEST(Alias, StrategyNames) {
+  EXPECT_EQ(to_string(RebootMatch::kExact), "Exact");
+  EXPECT_EQ(to_string(RebootMatch::kDivide20), "Divide by 20");
+}
+
+}  // namespace
+}  // namespace snmpv3fp::core

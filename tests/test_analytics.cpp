@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "core/analytics.hpp"
+#include "net/registry.hpp"
+
+namespace snmpv3fp::core {
+namespace {
+
+using snmp::EngineId;
+
+EngineId engine(std::uint32_t n) {
+  return EngineId::make_mac(net::kPenCisco,
+                            net::MacAddress::from_oui(0x00000c, n));
+}
+
+JoinedRecord record(std::uint32_t host, const EngineId& id,
+                    std::uint32_t boots = 5,
+                    util::VTime last_reboot = -10 * util::kDay) {
+  JoinedRecord r;
+  r.address = net::Ipv4(0x08000000u + host);
+  r.first.target = r.address;
+  r.first.engine_id = id;
+  r.first.engine_boots = boots;
+  r.first.receive_time = 10 * util::kDay;
+  r.first.engine_time = static_cast<std::uint32_t>(
+      util::to_seconds(r.first.receive_time - last_reboot));
+  r.second = r.first;
+  return r;
+}
+
+TEST(Analytics, IpsPerEngineId) {
+  const std::vector<JoinedRecord> records = {
+      record(1, engine(1)), record(2, engine(1)), record(3, engine(1)),
+      record(4, engine(2))};
+  const auto ecdf = ips_per_engine_id(records);
+  EXPECT_EQ(ecdf.size(), 2u);  // two unique engine IDs
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_most(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.max(), 3.0);
+}
+
+TEST(Analytics, FormatSharesOverUniqueIds) {
+  std::vector<JoinedRecord> records = {
+      record(1, engine(1)), record(2, engine(1)),  // duplicate engine ID
+      record(3, EngineId::make_netsnmp(0x42)),
+      record(4, EngineId::make_text(9, "r1"))};
+  const auto tally = engine_id_format_shares(records);
+  EXPECT_EQ(tally.total(), 3u);  // duplicates collapse
+  EXPECT_EQ(tally.get("MAC"), 1u);
+  EXPECT_EQ(tally.get("Net-SNMP"), 1u);
+  EXPECT_EQ(tally.get("Text"), 1u);
+}
+
+TEST(Analytics, HammingWeightsByFormat) {
+  std::vector<JoinedRecord> records = {
+      record(1, EngineId::make_octets(9, util::Bytes{0xff, 0xff})),
+      record(2, EngineId::make_octets(9, util::Bytes{0x00, 0x00})),
+      record(3, engine(1))};
+  const auto weights =
+      relative_hamming_weights(records, snmp::EngineIdFormat::kOctets);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights[0] + weights[1], 1.0);  // 1.0 and 0.0
+}
+
+TEST(Analytics, TopSharedEngineIds) {
+  std::vector<JoinedRecord> records;
+  for (std::uint32_t i = 0; i < 10; ++i)
+    records.push_back(record(i, engine(1), 5,
+                             -static_cast<util::VTime>(i) * 100 * util::kDay));
+  records.push_back(record(100, engine(2)));
+  const auto top = top_shared_engine_ids(records, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].engine_id, engine(1));
+  EXPECT_EQ(top[0].address_count, 10u);
+  // Reboot spread across years marks the reuse (paper Figure 7).
+  EXPECT_GT(top[0].last_reboots.max() - top[0].last_reboots.min(), 365.0);
+}
+
+TEST(Analytics, RebootDeltaEcdfWithFilter) {
+  auto a = record(1, engine(1));
+  a.second.engine_time += 30;  // 30 s drift
+  auto b = record(2, engine(2));
+  const std::vector<JoinedRecord> records = {a, b};
+  const auto all = reboot_delta_ecdf(records);
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all.fraction_at_most(10.0), 0.5);
+
+  AddressSet only{b.address};
+  const auto filtered = reboot_delta_ecdf(records, &only);
+  EXPECT_EQ(filtered.size(), 1u);
+  EXPECT_DOUBLE_EQ(filtered.fraction_at_most(1.0), 1.0);
+}
+
+TEST(Analytics, TupleUniqueness) {
+  // Two devices with identical (boots, last reboot): their tuples collide.
+  const util::VTime reboot = -5 * util::kDay;
+  const std::vector<JoinedRecord> records = {
+      record(1, engine(1), 7, reboot), record(2, engine(2), 7, reboot),
+      record(3, engine(3), 7, -6 * util::kDay)};
+  const auto counts = engine_ids_per_tuple(records);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Device annotation + rollups
+// ---------------------------------------------------------------------------
+
+class RollupTest : public ::testing::Test {
+ protected:
+  RollupTest() {
+    as_table_.add_v4(net::Prefix4(net::Ipv4(8, 0, 0, 0), 8), {100, "EU"});
+    as_table_.add_v4(net::Prefix4(net::Ipv4(9, 0, 0, 0), 8), {200, "NA"});
+
+    // AS 100: 3 Cisco + 1 Huawei routers; AS 200: 2 Cisco routers.
+    std::vector<JoinedRecord> records;
+    std::uint32_t host = 1;
+    const auto add_router = [&](std::uint8_t first_octet, std::uint32_t pen,
+                                std::uint32_t oui) {
+      JoinedRecord r = record(host, EngineId::make_mac(
+                                        pen, net::MacAddress::from_oui(
+                                                 oui, host)));
+      r.address = net::Ipv4(first_octet, 0, 0, static_cast<std::uint8_t>(host));
+      r.first.target = r.address;
+      r.second.target = r.address;
+      ++host;
+      records.push_back(r);
+      router_addresses_.insert(r.address);
+    };
+    for (int i = 0; i < 3; ++i) add_router(8, net::kPenCisco, 0x00000c);
+    add_router(8, net::kPenHuawei, 0x00e0fc);
+    for (int i = 0; i < 2; ++i) add_router(9, net::kPenCisco, 0x00000c);
+    // One non-router device in AS 100.
+    records.push_back(record(99, EngineId::make_netsnmp(7)));
+
+    resolution_ = resolve_aliases(records);
+    devices_ = annotate_devices(resolution_, as_table_, router_addresses_);
+  }
+
+  net::AsTable as_table_;
+  AddressSet router_addresses_;
+  AliasResolution resolution_;
+  std::vector<DeviceRecord> devices_;
+};
+
+TEST_F(RollupTest, AnnotationBasics) {
+  EXPECT_EQ(devices_.size(), 7u);
+  std::size_t routers = 0;
+  for (const auto& device : devices_) routers += device.is_router;
+  EXPECT_EQ(routers, 6u);
+}
+
+TEST_F(RollupTest, VendorPopularityCounts) {
+  const auto all = vendor_popularity(devices_, /*routers_only=*/false);
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.front().vendor, "Cisco");
+  EXPECT_EQ(all.front().total(), 5u);
+  const auto routers = vendor_popularity(devices_, /*routers_only=*/true);
+  std::size_t total = 0;
+  for (const auto& entry : routers) total += entry.total();
+  EXPECT_EQ(total, 6u);
+}
+
+TEST_F(RollupTest, PerAsRollups) {
+  const auto rollups = rollup_by_as(devices_);
+  ASSERT_EQ(rollups.size(), 2u);
+  const auto& eu = rollups[0].asn == 100 ? rollups[0] : rollups[1];
+  const auto& na = rollups[0].asn == 200 ? rollups[0] : rollups[1];
+  EXPECT_EQ(eu.routers, 4u);
+  EXPECT_EQ(eu.distinct_vendors(), 2u);
+  EXPECT_DOUBLE_EQ(eu.vendor_dominance(), 0.75);
+  EXPECT_EQ(na.routers, 2u);
+  EXPECT_DOUBLE_EQ(na.vendor_dominance(), 1.0);
+}
+
+TEST_F(RollupTest, RegionalShares) {
+  const auto rows = vendor_share_by_region(devices_);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "EU");  // more routers
+  EXPECT_DOUBLE_EQ(rows[0].vendor_tally.fraction("Huawei"), 0.25);
+}
+
+TEST_F(RollupTest, TopAsLabels) {
+  const auto rows = vendor_share_top_ases(devices_, 10);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "EU-1");
+  EXPECT_EQ(rows[1].label, "NA-1");
+  EXPECT_GE(rows[0].routers, rows[1].routers);
+}
+
+TEST_F(RollupTest, UptimeEcdf) {
+  const auto uptime = uptime_days(devices_, /*routers_only=*/true,
+                                  10 * util::kDay);
+  EXPECT_EQ(uptime.size(), 6u);
+  // All fixtures rebooted 10 days before the 10-day scan time = 20 days.
+  EXPECT_NEAR(uptime.median(), 20.0, 0.1);
+}
+
+TEST_F(RollupTest, AsCoverage) {
+  std::vector<net::IpAddress> dataset;
+  for (const auto& address : router_addresses_) dataset.push_back(address);
+  dataset.push_back(net::IpAddress(net::Ipv4(8, 0, 0, 250)));  // unresponsive
+  AddressSet responsive = router_addresses_;
+  const auto coverage = as_coverage(dataset, responsive, as_table_);
+  ASSERT_EQ(coverage.size(), 2u);
+  // AS 100 has 5 dataset IPs, 4 responsive; AS 200 has 2/2.
+  for (const auto& [total, cov] : coverage) {
+    if (total == 5)
+      EXPECT_DOUBLE_EQ(cov, 0.8);
+    else
+      EXPECT_DOUBLE_EQ(cov, 1.0);
+  }
+}
+
+TEST_F(RollupTest, StackClassNames) {
+  EXPECT_EQ(to_string(StackClass::kDualStack), "Dual-Stack");
+  EXPECT_EQ(to_string(StackClass::kV4Only), "IPv4 Only");
+}
+
+}  // namespace
+}  // namespace snmpv3fp::core

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "asn1/ber.hpp"
+#include "util/rng.hpp"
+
+namespace snmpv3fp::asn1 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// encode/decode round trips
+// ---------------------------------------------------------------------------
+
+TEST(Ber, IntegerKnownEncodings) {
+  // X.690 minimal two's-complement examples.
+  EXPECT_EQ(encode_integer(0), (Bytes{0x02, 0x01, 0x00}));
+  EXPECT_EQ(encode_integer(3), (Bytes{0x02, 0x01, 0x03}));
+  EXPECT_EQ(encode_integer(127), (Bytes{0x02, 0x01, 0x7f}));
+  EXPECT_EQ(encode_integer(128), (Bytes{0x02, 0x02, 0x00, 0x80}));
+  EXPECT_EQ(encode_integer(-1), (Bytes{0x02, 0x01, 0xff}));
+  EXPECT_EQ(encode_integer(-129), (Bytes{0x02, 0x02, 0xff, 0x7f}));
+}
+
+class IntegerRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(IntegerRoundTrip, EncodeDecodeIdentity) {
+  const auto wire = encode_integer(GetParam());
+  Reader reader(wire);
+  const auto decoded = reader.read_integer();
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), GetParam());
+  EXPECT_TRUE(reader.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, IntegerRoundTrip,
+    ::testing::Values(0, 1, -1, 127, 128, -128, -129, 255, 256, 65535,
+                      0x7fffffffLL, -0x80000000LL, 0x7fffffffffffffffLL,
+                      std::int64_t{-0x7fffffffffffffffLL - 1}));
+
+TEST(Ber, IntegerRandomRoundTrip) {
+  util::Rng rng(101);
+  for (int i = 0; i < 2000; ++i) {
+    const auto value = static_cast<std::int64_t>(rng.next());
+    const auto wire = encode_integer(value);
+    Reader reader(wire);
+    const auto decoded = reader.read_integer();
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value(), value);
+  }
+}
+
+TEST(Ber, UnsignedWithApplicationTags) {
+  const auto wire = encode_unsigned(0x80000000u, kTagCounter32);
+  EXPECT_EQ(wire[0], kTagCounter32);
+  Reader reader(wire);
+  const auto decoded = reader.read_unsigned(kTagCounter32);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), 0x80000000u);
+  // A value with the top bit set must get a 0x00 pad byte (5 content bytes).
+  EXPECT_EQ(wire[1], 5);
+}
+
+TEST(Ber, OctetStringRoundTrip) {
+  util::Rng rng(5);
+  for (const std::size_t length : {0u, 1u, 127u, 128u, 255u, 256u, 5000u}) {
+    Bytes payload;
+    for (std::size_t i = 0; i < length; ++i)
+      payload.push_back(static_cast<std::uint8_t>(rng.next()));
+    const auto wire = encode_octet_string(payload);
+    Reader reader(wire);
+    const auto decoded = reader.read_octet_string();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(util::equal(decoded.value(), payload));
+  }
+}
+
+TEST(Ber, LongFormLength) {
+  Bytes out;
+  write_length(out, 0x7f);
+  EXPECT_EQ(out, (Bytes{0x7f}));
+  out.clear();
+  write_length(out, 0x80);
+  EXPECT_EQ(out, (Bytes{0x81, 0x80}));
+  out.clear();
+  write_length(out, 0x1234);
+  EXPECT_EQ(out, (Bytes{0x82, 0x12, 0x34}));
+}
+
+TEST(Ber, NullRoundTrip) {
+  const auto wire = encode_null();
+  Reader reader(wire);
+  EXPECT_TRUE(reader.read_null().ok());
+}
+
+TEST(Ber, OidKnownEncoding) {
+  // 1.3.6.1.6.3.15.1.1.4.0 (usmStatsUnknownEngineIDs).
+  const Oid oid = {1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0};
+  const auto wire = encode_oid(oid);
+  EXPECT_EQ(wire, (Bytes{0x06, 0x0a, 0x2b, 0x06, 0x01, 0x06, 0x03, 0x0f,
+                         0x01, 0x01, 0x04, 0x00}));
+  Reader reader(wire);
+  const auto decoded = reader.read_oid();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), oid);
+  EXPECT_EQ(oid_to_string(oid), "1.3.6.1.6.3.15.1.1.4.0");
+}
+
+TEST(Ber, OidMultiByteArcs) {
+  const Oid oid = {1, 3, 6, 1, 4, 1, 2636, 1000000, 0x7fffffff};
+  const auto wire = encode_oid(oid);
+  Reader reader(wire);
+  const auto decoded = reader.read_oid();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), oid);
+}
+
+TEST(Ber, SequenceNesting) {
+  SequenceBuilder inner;
+  inner.add(encode_integer(42)).add(encode_octet_string(Bytes{0xaa}));
+  SequenceBuilder outer;
+  outer.add(encode_integer(1)).add(inner.finish());
+  const auto wire = outer.finish();
+
+  Reader reader(wire);
+  auto seq = reader.enter();
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value().read_integer().value(), 1);
+  auto nested = seq.value().enter();
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested.value().read_integer().value(), 42);
+  ASSERT_TRUE(nested.value().read_octet_string().ok());
+  EXPECT_TRUE(nested.value().at_end());
+  EXPECT_TRUE(seq.value().at_end());
+}
+
+TEST(Ber, ContextTags) {
+  EXPECT_EQ(context_tag(0), 0xa0);
+  EXPECT_EQ(context_tag(8), 0xa8);
+  SequenceBuilder pdu;
+  pdu.add(encode_integer(7));
+  const auto wire = pdu.finish(context_tag(8));
+  Reader reader(wire);
+  auto entered = reader.enter(context_tag(8));
+  ASSERT_TRUE(entered.ok());
+  EXPECT_EQ(entered.value().read_integer().value(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// malformed input: the decoder must reject, never crash or over-read
+// ---------------------------------------------------------------------------
+
+TEST(BerMalformed, TruncatedHeader) {
+  const Bytes wire = {0x02};
+  Reader reader(wire);
+  EXPECT_FALSE(reader.read_tlv().ok());
+}
+
+TEST(BerMalformed, ContentOverrunsBuffer) {
+  const Bytes wire = {0x04, 0x05, 0x01, 0x02};  // claims 5, has 2
+  Reader reader(wire);
+  EXPECT_FALSE(reader.read_tlv().ok());
+}
+
+TEST(BerMalformed, IndefiniteLengthRejected) {
+  const Bytes wire = {0x30, 0x80, 0x00, 0x00};
+  Reader reader(wire);
+  EXPECT_FALSE(reader.read_tlv().ok());
+}
+
+TEST(BerMalformed, HugeLongFormLengthRejected) {
+  const Bytes wire = {0x04, 0x89, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Reader reader(wire);
+  EXPECT_FALSE(reader.read_tlv().ok());
+}
+
+TEST(BerMalformed, EmptyIntegerRejected) {
+  const Bytes wire = {0x02, 0x00};
+  Reader reader(wire);
+  EXPECT_FALSE(reader.read_integer().ok());
+}
+
+TEST(BerMalformed, OverwideIntegerRejected) {
+  Bytes wire = {0x02, 0x09};
+  for (int i = 0; i < 9; ++i) wire.push_back(0x7f);
+  Reader reader(wire);
+  EXPECT_FALSE(reader.read_integer().ok());
+}
+
+TEST(BerMalformed, WrongTag) {
+  const auto wire = encode_integer(1);
+  Reader reader(wire);
+  EXPECT_FALSE(reader.read_octet_string().ok());
+}
+
+TEST(BerMalformed, TruncatedOidArc) {
+  const Bytes wire = {0x06, 0x02, 0x2b, 0x86};  // continuation bit set at end
+  Reader reader(wire);
+  EXPECT_FALSE(reader.read_oid().ok());
+}
+
+TEST(BerMalformed, NonEmptyNullRejected) {
+  const Bytes wire = {0x05, 0x01, 0x00};
+  Reader reader(wire);
+  EXPECT_FALSE(reader.read_null().ok());
+}
+
+// Fuzz-style property: random mutations of a valid message never crash the
+// reader and either parse or fail cleanly.
+TEST(BerMalformed, MutationFuzzNeverCrashes) {
+  SequenceBuilder builder;
+  builder.add(encode_integer(3))
+      .add(encode_octet_string(Bytes{1, 2, 3, 4}))
+      .add(encode_oid({1, 3, 6, 1, 2, 1, 1, 1, 0}));
+  const auto valid = builder.finish();
+
+  util::Rng rng(999);
+  for (int round = 0; round < 20000; ++round) {
+    Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.next_below(4);
+    for (std::size_t f = 0; f < flips; ++f)
+      mutated[rng.next_below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+    Reader reader(mutated);
+    auto seq = reader.enter();
+    if (!seq.ok()) continue;
+    (void)seq.value().read_integer();
+    (void)seq.value().read_octet_string();
+    (void)seq.value().read_oid();
+  }
+  SUCCEED();  // reaching here without UB/crash is the property
+}
+
+// Truncation property: every strict prefix of a valid encoding fails to
+// parse fully but never crashes.
+TEST(BerMalformed, AllTruncationsFailCleanly) {
+  SequenceBuilder builder;
+  builder.add(encode_integer(1234567)).add(encode_octet_string(Bytes(40, 7)));
+  const auto valid = builder.finish();
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    Bytes truncated(valid.begin(), valid.begin() + cut);
+    Reader reader(truncated);
+    auto seq = reader.enter();
+    if (!seq.ok()) continue;
+    const auto i = seq.value().read_integer();
+    if (!i.ok()) continue;
+    EXPECT_FALSE(seq.value().read_octet_string().ok())
+        << "truncation at " << cut << " parsed fully";
+  }
+}
+
+}  // namespace
+}  // namespace snmpv3fp::asn1

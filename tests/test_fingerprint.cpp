@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/fingerprint.hpp"
+#include "net/registry.hpp"
+
+namespace snmpv3fp::core {
+namespace {
+
+using snmp::EngineId;
+
+TEST(Fingerprint, MacOuiWins) {
+  const auto fp = fingerprint_engine_id(EngineId::make_mac(
+      net::kPenBrocade, net::MacAddress::from_oui(0x748ef8, 0x31db80)));
+  EXPECT_EQ(fp.vendor, "Brocade");
+  EXPECT_EQ(fp.source, FingerprintSource::kMacOui);
+}
+
+TEST(Fingerprint, OuiOverridesMismatchedEnterprise) {
+  // Enterprise says Huawei, the MAC block says Cisco: OUI wins (paper: the
+  // MAC gives the highest-confidence vendor signal).
+  const auto fp = fingerprint_engine_id(EngineId::make_mac(
+      net::kPenHuawei, net::MacAddress::from_oui(0x00000c, 0x1234)));
+  EXPECT_EQ(fp.vendor, "Cisco");
+  EXPECT_EQ(fp.source, FingerprintSource::kMacOui);
+}
+
+TEST(Fingerprint, UnknownOuiFallsBackToEnterprise) {
+  const auto fp = fingerprint_engine_id(EngineId::make_mac(
+      net::kPenHuawei, net::MacAddress::from_oui(0xdeadbe, 0x1234)));
+  EXPECT_EQ(fp.vendor, "Huawei");
+  EXPECT_EQ(fp.source, FingerprintSource::kEnterprise);
+}
+
+TEST(Fingerprint, ConstantBugValueIdentifiesCiscoViaEnterprise) {
+  const EngineId id{util::from_hex("800000090300000000000000").value()};
+  const auto fp = fingerprint_engine_id(id);
+  EXPECT_EQ(fp.vendor, "Cisco");
+  EXPECT_EQ(fp.source, FingerprintSource::kEnterprise);
+}
+
+TEST(Fingerprint, ZeroMacSkipsOuiLookup) {
+  // A well-formed zero MAC (11 bytes) would map to the registry's 00:00:00
+  // block; the fingerprinter must not trust a zero MAC.
+  const auto fp = fingerprint_engine_id(EngineId::make_mac(
+      net::kPenCisco, net::MacAddress::from_oui(0x000000, 0x000000)));
+  EXPECT_EQ(fp.vendor, "Cisco");
+  EXPECT_EQ(fp.source, FingerprintSource::kEnterprise);
+}
+
+TEST(Fingerprint, NetSnmpScheme) {
+  const auto fp = fingerprint_engine_id(EngineId::make_netsnmp(0xfeedbeef));
+  EXPECT_EQ(fp.vendor, "Net-SNMP");
+  EXPECT_EQ(fp.source, FingerprintSource::kNetSnmp);
+}
+
+TEST(Fingerprint, TextAndOctetsUseEnterprise) {
+  const auto text = fingerprint_engine_id(
+      EngineId::make_text(net::kPenJuniper, "cr1.example.net"));
+  EXPECT_EQ(text.vendor, "Juniper");
+  EXPECT_EQ(text.source, FingerprintSource::kEnterprise);
+  const auto octets = fingerprint_engine_id(
+      EngineId::make_octets(net::kPenH3c, util::Bytes{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(octets.vendor, "H3C");
+}
+
+TEST(Fingerprint, Ipv4FormatUsesEnterprise) {
+  const auto fp = fingerprint_engine_id(
+      EngineId::make_ipv4(2011, net::Ipv4(8, 8, 8, 8)));
+  EXPECT_EQ(fp.vendor, "Huawei");
+}
+
+TEST(Fingerprint, NonConformingIsUnknown) {
+  const auto fp = fingerprint_engine_id(
+      EngineId::make_nonconforming(util::Bytes{0x03, 0x00, 0xe0, 0xac}));
+  EXPECT_EQ(fp.vendor, "Unknown");
+  EXPECT_EQ(fp.source, FingerprintSource::kUnknown);
+}
+
+TEST(Fingerprint, UnknownEnterpriseIsUnknown) {
+  const auto fp = fingerprint_engine_id(
+      EngineId::make_octets(4242424, util::Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(fp.vendor, "Unknown");
+}
+
+TEST(Fingerprint, EmptyIsUnknown) {
+  EXPECT_EQ(fingerprint_engine_id(EngineId()).vendor, "Unknown");
+}
+
+TEST(Fingerprint, SourceNames) {
+  EXPECT_EQ(to_string(FingerprintSource::kMacOui), "MAC OUI");
+  EXPECT_EQ(to_string(FingerprintSource::kEnterprise), "Enterprise ID");
+}
+
+}  // namespace
+}  // namespace snmpv3fp::core

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "scan/walker.hpp"
+#include "sim/fabric.hpp"
+#include "sim/mib.hpp"
+#include "topo/generator.hpp"
+
+namespace snmpv3fp {
+namespace {
+
+topo::Device lab_device() {
+  topo::Device device;
+  device.index = 7;
+  device.kind = topo::DeviceKind::kRouter;
+  device.vendor = &topo::vendor_profile("Cisco");
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    topo::Interface itf;
+    itf.mac = net::MacAddress::from_oui(0x00000c, 0x100 + i);
+    itf.v4 = net::Ipv4(192, 0, 2, static_cast<std::uint8_t>(10 + i));
+    device.interfaces.push_back(itf);
+  }
+  device.snmpv2_enabled = true;
+  device.snmpv3_enabled = true;
+  device.engine_id = snmp::EngineId::make_mac(9, device.interfaces[0].mac);
+  device.reboots = {-util::kDay};
+  device.boots_before_history = 1;
+  return device;
+}
+
+TEST(Mib, TableIsSortedAndComplete) {
+  const auto device = lab_device();
+  const auto mib = sim::build_mib(device, 0);
+  ASSERT_GE(mib.size(), 7u + 3u * 4u);  // system group + 4 cols x 3 ifaces
+  EXPECT_TRUE(std::is_sorted(mib.begin(), mib.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.oid < b.oid;
+                             }));
+}
+
+TEST(Mib, GetAndNextSemantics) {
+  const auto device = lab_device();
+  const auto mib = sim::build_mib(device, 0);
+
+  const auto* descr = sim::mib_get(mib, snmp::kOidSysDescr);
+  ASSERT_NE(descr, nullptr);
+  EXPECT_NE(descr->value.as_string().value_or("").find("Cisco"),
+            std::string::npos);
+
+  EXPECT_EQ(sim::mib_get(mib, {1, 3, 6, 1, 9, 9, 9}), nullptr);
+
+  // GetNext from the mib-2 root lands on the first entry (sysDescr.0).
+  const auto* first = sim::mib_next(mib, {1, 3, 6, 1, 2, 1});
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->oid, snmp::kOidSysDescr);
+
+  // GetNext past the last entry returns null.
+  EXPECT_EQ(sim::mib_next(mib, mib.back().oid), nullptr);
+}
+
+TEST(Mib, UptimeTracksEngineTime) {
+  const auto device = lab_device();
+  const auto mib = sim::build_mib(device, 0);
+  const auto* uptime = sim::mib_get(mib, snmp::kOidSysUpTime);
+  ASSERT_NE(uptime, nullptr);
+  // 1 day in TimeTicks (hundredths of seconds).
+  EXPECT_EQ(std::get<std::uint64_t>(uptime->value.data), 86400u * 100u);
+}
+
+TEST(Mib, IfPhysAddressRowsCarryRealMacs) {
+  const auto device = lab_device();
+  const auto mib = sim::build_mib(device, 0);
+  const auto* phys = sim::mib_get(mib, {1, 3, 6, 1, 2, 1, 2, 2, 1, 6, 2});
+  ASSERT_NE(phys, nullptr);
+  const auto* bytes = std::get_if<util::Bytes>(&phys->value.data);
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(util::to_hex_colon(*bytes), device.interfaces[1].mac.to_string());
+}
+
+TEST(Walker, OidSubtreeCheck) {
+  EXPECT_TRUE(scan::oid_in_subtree({1, 3, 6}, {1, 3, 6, 1, 2}));
+  EXPECT_TRUE(scan::oid_in_subtree({1, 3, 6}, {1, 3, 6}));
+  EXPECT_FALSE(scan::oid_in_subtree({1, 3, 6}, {1, 3, 7, 1}));
+  EXPECT_FALSE(scan::oid_in_subtree({1, 3, 6, 1}, {1, 3, 6}));
+}
+
+class WalkTest : public ::testing::Test {
+ protected:
+  WalkTest() : world_(topo::generate_world(topo::WorldConfig::tiny())) {}
+
+  // A v2c-enabled device address in the world.
+  std::optional<std::pair<net::IpAddress, const topo::Device*>> v2c_target()
+      const {
+    for (const auto& device : world_.devices) {
+      if (!device.snmpv2_enabled) continue;
+      for (const auto& itf : device.interfaces)
+        if (itf.v4) return {{net::IpAddress(*itf.v4), &device}};
+    }
+    return std::nullopt;
+  }
+
+  topo::World world_;
+};
+
+TEST_F(WalkTest, FullWalkOverFabric) {
+  sim::FabricConfig config;
+  config.probe_loss = 0.0;
+  config.response_loss = 0.0;
+  sim::Fabric fabric(world_, config);
+
+  const auto target = v2c_target();
+  ASSERT_TRUE(target.has_value());
+  const net::Endpoint source{net::Ipv4(198, 51, 100, 7), 4444};
+  const net::Endpoint agent{target->first, net::kSnmpPort};
+
+  const auto bindings = scan::snmp_walk(fabric, source, agent);
+  const auto expected = sim::build_mib(*target->second, /*now=*/0).size();
+  EXPECT_EQ(bindings.size(), expected);
+  // The walk visits OIDs in strictly increasing order.
+  for (std::size_t i = 1; i < bindings.size(); ++i)
+    EXPECT_LT(bindings[i - 1].oid, bindings[i].oid);
+}
+
+TEST_F(WalkTest, SubtreeWalkStopsAtBoundary) {
+  sim::FabricConfig config;
+  config.probe_loss = 0.0;
+  config.response_loss = 0.0;
+  sim::Fabric fabric(world_, config);
+  const auto target = v2c_target();
+  ASSERT_TRUE(target.has_value());
+
+  scan::WalkOptions options;
+  options.root = {1, 3, 6, 1, 2, 1, 1};  // system group only
+  const auto bindings = scan::snmp_walk(
+      fabric, {net::Ipv4(198, 51, 100, 7), 4444},
+      {target->first, net::kSnmpPort}, options);
+  ASSERT_FALSE(bindings.empty());
+  for (const auto& binding : bindings)
+    EXPECT_TRUE(scan::oid_in_subtree(options.root, binding.oid));
+  EXPECT_EQ(bindings.size(), 6u);  // the 6 system-group scalars we expose
+}
+
+TEST_F(WalkTest, WalkAgainstDeadHostTimesOut) {
+  sim::Fabric fabric(world_, {});
+  scan::WalkOptions options;
+  options.per_request_timeout = 200 * util::kMillisecond;
+  const auto bindings = scan::snmp_walk(
+      fabric, {net::Ipv4(198, 51, 100, 7), 4444},
+      {net::IpAddress(net::Ipv4(203, 0, 114, 199)), net::kSnmpPort}, options);
+  EXPECT_TRUE(bindings.empty());
+}
+
+TEST_F(WalkTest, WrongCommunityWalksNothing) {
+  sim::FabricConfig config;
+  config.probe_loss = 0.0;
+  sim::Fabric fabric(world_, config);
+  const auto target = v2c_target();
+  ASSERT_TRUE(target.has_value());
+  scan::WalkOptions options;
+  options.community = "not-the-community";
+  options.per_request_timeout = 200 * util::kMillisecond;
+  const auto bindings = scan::snmp_walk(
+      fabric, {net::Ipv4(198, 51, 100, 7), 4444},
+      {target->first, net::kSnmpPort}, options);
+  EXPECT_TRUE(bindings.empty());
+}
+
+}  // namespace
+}  // namespace snmpv3fp

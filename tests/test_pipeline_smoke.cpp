@@ -1,0 +1,84 @@
+// End-to-end smoke: the full pipeline over the tiny world produces sane
+// intermediate products at every stage.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+
+namespace snmpv3fp {
+namespace {
+
+class PipelineSmoke : public ::testing::Test {
+ protected:
+  static const core::PipelineResult& result() {
+    static const core::PipelineResult r = [] {
+      core::PipelineOptions options;
+      options.world = topo::WorldConfig::tiny();
+      return core::run_full_pipeline(options);
+    }();
+    return r;
+  }
+};
+
+TEST_F(PipelineSmoke, WorldHasDevicesAndRouters) {
+  EXPECT_GT(result().world.devices.size(), 100u);
+  EXPECT_GT(result().world.router_count(), 50u);
+}
+
+TEST_F(PipelineSmoke, ScansGotResponses) {
+  EXPECT_GT(result().v4_campaign.scan1.responsive(), 50u);
+  EXPECT_GT(result().v4_campaign.scan2.responsive(), 50u);
+  // Probe payload matches the paper's 60 bytes (88 on the IPv4 wire).
+  EXPECT_EQ(result().v4_campaign.scan1.probe_bytes, 60u);
+}
+
+TEST_F(PipelineSmoke, JoinAndFiltersShrinkMonotonically) {
+  const auto& r = result();
+  EXPECT_LE(r.v4_joined.size(), r.v4_campaign.scan1.responsive());
+  EXPECT_LE(r.v4_records.size(), r.v4_joined.size());
+  EXPECT_GT(r.v4_records.size(), 0u);
+  EXPECT_EQ(r.v4_report.input, r.v4_joined.size());
+  EXPECT_EQ(r.v4_report.output, r.v4_records.size());
+  EXPECT_EQ(r.v4_report.input - r.v4_report.total_dropped(),
+            r.v4_report.output);
+}
+
+TEST_F(PipelineSmoke, AliasSetsPartitionRecords) {
+  const auto& r = result();
+  EXPECT_EQ(r.resolution.total_ips(),
+            r.v4_records.size() + r.v6_records.size());
+  EXPECT_GT(r.resolution.non_singleton_count(), 0u);
+}
+
+TEST_F(PipelineSmoke, DevicesAnnotated) {
+  const auto& r = result();
+  EXPECT_EQ(r.devices.size(), r.resolution.sets.size());
+  EXPECT_GT(r.router_device_count(), 0u);
+  std::size_t known_vendor = 0;
+  for (const auto& device : r.devices)
+    known_vendor += device.fingerprint.vendor != "Unknown";
+  // The overwhelming majority of filtered devices should be identifiable.
+  EXPECT_GT(known_vendor, r.devices.size() * 7 / 10);
+}
+
+TEST_F(PipelineSmoke, AliasPrecisionAgainstGroundTruth) {
+  const auto& r = result();
+  // Precision: two addresses in one inferred set should nearly always be
+  // the same ground-truth device.
+  std::size_t pairs_checked = 0, pairs_correct = 0;
+  for (const auto& set : r.resolution.sets) {
+    if (set.addresses.size() < 2) continue;
+    const auto first_device = r.world.device_index_at(set.addresses[0]);
+    for (std::size_t i = 1; i < set.addresses.size(); ++i) {
+      ++pairs_checked;
+      const auto device = r.world.device_index_at(set.addresses[i]);
+      pairs_correct += device != topo::kNoDevice && device == first_device;
+    }
+  }
+  ASSERT_GT(pairs_checked, 0u);
+  EXPECT_GT(static_cast<double>(pairs_correct) /
+                static_cast<double>(pairs_checked),
+            0.95);
+}
+
+}  // namespace
+}  // namespace snmpv3fp

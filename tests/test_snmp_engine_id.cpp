@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "net/registry.hpp"
+#include "snmp/engine_id.hpp"
+#include "util/rng.hpp"
+
+namespace snmpv3fp::snmp {
+namespace {
+
+TEST(EngineId, PaperFigure3Example) {
+  // msgAuthoritativeEngineID: 800007c703748ef831db80 — Brocade, MAC format.
+  const auto raw = util::from_hex("800007c703748ef831db80");
+  ASSERT_TRUE(raw.ok());
+  const EngineId id{raw.value()};
+  EXPECT_TRUE(id.is_conforming());
+  EXPECT_EQ(id.format(), EngineIdFormat::kMac);
+  EXPECT_EQ(id.enterprise().value_or(0), 1991u);  // Brocade/Foundry PEN
+  ASSERT_TRUE(id.mac().has_value());
+  EXPECT_EQ(id.mac()->to_string(), "74:8e:f8:31:db:80");
+  EXPECT_EQ(id.to_hex(), "800007c703748ef831db80");
+}
+
+TEST(EngineId, PaperConstantBugValue) {
+  // §4.3: 0x800000090300000000000000 shared by >181k IPs. The value
+  // claims MAC format but carries seven zero bytes — one too many for a
+  // MAC — so the strict classifier degrades it to Octets while the
+  // enterprise number still identifies Cisco.
+  const auto raw = util::from_hex("800000090300000000000000");
+  ASSERT_TRUE(raw.ok());
+  const EngineId id{raw.value()};
+  EXPECT_EQ(id.format(), EngineIdFormat::kOctets);
+  EXPECT_EQ(id.enterprise().value_or(0), 9u);  // Cisco
+  EXPECT_FALSE(id.mac().has_value());
+  ASSERT_TRUE(id.payload().has_value());
+  EXPECT_EQ(id.payload()->size(), 7u);
+}
+
+TEST(EngineId, MacBuilderRoundTrip) {
+  const auto mac = net::MacAddress::from_oui(0x00000c, 0x31db80);
+  const auto id = EngineId::make_mac(9, mac);
+  EXPECT_EQ(id.size(), 11u);  // 4 enterprise + 1 format + 6 MAC
+  EXPECT_EQ(id.format(), EngineIdFormat::kMac);
+  EXPECT_EQ(id.enterprise().value_or(0), 9u);
+  EXPECT_EQ(id.mac().value(), mac);
+  EXPECT_FALSE(id.ipv4().has_value());
+  EXPECT_FALSE(id.text().has_value());
+}
+
+TEST(EngineId, Ipv4Builder) {
+  const auto id = EngineId::make_ipv4(2011, net::Ipv4(10, 1, 2, 3));
+  EXPECT_EQ(id.format(), EngineIdFormat::kIpv4);
+  EXPECT_EQ(id.ipv4().value().to_string(), "10.1.2.3");
+  EXPECT_EQ(id.enterprise().value_or(0), 2011u);
+}
+
+TEST(EngineId, Ipv6Builder) {
+  const auto addr = net::Ipv6::parse("2001:db8::7").value();
+  const auto id = EngineId::make_ipv6(2636, addr);
+  EXPECT_EQ(id.format(), EngineIdFormat::kIpv6);
+  EXPECT_EQ(id.ipv6().value(), addr);
+}
+
+TEST(EngineId, TextBuilder) {
+  const auto id = EngineId::make_text(9, "cr1-fra.example.net");
+  EXPECT_EQ(id.format(), EngineIdFormat::kText);
+  EXPECT_EQ(id.text().value_or(""), "cr1-fra.example.net");
+}
+
+TEST(EngineId, OctetsBuilder) {
+  const auto id = EngineId::make_octets(4413, util::Bytes{1, 2, 3, 4, 5});
+  EXPECT_EQ(id.format(), EngineIdFormat::kOctets);
+  ASSERT_TRUE(id.payload().has_value());
+  EXPECT_EQ(id.payload()->size(), 5u);
+}
+
+TEST(EngineId, NetSnmpScheme) {
+  const auto id = EngineId::make_netsnmp(0x0123456789abcdefULL);
+  EXPECT_EQ(id.format(), EngineIdFormat::kNetSnmp);
+  EXPECT_EQ(id.enterprise().value_or(0), net::kPenNetSnmp);
+  // Same payload -> same ID; different payload -> different ID.
+  EXPECT_EQ(id, EngineId::make_netsnmp(0x0123456789abcdefULL));
+  EXPECT_NE(id, EngineId::make_netsnmp(0xfeeddeadbeefULL));
+}
+
+TEST(EngineId, EnterpriseSpecificFormatOfOtherVendor) {
+  util::Bytes raw;
+  util::append_be(raw, 0x80000009u, 4);  // Cisco, conformance bit set
+  raw.push_back(0x81);                    // enterprise-specific format
+  raw.push_back(0x42);
+  const EngineId id{std::move(raw)};
+  EXPECT_EQ(id.format(), EngineIdFormat::kEnterpriseSpecific);
+}
+
+TEST(EngineId, NonConforming) {
+  const auto raw = util::from_hex("0300e0acf1325a88");  // paper §4.2 example
+  ASSERT_TRUE(raw.ok());
+  const EngineId id{raw.value()};
+  EXPECT_FALSE(id.is_conforming());
+  EXPECT_EQ(id.format(), EngineIdFormat::kNonConforming);
+  EXPECT_FALSE(id.enterprise().has_value());
+  EXPECT_FALSE(id.payload().has_value());
+  EXPECT_FALSE(id.mac().has_value());
+}
+
+TEST(EngineId, MakeNonConformingClearsTopBit) {
+  const auto id =
+      EngineId::make_nonconforming(util::Bytes{0xff, 0x01, 0x02, 0x03});
+  EXPECT_FALSE(id.is_conforming());
+  EXPECT_EQ(id.raw()[0], 0x7f);
+}
+
+TEST(EngineId, EmptyAndShort) {
+  EXPECT_EQ(EngineId().format(), EngineIdFormat::kEmpty);
+  EXPECT_TRUE(EngineId().empty());
+  // Conforming bit set but too short for the RFC 3411 structure.
+  const EngineId shorty{util::Bytes{0x80, 0x00, 0x01}};
+  EXPECT_EQ(shorty.format(), EngineIdFormat::kNonConforming);
+}
+
+TEST(EngineId, WrongPayloadLengthDegradesToOctets) {
+  // Format byte says MAC but only 4 payload bytes follow.
+  util::Bytes raw;
+  util::append_be(raw, 0x80000009u, 4);
+  raw.push_back(3);
+  raw.insert(raw.end(), {1, 2, 3, 4});
+  const EngineId id{std::move(raw)};
+  EXPECT_EQ(id.format(), EngineIdFormat::kOctets);
+  EXPECT_FALSE(id.mac().has_value());
+}
+
+TEST(EngineId, OrderingAndHashing) {
+  const auto a = EngineId::make_text(9, "a");
+  const auto b = EngineId::make_text(9, "b");
+  EXPECT_LT(a, b);
+  std::hash<EngineId> hasher;
+  EXPECT_EQ(hasher(a), hasher(EngineId::make_text(9, "a")));
+  EXPECT_NE(hasher(a), hasher(b));
+}
+
+TEST(EngineId, FormatNames) {
+  EXPECT_EQ(to_string(EngineIdFormat::kMac), "MAC");
+  EXPECT_EQ(to_string(EngineIdFormat::kNetSnmp), "Net-SNMP");
+  EXPECT_EQ(to_string(EngineIdFormat::kNonConforming), "Non-conforming");
+}
+
+}  // namespace
+}  // namespace snmpv3fp::snmp

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "net/registry.hpp"
+#include "snmp/message.hpp"
+#include "util/rng.hpp"
+
+namespace snmpv3fp::snmp {
+namespace {
+
+TEST(DiscoveryRequest, MatchesPaperWireSize) {
+  // With two-byte msg/request IDs the probe is exactly 60 bytes, i.e.
+  // 88 bytes on the IPv4 wire and 108 on IPv6 (paper §4.1.1).
+  const auto wire = make_discovery_request(0x4a69, 0x37f0).encode();
+  EXPECT_EQ(wire.size(), 60u);
+}
+
+TEST(DiscoveryRequest, FieldsMatchPaperFigure2) {
+  const auto message = make_discovery_request(1000, 2000);
+  EXPECT_TRUE(message.usm.authoritative_engine_id.empty());
+  EXPECT_EQ(message.usm.engine_boots, 0u);
+  EXPECT_EQ(message.usm.engine_time, 0u);
+  EXPECT_TRUE(message.usm.user_name.empty());
+  EXPECT_TRUE(message.usm.authentication_parameters.empty());
+  EXPECT_TRUE(message.usm.privacy_parameters.empty());
+  EXPECT_EQ(message.header.msg_flags, kFlagReportable);  // noAuthNoPriv
+  EXPECT_EQ(message.header.security_model, kSecurityModelUsm);
+  EXPECT_EQ(message.scoped_pdu.pdu.type, PduType::kGetRequest);
+  EXPECT_TRUE(message.scoped_pdu.pdu.bindings.empty());
+}
+
+TEST(DiscoveryRequest, EncodeDecodeRoundTrip) {
+  const auto original = make_discovery_request(4242, 31337);
+  const auto decoded = V3Message::decode(original.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().header.msg_id, 4242);
+  EXPECT_EQ(decoded.value().scoped_pdu.pdu.request_id, 31337);
+  EXPECT_TRUE(decoded.value().usm.authoritative_engine_id.empty());
+}
+
+TEST(DiscoveryReport, RoundTripCarriesEngineFields) {
+  const auto request = make_discovery_request(77, 88);
+  const auto engine_id = EngineId::make_mac(
+      net::kPenBrocade, net::MacAddress::from_oui(0x748ef8, 0x31db80));
+  const auto report =
+      make_discovery_report(request, engine_id, 148, 10043812, 55);
+  const auto decoded = V3Message::decode(report.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+
+  const auto& usm = decoded.value().usm;
+  EXPECT_EQ(usm.authoritative_engine_id, engine_id);
+  EXPECT_EQ(usm.engine_boots, 148u);   // paper Figure 3 values
+  EXPECT_EQ(usm.engine_time, 10043812u);
+  EXPECT_EQ(decoded.value().header.msg_id, 77);
+  EXPECT_EQ(decoded.value().scoped_pdu.pdu.type, PduType::kReport);
+  ASSERT_EQ(decoded.value().scoped_pdu.pdu.bindings.size(), 1u);
+  EXPECT_EQ(decoded.value().scoped_pdu.pdu.bindings[0].oid,
+            kOidUsmStatsUnknownEngineIds);
+  const auto* counter = std::get_if<std::uint64_t>(
+      &decoded.value().scoped_pdu.pdu.bindings[0].value.data);
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(*counter, 55u);
+}
+
+TEST(DiscoveryReport, ResponseSizeNearPaperAverage) {
+  // Paper: average response 130 bytes on the IPv4 wire = ~102 B payload.
+  const auto request = make_discovery_request(1234, 4321);
+  const auto engine_id = EngineId::make_mac(
+      net::kPenCisco, net::MacAddress::from_oui(0x00000c, 0x123456));
+  const auto wire =
+      make_discovery_report(request, engine_id, 148, 10043812, 55).encode();
+  EXPECT_GE(wire.size(), 85u);
+  EXPECT_LE(wire.size(), 120u);
+}
+
+TEST(V3Message, AllVarValueKindsRoundTrip) {
+  V3Message message = make_discovery_request(300, 301);
+  message.scoped_pdu.pdu.type = PduType::kResponse;
+  message.scoped_pdu.pdu.bindings = {
+      {kOidSysDescr, VarValue::string("hello")},
+      {kOidSysUpTime, VarValue::timeticks(123456)},
+      {{1, 3, 6, 1, 2, 1, 2, 1, 0}, VarValue::integer(-42)},
+      {{1, 3, 6, 1, 2, 1, 2, 2, 0}, VarValue::counter32(0xffffffffu)},
+      {{1, 3, 6, 1, 2, 1, 2, 3, 0}, VarValue::null()},
+      {{1, 3, 6, 1, 2, 1, 2, 4, 0}, VarValue{.data = asn1::Oid{1, 3, 6, 1}}},
+  };
+  const auto decoded = V3Message::decode(message.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  const auto& bindings = decoded.value().scoped_pdu.pdu.bindings;
+  ASSERT_EQ(bindings.size(), 6u);
+  EXPECT_EQ(bindings[0].value.as_string().value_or(""), "hello");
+  EXPECT_EQ(std::get<std::uint64_t>(bindings[1].value.data), 123456u);
+  EXPECT_EQ(bindings[1].value.app_tag, asn1::kTagTimeTicks);
+  EXPECT_EQ(std::get<std::int64_t>(bindings[2].value.data), -42);
+  EXPECT_EQ(std::get<std::uint64_t>(bindings[3].value.data), 0xffffffffu);
+  EXPECT_TRUE(bindings[4].value.is_null());
+  EXPECT_EQ(std::get<asn1::Oid>(bindings[5].value.data),
+            (asn1::Oid{1, 3, 6, 1}));
+}
+
+TEST(V3Message, RejectsNonV3) {
+  V2cMessage v2;
+  v2.community = "public";
+  v2.pdu.type = PduType::kGetRequest;
+  EXPECT_FALSE(V3Message::decode(v2.encode()).ok());
+}
+
+TEST(V3Message, RejectsEncryptedScopedPdu) {
+  auto message = make_discovery_request(1, 2);
+  message.header.msg_flags = kFlagPriv | kFlagAuth;
+  const auto wire = message.encode();
+  EXPECT_FALSE(V3Message::decode(wire).ok());
+}
+
+TEST(V3Message, RejectsNegativeBootsOnWire) {
+  // Hand-craft USM params with boots = -1.
+  using namespace asn1;
+  SequenceBuilder usm;
+  usm.add(encode_octet_string({}));
+  usm.add(encode_integer(-1));
+  usm.add(encode_integer(0));
+  usm.add(encode_octet_string({}));
+  usm.add(encode_octet_string({}));
+  usm.add(encode_octet_string({}));
+
+  SequenceBuilder header;
+  header.add(encode_integer(1));
+  header.add(encode_integer(65507));
+  const std::uint8_t flags = 0x04;
+  header.add(encode_octet_string(util::ByteView(&flags, 1)));
+  header.add(encode_integer(3));
+
+  SequenceBuilder scoped;
+  scoped.add(encode_octet_string({}));
+  scoped.add(encode_octet_string({}));
+  SequenceBuilder pdu;
+  pdu.add(encode_integer(1));
+  pdu.add(encode_integer(0));
+  pdu.add(encode_integer(0));
+  pdu.add(SequenceBuilder{}.finish());
+  scoped.add(pdu.finish(context_tag(0)));
+
+  SequenceBuilder message;
+  message.add(encode_integer(3));
+  message.add(header.finish());
+  message.add(encode_octet_string(usm.finish()));
+  message.add(scoped.finish());
+  EXPECT_FALSE(V3Message::decode(message.finish()).ok());
+}
+
+TEST(V3Message, MutationFuzzNeverCrashes) {
+  const auto request = make_discovery_request(500, 501);
+  const auto engine_id = EngineId::make_netsnmp(0xabcdef);
+  const auto valid =
+      make_discovery_report(request, engine_id, 3, 1000, 9).encode();
+  util::Rng rng(314159);
+  for (int round = 0; round < 30000; ++round) {
+    util::Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.next_below(6);
+    for (std::size_t f = 0; f < flips; ++f)
+      mutated[rng.next_below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+    (void)V3Message::decode(mutated);  // must not crash / over-read
+  }
+  SUCCEED();
+}
+
+TEST(V2cMessage, RoundTrip) {
+  V2cMessage message;
+  message.community = "pass123";
+  message.pdu.type = PduType::kGetRequest;
+  message.pdu.request_id = 99;
+  message.pdu.bindings = {{kOidSysDescr, VarValue::null()}};
+  const auto decoded = V2cMessage::decode(message.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().community, "pass123");
+  EXPECT_EQ(decoded.value().pdu.request_id, 99);
+  ASSERT_EQ(decoded.value().pdu.bindings.size(), 1u);
+  EXPECT_EQ(decoded.value().pdu.bindings[0].oid, kOidSysDescr);
+}
+
+TEST(PeekVersion, DistinguishesVersions) {
+  EXPECT_EQ(peek_version(make_discovery_request(1, 2).encode()).value_or(-1),
+            3);
+  V2cMessage v2;
+  v2.community = "public";
+  EXPECT_EQ(peek_version(v2.encode()).value_or(-1), 1);
+  EXPECT_FALSE(peek_version(util::Bytes{0xde, 0xad}).ok());
+}
+
+TEST(PduType, Names) {
+  EXPECT_EQ(to_string(PduType::kReport), "report");
+  EXPECT_EQ(to_string(PduType::kGetRequest), "get-request");
+}
+
+}  // namespace
+}  // namespace snmpv3fp::snmp

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "topo/datasets.hpp"
+#include "topo/generator.hpp"
+#include "topo/vendor.hpp"
+
+namespace snmpv3fp::topo {
+namespace {
+
+const World& tiny_world() {
+  static const World world = generate_world(WorldConfig::tiny());
+  return world;
+}
+
+// ---------------------------------------------------------------------------
+// Device time/boot arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(Device, EngineBootsCounting) {
+  Device device;
+  device.boots_before_history = 10;
+  device.reboots = {-100 * util::kDay, 5 * util::kDay, 10 * util::kDay};
+  EXPECT_EQ(device.engine_boots_at(-200 * util::kDay), 10u);
+  EXPECT_EQ(device.engine_boots_at(0), 11u);
+  EXPECT_EQ(device.engine_boots_at(5 * util::kDay), 12u);
+  EXPECT_EQ(device.engine_boots_at(7 * util::kDay), 12u);
+  EXPECT_EQ(device.engine_boots_at(30 * util::kDay), 13u);
+}
+
+TEST(Device, EngineTimeFollowsLastReboot) {
+  Device device;
+  device.reboots = {-util::kDay, 2 * util::kDay};
+  EXPECT_EQ(device.engine_time_at(0), 86400u);
+  EXPECT_EQ(device.engine_time_at(util::kDay), 2 * 86400u);
+  // After the second reboot the counter restarts.
+  EXPECT_EQ(device.engine_time_at(2 * util::kDay + util::kSecond), 1u);
+}
+
+TEST(Device, ClockSkewScalesEngineTime) {
+  Device device;
+  device.reboots = {-100000 * util::kSecond};
+  device.clock_skew_ppm = 1000.0;  // 0.1%
+  EXPECT_NEAR(device.engine_time_at(0), 100100u, 1);
+  device.clock_skew_ppm = -1000.0;
+  EXPECT_NEAR(device.engine_time_at(0), 99900u, 1);
+}
+
+TEST(Device, DualStackCounting) {
+  Device device;
+  Interface a, b;
+  a.v4 = net::Ipv4(192, 0, 2, 1);
+  b.v6 = net::Ipv6::parse("2001:db8::1").value();
+  device.interfaces = {a, b};
+  EXPECT_TRUE(device.dual_stack());
+  EXPECT_EQ(device.v4_count(), 1u);
+  EXPECT_EQ(device.v6_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Generator invariants
+// ---------------------------------------------------------------------------
+
+TEST(Generator, DeterministicFromSeed) {
+  const World a = generate_world(WorldConfig::tiny());
+  const World b = generate_world(WorldConfig::tiny());
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  ASSERT_EQ(a.ases.size(), b.ases.size());
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_EQ(a.devices[i].engine_id, b.devices[i].engine_id);
+    EXPECT_EQ(a.devices[i].interfaces.size(), b.devices[i].interfaces.size());
+    EXPECT_EQ(a.devices[i].reboots, b.devices[i].reboots);
+  }
+}
+
+TEST(Generator, DifferentSeedsProduceDifferentWorlds) {
+  WorldConfig config = WorldConfig::tiny();
+  config.seed = 1234;
+  const World other = generate_world(config);
+  const World& base = tiny_world();
+  ASSERT_FALSE(other.devices.empty());
+  // Engine IDs should differ almost surely.
+  std::size_t same = 0;
+  const std::size_t n = std::min(base.devices.size(), other.devices.size());
+  for (std::size_t i = 0; i < n; ++i)
+    same += base.devices[i].engine_id == other.devices[i].engine_id;
+  EXPECT_LT(same, n / 10);
+}
+
+TEST(Generator, AllAddressesAreRoutableAndMapped) {
+  const World& world = tiny_world();
+  for (const auto& device : world.devices) {
+    for (const auto& itf : device.interfaces) {
+      if (itf.v4) {
+        EXPECT_TRUE(itf.v4->is_routable()) << itf.v4->to_string();
+        EXPECT_TRUE(world.ases[device.as_index].v4_prefix.contains(*itf.v4));
+      }
+      if (itf.v6) EXPECT_TRUE(itf.v6->is_routable());
+    }
+  }
+  // Address map is consistent with interfaces.
+  const auto addresses = world.addresses(net::Family::kIpv4);
+  EXPECT_GT(addresses.size(), 1000u);
+  for (const auto& address : addresses)
+    EXPECT_NE(world.device_index_at(address), kNoDevice);
+}
+
+TEST(Generator, AsPrefixesDisjoint) {
+  const World& world = tiny_world();
+  std::set<std::uint32_t> bases;
+  for (const auto& as : world.ases) {
+    EXPECT_EQ(as.v4_prefix.length(), 16);
+    EXPECT_TRUE(bases.insert(as.v4_prefix.base().value()).second)
+        << "duplicate prefix " << as.v4_prefix.to_string();
+  }
+}
+
+TEST(Generator, AsnsUnique) {
+  const World& world = tiny_world();
+  std::set<std::uint32_t> asns;
+  for (const auto& as : world.ases)
+    EXPECT_TRUE(asns.insert(as.asn).second) << "duplicate ASN " << as.asn;
+}
+
+TEST(Generator, RebootHistoriesSortedAndNonEmpty) {
+  const World& world = tiny_world();
+  for (const auto& device : world.devices) {
+    ASSERT_FALSE(device.reboots.empty());
+    EXPECT_LE(device.reboots.front(), 0);  // last reboot before the epoch
+    EXPECT_TRUE(std::is_sorted(device.reboots.begin(), device.reboots.end()));
+    EXPECT_GE(device.boots_before_history, 1u);
+  }
+}
+
+TEST(Generator, VendorMixMatchesRegionPolicy) {
+  const World& world = tiny_world();
+  // Huawei must not appear in NA routers (Figure 15's headline fact).
+  for (const auto& device : world.devices) {
+    if (device.kind != DeviceKind::kRouter || !device.itdk_eligible) continue;
+    if (world.ases[device.as_index].region == "NA")
+      EXPECT_NE(device.vendor->name, "Huawei");
+  }
+}
+
+TEST(Generator, RouterCountsRoughlyMatchConfig) {
+  const World& world = tiny_world();
+  EXPECT_GT(world.router_count(), 100u);
+  EXPECT_GT(world.devices.size(), world.router_count());
+}
+
+TEST(Generator, ConstantBugDevicesShareThePaperValue) {
+  const World world = generate_world(WorldConfig::tiny());
+  std::size_t afflicted = 0;
+  for (const auto& device : world.devices)
+    if (util::to_hex(device.engine_id.raw()) == "800000090300000000000000")
+      ++afflicted;
+  // The tiny world still carries a handful of buggy Cisco boxes, and they
+  // all share the single constant value.
+  EXPECT_GT(afflicted, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Churn
+// ---------------------------------------------------------------------------
+
+TEST(Churn, RebindsOnlyChurningDevices) {
+  World world = generate_world(WorldConfig::tiny());
+  std::map<DeviceIndex, std::vector<net::Ipv4>> before;
+  for (const auto& device : world.devices) {
+    std::vector<net::Ipv4> addrs;
+    for (const auto& itf : device.interfaces)
+      if (itf.v4) addrs.push_back(*itf.v4);
+    before[device.index] = std::move(addrs);
+  }
+  world.rebind_churning_devices(0xfeed);
+  std::size_t churners = 0, changed = 0;
+  for (const auto& device : world.devices) {
+    std::vector<net::Ipv4> addrs;
+    for (const auto& itf : device.interfaces)
+      if (itf.v4) addrs.push_back(*itf.v4);
+    if (!device.churns) {
+      EXPECT_EQ(addrs, before[device.index]);  // static devices untouched
+    } else if (!addrs.empty()) {
+      ++churners;
+      changed += addrs != before[device.index];
+    }
+  }
+  if (churners > 10) EXPECT_GT(changed, churners * 8 / 10);
+}
+
+TEST(Churn, RecyclesAddressesToOtherDevices) {
+  World world = generate_world(WorldConfig::tiny());
+  // Record the churning addresses of epoch 1.
+  std::map<net::IpAddress, DeviceIndex> old_owner;
+  for (const auto& device : world.devices) {
+    if (!device.churns) continue;
+    for (const auto& itf : device.interfaces)
+      if (itf.v4) old_owner[net::IpAddress(*itf.v4)] = device.index;
+  }
+  world.rebind_churning_devices(0xbeef);
+  std::size_t reused_by_other = 0;
+  for (const auto& [address, owner] : old_owner) {
+    const auto now = world.device_index_at(address);
+    if (now != kNoDevice && now != owner) ++reused_by_other;
+  }
+  // DHCP-style recycling: a solid share of old leases now belong to
+  // somebody else (drives the paper's "inconsistent engine ID" filter).
+  if (old_owner.size() > 20)
+    EXPECT_GT(reused_by_other, old_owner.size() / 4);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset exporters
+// ---------------------------------------------------------------------------
+
+TEST(Datasets, ItdkCoversOnlyEligibleRouters) {
+  const World& world = tiny_world();
+  const auto itdk = export_itdk_v4(world, {});
+  ASSERT_FALSE(itdk.addresses.empty());
+  for (const auto& address : itdk.addresses) {
+    EXPECT_TRUE(address.is_v4());
+    const auto* device = world.device_at(address);
+    ASSERT_NE(device, nullptr);
+    EXPECT_TRUE(device->itdk_eligible);
+  }
+}
+
+TEST(Datasets, CoverageKnobWorks) {
+  const World& world = tiny_world();
+  DatasetOptions low;
+  low.router_coverage = 0.2;
+  DatasetOptions high;
+  high.router_coverage = 0.95;
+  EXPECT_LT(export_itdk_v4(world, low).addresses.size(),
+            export_itdk_v4(world, high).addresses.size());
+}
+
+TEST(Datasets, AliasSetsPartitionTheirAddresses) {
+  const auto itdk = export_itdk_v4(tiny_world(), {});
+  std::set<net::IpAddress> seen;
+  for (const auto& set : itdk.alias_sets)
+    for (const auto& address : set)
+      EXPECT_TRUE(seen.insert(address).second) << "address in two sets";
+}
+
+TEST(Datasets, HitlistIncludesCpe) {
+  const World& world = tiny_world();
+  const auto hitlist = export_hitlist_v6(world, 1);
+  bool has_cpe = false;
+  for (const auto& address : hitlist) {
+    EXPECT_TRUE(address.is_v6());
+    const auto* device = world.device_at(address);
+    if (device != nullptr && device->kind == DeviceKind::kCpe) has_cpe = true;
+  }
+  EXPECT_TRUE(has_cpe);
+}
+
+TEST(Datasets, PtrRecordsMatchInterfaces) {
+  const World& world = tiny_world();
+  const auto records = export_ptr_records(world);
+  ASSERT_FALSE(records.empty());
+  for (const auto& record : records) {
+    EXPECT_FALSE(record.name.empty());
+    EXPECT_NE(world.device_index_at(record.address), kNoDevice);
+  }
+}
+
+TEST(Datasets, AsTableResolvesAllAssignedAddresses) {
+  const World& world = tiny_world();
+  const auto table = build_as_table(world);
+  EXPECT_EQ(table.size(), world.ases.size() * 2);
+  for (const auto& address : world.addresses(net::Family::kIpv4)) {
+    const auto info = table.lookup(address);
+    ASSERT_TRUE(info.has_value()) << address.to_string();
+  }
+}
+
+TEST(Datasets, UnionDeduplicates) {
+  const World& world = tiny_world();
+  const auto itdk = export_itdk_v4(world, {});
+  const auto atlas = export_atlas(world, {});
+  const auto merged = dataset_union({&itdk, &atlas});
+  std::set<net::IpAddress> unique(merged.begin(), merged.end());
+  EXPECT_EQ(unique.size(), merged.size());
+  EXPECT_GE(merged.size(), itdk.addresses.size());
+}
+
+// ---------------------------------------------------------------------------
+// Vendor profiles
+// ---------------------------------------------------------------------------
+
+TEST(Vendors, ProfilesAreConsistent) {
+  for (const auto* table :
+       {&builtin_router_vendors(), &builtin_cpe_vendors(),
+        &builtin_server_vendors()}) {
+    for (const auto& vendor : *table) {
+      EXPECT_FALSE(vendor.name.empty());
+      EXPECT_GT(vendor.enterprise_pen, 0u);
+      EXPECT_GE(vendor.snmpv3_responsive, 0.0);
+      EXPECT_LE(vendor.snmpv3_responsive, 1.0);
+      EXPECT_GT(vendor.mean_days_between_reboots, 0.0);
+      const auto& p = vendor.engine_id_policy;
+      const double total = p.mac + p.ipv4 + p.text + p.octets + p.enterprise +
+                           p.net_snmp + p.non_conforming;
+      EXPECT_GT(total, 0.0) << vendor.name;
+    }
+  }
+}
+
+TEST(Vendors, LookupByName) {
+  EXPECT_EQ(vendor_profile("Cisco").enterprise_pen, 9u);
+  EXPECT_EQ(vendor_profile("Juniper").initial_ttl, 64);
+  EXPECT_EQ(vendor_profile("Huawei").initial_ttl, 255);  // same as Cisco
+}
+
+TEST(Vendors, TruthAliasSetsMatchInterfaces) {
+  const World& world = tiny_world();
+  const auto sets = world.truth_alias_sets();
+  std::size_t total_addresses = 0;
+  for (const auto& set : sets) total_addresses += set.size();
+  EXPECT_EQ(total_addresses, world.address_count(net::Family::kIpv4) +
+                                 world.address_count(net::Family::kIpv6));
+}
+
+}  // namespace
+}  // namespace snmpv3fp::topo

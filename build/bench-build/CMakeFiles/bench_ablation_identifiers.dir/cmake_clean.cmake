@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_identifiers"
+  "../bench/bench_ablation_identifiers.pdb"
+  "CMakeFiles/bench_ablation_identifiers.dir/bench_ablation_identifiers.cpp.o"
+  "CMakeFiles/bench_ablation_identifiers.dir/bench_ablation_identifiers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_identifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

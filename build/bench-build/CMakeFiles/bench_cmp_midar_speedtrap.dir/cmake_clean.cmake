@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cmp_midar_speedtrap"
+  "../bench/bench_cmp_midar_speedtrap.pdb"
+  "CMakeFiles/bench_cmp_midar_speedtrap.dir/bench_cmp_midar_speedtrap.cpp.o"
+  "CMakeFiles/bench_cmp_midar_speedtrap.dir/bench_cmp_midar_speedtrap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmp_midar_speedtrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

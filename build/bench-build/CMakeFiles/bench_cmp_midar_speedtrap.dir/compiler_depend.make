@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_cmp_midar_speedtrap.
+# This may be replaced when dependencies are built.

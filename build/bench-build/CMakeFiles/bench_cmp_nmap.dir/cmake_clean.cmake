@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cmp_nmap"
+  "../bench/bench_cmp_nmap.pdb"
+  "CMakeFiles/bench_cmp_nmap.dir/bench_cmp_nmap.cpp.o"
+  "CMakeFiles/bench_cmp_nmap.dir/bench_cmp_nmap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmp_nmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cmp_nmap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cmp_routernames"
+  "../bench/bench_cmp_routernames.pdb"
+  "CMakeFiles/bench_cmp_routernames.dir/bench_cmp_routernames.cpp.o"
+  "CMakeFiles/bench_cmp_routernames.dir/bench_cmp_routernames.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmp_routernames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

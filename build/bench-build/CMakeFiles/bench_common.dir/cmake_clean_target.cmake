@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../bench-lib/libbench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_ips_per_engineid"
+  "../bench/bench_fig04_ips_per_engineid.pdb"
+  "CMakeFiles/bench_fig04_ips_per_engineid.dir/bench_fig04_ips_per_engineid.cpp.o"
+  "CMakeFiles/bench_fig04_ips_per_engineid.dir/bench_fig04_ips_per_engineid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_ips_per_engineid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_engineid_formats"
+  "../bench/bench_fig05_engineid_formats.pdb"
+  "CMakeFiles/bench_fig05_engineid_formats.dir/bench_fig05_engineid_formats.cpp.o"
+  "CMakeFiles/bench_fig05_engineid_formats.dir/bench_fig05_engineid_formats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_engineid_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_hamming"
+  "../bench/bench_fig06_hamming.pdb"
+  "CMakeFiles/bench_fig06_hamming.dir/bench_fig06_hamming.cpp.o"
+  "CMakeFiles/bench_fig06_hamming.dir/bench_fig06_hamming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

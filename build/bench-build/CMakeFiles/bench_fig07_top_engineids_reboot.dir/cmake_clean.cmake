@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_top_engineids_reboot"
+  "../bench/bench_fig07_top_engineids_reboot.pdb"
+  "CMakeFiles/bench_fig07_top_engineids_reboot.dir/bench_fig07_top_engineids_reboot.cpp.o"
+  "CMakeFiles/bench_fig07_top_engineids_reboot.dir/bench_fig07_top_engineids_reboot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_top_engineids_reboot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_reboot_consistency"
+  "../bench/bench_fig08_reboot_consistency.pdb"
+  "CMakeFiles/bench_fig08_reboot_consistency.dir/bench_fig08_reboot_consistency.cpp.o"
+  "CMakeFiles/bench_fig08_reboot_consistency.dir/bench_fig08_reboot_consistency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_reboot_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_aliasset_sizes"
+  "../bench/bench_fig09_aliasset_sizes.pdb"
+  "CMakeFiles/bench_fig09_aliasset_sizes.dir/bench_fig09_aliasset_sizes.cpp.o"
+  "CMakeFiles/bench_fig09_aliasset_sizes.dir/bench_fig09_aliasset_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_aliasset_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

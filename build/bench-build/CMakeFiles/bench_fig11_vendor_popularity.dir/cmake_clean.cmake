@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_vendor_popularity"
+  "../bench/bench_fig11_vendor_popularity.pdb"
+  "CMakeFiles/bench_fig11_vendor_popularity.dir/bench_fig11_vendor_popularity.cpp.o"
+  "CMakeFiles/bench_fig11_vendor_popularity.dir/bench_fig11_vendor_popularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vendor_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

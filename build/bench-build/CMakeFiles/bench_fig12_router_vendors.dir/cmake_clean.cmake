@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_router_vendors"
+  "../bench/bench_fig12_router_vendors.pdb"
+  "CMakeFiles/bench_fig12_router_vendors.dir/bench_fig12_router_vendors.cpp.o"
+  "CMakeFiles/bench_fig12_router_vendors.dir/bench_fig12_router_vendors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_router_vendors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_uptime"
+  "../bench/bench_fig13_uptime.pdb"
+  "CMakeFiles/bench_fig13_uptime.dir/bench_fig13_uptime.cpp.o"
+  "CMakeFiles/bench_fig13_uptime.dir/bench_fig13_uptime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_uptime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

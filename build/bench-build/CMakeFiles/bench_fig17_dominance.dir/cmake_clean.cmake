@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_dominance"
+  "../bench/bench_fig17_dominance.pdb"
+  "CMakeFiles/bench_fig17_dominance.dir/bench_fig17_dominance.cpp.o"
+  "CMakeFiles/bench_fig17_dominance.dir/bench_fig17_dominance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

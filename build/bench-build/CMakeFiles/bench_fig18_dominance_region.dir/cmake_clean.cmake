@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_dominance_region"
+  "../bench/bench_fig18_dominance_region.pdb"
+  "CMakeFiles/bench_fig18_dominance_region.dir/bench_fig18_dominance_region.cpp.o"
+  "CMakeFiles/bench_fig18_dominance_region.dir/bench_fig18_dominance_region.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_dominance_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_tuple_uniqueness"
+  "../bench/bench_fig19_tuple_uniqueness.pdb"
+  "CMakeFiles/bench_fig19_tuple_uniqueness.dir/bench_fig19_tuple_uniqueness.cpp.o"
+  "CMakeFiles/bench_fig19_tuple_uniqueness.dir/bench_fig19_tuple_uniqueness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_tuple_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec8_amplification"
+  "../bench/bench_sec8_amplification.pdb"
+  "CMakeFiles/bench_sec8_amplification.dir/bench_sec8_amplification.cpp.o"
+  "CMakeFiles/bench_sec8_amplification.dir/bench_sec8_amplification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

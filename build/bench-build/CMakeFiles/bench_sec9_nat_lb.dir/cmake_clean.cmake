@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec9_nat_lb"
+  "../bench/bench_sec9_nat_lb.pdb"
+  "CMakeFiles/bench_sec9_nat_lb.dir/bench_sec9_nat_lb.cpp.o"
+  "CMakeFiles/bench_sec9_nat_lb.dir/bench_sec9_nat_lb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec9_nat_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

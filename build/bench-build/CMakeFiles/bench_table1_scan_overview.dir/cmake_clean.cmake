@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_scan_overview"
+  "../bench/bench_table1_scan_overview.pdb"
+  "CMakeFiles/bench_table1_scan_overview.dir/bench_table1_scan_overview.cpp.o"
+  "CMakeFiles/bench_table1_scan_overview.dir/bench_table1_scan_overview.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_scan_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

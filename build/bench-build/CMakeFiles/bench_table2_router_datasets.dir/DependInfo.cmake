@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_router_datasets.cpp" "bench-build/CMakeFiles/bench_table2_router_datasets.dir/bench_table2_router_datasets.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table2_router_datasets.dir/bench_table2_router_datasets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snmpv3fp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/snmpv3fp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/snmpv3fp_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snmpv3fp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/snmpv3fp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/snmp/CMakeFiles/snmpv3fp_snmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/snmpv3fp_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snmpv3fp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snmpv3fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_alias_variants"
+  "../bench/bench_table3_alias_variants.pdb"
+  "CMakeFiles/bench_table3_alias_variants.dir/bench_table3_alias_variants.cpp.o"
+  "CMakeFiles/bench_table3_alias_variants.dir/bench_table3_alias_variants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_alias_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

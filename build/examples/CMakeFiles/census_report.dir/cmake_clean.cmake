@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_report.dir/census_report.cpp.o"
+  "CMakeFiles/census_report.dir/census_report.cpp.o.d"
+  "census_report"
+  "census_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

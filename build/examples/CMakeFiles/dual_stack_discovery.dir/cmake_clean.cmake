@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_stack_discovery.dir/dual_stack_discovery.cpp.o"
+  "CMakeFiles/dual_stack_discovery.dir/dual_stack_discovery.cpp.o.d"
+  "dual_stack_discovery"
+  "dual_stack_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_stack_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engineid_bruteforce.dir/engineid_bruteforce.cpp.o"
+  "CMakeFiles/engineid_bruteforce.dir/engineid_bruteforce.cpp.o.d"
+  "engineid_bruteforce"
+  "engineid_bruteforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engineid_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for engineid_bruteforce.
+# This may be replaced when dependencies are built.

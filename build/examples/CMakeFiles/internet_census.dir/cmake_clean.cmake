@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_census.dir/internet_census.cpp.o"
+  "CMakeFiles/internet_census.dir/internet_census.cpp.o.d"
+  "internet_census"
+  "internet_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

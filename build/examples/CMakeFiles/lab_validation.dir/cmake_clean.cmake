@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_validation.dir/lab_validation.cpp.o"
+  "CMakeFiles/lab_validation.dir/lab_validation.cpp.o.d"
+  "lab_validation"
+  "lab_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

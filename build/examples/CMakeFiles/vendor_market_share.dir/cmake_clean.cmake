@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vendor_market_share.dir/vendor_market_share.cpp.o"
+  "CMakeFiles/vendor_market_share.dir/vendor_market_share.cpp.o.d"
+  "vendor_market_share"
+  "vendor_market_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vendor_market_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

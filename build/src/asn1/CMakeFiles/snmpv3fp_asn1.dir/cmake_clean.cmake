@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmpv3fp_asn1.dir/ber.cpp.o"
+  "CMakeFiles/snmpv3fp_asn1.dir/ber.cpp.o.d"
+  "libsnmpv3fp_asn1.a"
+  "libsnmpv3fp_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmpv3fp_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/compare.cpp" "src/baselines/CMakeFiles/snmpv3fp_baselines.dir/compare.cpp.o" "gcc" "src/baselines/CMakeFiles/snmpv3fp_baselines.dir/compare.cpp.o.d"
+  "/root/repo/src/baselines/midar.cpp" "src/baselines/CMakeFiles/snmpv3fp_baselines.dir/midar.cpp.o" "gcc" "src/baselines/CMakeFiles/snmpv3fp_baselines.dir/midar.cpp.o.d"
+  "/root/repo/src/baselines/nmap_lite.cpp" "src/baselines/CMakeFiles/snmpv3fp_baselines.dir/nmap_lite.cpp.o" "gcc" "src/baselines/CMakeFiles/snmpv3fp_baselines.dir/nmap_lite.cpp.o.d"
+  "/root/repo/src/baselines/router_names.cpp" "src/baselines/CMakeFiles/snmpv3fp_baselines.dir/router_names.cpp.o" "gcc" "src/baselines/CMakeFiles/snmpv3fp_baselines.dir/router_names.cpp.o.d"
+  "/root/repo/src/baselines/speedtrap.cpp" "src/baselines/CMakeFiles/snmpv3fp_baselines.dir/speedtrap.cpp.o" "gcc" "src/baselines/CMakeFiles/snmpv3fp_baselines.dir/speedtrap.cpp.o.d"
+  "/root/repo/src/baselines/ttl_fingerprint.cpp" "src/baselines/CMakeFiles/snmpv3fp_baselines.dir/ttl_fingerprint.cpp.o" "gcc" "src/baselines/CMakeFiles/snmpv3fp_baselines.dir/ttl_fingerprint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/snmpv3fp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/snmpv3fp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/snmp/CMakeFiles/snmpv3fp_snmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snmpv3fp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/snmpv3fp_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snmpv3fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmpv3fp_baselines.dir/compare.cpp.o"
+  "CMakeFiles/snmpv3fp_baselines.dir/compare.cpp.o.d"
+  "CMakeFiles/snmpv3fp_baselines.dir/midar.cpp.o"
+  "CMakeFiles/snmpv3fp_baselines.dir/midar.cpp.o.d"
+  "CMakeFiles/snmpv3fp_baselines.dir/nmap_lite.cpp.o"
+  "CMakeFiles/snmpv3fp_baselines.dir/nmap_lite.cpp.o.d"
+  "CMakeFiles/snmpv3fp_baselines.dir/router_names.cpp.o"
+  "CMakeFiles/snmpv3fp_baselines.dir/router_names.cpp.o.d"
+  "CMakeFiles/snmpv3fp_baselines.dir/speedtrap.cpp.o"
+  "CMakeFiles/snmpv3fp_baselines.dir/speedtrap.cpp.o.d"
+  "CMakeFiles/snmpv3fp_baselines.dir/ttl_fingerprint.cpp.o"
+  "CMakeFiles/snmpv3fp_baselines.dir/ttl_fingerprint.cpp.o.d"
+  "libsnmpv3fp_baselines.a"
+  "libsnmpv3fp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmpv3fp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

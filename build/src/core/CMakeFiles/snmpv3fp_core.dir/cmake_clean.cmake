@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmpv3fp_core.dir/alias.cpp.o"
+  "CMakeFiles/snmpv3fp_core.dir/alias.cpp.o.d"
+  "CMakeFiles/snmpv3fp_core.dir/analytics.cpp.o"
+  "CMakeFiles/snmpv3fp_core.dir/analytics.cpp.o.d"
+  "CMakeFiles/snmpv3fp_core.dir/anomaly.cpp.o"
+  "CMakeFiles/snmpv3fp_core.dir/anomaly.cpp.o.d"
+  "CMakeFiles/snmpv3fp_core.dir/filters.cpp.o"
+  "CMakeFiles/snmpv3fp_core.dir/filters.cpp.o.d"
+  "CMakeFiles/snmpv3fp_core.dir/fingerprint.cpp.o"
+  "CMakeFiles/snmpv3fp_core.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/snmpv3fp_core.dir/join.cpp.o"
+  "CMakeFiles/snmpv3fp_core.dir/join.cpp.o.d"
+  "CMakeFiles/snmpv3fp_core.dir/pipeline.cpp.o"
+  "CMakeFiles/snmpv3fp_core.dir/pipeline.cpp.o.d"
+  "libsnmpv3fp_core.a"
+  "libsnmpv3fp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmpv3fp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/as_table.cpp" "src/net/CMakeFiles/snmpv3fp_net.dir/as_table.cpp.o" "gcc" "src/net/CMakeFiles/snmpv3fp_net.dir/as_table.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/snmpv3fp_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/snmpv3fp_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/net/CMakeFiles/snmpv3fp_net.dir/mac.cpp.o" "gcc" "src/net/CMakeFiles/snmpv3fp_net.dir/mac.cpp.o.d"
+  "/root/repo/src/net/registry.cpp" "src/net/CMakeFiles/snmpv3fp_net.dir/registry.cpp.o" "gcc" "src/net/CMakeFiles/snmpv3fp_net.dir/registry.cpp.o.d"
+  "/root/repo/src/net/udp_socket.cpp" "src/net/CMakeFiles/snmpv3fp_net.dir/udp_socket.cpp.o" "gcc" "src/net/CMakeFiles/snmpv3fp_net.dir/udp_socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snmpv3fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

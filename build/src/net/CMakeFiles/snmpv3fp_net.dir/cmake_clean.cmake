@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmpv3fp_net.dir/as_table.cpp.o"
+  "CMakeFiles/snmpv3fp_net.dir/as_table.cpp.o.d"
+  "CMakeFiles/snmpv3fp_net.dir/ip.cpp.o"
+  "CMakeFiles/snmpv3fp_net.dir/ip.cpp.o.d"
+  "CMakeFiles/snmpv3fp_net.dir/mac.cpp.o"
+  "CMakeFiles/snmpv3fp_net.dir/mac.cpp.o.d"
+  "CMakeFiles/snmpv3fp_net.dir/registry.cpp.o"
+  "CMakeFiles/snmpv3fp_net.dir/registry.cpp.o.d"
+  "CMakeFiles/snmpv3fp_net.dir/udp_socket.cpp.o"
+  "CMakeFiles/snmpv3fp_net.dir/udp_socket.cpp.o.d"
+  "libsnmpv3fp_net.a"
+  "libsnmpv3fp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmpv3fp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmpv3fp_scan.dir/aliased_prefix.cpp.o"
+  "CMakeFiles/snmpv3fp_scan.dir/aliased_prefix.cpp.o.d"
+  "CMakeFiles/snmpv3fp_scan.dir/campaign.cpp.o"
+  "CMakeFiles/snmpv3fp_scan.dir/campaign.cpp.o.d"
+  "CMakeFiles/snmpv3fp_scan.dir/prober.cpp.o"
+  "CMakeFiles/snmpv3fp_scan.dir/prober.cpp.o.d"
+  "CMakeFiles/snmpv3fp_scan.dir/walker.cpp.o"
+  "CMakeFiles/snmpv3fp_scan.dir/walker.cpp.o.d"
+  "libsnmpv3fp_scan.a"
+  "libsnmpv3fp_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmpv3fp_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/agent.cpp" "src/sim/CMakeFiles/snmpv3fp_sim.dir/agent.cpp.o" "gcc" "src/sim/CMakeFiles/snmpv3fp_sim.dir/agent.cpp.o.d"
+  "/root/repo/src/sim/fabric.cpp" "src/sim/CMakeFiles/snmpv3fp_sim.dir/fabric.cpp.o" "gcc" "src/sim/CMakeFiles/snmpv3fp_sim.dir/fabric.cpp.o.d"
+  "/root/repo/src/sim/mib.cpp" "src/sim/CMakeFiles/snmpv3fp_sim.dir/mib.cpp.o" "gcc" "src/sim/CMakeFiles/snmpv3fp_sim.dir/mib.cpp.o.d"
+  "/root/repo/src/sim/stack.cpp" "src/sim/CMakeFiles/snmpv3fp_sim.dir/stack.cpp.o" "gcc" "src/sim/CMakeFiles/snmpv3fp_sim.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/snmpv3fp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/snmp/CMakeFiles/snmpv3fp_snmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/snmpv3fp_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snmpv3fp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snmpv3fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

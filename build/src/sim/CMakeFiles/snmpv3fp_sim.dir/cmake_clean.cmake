@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmpv3fp_sim.dir/agent.cpp.o"
+  "CMakeFiles/snmpv3fp_sim.dir/agent.cpp.o.d"
+  "CMakeFiles/snmpv3fp_sim.dir/fabric.cpp.o"
+  "CMakeFiles/snmpv3fp_sim.dir/fabric.cpp.o.d"
+  "CMakeFiles/snmpv3fp_sim.dir/mib.cpp.o"
+  "CMakeFiles/snmpv3fp_sim.dir/mib.cpp.o.d"
+  "CMakeFiles/snmpv3fp_sim.dir/stack.cpp.o"
+  "CMakeFiles/snmpv3fp_sim.dir/stack.cpp.o.d"
+  "libsnmpv3fp_sim.a"
+  "libsnmpv3fp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmpv3fp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

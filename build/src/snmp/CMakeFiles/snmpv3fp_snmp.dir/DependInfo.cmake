@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snmp/engine_id.cpp" "src/snmp/CMakeFiles/snmpv3fp_snmp.dir/engine_id.cpp.o" "gcc" "src/snmp/CMakeFiles/snmpv3fp_snmp.dir/engine_id.cpp.o.d"
+  "/root/repo/src/snmp/message.cpp" "src/snmp/CMakeFiles/snmpv3fp_snmp.dir/message.cpp.o" "gcc" "src/snmp/CMakeFiles/snmpv3fp_snmp.dir/message.cpp.o.d"
+  "/root/repo/src/snmp/usm.cpp" "src/snmp/CMakeFiles/snmpv3fp_snmp.dir/usm.cpp.o" "gcc" "src/snmp/CMakeFiles/snmpv3fp_snmp.dir/usm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asn1/CMakeFiles/snmpv3fp_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snmpv3fp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snmpv3fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

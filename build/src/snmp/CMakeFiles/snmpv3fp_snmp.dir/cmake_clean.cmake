@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmpv3fp_snmp.dir/engine_id.cpp.o"
+  "CMakeFiles/snmpv3fp_snmp.dir/engine_id.cpp.o.d"
+  "CMakeFiles/snmpv3fp_snmp.dir/message.cpp.o"
+  "CMakeFiles/snmpv3fp_snmp.dir/message.cpp.o.d"
+  "CMakeFiles/snmpv3fp_snmp.dir/usm.cpp.o"
+  "CMakeFiles/snmpv3fp_snmp.dir/usm.cpp.o.d"
+  "libsnmpv3fp_snmp.a"
+  "libsnmpv3fp_snmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmpv3fp_snmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/datasets.cpp" "src/topo/CMakeFiles/snmpv3fp_topo.dir/datasets.cpp.o" "gcc" "src/topo/CMakeFiles/snmpv3fp_topo.dir/datasets.cpp.o.d"
+  "/root/repo/src/topo/generator.cpp" "src/topo/CMakeFiles/snmpv3fp_topo.dir/generator.cpp.o" "gcc" "src/topo/CMakeFiles/snmpv3fp_topo.dir/generator.cpp.o.d"
+  "/root/repo/src/topo/vendor.cpp" "src/topo/CMakeFiles/snmpv3fp_topo.dir/vendor.cpp.o" "gcc" "src/topo/CMakeFiles/snmpv3fp_topo.dir/vendor.cpp.o.d"
+  "/root/repo/src/topo/world.cpp" "src/topo/CMakeFiles/snmpv3fp_topo.dir/world.cpp.o" "gcc" "src/topo/CMakeFiles/snmpv3fp_topo.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snmp/CMakeFiles/snmpv3fp_snmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snmpv3fp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/snmpv3fp_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snmpv3fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmpv3fp_topo.dir/datasets.cpp.o"
+  "CMakeFiles/snmpv3fp_topo.dir/datasets.cpp.o.d"
+  "CMakeFiles/snmpv3fp_topo.dir/generator.cpp.o"
+  "CMakeFiles/snmpv3fp_topo.dir/generator.cpp.o.d"
+  "CMakeFiles/snmpv3fp_topo.dir/vendor.cpp.o"
+  "CMakeFiles/snmpv3fp_topo.dir/vendor.cpp.o.d"
+  "CMakeFiles/snmpv3fp_topo.dir/world.cpp.o"
+  "CMakeFiles/snmpv3fp_topo.dir/world.cpp.o.d"
+  "libsnmpv3fp_topo.a"
+  "libsnmpv3fp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmpv3fp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

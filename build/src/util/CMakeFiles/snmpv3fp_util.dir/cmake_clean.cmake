@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmpv3fp_util.dir/aes.cpp.o"
+  "CMakeFiles/snmpv3fp_util.dir/aes.cpp.o.d"
+  "CMakeFiles/snmpv3fp_util.dir/bytes.cpp.o"
+  "CMakeFiles/snmpv3fp_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/snmpv3fp_util.dir/digest.cpp.o"
+  "CMakeFiles/snmpv3fp_util.dir/digest.cpp.o.d"
+  "CMakeFiles/snmpv3fp_util.dir/rng.cpp.o"
+  "CMakeFiles/snmpv3fp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/snmpv3fp_util.dir/stats.cpp.o"
+  "CMakeFiles/snmpv3fp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/snmpv3fp_util.dir/strings.cpp.o"
+  "CMakeFiles/snmpv3fp_util.dir/strings.cpp.o.d"
+  "CMakeFiles/snmpv3fp_util.dir/table.cpp.o"
+  "CMakeFiles/snmpv3fp_util.dir/table.cpp.o.d"
+  "CMakeFiles/snmpv3fp_util.dir/vclock.cpp.o"
+  "CMakeFiles/snmpv3fp_util.dir/vclock.cpp.o.d"
+  "libsnmpv3fp_util.a"
+  "libsnmpv3fp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmpv3fp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

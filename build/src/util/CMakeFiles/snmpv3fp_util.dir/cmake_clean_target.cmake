@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnmpv3fp_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alias.dir/test_alias.cpp.o"
+  "CMakeFiles/test_alias.dir/test_alias.cpp.o.d"
+  "test_alias"
+  "test_alias.pdb"
+  "test_alias[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aliased_prefix.dir/test_aliased_prefix.cpp.o"
+  "CMakeFiles/test_aliased_prefix.dir/test_aliased_prefix.cpp.o.d"
+  "test_aliased_prefix"
+  "test_aliased_prefix.pdb"
+  "test_aliased_prefix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aliased_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

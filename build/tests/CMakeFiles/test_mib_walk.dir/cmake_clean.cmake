@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mib_walk.dir/test_mib_walk.cpp.o"
+  "CMakeFiles/test_mib_walk.dir/test_mib_walk.cpp.o.d"
+  "test_mib_walk"
+  "test_mib_walk.pdb"
+  "test_mib_walk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mib_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snmp_engine_id.dir/test_snmp_engine_id.cpp.o"
+  "CMakeFiles/test_snmp_engine_id.dir/test_snmp_engine_id.cpp.o.d"
+  "test_snmp_engine_id"
+  "test_snmp_engine_id.pdb"
+  "test_snmp_engine_id[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snmp_engine_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

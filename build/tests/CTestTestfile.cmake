@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_asn1[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_snmp_engine_id[1]_include.cmake")
+include("/root/repo/build/tests/test_snmp_message[1]_include.cmake")
+include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_alias[1]_include.cmake")
+include("/root/repo/build/tests/test_fingerprint[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_scan[1]_include.cmake")
+include("/root/repo/build/tests/test_analytics[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_usm[1]_include.cmake")
+include("/root/repo/build/tests/test_mib_walk[1]_include.cmake")
+include("/root/repo/build/tests/test_ground_truth[1]_include.cmake")
+include("/root/repo/build/tests/test_anomaly[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_aliased_prefix[1]_include.cmake")
+include("/root/repo/build/tests/test_privacy[1]_include.cmake")

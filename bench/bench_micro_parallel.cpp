@@ -1,0 +1,107 @@
+// Parallel-engine scaling bench: times the four heavy pipeline stages
+// (two-scan campaign, join, filter pipeline, alias resolution) at several
+// thread counts and reports the speedup over the sequential (threads=1)
+// run. Results go to stdout and, machine-readable, to BENCH_parallel.json
+// as [{stage, threads, wall_ms, speedup}, ...].
+//
+// All stages are bit-identical across thread counts (enforced by
+// tests/test_parallel.cpp), so the timings compare identical work.
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common.hpp"
+#include "topo/generator.hpp"
+
+namespace snmpv3fp {
+namespace {
+
+constexpr int kRepeats = 3;
+
+std::vector<std::size_t> thread_counts() {
+  std::set<std::size_t> counts{1, 2, 4, util::default_thread_count()};
+  return {counts.begin(), counts.end()};
+}
+
+scan::CampaignOptions campaign_options(std::size_t threads) {
+  scan::CampaignOptions options;
+  options.family = net::Family::kIpv4;
+  options.rate_pps = 5000.0;
+  options.seed = 20210416;
+  options.parallel.threads = threads;
+  return options;
+}
+
+}  // namespace
+}  // namespace snmpv3fp
+
+int main() {
+  using namespace snmpv3fp;
+  benchx::print_header("micro_parallel",
+                       "stage wall time vs thread count (identical outputs)");
+  std::printf("  hardware threads: %zu (SNMPFP_THREADS overrides)\n\n",
+              util::default_thread_count());
+
+  const auto base_world =
+      topo::generate_world(topo::WorldConfig::full_internet());
+
+  // Fixed inputs for the analysis stages, produced once; the campaign is
+  // deterministic in `threads`, so any thread count yields the same scans.
+  topo::World campaign_world = base_world;
+  const auto campaign =
+      scan::run_two_scan_campaign(campaign_world, campaign_options(1));
+  const auto joined = core::join_scans(campaign.scan1, campaign.scan2);
+  const core::FilterPipeline pipeline;
+  auto filtered = joined;
+  pipeline.apply(filtered);
+
+  struct Stage {
+    const char* name;
+    std::function<void(util::ParallelOptions)> run;
+  };
+  const std::vector<Stage> stages = {
+      {"scan_campaign",
+       [&](util::ParallelOptions parallel) {
+         topo::World world = base_world;  // campaign mutates addresses
+         auto options = campaign_options(parallel.threads);
+         scan::run_two_scan_campaign(world, options);
+       }},
+      {"join",
+       [&](util::ParallelOptions parallel) {
+         core::join_scans(campaign.scan1, campaign.scan2, nullptr, parallel);
+       }},
+      {"filter",
+       [&](util::ParallelOptions parallel) {
+         auto records = joined;
+         pipeline.apply(records, parallel);
+       }},
+      {"alias",
+       [&](util::ParallelOptions parallel) {
+         core::resolve_aliases(filtered, {}, parallel);
+       }},
+  };
+
+  benchx::JsonRows rows;
+  std::printf("  %-14s %8s %12s %9s\n", "stage", "threads", "wall_ms",
+              "speedup");
+  for (const auto& stage : stages) {
+    double sequential_ms = 0.0;
+    for (const std::size_t threads : thread_counts()) {
+      const double wall_ms = benchx::best_wall_ms(
+          kRepeats, [&] { stage.run({.threads = threads}); });
+      if (threads == 1) sequential_ms = wall_ms;
+      const double speedup = wall_ms > 0.0 ? sequential_ms / wall_ms : 0.0;
+      std::printf("  %-14s %8zu %12.2f %8.2fx\n", stage.name, threads,
+                  wall_ms, speedup);
+      rows.begin_row()
+          .field("stage", stage.name)
+          .field("threads", static_cast<std::int64_t>(threads))
+          .field("wall_ms", wall_ms)
+          .field("speedup", speedup);
+    }
+  }
+
+  if (rows.write("BENCH_parallel.json"))
+    std::printf("\n  wrote BENCH_parallel.json\n");
+  return 0;
+}

@@ -3,8 +3,12 @@
 // "paper vs measured" layout.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -27,5 +31,48 @@ void print_ecdf_at(const std::string& label, const util::Ecdf& ecdf,
 // One "paper vs measured" comparison row.
 void print_paper_row(const std::string& metric, const std::string& paper,
                      const std::string& measured);
+
+// Wall-clock stopwatch (steady_clock) for benches that time whole stages
+// rather than google-benchmark iterations.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Runs `fn` `repeats` times and returns the fastest wall time in ms (the
+// usual noise-resistant estimator for single-shot stage timings).
+double best_wall_ms(int repeats, const std::function<void()>& fn);
+
+// Accumulates flat rows of string/number fields and renders them as a JSON
+// array of objects — the machine-readable side channel next to a bench's
+// human-readable output. Field order within a row is preserved.
+class JsonRows {
+ public:
+  JsonRows& begin_row();
+  JsonRows& field(std::string_view key, std::string_view value);
+  JsonRows& field(std::string_view key, double value);
+  JsonRows& field(std::string_view key, std::int64_t value);
+
+  std::string render() const;
+  // Writes `render()` to `path`; returns false (and prints to stderr) on
+  // I/O failure instead of throwing — benches should still finish.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Field {
+    std::string key;
+    std::string rendered;  // already JSON-encoded value
+  };
+  std::vector<std::vector<Field>> rows_;
+};
 
 }  // namespace snmpv3fp::benchx

@@ -1,9 +1,10 @@
 #include "core/alias.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <map>
 #include <tuple>
+#include <unordered_map>
 
 namespace snmpv3fp::core {
 
@@ -74,37 +75,129 @@ double AliasResolution::mean_ips_per_non_singleton() const {
 }
 
 AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
-                                const AliasOptions& options) {
+                                const AliasOptions& options,
+                                const util::ParallelOptions& parallel) {
   // Key: engine ID bytes + boots/reboot of scan 1 (+ scan 2 when enabled).
-  using Key = std::tuple<util::Bytes, std::uint32_t, std::int64_t,
-                         std::uint32_t, std::int64_t>;
-  std::map<Key, AliasSet> groups;
-  for (const auto& record : records) {
-    Key key{record.engine_id().raw(), 0, 0, 0, 0};
+  // The key's scalar part is precomputed per record; the engine-ID bytes
+  // are only ever *compared* against a group's stored EngineId, so no
+  // per-record byte-buffer copy is made anywhere.
+  struct KeyScalars {
+    std::uint32_t boots1 = 0;
+    std::int64_t reboot1 = 0;
+    std::uint32_t boots2 = 0;
+    std::int64_t reboot2 = 0;
+
+    bool operator==(const KeyScalars&) const = default;
+  };
+  const std::size_t n = records.size();
+
+  // Phase 1: per-record key scalars and a 64-bit key hash, in parallel.
+  std::vector<KeyScalars> scalars(n);
+  std::vector<std::uint64_t> hashes(n);
+  util::parallel_for(0, n, parallel, [&](std::size_t i) {
+    const auto& record = records[i];
+    KeyScalars key;
     if (!options.engine_id_only) {
-      std::get<1>(key) = record.first.engine_boots;
-      std::get<2>(key) = match_key(options.match, record.first.last_reboot());
+      key.boots1 = record.first.engine_boots;
+      key.reboot1 = match_key(options.match, record.first.last_reboot());
       if (options.use_both_scans) {
-        std::get<3>(key) = record.second.engine_boots;
-        std::get<4>(key) =
-            match_key(options.match, record.second.last_reboot());
+        key.boots2 = record.second.engine_boots;
+        key.reboot2 = match_key(options.match, record.second.last_reboot());
       }
     }
-    auto& set = groups[std::move(key)];
-    if (set.addresses.empty()) {
-      set.engine_id = record.engine_id();
-      set.engine_boots = record.first.engine_boots;
-      set.last_reboot = record.first.last_reboot();
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the ID bytes
+    for (const std::uint8_t byte : record.engine_id().raw()) {
+      h ^= byte;
+      h *= 1099511628211ULL;
     }
-    set.addresses.push_back(record.address);
-  }
+    h = util::hash_combine(h, key.boots1);
+    h = util::hash_combine(h, static_cast<std::uint64_t>(key.reboot1));
+    h = util::hash_combine(h, key.boots2);
+    h = util::hash_combine(h, static_cast<std::uint64_t>(key.reboot2));
+    scalars[i] = key;
+    hashes[i] = h;
+  });
+
+  // Phase 2: bucket record indices by hash shard. The shard count is fixed
+  // (not thread-derived) so the grouping structure never depends on the
+  // thread count; equal keys always share a hash and thus a shard.
+  constexpr std::size_t kShards = 16;
+  std::array<std::vector<std::uint32_t>, kShards> buckets;
+  for (auto& bucket : buckets) bucket.reserve(n / kShards + 1);
+  for (std::size_t i = 0; i < n; ++i)
+    buckets[hashes[i] % kShards].push_back(static_cast<std::uint32_t>(i));
+
+  // Phase 3: group each shard independently. Hash collisions between
+  // distinct keys are resolved by comparing the full key (ID bytes against
+  // the group's stored EngineId plus the scalars).
+  struct ShardGroups {
+    std::vector<AliasSet> sets;
+    std::vector<KeyScalars> keys;  // key scalars per set, for the merge sort
+  };
+  std::array<ShardGroups, kShards> shards;
+  util::parallel_for(0, kShards, parallel, [&](std::size_t shard) {
+    auto& out = shards[shard];
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_hash;
+    by_hash.reserve(buckets[shard].size());
+    for (const std::uint32_t index : buckets[shard]) {
+      const auto& record = records[index];
+      auto& candidates = by_hash[hashes[index]];
+      std::uint32_t group = ~std::uint32_t{0};
+      for (const std::uint32_t candidate : candidates) {
+        if (out.keys[candidate] == scalars[index] &&
+            out.sets[candidate].engine_id.raw() == record.engine_id().raw()) {
+          group = candidate;
+          break;
+        }
+      }
+      if (group == ~std::uint32_t{0}) {
+        group = static_cast<std::uint32_t>(out.sets.size());
+        AliasSet set;
+        set.engine_id = record.engine_id();
+        set.engine_boots = record.first.engine_boots;
+        set.last_reboot = record.first.last_reboot();
+        out.sets.push_back(std::move(set));
+        out.keys.push_back(scalars[index]);
+        candidates.push_back(group);
+      }
+      out.sets[group].addresses.push_back(record.address);
+    }
+    for (auto& set : out.sets)
+      std::sort(set.addresses.begin(), set.addresses.end());
+  });
+
+  // Phase 4: merge shards into canonical key order — (ID bytes, boots1,
+  // reboot1, boots2, reboot2) lexicographically, exactly the order the
+  // former std::map<Key> produced. Distinct groups have distinct keys, so
+  // the order is total.
+  struct GroupRef {
+    std::uint32_t shard;
+    std::uint32_t index;
+  };
+  std::vector<GroupRef> refs;
+  std::size_t total_groups = 0;
+  for (const auto& shard : shards) total_groups += shard.sets.size();
+  refs.reserve(total_groups);
+  for (std::uint32_t s = 0; s < kShards; ++s)
+    for (std::uint32_t g = 0; g < shards[s].sets.size(); ++g)
+      refs.push_back({s, g});
+  std::sort(refs.begin(), refs.end(),
+            [&](const GroupRef& a, const GroupRef& b) {
+              const auto& id_a = shards[a.shard].sets[a.index].engine_id.raw();
+              const auto& id_b = shards[b.shard].sets[b.index].engine_id.raw();
+              if (id_a != id_b) return id_a < id_b;
+              const auto& key_a = shards[a.shard].keys[a.index];
+              const auto& key_b = shards[b.shard].keys[b.index];
+              return std::tie(key_a.boots1, key_a.reboot1, key_a.boots2,
+                              key_a.reboot2) <
+                     std::tie(key_b.boots1, key_b.reboot1, key_b.boots2,
+                              key_b.reboot2);
+            });
 
   AliasResolution resolution;
-  resolution.sets.reserve(groups.size());
-  for (auto& [key, set] : groups) {
-    std::sort(set.addresses.begin(), set.addresses.end());
-    resolution.sets.push_back(std::move(set));
-  }
+  resolution.sets.reserve(total_groups);
+  for (const auto& ref : refs)
+    resolution.sets.push_back(std::move(shards[ref.shard].sets[ref.index]));
   return resolution;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/join.hpp"
+#include "util/parallel.hpp"
 
 namespace snmpv3fp::core {
 
@@ -57,8 +58,12 @@ struct AliasResolution {
 
 // Groups records into alias sets. Records from both families may be mixed;
 // identical keys then produce dual-stack sets (paper §5.1's final step).
+// Grouping is two-phase: per-record 64-bit key hashes computed in parallel,
+// then a fixed number of hash shards grouped independently and merged into
+// canonical key order — output is bit-identical at any thread count.
 AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
-                                const AliasOptions& options = {});
+                                const AliasOptions& options = {},
+                                const util::ParallelOptions& parallel = {});
 
 // Breakdown of a resolution into v4-only / v6-only / dual-stack sets.
 struct StackBreakdown {

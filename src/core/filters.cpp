@@ -53,17 +53,32 @@ bool passes(FilterStage stage, const JoinedRecord& record,
 
 // Promiscuous detection is global: the same format-specific payload seen
 // under more than one enterprise number marks every holder for removal.
+// Chunks build local payload->enterprise maps merged by set union, so the
+// result is independent of chunking.
 std::set<util::Bytes> promiscuous_payloads(
-    const std::vector<JoinedRecord>& records) {
-  std::map<util::Bytes, std::set<std::uint32_t>> enterprises_by_payload;
-  for (const auto& record : records) {
-    const auto& id = record.engine_id();
-    const auto enterprise = id.enterprise();
-    const auto payload = id.payload();
-    if (!enterprise || !payload || payload->empty()) continue;
-    enterprises_by_payload[util::Bytes(payload->begin(), payload->end())]
-        .insert(*enterprise);
-  }
+    const std::vector<JoinedRecord>& records,
+    const util::ParallelOptions& parallel) {
+  using PayloadMap = std::map<util::Bytes, std::set<std::uint32_t>>;
+  std::vector<PayloadMap> parts(
+      std::max<std::size_t>(parallel.resolved_threads(), 1));
+  util::parallel_for_chunks(
+      0, records.size(), parallel,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        auto& local = parts[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& id = records[i].engine_id();
+          const auto enterprise = id.enterprise();
+          const auto payload = id.payload();
+          if (!enterprise || !payload || payload->empty()) continue;
+          local[util::Bytes(payload->begin(), payload->end())]
+              .insert(*enterprise);
+        }
+      });
+  PayloadMap enterprises_by_payload = std::move(parts.front());
+  for (std::size_t p = 1; p < parts.size(); ++p)
+    for (auto& [payload, enterprises] : parts[p])
+      enterprises_by_payload[payload].insert(enterprises.begin(),
+                                             enterprises.end());
   std::set<util::Bytes> promiscuous;
   for (const auto& [payload, enterprises] : enterprises_by_payload)
     if (enterprises.size() > 1) promiscuous.insert(payload);
@@ -103,7 +118,9 @@ std::size_t FilterReport::total_dropped() const {
   return total;
 }
 
-FilterReport FilterPipeline::apply(std::vector<JoinedRecord>& records) const {
+FilterReport FilterPipeline::apply(std::vector<JoinedRecord>& records,
+                                   const util::ParallelOptions& parallel)
+    const {
   FilterReport report;
   report.input = records.size();
 
@@ -115,24 +132,34 @@ FilterReport FilterPipeline::apply(std::vector<JoinedRecord>& records) const {
       FilterStage::kInconsistentBoots,  FilterStage::kInconsistentReboot,
   };
 
+  std::vector<unsigned char> keep;
   for (const FilterStage stage : kOrder) {
     const std::size_t before = records.size();
+    keep.assign(before, 1);
     if (stage == FilterStage::kPromiscuousEngineId) {
-      const auto promiscuous = promiscuous_payloads(records);
+      const auto promiscuous = promiscuous_payloads(records, parallel);
       if (!promiscuous.empty()) {
-        std::erase_if(records, [&](const JoinedRecord& record) {
-          const auto payload = record.engine_id().payload();
-          if (!payload) return false;
-          return promiscuous.count(
-                     util::Bytes(payload->begin(), payload->end())) > 0;
+        util::parallel_for(0, before, parallel, [&](std::size_t i) {
+          const auto payload = records[i].engine_id().payload();
+          if (!payload) return;
+          keep[i] = promiscuous.count(util::Bytes(payload->begin(),
+                                                  payload->end())) == 0;
         });
       }
     } else {
-      std::erase_if(records, [&](const JoinedRecord& record) {
-        return !passes(stage, record, options_);
+      util::parallel_for(0, before, parallel, [&](std::size_t i) {
+        keep[i] = passes(stage, records[i], options_);
       });
     }
-    report.dropped[static_cast<std::size_t>(stage)] = before - records.size();
+    // Stable in-place compaction of the survivors.
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < before; ++i) {
+      if (!keep[i]) continue;
+      if (write != i) records[write] = std::move(records[i]);
+      ++write;
+    }
+    records.resize(write);
+    report.dropped[static_cast<std::size_t>(stage)] = before - write;
   }
   report.output = records.size();
   return report;

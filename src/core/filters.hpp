@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/join.hpp"
+#include "util/parallel.hpp"
 
 namespace snmpv3fp::core {
 
@@ -58,7 +59,10 @@ class FilterPipeline {
   explicit FilterPipeline(FilterOptions options = {}) : options_(options) {}
 
   // Removes failing records in place (stable) and returns the accounting.
-  FilterReport apply(std::vector<JoinedRecord>& records) const;
+  // Per-record verdicts are computed in parallel chunks; the compaction is
+  // stable, so output and drop counts are identical at any thread count.
+  FilterReport apply(std::vector<JoinedRecord>& records,
+                     const util::ParallelOptions& parallel = {}) const;
 
   const FilterOptions& options() const { return options_; }
 

@@ -6,18 +6,36 @@ namespace snmpv3fp::core {
 
 std::vector<JoinedRecord> join_scans(const scan::ScanResult& first,
                                      const scan::ScanResult& second,
-                                     JoinStats* stats) {
+                                     JoinStats* stats,
+                                     const util::ParallelOptions& parallel) {
   const auto second_index = second.index();
-  std::vector<JoinedRecord> joined;
-  joined.reserve(std::min(first.records.size(), second.records.size()));
+  const std::size_t n = first.records.size();
+
+  // Probe chunks against the shared (read-only) index, then concatenate in
+  // chunk order — identical to the sequential left-to-right join.
+  std::vector<std::vector<JoinedRecord>> parts(
+      std::max<std::size_t>(parallel.resolved_threads(), 1));
+  util::parallel_for_chunks(
+      0, n, parallel,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        auto& local = parts[chunk];
+        local.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& record = first.records[i];
+          const auto it = second_index.find(record.target);
+          if (it == second_index.end()) continue;
+          local.push_back(
+              {record.target, record, second.records[it->second]});
+        }
+      });
+
   std::size_t matched = 0;
-  for (const auto& record : first.records) {
-    const auto it = second_index.find(record.target);
-    if (it == second_index.end()) continue;
-    ++matched;
-    joined.push_back(
-        {record.target, record, second.records[it->second]});
-  }
+  for (const auto& part : parts) matched += part.size();
+  std::vector<JoinedRecord> joined;
+  joined.reserve(matched);
+  for (auto& part : parts)
+    std::move(part.begin(), part.end(), std::back_inserter(joined));
+
   if (stats != nullptr) {
     stats->overlap = matched;
     stats->first_only = first.records.size() - matched;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "scan/record.hpp"
+#include "util/parallel.hpp"
 
 namespace snmpv3fp::core {
 
@@ -37,9 +38,12 @@ struct JoinStats {
 };
 
 // Inner-joins the scans by target address; records responsive in only one
-// scan are dropped (counted in stats).
-std::vector<JoinedRecord> join_scans(const scan::ScanResult& first,
-                                     const scan::ScanResult& second,
-                                     JoinStats* stats = nullptr);
+// scan are dropped (counted in stats). The probe runs in contiguous chunks
+// merged in chunk order, so output and stats are identical at any thread
+// count.
+std::vector<JoinedRecord> join_scans(
+    const scan::ScanResult& first, const scan::ScanResult& second,
+    JoinStats* stats = nullptr,
+    const util::ParallelOptions& parallel = {});
 
 }  // namespace snmpv3fp::core

@@ -51,6 +51,8 @@ PipelineResult run_full_pipeline(topo::World world,
     v6.scan_gap = options.v6_scan_gap;
     v6.rate_pps = options.v6_rate_pps;
     v6.seed = options.seed + 1;
+    v6.shards = options.scan_shards;
+    v6.parallel = options.parallel;
     result.v6_campaign = scan::run_two_scan_campaign(world, v6);
   }
 
@@ -62,27 +64,30 @@ PipelineResult run_full_pipeline(topo::World world,
     v4.scan_gap = options.v4_scan_gap;
     v4.rate_pps = options.v4_rate_pps;
     v4.seed = options.seed + 2;
+    v4.shards = options.scan_shards;
+    v4.parallel = options.parallel;
     result.v4_campaign = scan::run_two_scan_campaign(world, v4);
   }
 
   // Join, filter, resolve.
   result.v4_joined = join_scans(result.v4_campaign.scan1,
                                 result.v4_campaign.scan2,
-                                &result.v4_join_stats);
+                                &result.v4_join_stats, options.parallel);
   result.v6_joined = join_scans(result.v6_campaign.scan1,
                                 result.v6_campaign.scan2,
-                                &result.v6_join_stats);
+                                &result.v6_join_stats, options.parallel);
 
   const FilterPipeline pipeline(options.filter);
   result.v4_records = result.v4_joined;
-  result.v4_report = pipeline.apply(result.v4_records);
+  result.v4_report = pipeline.apply(result.v4_records, options.parallel);
   result.v6_records = result.v6_joined;
-  result.v6_report = pipeline.apply(result.v6_records);
+  result.v6_report = pipeline.apply(result.v6_records, options.parallel);
 
   std::vector<JoinedRecord> combined = result.v4_records;
   combined.insert(combined.end(), result.v6_records.begin(),
                   result.v6_records.end());
-  result.resolution = resolve_aliases(combined, options.alias);
+  result.resolution = resolve_aliases(combined, options.alias,
+                                      options.parallel);
   result.devices = annotate_devices(result.resolution, result.as_table,
                                     result.router_addresses);
 

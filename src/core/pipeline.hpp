@@ -34,6 +34,12 @@ struct PipelineOptions {
   // relies on, §4.1.1).
   bool exclude_aliased_prefixes = true;
   std::uint64_t seed = 20210413;
+  // Execution-only knobs: how many threads drive the sharded scan and the
+  // chunked analysis stages, and how many shards each scan is cut into.
+  // `parallel.threads` never changes any output bit; `scan_shards` is part
+  // of the experiment configuration (it selects per-shard RNG streams).
+  util::ParallelOptions parallel;
+  std::size_t scan_shards = scan::kDefaultScanShards;
 };
 
 struct PipelineResult {

@@ -1,9 +1,45 @@
 #include "scan/campaign.hpp"
 
 #include <algorithm>
-#include <set>
+#include <memory>
 
 namespace snmpv3fp::scan {
+
+namespace {
+
+// Merges per-shard scan results back into one ScanResult ordered by probe
+// time (the global pacing schedule), so the merged record order never
+// depends on shard boundaries or scheduling.
+ScanResult merge_shard_results(std::vector<ScanResult>& shards) {
+  ScanResult merged;
+  std::size_t total_records = 0;
+  for (const auto& shard : shards) total_records += shard.records.size();
+  merged.records.reserve(total_records);
+  bool first = true;
+  for (auto& shard : shards) {
+    if (first) {
+      merged.label = shard.label;
+      merged.start_time = shard.start_time;
+      merged.end_time = shard.end_time;
+      first = false;
+    } else {
+      merged.start_time = std::min(merged.start_time, shard.start_time);
+      merged.end_time = std::max(merged.end_time, shard.end_time);
+    }
+    merged.targets_probed += shard.targets_probed;
+    merged.probe_bytes = std::max(merged.probe_bytes, shard.probe_bytes);
+    std::move(shard.records.begin(), shard.records.end(),
+              std::back_inserter(merged.records));
+  }
+  std::sort(merged.records.begin(), merged.records.end(),
+            [](const ScanRecord& a, const ScanRecord& b) {
+              if (a.send_time != b.send_time) return a.send_time < b.send_time;
+              return a.target < b.target;
+            });
+  return merged;
+}
+
+}  // namespace
 
 CampaignPair run_two_scan_campaign(topo::World& world,
                                    const CampaignOptions& options) {
@@ -11,44 +47,90 @@ CampaignPair run_two_scan_campaign(topo::World& world,
 
   // Target list: explicit, or every address of the family assigned in
   // either epoch (the paper probes all routable space; probing known-dead
-  // space only burns simulated time, so we probe the live superset).
+  // space only burns simulated time, so we probe the live superset). The
+  // second epoch's addresses are computed by a world query instead of
+  // churning a full copy of the world.
   std::vector<net::IpAddress> targets;
   if (options.targets.has_value()) {
     targets = *options.targets;
   } else {
     targets = world.addresses(options.family);
-    topo::World second_epoch = world;
-    second_epoch.rebind_churning_devices(churn_seed);
-    const auto later = second_epoch.addresses(options.family);
-    std::set<net::IpAddress> merged(targets.begin(), targets.end());
-    merged.insert(later.begin(), later.end());
-    targets.assign(merged.begin(), merged.end());
+    const auto later = world.addresses_after_churn(churn_seed, options.family);
+    targets.insert(targets.end(), later.begin(), later.end());
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
   }
 
-  sim::Fabric fabric(world, options.fabric);
   const net::Endpoint prober_source{
       options.family == net::Family::kIpv4
           ? net::IpAddress(net::Ipv4(198, 51, 100, 7))
           : net::IpAddress(
                 net::Ipv6::from_groups({0x2001, 0xdb8, 0, 0, 0, 0, 0, 7})),
       54321};
-  Prober prober(fabric, prober_source);
 
-  ProbeConfig probe;
-  probe.rate_pps = options.rate_pps;
+  // One fabric per shard, persistent across both scans (clock and stats
+  // continuity, like the former single fabric). Shards only ever touch the
+  // world read-only while probing; churn is applied between the scans.
+  const std::size_t shard_count = std::max<std::size_t>(options.shards, 1);
+  std::vector<std::unique_ptr<sim::Fabric>> fabrics;
+  fabrics.reserve(shard_count);
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    sim::FabricConfig config = options.fabric;
+    config.seed = util::hash_combine(options.fabric.seed, shard);
+    fabrics.push_back(std::make_unique<sim::Fabric>(world, config));
+  }
+
+  const auto gap =
+      static_cast<util::VTime>(static_cast<double>(util::kSecond) /
+                               std::max(options.rate_pps, 1.0));
+
+  const auto run_sharded_scan = [&](const std::string& label,
+                                    std::uint64_t scan_seed,
+                                    util::VTime start) {
+    // Global shuffle first, then contiguous slices: shard k's slice starts
+    // at global probe index b_k and is paced with send_offset = b_k * gap,
+    // so the union of shard schedules equals one sequential scan's.
+    std::vector<net::IpAddress> order = targets;
+    util::Rng rng(scan_seed);
+    rng.shuffle(order);
+
+    const std::size_t n = order.size();
+    const std::size_t base = shard_count == 0 ? 0 : n / shard_count;
+    const std::size_t extra = shard_count == 0 ? 0 : n % shard_count;
+    std::vector<ScanResult> shard_results(shard_count);
+    util::parallel_for(0, shard_count, options.parallel, [&](std::size_t shard) {
+      const std::size_t begin = shard * base + std::min(shard, extra);
+      const std::size_t end = begin + base + (shard < extra ? 1 : 0);
+      const std::vector<net::IpAddress> slice(order.begin() + begin,
+                                              order.begin() + end);
+      ProbeConfig probe;
+      probe.label = label;
+      probe.rate_pps = options.rate_pps;
+      probe.seed = util::hash_combine(scan_seed, shard);
+      probe.randomize_order = false;  // already shuffled globally
+      probe.send_offset = static_cast<util::VTime>(begin) * gap;
+      Prober prober(*fabrics[shard], prober_source);
+      shard_results[shard] = prober.run(slice, probe, start);
+    });
+    return merge_shard_results(shard_results);
+  };
 
   CampaignPair out;
-  probe.label = "scan1";
-  probe.seed = options.seed * 2 + 1;
-  out.scan1 = prober.run(targets, probe, options.first_scan_start);
+  out.scan1 = run_sharded_scan("scan1", options.seed * 2 + 1,
+                               options.first_scan_start);
 
   world.rebind_churning_devices(churn_seed);
 
-  probe.label = "scan2";
-  probe.seed = options.seed * 2 + 2;
-  out.scan2 = prober.run(targets, probe,
-                         options.first_scan_start + options.scan_gap);
-  out.fabric_stats = fabric.stats();
+  out.scan2 = run_sharded_scan("scan2", options.seed * 2 + 2,
+                               options.first_scan_start + options.scan_gap);
+
+  for (const auto& fabric : fabrics) {
+    const auto& stats = fabric->stats();
+    out.fabric_stats.datagrams_sent += stats.datagrams_sent;
+    out.fabric_stats.datagrams_delivered += stats.datagrams_delivered;
+    out.fabric_stats.responses_generated += stats.responses_generated;
+    out.fabric_stats.responses_received += stats.responses_received;
+  }
   return out;
 }
 

@@ -11,8 +11,16 @@
 #include "scan/prober.hpp"
 #include "sim/fabric.hpp"
 #include "topo/world.hpp"
+#include "util/parallel.hpp"
 
 namespace snmpv3fp::scan {
+
+// Default shard count of a campaign. The shard structure (not the thread
+// count) decides which per-shard fabric simulates which target, so it is
+// part of the experiment configuration: changing `shards` changes RNG
+// streams like changing `seed` would, while changing `parallel.threads`
+// never changes any output bit.
+inline constexpr std::size_t kDefaultScanShards = 8;
 
 struct CampaignOptions {
   net::Family family = net::Family::kIpv4;
@@ -24,6 +32,11 @@ struct CampaignOptions {
   double rate_pps = 5000.0;
   std::uint64_t seed = 99;
   sim::FabricConfig fabric;
+  // Scan-layer sharding: each scan's target list is cut into `shards`
+  // contiguous slices of the (globally shuffled) probe order, each driven
+  // by its own Prober + Fabric, then merged in probe order.
+  std::size_t shards = kDefaultScanShards;
+  util::ParallelOptions parallel;
 };
 
 struct CampaignPair {

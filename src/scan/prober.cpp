@@ -56,10 +56,14 @@ void Prober::drain(ScanResult& result,
       auto& record = result.records[it->second];
       ++record.response_count;
       const auto& engine = message.value().usm.authoritative_engine_id;
-      if (engine != record.engine_id &&
-          std::find(record.extra_engines.begin(), record.extra_engines.end(),
-                    engine) == record.extra_engines.end())
-        record.extra_engines.push_back(engine);
+      if (engine != record.engine_id) {
+        // extra_engines stays sorted so membership is a binary search
+        // instead of a linear scan (amplifiers answer thousands of times).
+        const auto pos = std::lower_bound(record.extra_engines.begin(),
+                                          record.extra_engines.end(), engine);
+        if (pos == record.extra_engines.end() || *pos != engine)
+          record.extra_engines.insert(pos, engine);
+      }
     }
   }
 }
@@ -80,11 +84,12 @@ ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
   by_source.reserve(order.size() / 4);
   std::unordered_map<net::IpAddress, util::VTime> sent_at;
   sent_at.reserve(order.size());
+  result.records.reserve(order.size());
 
   const auto gap =
       static_cast<util::VTime>(static_cast<double>(util::kSecond) /
                                std::max(config.rate_pps, 1.0));
-  util::VTime next_send = transport_.now();
+  util::VTime next_send = transport_.now() + config.send_offset;
   for (const auto& target : order) {
     transport_.run_until(next_send);
     const auto request =

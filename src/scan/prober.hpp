@@ -22,6 +22,11 @@ struct ProbeConfig {
   util::VTime response_timeout = 5 * util::kSecond;  // drain after last send
   std::uint64_t seed = 1;
   bool randomize_order = true;
+  // Virtual-time offset of the first probe after `start_time`. A sharded
+  // campaign gives shard k an offset of (k's first global target index) x
+  // the inter-probe gap, so the union of shard schedules reproduces one
+  // sequential scan's global pacing exactly.
+  util::VTime send_offset = 0;
 };
 
 class Prober {

@@ -72,63 +72,123 @@ std::vector<net::IpAddress> World::addresses(net::Family family) const {
   return out;
 }
 
-void World::rebind_churning_devices(std::uint64_t epoch_seed) {
+World::ChurnPlan World::plan_churn(std::uint64_t epoch_seed,
+                                   std::vector<std::uint64_t>& cursor) const {
   util::Rng rng(epoch_seed);
   // DHCP-style churn: within each AS, the dynamic pool is *recycled* — a
   // churning device usually receives an address another churning device
   // held during the previous epoch. This is what produces the paper's
   // "inconsistent engine ID" filter drops: the same IP answers with a
   // different device's engine ID in the second scan.
-  std::vector<std::vector<Interface*>> v4_slots(ases.size());
-  std::vector<std::vector<Interface*>> v6_slots(ases.size());
-  for (auto& device : devices) {
+  struct Slot {
+    DeviceIndex device;
+    std::uint32_t interface;
+  };
+  std::vector<std::vector<Slot>> v4_slots(ases.size());
+  std::vector<std::vector<Slot>> v6_slots(ases.size());
+  for (const auto& device : devices) {
     if (!device.churns) continue;
-    for (auto& itf : device.interfaces) {
-      if (itf.v4) v4_slots[device.as_index].push_back(&itf);
-      if (itf.v6) v6_slots[device.as_index].push_back(&itf);
+    for (std::uint32_t i = 0; i < device.interfaces.size(); ++i) {
+      const auto& itf = device.interfaces[i];
+      if (itf.v4) v4_slots[device.as_index].push_back({device.index, i});
+      if (itf.v6) v6_slots[device.as_index].push_back({device.index, i});
     }
   }
+  ChurnPlan plan;
   constexpr double kFreshAddressRate = 0.3;  // leases from outside the pool
   for (std::size_t as_index = 0; as_index < ases.size(); ++as_index) {
-    auto& as = ases[as_index];
-    auto& v4 = v4_slots[as_index];
+    const auto& as = ases[as_index];
+    const auto& v4 = v4_slots[as_index];
     if (v4.size() > 1) {
       std::vector<net::Ipv4> pool;
       pool.reserve(v4.size());
-      for (const auto* itf : v4) pool.push_back(*itf->v4);
+      for (const auto& slot : v4)
+        pool.push_back(*devices[slot.device].interfaces[slot.interface].v4);
       // Rotation guarantees nobody keeps their own lease.
       const std::size_t shift = 1 + rng.next_below(pool.size() - 1);
       for (std::size_t i = 0; i < v4.size(); ++i) {
+        net::Ipv4 address;
         if (rng.chance(kFreshAddressRate)) {
-          const std::uint64_t offset =
-              v4_cursor[as_index]++ % as.v4_prefix.size();
-          v4[i]->v4 = as.v4_prefix.at(offset);
+          const std::uint64_t offset = cursor[as_index]++ % as.v4_prefix.size();
+          address = as.v4_prefix.at(offset);
         } else {
-          v4[i]->v4 = pool[(i + shift) % pool.size()];
+          address = pool[(i + shift) % pool.size()];
         }
+        plan.v4.push_back({v4[i].device, v4[i].interface, address});
       }
     }
-    auto& v6 = v6_slots[as_index];
+    const auto& v6 = v6_slots[as_index];
     if (v6.size() > 1) {
       std::vector<net::Ipv6> pool;
       pool.reserve(v6.size());
-      for (const auto* itf : v6) pool.push_back(*itf->v6);
+      for (const auto& slot : v6)
+        pool.push_back(*devices[slot.device].interfaces[slot.interface].v6);
       const std::size_t shift = 1 + rng.next_below(pool.size() - 1);
       for (std::size_t i = 0; i < v6.size(); ++i) {
+        net::Ipv6 address;
         if (rng.chance(kFreshAddressRate)) {
           std::array<std::uint16_t, 8> groups{};
           groups[0] = as.v6_prefix[0];
           groups[1] = as.v6_prefix[1];
           for (int g = 4; g < 8; ++g)
             groups[g] = static_cast<std::uint16_t>(rng.next());
-          v6[i]->v6 = net::Ipv6::from_groups(groups);
+          address = net::Ipv6::from_groups(groups);
         } else {
-          v6[i]->v6 = pool[(i + shift) % pool.size()];
+          address = pool[(i + shift) % pool.size()];
         }
+        plan.v6.push_back({v6[i].device, v6[i].interface, address});
       }
     }
   }
+  return plan;
+}
+
+void World::rebind_churning_devices(std::uint64_t epoch_seed) {
+  if (v4_cursor.size() < ases.size()) v4_cursor.resize(ases.size(), 0);
+  const ChurnPlan plan = plan_churn(epoch_seed, v4_cursor);
+  for (const auto& slot : plan.v4)
+    devices[slot.device].interfaces[slot.interface].v4 = slot.address;
+  for (const auto& slot : plan.v6)
+    devices[slot.device].interfaces[slot.interface].v6 = slot.address;
   reindex();
+}
+
+std::vector<net::IpAddress> World::addresses_after_churn(
+    std::uint64_t epoch_seed, net::Family family) const {
+  std::vector<std::uint64_t> cursor = v4_cursor;
+  cursor.resize(std::max(cursor.size(), ases.size()), 0);
+  const ChurnPlan plan = plan_churn(epoch_seed, cursor);
+  const auto slot_key = [](DeviceIndex device, std::uint32_t interface) {
+    return (static_cast<std::uint64_t>(device) << 32) | interface;
+  };
+  std::unordered_map<std::uint64_t, net::Ipv4> new_v4;
+  std::unordered_map<std::uint64_t, net::Ipv6> new_v6;
+  new_v4.reserve(plan.v4.size());
+  new_v6.reserve(plan.v6.size());
+  for (const auto& slot : plan.v4)
+    new_v4.emplace(slot_key(slot.device, slot.interface), slot.address);
+  for (const auto& slot : plan.v6)
+    new_v6.emplace(slot_key(slot.device, slot.interface), slot.address);
+
+  std::vector<net::IpAddress> out;
+  out.reserve(address_map_.size());
+  for (const auto& device : devices) {
+    for (std::uint32_t i = 0; i < device.interfaces.size(); ++i) {
+      const auto& itf = device.interfaces[i];
+      if (family == net::Family::kIpv4) {
+        if (!itf.v4) continue;
+        const auto it = new_v4.find(slot_key(device.index, i));
+        out.emplace_back(it == new_v4.end() ? *itf.v4 : it->second);
+      } else {
+        if (!itf.v6) continue;
+        const auto it = new_v6.find(slot_key(device.index, i));
+        out.emplace_back(it == new_v6.end() ? *itf.v6 : it->second);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 void World::reindex() {

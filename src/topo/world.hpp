@@ -128,6 +128,13 @@ class World {
   // by the campaign orchestrator between scans.
   void rebind_churning_devices(std::uint64_t epoch_seed);
 
+  // All addresses of `family` that would be assigned after
+  // rebind_churning_devices(epoch_seed), sorted and deduplicated — without
+  // copying or mutating the world. Lets the campaign enumerate the second
+  // epoch's targets up front.
+  std::vector<net::IpAddress> addresses_after_churn(std::uint64_t epoch_seed,
+                                                    net::Family family) const;
+
   // Rebuilds the IP -> device maps from the interface lists. Must be
   // called after construction or any address mutation.
   void reindex();
@@ -149,6 +156,27 @@ class World {
   static std::uint64_t v6_prefix64(const net::Ipv6& address);
 
  private:
+  // One churn epoch's address re-assignments, keyed by (device, interface).
+  struct ChurnPlan {
+    struct V4Slot {
+      DeviceIndex device;
+      std::uint32_t interface;
+      net::Ipv4 address;
+    };
+    struct V6Slot {
+      DeviceIndex device;
+      std::uint32_t interface;
+      net::Ipv6 address;
+    };
+    std::vector<V4Slot> v4;
+    std::vector<V6Slot> v6;
+  };
+  // Computes the re-assignments rebind_churning_devices(epoch_seed) would
+  // apply. `cursor` is the per-AS fresh-lease cursor (advanced in place);
+  // rebind passes v4_cursor, the const query passes a copy.
+  ChurnPlan plan_churn(std::uint64_t epoch_seed,
+                       std::vector<std::uint64_t>& cursor) const;
+
   std::unordered_map<net::IpAddress, DeviceIndex> address_map_;
   // /64s on which one device answers every interface identifier.
   std::unordered_map<std::uint64_t, DeviceIndex> aliased_v6_prefixes_;

@@ -1,0 +1,91 @@
+// Fixed-size thread pool + deterministic data-parallel helpers.
+//
+// Every parallel stage in the pipeline follows one rule: shard the input by
+// a structure that depends only on the INPUT (contiguous index chunks, or a
+// fixed hash-shard count), compute shard results independently, then merge
+// in shard order. Because the shard structure never depends on how many
+// threads execute it, the output is bit-identical at any thread count —
+// `threads=1` is an exact sequential fallback, not a different algorithm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace snmpv3fp::util {
+
+// Worker-count default: SNMPFP_THREADS env var when set (> 0), otherwise
+// std::thread::hardware_concurrency(), never below 1.
+std::size_t default_thread_count();
+
+struct ParallelOptions {
+  // 0 = default_thread_count(). 1 = run inline on the calling thread.
+  std::size_t threads = 0;
+
+  std::size_t resolved_threads() const {
+    return threads == 0 ? default_thread_count() : threads;
+  }
+};
+
+// A small fixed-size pool of workers. Batches submitted through run_tasks
+// are index spaces [0, count); workers (and the submitting thread, which
+// participates) claim indices atomically. run_tasks blocks until the whole
+// batch finished and rethrows the first exception a task threw. Tasks
+// submitted from inside a pool worker run inline to avoid deadlock.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_; }
+
+  void run_tasks(std::size_t count,
+                 const std::function<void(std::size_t)>& task);
+
+  // Process-wide pool used by parallel_for / parallel_map. Sized to
+  // default_thread_count() but never below 2, so races are exercised (and
+  // TSan-visible) even on single-core CI machines.
+  static ThreadPool& shared();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t workers_;
+};
+
+// Splits [begin, end) into at most resolved_threads() contiguous chunks and
+// runs chunk_fn(chunk_index, chunk_begin, chunk_end) for each. Chunks are
+// only a scheduling granularity: merging per-chunk results in chunk order
+// reproduces sequential left-to-right order for any chunk count. With one
+// chunk (threads=1, or a short range) chunk_fn runs inline, in order.
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end, const ParallelOptions& options,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>&
+        chunk_fn);
+
+// Convenience per-index form of parallel_for_chunks.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const ParallelOptions& options,
+                  const std::function<void(std::size_t)>& fn);
+
+// Ordered map: out[i] = fn(i). Results land in index order regardless of
+// which thread computed them.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t count, const ParallelOptions& options,
+                            Fn&& fn) {
+  std::vector<T> out(count);
+  parallel_for(0, count, options,
+               [&](std::size_t index) { out[index] = fn(index); });
+  return out;
+}
+
+// SplitMix64-style mixer for deriving independent per-shard seeds from a
+// campaign seed: hash_combine(seed, shard) never collides with the parent
+// stream in practice and is stable across platforms.
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
+
+}  // namespace snmpv3fp::util

@@ -78,7 +78,7 @@ class AnomalyTest : public ::testing::Test {
  protected:
   AnomalyTest() : world_(fixture_world()) {
     scan::CampaignOptions options;
-    options.seed = 31;
+    options.seed = 29;
     options.fabric.probe_loss = 0.0;
     options.fabric.response_loss = 0.0;
     pair_ = scan::run_two_scan_campaign(world_, options);

@@ -1,0 +1,226 @@
+// The parallel execution layer's two contracts:
+//  1. parallel_for / parallel_map behave like their sequential equivalents
+//     (coverage, ordering, exception propagation) at any thread count.
+//  2. The full pipeline is bit-identical across thread counts — threads
+//     are scheduling only, never part of the experiment configuration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/pipeline.hpp"
+#include "util/parallel.hpp"
+
+namespace snmpv3fp {
+namespace {
+
+using util::ParallelOptions;
+
+TEST(ParallelFor, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  util::parallel_for(0, 0, {.threads = 8},
+                     [&](std::size_t) { ++calls; });
+  util::parallel_for(5, 5, {.threads = 8},
+                     [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  util::parallel_for(0, kCount, {.threads = 8},
+                     [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, FewerItemsThanThreads) {
+  std::vector<std::atomic<int>> visits(3);
+  util::parallel_for(0, 3, {.threads = 16},
+                     [&](std::size_t i) { ++visits[i]; });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadRunsInOrder) {
+  std::vector<std::size_t> order;
+  util::parallel_for(10, 20, {.threads = 1},
+                     [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 10);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, ChunksPartitionTheRange) {
+  constexpr std::size_t kCount = 103;  // not a multiple of the thread count
+  std::vector<std::atomic<int>> visits(kCount);
+  util::parallel_for_chunks(
+      0, kCount, {.threads = 8},
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        ASSERT_LE(begin, end);
+        for (std::size_t i = begin; i < end; ++i) ++visits[i];
+      });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      util::parallel_for(0, 100, {.threads = 4},
+                         [](std::size_t i) {
+                           if (i == 37) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+  // The pool survives a failed batch and accepts new work.
+  std::atomic<int> calls{0};
+  util::parallel_for(0, 10, {.threads = 4}, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ParallelMap, ResultsLandInIndexOrder) {
+  const auto squares = util::parallel_map<std::size_t>(
+      257, ParallelOptions{.threads = 8},
+      [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 257u);
+  for (std::size_t i = 0; i < squares.size(); ++i)
+    EXPECT_EQ(squares[i], i * i);
+}
+
+// ---- pipeline determinism across thread counts ---------------------------
+
+// Mid-size world: denser than tiny() so every parallel stage sees several
+// chunks' worth of records, still fast enough for a unit test to run the
+// pipeline three times.
+topo::WorldConfig mid_size_world() {
+  topo::WorldConfig config = topo::WorldConfig::tiny();
+  config.seed = 11;
+  config.router_scale = 120.0;
+  config.mega_scale = 120.0;
+  config.device_scale = 1200.0;
+  config.tail_as_count = 80;
+  return config;
+}
+
+core::PipelineResult run_with_threads(std::size_t threads) {
+  core::PipelineOptions options;
+  options.world = mid_size_world();
+  options.parallel.threads = threads;
+  return core::run_full_pipeline(options);
+}
+
+void expect_same_scan(const scan::ScanResult& a, const scan::ScanResult& b) {
+  EXPECT_EQ(a.start_time, b.start_time);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.targets_probed, b.targets_probed);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    ASSERT_EQ(ra.target, rb.target);
+    EXPECT_EQ(ra.engine_id, rb.engine_id);
+    EXPECT_EQ(ra.engine_boots, rb.engine_boots);
+    EXPECT_EQ(ra.engine_time, rb.engine_time);
+    EXPECT_EQ(ra.send_time, rb.send_time);
+    EXPECT_EQ(ra.receive_time, rb.receive_time);
+    EXPECT_EQ(ra.response_count, rb.response_count);
+    EXPECT_EQ(ra.extra_engines, rb.extra_engines);
+  }
+}
+
+void expect_same_report(const core::FilterReport& a,
+                        const core::FilterReport& b) {
+  EXPECT_EQ(a.input, b.input);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.dropped, b.dropped);
+}
+
+void expect_identical(const core::PipelineResult& a,
+                      const core::PipelineResult& b) {
+  expect_same_scan(a.v4_campaign.scan1, b.v4_campaign.scan1);
+  expect_same_scan(a.v4_campaign.scan2, b.v4_campaign.scan2);
+  expect_same_scan(a.v6_campaign.scan1, b.v6_campaign.scan1);
+  expect_same_scan(a.v6_campaign.scan2, b.v6_campaign.scan2);
+  EXPECT_EQ(a.v4_campaign.fabric_stats.datagrams_sent,
+            b.v4_campaign.fabric_stats.datagrams_sent);
+  EXPECT_EQ(a.v4_campaign.fabric_stats.responses_received,
+            b.v4_campaign.fabric_stats.responses_received);
+
+  EXPECT_EQ(a.v4_join_stats.overlap, b.v4_join_stats.overlap);
+  EXPECT_EQ(a.v4_join_stats.first_only, b.v4_join_stats.first_only);
+  EXPECT_EQ(a.v4_join_stats.second_only, b.v4_join_stats.second_only);
+  ASSERT_EQ(a.v4_joined.size(), b.v4_joined.size());
+  for (std::size_t i = 0; i < a.v4_joined.size(); ++i)
+    ASSERT_EQ(a.v4_joined[i].address, b.v4_joined[i].address);
+
+  expect_same_report(a.v4_report, b.v4_report);
+  expect_same_report(a.v6_report, b.v6_report);
+  ASSERT_EQ(a.v4_records.size(), b.v4_records.size());
+  ASSERT_EQ(a.v6_records.size(), b.v6_records.size());
+
+  // Alias sets: same order, same addresses, same representative identity.
+  ASSERT_EQ(a.resolution.sets.size(), b.resolution.sets.size());
+  for (std::size_t i = 0; i < a.resolution.sets.size(); ++i) {
+    const auto& sa = a.resolution.sets[i];
+    const auto& sb = b.resolution.sets[i];
+    ASSERT_EQ(sa.addresses, sb.addresses);
+    EXPECT_EQ(sa.engine_id, sb.engine_id);
+    EXPECT_EQ(sa.engine_boots, sb.engine_boots);
+    EXPECT_EQ(sa.last_reboot, sb.last_reboot);
+  }
+
+  // Device records (sets live in the owning resolution; compare by value).
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    const auto& da = a.devices[i];
+    const auto& db = b.devices[i];
+    ASSERT_EQ(da.set->addresses, db.set->addresses);
+    EXPECT_EQ(da.fingerprint.vendor, db.fingerprint.vendor);
+    EXPECT_EQ(da.stack, db.stack);
+    EXPECT_EQ(da.is_router, db.is_router);
+    EXPECT_EQ(da.last_reboot, db.last_reboot);
+  }
+}
+
+TEST(ParallelDeterminism, PipelineBitIdenticalAcrossThreadCounts) {
+  const auto sequential = run_with_threads(1);
+  const auto two_threads = run_with_threads(2);
+  const auto eight_threads = run_with_threads(8);
+  expect_identical(sequential, two_threads);
+  expect_identical(sequential, eight_threads);
+}
+
+TEST(ParallelDeterminism, AnalysisStagesMatchSequential) {
+  // Join / filter / alias on the same campaign: chunked runs must equal
+  // the sequential ones record for record.
+  const auto result = run_with_threads(1);
+  const ParallelOptions eight{.threads = 8};
+
+  core::JoinStats stats_seq, stats_par;
+  const auto joined_seq =
+      core::join_scans(result.v4_campaign.scan1, result.v4_campaign.scan2,
+                       &stats_seq, {.threads = 1});
+  const auto joined_par =
+      core::join_scans(result.v4_campaign.scan1, result.v4_campaign.scan2,
+                       &stats_par, eight);
+  EXPECT_EQ(stats_seq.overlap, stats_par.overlap);
+  ASSERT_EQ(joined_seq.size(), joined_par.size());
+  for (std::size_t i = 0; i < joined_seq.size(); ++i)
+    ASSERT_EQ(joined_seq[i].address, joined_par[i].address);
+
+  const core::FilterPipeline pipeline;
+  auto records_seq = joined_seq;
+  auto records_par = joined_par;
+  expect_same_report(pipeline.apply(records_seq, {.threads = 1}),
+                     pipeline.apply(records_par, eight));
+  ASSERT_EQ(records_seq.size(), records_par.size());
+
+  const auto aliases_seq =
+      core::resolve_aliases(records_seq, {}, {.threads = 1});
+  const auto aliases_par = core::resolve_aliases(records_par, {}, eight);
+  ASSERT_EQ(aliases_seq.sets.size(), aliases_par.sets.size());
+  for (std::size_t i = 0; i < aliases_seq.sets.size(); ++i) {
+    ASSERT_EQ(aliases_seq.sets[i].addresses, aliases_par.sets[i].addresses);
+    EXPECT_EQ(aliases_seq.sets[i].engine_id, aliases_par.sets[i].engine_id);
+  }
+}
+
+}  // namespace
+}  // namespace snmpv3fp

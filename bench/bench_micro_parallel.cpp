@@ -82,6 +82,9 @@ int main() {
   };
 
   benchx::JsonRows rows;
+  benchx::stamp_run_metadata(rows, campaign_options(1).seed,
+                             util::default_thread_count(),
+                             scan::kDefaultScanShards);
   std::printf("  %-14s %8s %12s %9s\n", "stage", "threads", "wall_ms",
               "speedup");
   for (const auto& stage : stages) {

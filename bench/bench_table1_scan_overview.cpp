@@ -1,6 +1,10 @@
 // Table 1: overview of the SNMPv3 measurement campaigns — responsive IPs,
 // unique engine IDs, and survivors of the filtering pipeline per family —
-// plus the §4.4 per-stage drop funnel behind the two "valid" columns.
+// plus the §4.4 per-stage drop funnel behind the two "valid" columns and
+// the observed RunReport (stage spans, fabric drops, shard progress),
+// written machine-readable to BENCH_run_report.json.
+#include <fstream>
+
 #include "common.hpp"
 
 using namespace snmpv3fp;
@@ -73,5 +77,10 @@ int main() {
             << " B (+28 B IP/UDP = 88 B on the wire, paper: 88 B); "
             << "IPv6 payload " << r.v6_campaign.scan1.probe_bytes
             << " B (+48 B = 108 B, paper: 108 B)\n";
+
+  const auto& report = benchx::full_run_report();
+  std::cout << "\nRun report (observability layer):\n\n" << report.to_table();
+  if (std::ofstream("BENCH_run_report.json") << report.to_json())
+    std::cout << "wrote BENCH_run_report.json\n";
   return 0;
 }

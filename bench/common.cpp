@@ -9,24 +9,65 @@
 
 namespace snmpv3fp::benchx {
 
-const core::PipelineResult& full_pipeline() {
-  static const core::PipelineResult result = [] {
-    std::fprintf(stderr, "[bench] building full-Internet world + campaigns...\n");
-    core::PipelineOptions options;
-    options.world = topo::WorldConfig::full_internet();
-    return core::run_full_pipeline(options);
-  }();
-  return result;
+namespace {
+
+// Cached pipeline run plus the RunReport observed alongside it. The
+// observer is execution-only (tests/test_obs.cpp proves bit-identical
+// results), so benches consuming only the PipelineResult see the exact
+// run they always did.
+struct ObservedRun {
+  core::PipelineResult result;
+  core::RunReport report;
+};
+
+ObservedRun run_observed(const char* label, topo::WorldConfig world) {
+  std::fprintf(stderr, "[bench] building %s world + campaigns...\n", label);
+  obs::RunObserver observer;
+  core::PipelineOptions options;
+  options.world = std::move(world);
+  options.obs.observer = &observer;
+  ObservedRun run;
+  run.result = core::run_full_pipeline(options);
+  run.report = core::build_run_report(run.result, options, &observer);
+  return run;
 }
 
-const core::PipelineResult& router_pipeline() {
-  static const core::PipelineResult result = [] {
-    std::fprintf(stderr, "[bench] building router-focus world + campaigns...\n");
-    core::PipelineOptions options;
-    options.world = topo::WorldConfig::router_focus();
-    return core::run_full_pipeline(options);
-  }();
-  return result;
+const ObservedRun& full_run() {
+  static const ObservedRun run =
+      run_observed("full-Internet", topo::WorldConfig::full_internet());
+  return run;
+}
+
+const ObservedRun& router_run() {
+  static const ObservedRun run =
+      run_observed("router-focus", topo::WorldConfig::router_focus());
+  return run;
+}
+
+}  // namespace
+
+const core::PipelineResult& full_pipeline() { return full_run().result; }
+
+const core::PipelineResult& router_pipeline() { return router_run().result; }
+
+const core::RunReport& full_run_report() { return full_run().report; }
+
+const core::RunReport& router_run_report() { return router_run().report; }
+
+std::string build_flags() {
+#ifdef SNMPFP_BUILD_FLAGS
+  std::string flags = SNMPFP_BUILD_FLAGS;
+#else
+  std::string flags;
+#endif
+  if (flags.empty()) {
+#ifdef NDEBUG
+    flags = "release";
+#else
+    flags = "debug";
+#endif
+  }
+  return flags;
 }
 
 void print_header(const std::string& experiment, const std::string& title) {
@@ -113,19 +154,62 @@ JsonRows& JsonRows::field(std::string_view key, std::int64_t value) {
   return *this;
 }
 
+JsonRows& JsonRows::meta(std::string_view key, std::string_view value) {
+  meta_.push_back({std::string(key), json_escape(value)});
+  return *this;
+}
+
+JsonRows& JsonRows::meta(std::string_view key, double value) {
+  char buf[64];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  meta_.push_back({std::string(key), buf});
+  return *this;
+}
+
+JsonRows& JsonRows::meta(std::string_view key, std::int64_t value) {
+  meta_.push_back({std::string(key), std::to_string(value)});
+  return *this;
+}
+
 std::string JsonRows::render() const {
   std::ostringstream out;
+  const std::string indent = meta_.empty() ? "  " : "    ";
+  if (!meta_.empty()) {
+    out << "{\n  \"meta\": {";
+    for (std::size_t f = 0; f < meta_.size(); ++f) {
+      if (f) out << ", ";
+      out << json_escape(meta_[f].key) << ": " << meta_[f].rendered;
+    }
+    out << "},\n  \"rows\": ";
+  }
   out << "[\n";
   for (std::size_t r = 0; r < rows_.size(); ++r) {
-    out << "  {";
+    out << indent << "{";
     for (std::size_t f = 0; f < rows_[r].size(); ++f) {
       if (f) out << ", ";
       out << json_escape(rows_[r][f].key) << ": " << rows_[r][f].rendered;
     }
     out << (r + 1 < rows_.size() ? "},\n" : "}\n");
   }
-  out << "]\n";
+  if (!meta_.empty()) {
+    out << "  ]\n}\n";
+  } else {
+    out << "]\n";
+  }
   return out.str();
+}
+
+void stamp_run_metadata(JsonRows& rows, std::uint64_t seed,
+                        std::size_t threads, std::size_t scan_shards) {
+  rows.meta("schema", std::int64_t{1})
+      .meta("seed", static_cast<std::int64_t>(seed))
+      .meta("threads", static_cast<std::int64_t>(threads))
+      .meta("scan_shards", static_cast<std::int64_t>(scan_shards))
+      .meta("build_flags", build_flags());
 }
 
 bool JsonRows::write(const std::string& path) const {

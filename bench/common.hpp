@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "core/report.hpp"
 #include "util/table.hpp"
 
 namespace snmpv3fp::benchx {
@@ -21,6 +22,16 @@ const core::PipelineResult& full_pipeline();
 
 // Router-focused world (deep infrastructure): Figures 10, 12-20.
 const core::PipelineResult& router_pipeline();
+
+// RunReports for the cached pipeline runs above. The cached runs execute
+// under a RunObserver, so these carry spans, metrics and shard progress in
+// addition to the accounting sections.
+const core::RunReport& full_run_report();
+const core::RunReport& router_run_report();
+
+// Build/run provenance baked into bench JSON artifacts (see
+// JsonRows::meta): compiler + flags the bench binary was built with.
+std::string build_flags();
 
 void print_header(const std::string& experiment, const std::string& title);
 
@@ -55,12 +66,20 @@ double best_wall_ms(int repeats, const std::function<void()>& fn);
 // Accumulates flat rows of string/number fields and renders them as a JSON
 // array of objects — the machine-readable side channel next to a bench's
 // human-readable output. Field order within a row is preserved.
+//
+// With run metadata attached (meta()/stamp_run_metadata), render() emits
+// {"meta": {...}, "rows": [...]} instead of the bare array so artifacts
+// are self-describing across runs and machines.
 class JsonRows {
  public:
   JsonRows& begin_row();
   JsonRows& field(std::string_view key, std::string_view value);
   JsonRows& field(std::string_view key, double value);
   JsonRows& field(std::string_view key, std::int64_t value);
+
+  JsonRows& meta(std::string_view key, std::string_view value);
+  JsonRows& meta(std::string_view key, double value);
+  JsonRows& meta(std::string_view key, std::int64_t value);
 
   std::string render() const;
   // Writes `render()` to `path`; returns false (and prints to stderr) on
@@ -72,7 +91,13 @@ class JsonRows {
     std::string key;
     std::string rendered;  // already JSON-encoded value
   };
+  std::vector<Field> meta_;
   std::vector<std::vector<Field>> rows_;
 };
+
+// Stamps the standard provenance block: schema version, RNG seed, resolved
+// thread count, scan shard count, and build flags.
+void stamp_run_metadata(JsonRows& rows, std::uint64_t seed,
+                        std::size_t threads, std::size_t scan_shards);
 
 }  // namespace snmpv3fp::benchx

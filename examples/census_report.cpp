@@ -2,21 +2,43 @@
 // regularly-regenerated, aggregated and anonymized summary of an SNMPv3
 // measurement campaign, written as Markdown (stdout) plus CSV next to it.
 //
-// Usage: census_report [output_dir]     (default: current directory)
+// Usage: census_report [output_dir] [--report <path.json>]
+//   output_dir        where census_report.md / vendor_share.csv land
+//                     (default: current directory)
+//   --report <path>   additionally run under the observability layer and
+//                     write the unified RunReport (spans, metrics, fabric
+//                     drop causes, filter funnel) as JSON to <path>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
 #include "core/pipeline.hpp"
+#include "core/report.hpp"
 #include "util/table.hpp"
 
 using namespace snmpv3fp;
 
 int main(int argc, char** argv) {
-  const std::filesystem::path out_dir = argc > 1 ? argv[1] : ".";
+  std::filesystem::path out_dir = ".";
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "usage: census_report [output_dir] [--report <path.json>]\n";
+        return 2;
+      }
+      report_path = argv[++i];
+    } else {
+      out_dir = argv[i];
+    }
+  }
 
+  obs::RunObserver observer;
   core::PipelineOptions options;
   options.world = topo::WorldConfig::tiny();
+  // Execution-only: observing never changes result bits (test_obs.cpp).
+  if (!report_path.empty()) options.obs.observer = &observer;
   const auto r = core::run_full_pipeline(options);
 
   std::ostringstream md;
@@ -95,5 +117,14 @@ int main(int argc, char** argv) {
   std::cout << md.str();
   std::cout << "\nwrote " << md_path.string() << " and " << csv_path.string()
             << "\n";
+
+  if (!report_path.empty()) {
+    const auto report = core::build_run_report(r, options, &observer);
+    if (!(std::ofstream(report_path) << report.to_json())) {
+      std::cerr << "failed to write " << report_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << report_path << "\n";
+  }
   return 0;
 }

@@ -76,7 +76,9 @@ double AliasResolution::mean_ips_per_non_singleton() const {
 
 AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
                                 const AliasOptions& options,
-                                const util::ParallelOptions& parallel) {
+                                const util::ParallelOptions& parallel,
+                                const obs::ObsOptions& obs) {
+  obs::Span resolve_span(obs.trace(), obs.scoped("alias"));
   // Key: engine ID bytes + boots/reboot of scan 1 (+ scan 2 when enabled).
   // The key's scalar part is precomputed per record; the engine-ID bytes
   // are only ever *compared* against a group's stored EngineId, so no
@@ -94,6 +96,7 @@ AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
   // Phase 1: per-record key scalars and a 64-bit key hash, in parallel.
   std::vector<KeyScalars> scalars(n);
   std::vector<std::uint64_t> hashes(n);
+  obs::Span keys_span(obs.trace(), obs.scoped("alias.keys"));
   util::parallel_for(0, n, parallel, [&](std::size_t i) {
     const auto& record = records[i];
     KeyScalars key;
@@ -117,7 +120,9 @@ AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
     scalars[i] = key;
     hashes[i] = h;
   });
+  keys_span.finish();
 
+  obs::Span bucket_span(obs.trace(), obs.scoped("alias.bucket"));
   // Phase 2: bucket record indices by hash shard. The shard count is fixed
   // (not thread-derived) so the grouping structure never depends on the
   // thread count; equal keys always share a hash and thus a shard.
@@ -126,7 +131,9 @@ AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
   for (auto& bucket : buckets) bucket.reserve(n / kShards + 1);
   for (std::size_t i = 0; i < n; ++i)
     buckets[hashes[i] % kShards].push_back(static_cast<std::uint32_t>(i));
+  bucket_span.finish();
 
+  obs::Span group_span(obs.trace(), obs.scoped("alias.group"));
   // Phase 3: group each shard independently. Hash collisions between
   // distinct keys are resolved by comparing the full key (ID bytes against
   // the group's stored EngineId plus the scalars).
@@ -165,7 +172,9 @@ AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
     for (auto& set : out.sets)
       std::sort(set.addresses.begin(), set.addresses.end());
   });
+  group_span.finish();
 
+  obs::Span merge_span(obs.trace(), obs.scoped("alias.merge"));
   // Phase 4: merge shards into canonical key order — (ID bytes, boots1,
   // reboot1, boots2, reboot2) lexicographically, exactly the order the
   // former std::map<Key> produced. Distinct groups have distinct keys, so
@@ -198,6 +207,20 @@ AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
   resolution.sets.reserve(total_groups);
   for (const auto& ref : refs)
     resolution.sets.push_back(std::move(shards[ref.shard].sets[ref.index]));
+  merge_span.finish();
+
+  if (obs.enabled()) {
+    obs.counter("alias.records").add(n);
+    obs.counter("alias.sets").add(resolution.sets.size());
+    obs.counter("alias.non_singleton_sets")
+        .add(resolution.non_singleton_count());
+  }
+  if (obs::Logger::global().enabled(obs::LogLevel::kInfo)) {
+    obs::log_info("alias resolution finished",
+                  {{"records", n},
+                   {"sets", resolution.sets.size()},
+                   {"non_singleton", resolution.non_singleton_count()}});
+  }
   return resolution;
 }
 

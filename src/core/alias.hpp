@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/join.hpp"
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 
 namespace snmpv3fp::core {
@@ -61,9 +62,12 @@ struct AliasResolution {
 // Grouping is two-phase: per-record 64-bit key hashes computed in parallel,
 // then a fixed number of hash shards grouped independently and merged into
 // canonical key order — output is bit-identical at any thread count.
+// `obs` (execution-only) records one span per resolution phase (keys /
+// bucket / group / merge) plus set-count metrics.
 AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
                                 const AliasOptions& options = {},
-                                const util::ParallelOptions& parallel = {});
+                                const util::ParallelOptions& parallel = {},
+                                const obs::ObsOptions& obs = {});
 
 // Breakdown of a resolution into v4-only / v6-only / dual-stack sets.
 struct StackBreakdown {

@@ -103,6 +103,22 @@ std::string_view to_string(FilterStage stage) {
   return "?";
 }
 
+std::string_view to_slug(FilterStage stage) {
+  switch (stage) {
+    case FilterStage::kMissingEngineId: return "missing_engine_id";
+    case FilterStage::kInconsistentEngineId: return "inconsistent_engine_id";
+    case FilterStage::kTooShortEngineId: return "too_short_engine_id";
+    case FilterStage::kPromiscuousEngineId: return "promiscuous_engine_id";
+    case FilterStage::kUnroutableIpv4: return "unroutable_ipv4_engine_id";
+    case FilterStage::kUnregisteredMac: return "unregistered_mac_engine_id";
+    case FilterStage::kZeroTimeOrBoots: return "zero_time_or_boots";
+    case FilterStage::kFutureEngineTime: return "future_engine_time";
+    case FilterStage::kInconsistentBoots: return "inconsistent_boots";
+    case FilterStage::kInconsistentReboot: return "inconsistent_reboot";
+  }
+  return "unknown";
+}
+
 std::size_t FilterReport::valid_engine_id_count() const {
   // Stages 0..5 are the engine-ID validity stages.
   std::size_t survivors = input;
@@ -119,8 +135,11 @@ std::size_t FilterReport::total_dropped() const {
 }
 
 FilterReport FilterPipeline::apply(std::vector<JoinedRecord>& records,
-                                   const util::ParallelOptions& parallel)
-    const {
+                                   const util::ParallelOptions& parallel,
+                                   const obs::ObsOptions& obs) const {
+  obs::Span pipeline_span(obs.trace(), obs.scoped("filter"));
+  if (obs.enabled()) obs.counter("input").add(records.size());
+
   FilterReport report;
   report.input = records.size();
 
@@ -134,6 +153,9 @@ FilterReport FilterPipeline::apply(std::vector<JoinedRecord>& records,
 
   std::vector<unsigned char> keep;
   for (const FilterStage stage : kOrder) {
+    obs::Span stage_span(
+        obs.trace(),
+        obs.scoped(std::string("filter.") + std::string(to_slug(stage))));
     const std::size_t before = records.size();
     keep.assign(before, 1);
     if (stage == FilterStage::kPromiscuousEngineId) {
@@ -160,8 +182,19 @@ FilterReport FilterPipeline::apply(std::vector<JoinedRecord>& records,
     }
     records.resize(write);
     report.dropped[static_cast<std::size_t>(stage)] = before - write;
+    if (obs.enabled())
+      obs.counter(std::string("dropped.") + std::string(to_slug(stage)))
+          .add(before - write);
   }
   report.output = records.size();
+  if (obs.enabled()) obs.counter("output").add(report.output);
+  if (obs::Logger::global().enabled(obs::LogLevel::kInfo)) {
+    obs::log_info("filter pipeline finished",
+                  {{"scope", obs.scope},
+                   {"input", report.input},
+                   {"dropped", report.total_dropped()},
+                   {"output", report.output}});
+  }
   return report;
 }
 

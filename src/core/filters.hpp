@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/join.hpp"
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 
 namespace snmpv3fp::core {
@@ -33,6 +34,8 @@ enum class FilterStage : std::uint8_t {
 inline constexpr std::size_t kFilterStageCount = 10;
 
 std::string_view to_string(FilterStage stage);
+// Metric-name form: lowercase with underscores, e.g. "missing_engine_id".
+std::string_view to_slug(FilterStage stage);
 
 struct FilterOptions {
   std::size_t min_engine_id_bytes = 4;
@@ -61,8 +64,11 @@ class FilterPipeline {
   // Removes failing records in place (stable) and returns the accounting.
   // Per-record verdicts are computed in parallel chunks; the compaction is
   // stable, so output and drop counts are identical at any thread count.
+  // `obs` (execution-only) records a span per stage plus per-stage drop
+  // counters named `<scope>.dropped.<stage_slug>`.
   FilterReport apply(std::vector<JoinedRecord>& records,
-                     const util::ParallelOptions& parallel = {}) const;
+                     const util::ParallelOptions& parallel = {},
+                     const obs::ObsOptions& obs = {}) const;
 
   const FilterOptions& options() const { return options_; }
 

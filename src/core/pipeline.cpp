@@ -23,19 +23,36 @@ PipelineResult run_full_pipeline(topo::World world,
                                  const PipelineOptions& options) {
   PipelineResult result;
 
+  // Root scope: every span/metric below hangs off "pipeline".
+  const obs::ObsOptions obs =
+      options.obs.scope.empty() && options.obs.enabled()
+          ? options.obs.sub("pipeline")
+          : options.obs;
+  obs::Span run_span(obs.trace(),
+                     obs.scope.empty() ? std::string("pipeline") : obs.scope);
+  obs::log_info("pipeline started",
+                {{"seed", options.seed},
+                 {"scan_shards", options.scan_shards},
+                 {"threads", options.parallel.resolved_threads()}});
+
   // Datasets are snapshots of the pre-scan epoch, like the March 2021 ITDK
   // against April 2021 scans.
-  result.as_table = topo::build_as_table(world);
-  result.itdk_v4 = topo::export_itdk_v4(world, options.datasets);
-  result.itdk_v6 = topo::export_itdk_v6(world, options.datasets);
-  result.atlas = topo::export_atlas(world, options.datasets);
-  result.hitlist_v6 = topo::export_hitlist_v6(world, options.seed);
+  {
+    obs::Span span(obs.trace(), obs.scoped("datasets"));
+    result.as_table = topo::build_as_table(world);
+    result.itdk_v4 = topo::export_itdk_v4(world, options.datasets);
+    result.itdk_v6 = topo::export_itdk_v6(world, options.datasets);
+    result.atlas = topo::export_atlas(world, options.datasets);
+    result.hitlist_v6 = topo::export_hitlist_v6(world, options.seed);
+  }
   if (options.exclude_aliased_prefixes && !result.hitlist_v6.empty()) {
+    obs::Span span(obs.trace(), obs.scoped("hitlist_prescan"));
     sim::Fabric prescan(world, {.seed = options.seed ^ 0xa11a5ed});
     result.aliased_prefixes = scan::detect_aliased_prefixes(
         prescan, {net::Ipv4(198, 51, 100, 7), 54320}, result.hitlist_v6);
     result.hitlist_v6 =
         scan::filter_aliased(result.hitlist_v6, result.aliased_prefixes);
+    span.set_virtual_duration(prescan.now());
   }
   for (const auto* dataset :
        {&result.itdk_v4, &result.itdk_v6, &result.atlas})
@@ -44,6 +61,7 @@ PipelineResult run_full_pipeline(topo::World world,
 
   // IPv6 campaign first (paper: Apr 13-14), over the hitlist.
   if (options.scan_ipv6) {
+    obs::Span span(obs.trace(), obs.scoped("campaign.v6"));
     scan::CampaignOptions v6;
     v6.family = net::Family::kIpv6;
     v6.targets = result.hitlist_v6;
@@ -53,11 +71,15 @@ PipelineResult run_full_pipeline(topo::World world,
     v6.seed = options.seed + 1;
     v6.shards = options.scan_shards;
     v6.parallel = options.parallel;
+    v6.obs = obs.sub("v6");
     result.v6_campaign = scan::run_two_scan_campaign(world, v6);
+    span.set_virtual_duration(result.v6_campaign.scan2.end_time -
+                              result.v6_campaign.scan1.start_time);
   }
 
   // IPv4 campaign (paper: Apr 16-20 and 22-27).
   {
+    obs::Span span(obs.trace(), obs.scoped("campaign.v4"));
     scan::CampaignOptions v4;
     v4.family = net::Family::kIpv4;
     v4.first_scan_start = 3 * util::kDay;
@@ -66,30 +88,41 @@ PipelineResult run_full_pipeline(topo::World world,
     v4.seed = options.seed + 2;
     v4.shards = options.scan_shards;
     v4.parallel = options.parallel;
+    v4.obs = obs.sub("v4");
     result.v4_campaign = scan::run_two_scan_campaign(world, v4);
+    span.set_virtual_duration(result.v4_campaign.scan2.end_time -
+                              result.v4_campaign.scan1.start_time);
   }
 
   // Join, filter, resolve.
-  result.v4_joined = join_scans(result.v4_campaign.scan1,
-                                result.v4_campaign.scan2,
-                                &result.v4_join_stats, options.parallel);
-  result.v6_joined = join_scans(result.v6_campaign.scan1,
-                                result.v6_campaign.scan2,
-                                &result.v6_join_stats, options.parallel);
+  {
+    obs::Span span(obs.trace(), obs.scoped("join"));
+    result.v4_joined = join_scans(result.v4_campaign.scan1,
+                                  result.v4_campaign.scan2,
+                                  &result.v4_join_stats, options.parallel);
+    result.v6_joined = join_scans(result.v6_campaign.scan1,
+                                  result.v6_campaign.scan2,
+                                  &result.v6_join_stats, options.parallel);
+  }
 
   const FilterPipeline pipeline(options.filter);
   result.v4_records = result.v4_joined;
-  result.v4_report = pipeline.apply(result.v4_records, options.parallel);
+  result.v4_report =
+      pipeline.apply(result.v4_records, options.parallel, obs.sub("v4"));
   result.v6_records = result.v6_joined;
-  result.v6_report = pipeline.apply(result.v6_records, options.parallel);
+  result.v6_report =
+      pipeline.apply(result.v6_records, options.parallel, obs.sub("v6"));
 
   std::vector<JoinedRecord> combined = result.v4_records;
   combined.insert(combined.end(), result.v6_records.begin(),
                   result.v6_records.end());
   result.resolution = resolve_aliases(combined, options.alias,
-                                      options.parallel);
-  result.devices = annotate_devices(result.resolution, result.as_table,
-                                    result.router_addresses);
+                                      options.parallel, obs);
+  {
+    obs::Span span(obs.trace(), obs.scoped("annotate"));
+    result.devices = annotate_devices(result.resolution, result.as_table,
+                                      result.router_addresses);
+  }
 
   result.world = std::move(world);
   return result;

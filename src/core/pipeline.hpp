@@ -12,6 +12,7 @@
 #include "core/analytics.hpp"
 #include "core/filters.hpp"
 #include "core/join.hpp"
+#include "obs/obs.hpp"
 #include "scan/aliased_prefix.hpp"
 #include "scan/campaign.hpp"
 #include "topo/datasets.hpp"
@@ -40,6 +41,10 @@ struct PipelineOptions {
   // of the experiment configuration (it selects per-shard RNG streams).
   util::ParallelOptions parallel;
   std::size_t scan_shards = scan::kDefaultScanShards;
+  // Execution-only observability: attach a RunObserver to collect spans,
+  // metrics and per-shard progress for a RunReport (core/report.hpp).
+  // Enabled or not, PipelineResult is bit-identical (tests/test_obs.cpp).
+  obs::ObsOptions obs;
 };
 
 struct PipelineResult {

@@ -1,0 +1,272 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace snmpv3fp::core {
+
+namespace {
+
+double ratio(std::size_t numerator, std::size_t denominator) {
+  if (denominator == 0) return 0.0;
+  return static_cast<double>(numerator) / static_cast<double>(denominator);
+}
+
+RunReport::CampaignReport summarize_campaign(const std::string& family,
+                                             const scan::CampaignPair& pair) {
+  RunReport::CampaignReport out;
+  out.family = family;
+  out.targets = pair.scan1.targets_probed;
+  out.responsive1 = pair.scan1.records.size();
+  out.responsive2 = pair.scan2.records.size();
+  out.response_rate1 = ratio(out.responsive1, pair.scan1.targets_probed);
+  out.response_rate2 = ratio(out.responsive2, pair.scan2.targets_probed);
+  // Overlap of scan-1 responders that answered scan 2 (by address).
+  std::vector<net::IpAddress> first, second;
+  first.reserve(pair.scan1.records.size());
+  for (const auto& record : pair.scan1.records) first.push_back(record.target);
+  second.reserve(pair.scan2.records.size());
+  for (const auto& record : pair.scan2.records)
+    second.push_back(record.target);
+  std::sort(first.begin(), first.end());
+  std::sort(second.begin(), second.end());
+  std::vector<net::IpAddress> overlap;
+  overlap.reserve(std::min(first.size(), second.size()));
+  std::set_intersection(first.begin(), first.end(), second.begin(),
+                        second.end(), std::back_inserter(overlap));
+  out.cross_scan_consistency = ratio(overlap.size(), first.size());
+  out.fabric = pair.fabric_stats;
+  return out;
+}
+
+void write_fabric(obs::JsonWriter& json, const sim::FabricStats& fabric) {
+  json.begin_object();
+  json.kv("datagrams_sent", static_cast<std::uint64_t>(fabric.datagrams_sent));
+  json.kv("datagrams_delivered",
+          static_cast<std::uint64_t>(fabric.datagrams_delivered));
+  json.kv("responses_generated",
+          static_cast<std::uint64_t>(fabric.responses_generated));
+  json.kv("responses_received",
+          static_cast<std::uint64_t>(fabric.responses_received));
+  json.key("drops").begin_object();
+  json.kv("probes_lost", static_cast<std::uint64_t>(fabric.probes_lost));
+  json.kv("probes_dead", static_cast<std::uint64_t>(fabric.probes_dead));
+  json.kv("probes_filtered",
+          static_cast<std::uint64_t>(fabric.probes_filtered));
+  json.kv("probes_rate_limited",
+          static_cast<std::uint64_t>(fabric.probes_rate_limited));
+  json.kv("responses_lost", static_cast<std::uint64_t>(fabric.responses_lost));
+  json.kv("responses_duplicated",
+          static_cast<std::uint64_t>(fabric.responses_duplicated));
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+RunReport build_run_report(const PipelineResult& result,
+                           const PipelineOptions& options,
+                           const obs::RunObserver* observer) {
+  RunReport report;
+  report.seed = options.seed;
+  report.threads = options.parallel.resolved_threads();
+  report.scan_shards = options.scan_shards;
+
+  report.campaigns.push_back(summarize_campaign("ipv4", result.v4_campaign));
+  if (options.scan_ipv6)
+    report.campaigns.push_back(summarize_campaign("ipv6", result.v6_campaign));
+
+  for (const auto& [family, filter_report] :
+       {std::make_pair(std::string("ipv4"), &result.v4_report),
+        std::make_pair(std::string("ipv6"), &result.v6_report)}) {
+    RunReport::Funnel funnel;
+    funnel.family = family;
+    funnel.input = filter_report->input;
+    funnel.dropped = filter_report->dropped;
+    funnel.output = filter_report->output;
+    report.funnels.push_back(std::move(funnel));
+  }
+
+  report.alias.sets = result.resolution.sets.size();
+  report.alias.non_singleton_sets = result.resolution.non_singleton_count();
+  report.alias.ips_in_non_singletons =
+      result.resolution.ips_in_non_singletons();
+  report.alias.dual_stack_sets = breakdown_by_stack(result.resolution).dual_sets;
+
+  if (observer != nullptr) {
+    report.spans = observer->trace().snapshot();
+    report.shard_progress = observer->shard_progress();
+    report.metrics = observer->metrics().snapshot();
+  }
+  return report;
+}
+
+std::string RunReport::to_json() const {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.kv("schema", std::uint64_t{1});
+  json.key("run").begin_object();
+  json.kv("seed", seed);
+  json.kv("threads", static_cast<std::uint64_t>(threads));
+  json.kv("scan_shards", static_cast<std::uint64_t>(scan_shards));
+  json.end_object();
+
+  json.key("campaigns").begin_array();
+  for (const auto& campaign : campaigns) {
+    json.begin_object();
+    json.kv("family", campaign.family);
+    json.kv("targets", static_cast<std::uint64_t>(campaign.targets));
+    json.kv("responsive_scan1",
+            static_cast<std::uint64_t>(campaign.responsive1));
+    json.kv("responsive_scan2",
+            static_cast<std::uint64_t>(campaign.responsive2));
+    json.kv("response_rate_scan1", campaign.response_rate1);
+    json.kv("response_rate_scan2", campaign.response_rate2);
+    json.kv("cross_scan_consistency", campaign.cross_scan_consistency);
+    json.key("fabric");
+    write_fabric(json, campaign.fabric);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("filter_funnels").begin_array();
+  for (const auto& funnel : funnels) {
+    json.begin_object();
+    json.kv("family", funnel.family);
+    json.kv("input", static_cast<std::uint64_t>(funnel.input));
+    json.key("dropped").begin_object();
+    for (std::size_t i = 0; i < kFilterStageCount; ++i)
+      json.kv(to_slug(static_cast<FilterStage>(i)),
+              static_cast<std::uint64_t>(funnel.dropped[i]));
+    json.end_object();
+    json.kv("output", static_cast<std::uint64_t>(funnel.output));
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("alias").begin_object();
+  json.kv("sets", static_cast<std::uint64_t>(alias.sets));
+  json.kv("non_singleton_sets",
+          static_cast<std::uint64_t>(alias.non_singleton_sets));
+  json.kv("ips_in_non_singletons",
+          static_cast<std::uint64_t>(alias.ips_in_non_singletons));
+  json.kv("dual_stack_sets",
+          static_cast<std::uint64_t>(alias.dual_stack_sets));
+  json.end_object();
+
+  json.key("spans").begin_array();
+  for (const auto& span : spans) {
+    json.begin_object();
+    json.kv("name", span.name);
+    json.kv("depth", static_cast<std::uint64_t>(span.depth));
+    json.kv("wall_ms", span.wall_ms);
+    json.kv("virtual_s", util::to_seconds(span.virtual_duration));
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("shard_progress").begin_array();
+  for (const auto& row : shard_progress) {
+    json.begin_object();
+    json.kv("stage", row.stage);
+    json.kv("shard", static_cast<std::uint64_t>(row.shard));
+    json.kv("targets", static_cast<std::uint64_t>(row.targets));
+    json.kv("responses", static_cast<std::uint64_t>(row.responses));
+    json.kv("wall_ms", row.wall_ms);
+    json.end_object();
+  }
+  json.end_array();
+
+  // MetricsSnapshot renders itself; splice the pre-rendered object in via
+  // the writer's raw string (it is already valid JSON).
+  json.key("metrics");
+  json.raw(metrics.to_json());
+
+  json.end_object();
+  return json.str();
+}
+
+std::string RunReport::to_table() const {
+  std::ostringstream out;
+
+  out << "Run: seed=" << seed << " threads=" << threads
+      << " scan_shards=" << scan_shards << "\n\n";
+
+  util::TablePrinter campaigns_table(
+      {"Campaign", "Targets", "Scan1", "Scan2", "Rate1", "Rate2",
+       "Consistency"});
+  for (const auto& campaign : campaigns) {
+    campaigns_table.add_row(
+        {campaign.family, util::fmt_count(campaign.targets),
+         util::fmt_count(campaign.responsive1),
+         util::fmt_count(campaign.responsive2),
+         util::fmt_percent(campaign.response_rate1),
+         util::fmt_percent(campaign.response_rate2),
+         util::fmt_percent(campaign.cross_scan_consistency)});
+  }
+  out << campaigns_table.render() << "\n";
+
+  util::TablePrinter fabric_table(
+      {"Campaign", "Sent", "Delivered", "Lost", "Dead", "RateLim", "RespLost",
+       "Dup"});
+  for (const auto& campaign : campaigns) {
+    const auto& fabric = campaign.fabric;
+    fabric_table.add_row({campaign.family,
+                          util::fmt_count(fabric.datagrams_sent),
+                          util::fmt_count(fabric.datagrams_delivered),
+                          util::fmt_count(fabric.probes_lost),
+                          util::fmt_count(fabric.probes_dead),
+                          util::fmt_count(fabric.probes_rate_limited),
+                          util::fmt_count(fabric.responses_lost),
+                          util::fmt_count(fabric.responses_duplicated)});
+  }
+  out << fabric_table.render() << "\n";
+
+  util::TablePrinter funnel_table({"Filter stage", "ipv4", "ipv6"});
+  if (funnels.size() == 2) {
+    funnel_table.add_row({"input", util::fmt_count(funnels[0].input),
+                          util::fmt_count(funnels[1].input)});
+    for (std::size_t i = 0; i < kFilterStageCount; ++i)
+      funnel_table.add_row(
+          {std::string(to_string(static_cast<FilterStage>(i))),
+           util::fmt_count(funnels[0].dropped[i]),
+           util::fmt_count(funnels[1].dropped[i])});
+    funnel_table.add_row({"output", util::fmt_count(funnels[0].output),
+                          util::fmt_count(funnels[1].output)});
+    out << funnel_table.render() << "\n";
+  }
+
+  out << "Alias resolution: " << util::fmt_count(alias.sets) << " sets, "
+      << util::fmt_count(alias.non_singleton_sets) << " non-singleton ("
+      << util::fmt_count(alias.ips_in_non_singletons) << " IPs), "
+      << util::fmt_count(alias.dual_stack_sets) << " dual-stack\n\n";
+
+  if (!spans.empty()) {
+    util::TablePrinter span_table({"Span", "Wall ms", "Virtual s"});
+    for (const auto& span : spans) {
+      std::string name(span.depth * 2, ' ');
+      name += span.name;
+      span_table.add_row({name, util::fmt_double(span.wall_ms, 2),
+                          util::fmt_double(util::to_seconds(span.virtual_duration), 1)});
+    }
+    out << span_table.render() << "\n";
+  }
+
+  if (!shard_progress.empty()) {
+    util::TablePrinter shard_table(
+        {"Stage", "Shard", "Targets", "Responses", "Wall ms"});
+    for (const auto& row : shard_progress)
+      shard_table.add_row({row.stage, std::to_string(row.shard),
+                           util::fmt_count(row.targets),
+                           util::fmt_count(row.responses),
+                           util::fmt_double(row.wall_ms, 2)});
+    out << shard_table.render() << "\n";
+  }
+
+  return out.str();
+}
+
+}  // namespace snmpv3fp::core

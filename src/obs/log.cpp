@@ -1,0 +1,119 @@
+#include "obs/log.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace snmpv3fp::obs {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text)
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  for (const LogLevel level :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff})
+    if (lower == to_string(level)) return level;
+  return fallback;
+}
+
+LogLevel log_level_from_env() {
+  const char* env = std::getenv("SNMPFP_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kOff;
+  return parse_log_level(env, LogLevel::kOff);
+}
+
+std::string LogField::format_double(double v) {
+  char buf[64];
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "nan");
+  }
+  return buf;
+}
+
+Logger& Logger::global() {
+  static Logger logger(log_level_from_env());
+  return logger;
+}
+
+void Logger::set_sink(std::function<void(std::string_view)> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+namespace {
+
+bool needs_quoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (const char c : value)
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t')
+      return true;
+  return false;
+}
+
+void append_value(std::string& out, std::string_view value) {
+  if (!needs_quoting(value)) {
+    out += value;
+    return;
+  }
+  out.push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string Logger::format(LogLevel level, std::string_view message,
+                           std::initializer_list<LogField> fields) {
+  std::string out;
+  out.reserve(32 + message.size() + fields.size() * 16);
+  out += "level=";
+  out += to_string(level);
+  out += " msg=";
+  append_value(out, message);
+  for (const auto& field : fields) {
+    out.push_back(' ');
+    out += field.key;
+    out.push_back('=');
+    append_value(out, field.value);
+  }
+  return out;
+}
+
+void Logger::log(LogLevel level, std::string_view message,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level) || level == LogLevel::kOff) return;
+  const std::string line = format(level, message, fields);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "[snmpfp] %s\n", line.c_str());
+  }
+}
+
+}  // namespace snmpv3fp::obs

@@ -1,0 +1,106 @@
+// Leveled, structured logging (DESIGN.md §3's long-advertised util "log").
+//
+// One process-global logger with an atomic level and a mutex-protected
+// sink. Records render as `level=info msg="..." key=value ...` — greppable
+// key=value text, not JSON, because the consumer is a person tailing a
+// scan. The level defaults to the SNMPFP_LOG_LEVEL environment variable
+// and to kOff when unset, so tests and benches stay silent unless asked.
+//
+// Hot paths gate on `enabled(level)` (one relaxed atomic load) before
+// building any field strings; a disabled logger costs nothing measurable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace snmpv3fp::obs {
+
+enum class LogLevel : std::uint8_t {
+  kTrace = 0,
+  kDebug,
+  kInfo,
+  kWarn,
+  kError,
+  kOff,
+};
+
+std::string_view to_string(LogLevel level);
+// Case-insensitive parse of "trace".."error"/"off"; nullopt-free: unknown
+// text (and unset) falls back to `fallback`.
+LogLevel parse_log_level(std::string_view text, LogLevel fallback);
+// SNMPFP_LOG_LEVEL, or kOff when unset/unknown.
+LogLevel log_level_from_env();
+
+// One structured field. The helpers render numbers eagerly; values that
+// contain spaces or '"' are quoted with backslash escapes.
+struct LogField {
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v) {}
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  LogField(std::string_view k, T v) : key(k) {
+    if constexpr (std::is_floating_point_v<T>) {
+      value = format_double(static_cast<double>(v));
+    } else {
+      value = std::to_string(v);
+    }
+  }
+
+  static std::string format_double(double v);
+
+  std::string key;
+  std::string value;
+};
+
+class Logger {
+ public:
+  // Process-global instance, initialized from SNMPFP_LOG_LEVEL.
+  static Logger& global();
+
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
+
+  // Replaces the sink (default: one line to stderr). The sink is called
+  // under the logger's mutex — records never interleave. Passing nullptr
+  // restores the default sink.
+  void set_sink(std::function<void(std::string_view line)> sink);
+
+  void log(LogLevel level, std::string_view message,
+           std::initializer_list<LogField> fields = {});
+
+  // Renders without emitting (used by log() and by tests).
+  static std::string format(LogLevel level, std::string_view message,
+                            std::initializer_list<LogField> fields);
+
+ private:
+  explicit Logger(LogLevel level) : level_(level) {}
+
+  std::atomic<LogLevel> level_;
+  std::mutex mutex_;
+  std::function<void(std::string_view)> sink_;
+};
+
+// Convenience wrappers over Logger::global().
+inline void log_debug(std::string_view message,
+                      std::initializer_list<LogField> fields = {}) {
+  Logger::global().log(LogLevel::kDebug, message, fields);
+}
+inline void log_info(std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  Logger::global().log(LogLevel::kInfo, message, fields);
+}
+inline void log_warn(std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  Logger::global().log(LogLevel::kWarn, message, fields);
+}
+
+}  // namespace snmpv3fp::obs

@@ -1,0 +1,146 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+
+namespace snmpv3fp::obs {
+
+namespace detail {
+
+std::size_t thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+namespace {
+
+std::uint64_t sum_shards(const ShardArray& shards) {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards)
+    total += shard.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace
+
+}  // namespace detail
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    if (it->second.first != Kind::kCounter) return Counter();
+    return Counter(&counters_[it->second.second]);
+  }
+  counters_.emplace_back();
+  counters_.back().name = name;
+  const std::size_t index = counters_.size() - 1;
+  by_name_.emplace(std::string(name), std::make_pair(Kind::kCounter, index));
+  order_.emplace_back(Kind::kCounter, index);
+  return Counter(&counters_.back());
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    if (it->second.first != Kind::kGauge) return Gauge();
+    return Gauge(&gauges_[it->second.second]);
+  }
+  gauges_.emplace_back();
+  gauges_.back().name = name;
+  const std::size_t index = gauges_.size() - 1;
+  by_name_.emplace(std::string(name), std::make_pair(Kind::kGauge, index));
+  order_.emplace_back(Kind::kGauge, index);
+  return Gauge(&gauges_.back());
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    if (it->second.first != Kind::kHistogram) return Histogram();
+    return Histogram(&histograms_[it->second.second]);
+  }
+  histograms_.emplace_back();
+  auto& data = histograms_.back();
+  data.name = name;
+  data.bounds = std::move(bounds);
+  data.buckets = std::vector<detail::ShardArray>(data.bounds.size() + 1);
+  const std::size_t index = histograms_.size() - 1;
+  by_name_.emplace(std::string(name), std::make_pair(Kind::kHistogram, index));
+  order_.emplace_back(Kind::kHistogram, index);
+  return Histogram(&data);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [kind, index] : order_) {
+    switch (kind) {
+      case Kind::kCounter: {
+        const auto& data = counters_[index];
+        out.counters.push_back({data.name, detail::sum_shards(data.shards)});
+        break;
+      }
+      case Kind::kGauge: {
+        const auto& data = gauges_[index];
+        out.gauges.push_back(
+            {data.name, data.value.load(std::memory_order_relaxed)});
+        break;
+      }
+      case Kind::kHistogram: {
+        const auto& data = histograms_[index];
+        MetricsSnapshot::HistogramRow row;
+        row.name = data.name;
+        row.bounds = data.bounds;
+        row.counts.reserve(data.buckets.size());
+        for (const auto& bucket : data.buckets) {
+          const std::uint64_t count = detail::sum_shards(bucket);
+          row.counts.push_back(count);
+          row.total += count;
+        }
+        out.histograms.push_back(std::move(row));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+const MetricsSnapshot::CounterRow* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  for (const auto& row : counters)
+    if (row.name == name) return &row;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& row : counters) json.kv(row.name, row.value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& row : gauges) json.kv(row.name, row.value);
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& row : histograms) {
+    json.key(row.name).begin_object();
+    json.key("bounds").begin_array();
+    for (const double bound : row.bounds) json.value(bound);
+    json.end_array();
+    json.key("counts").begin_array();
+    for (const std::uint64_t count : row.counts) json.value(count);
+    json.end_array();
+    json.kv("total", row.total);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace snmpv3fp::obs

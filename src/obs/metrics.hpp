@@ -1,0 +1,176 @@
+// Metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// Counters and histograms are written from pipeline worker threads, so
+// each one is backed by a fixed array of cache-line-padded atomic shards;
+// a thread picks its shard once (thread-local slot id, modulo the shard
+// count) and increments it with relaxed atomics — no contention on the
+// common path. Reads (snapshot()) sum the shards.
+//
+// Determinism contract (mirrors util/parallel): the shard *structure* is
+// fixed, increments are commutative sums, and snapshot() lists metrics in
+// registration order — so as long as registration happens on one thread
+// (the pipeline registers everything from the orchestrating thread), the
+// snapshot is bit-identical at any worker thread count once the parallel
+// region has joined. Counters wrap modulo 2^64 on overflow.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace snmpv3fp::obs {
+
+// Number of independent atomic slots per metric. More threads than slots
+// just share slots (still correct, mildly more contention).
+inline constexpr std::size_t kMetricShards = 16;
+
+namespace detail {
+
+struct alignas(64) PaddedCount {
+  std::atomic<std::uint64_t> value{0};
+};
+
+using ShardArray = std::array<PaddedCount, kMetricShards>;
+
+// The calling thread's shard slot (stable for the thread's lifetime).
+std::size_t thread_shard();
+
+struct CounterData {
+  std::string name;
+  ShardArray shards;
+};
+
+struct GaugeData {
+  std::string name;
+  std::atomic<std::int64_t> value{0};
+};
+
+struct HistogramData {
+  std::string name;
+  // Upper bounds of the finite buckets (ascending). Bucket i counts
+  // observations v with v <= bounds[i] (first such i); one extra overflow
+  // bucket counts v > bounds.back().
+  std::vector<double> bounds;
+  std::vector<ShardArray> buckets;  // bounds.size() + 1 entries
+};
+
+}  // namespace detail
+
+// Lightweight handles; valid for the registry's lifetime, trivially
+// copyable, safe to use concurrently. A default-constructed handle is a
+// no-op (observability disabled).
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t delta = 1) {
+    if (data_ == nullptr) return;
+    data_->shards[detail::thread_shard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterData* data) : data_(data) {}
+  detail::CounterData* data_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t value) {
+    if (data_ != nullptr)
+      data_->value.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    if (data_ != nullptr)
+      data_->value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeData* data) : data_(data) {}
+  detail::GaugeData* data_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) {
+    if (data_ == nullptr) return;
+    std::size_t bucket = 0;
+    while (bucket < data_->bounds.size() && value > data_->bounds[bucket])
+      ++bucket;
+    data_->buckets[bucket][detail::thread_shard()].value.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramData* data) : data_(data) {}
+  detail::HistogramData* data_ = nullptr;
+};
+
+// Point-in-time view of a registry, in registration order.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+    std::uint64_t total = 0;
+  };
+
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+
+  const CounterRow* find_counter(std::string_view name) const;
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Idempotent: a name already registered returns the existing metric.
+  // Registering the same name as two different kinds is a programming
+  // error; the first registration wins and the second returns a no-op
+  // handle. Registration takes a lock — do it outside hot loops, from the
+  // orchestrating thread, so snapshot order is deterministic.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  mutable std::mutex mutex_;
+  // deques: stable addresses across registrations.
+  std::deque<detail::CounterData> counters_;
+  std::deque<detail::GaugeData> gauges_;
+  std::deque<detail::HistogramData> histograms_;
+  std::unordered_map<std::string, std::pair<Kind, std::size_t>> by_name_;
+  // Interleaved registration order for snapshots.
+  std::vector<std::pair<Kind, std::size_t>> order_;
+};
+
+}  // namespace snmpv3fp::obs

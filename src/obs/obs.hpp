@@ -1,0 +1,100 @@
+// Observability surface threaded through the pipeline.
+//
+// A RunObserver owns one run's trace, metrics registry and accounting
+// rows; ObsOptions is the cheap value handed down the call tree (observer
+// pointer + dotted scope). Observability is EXECUTION-ONLY by contract:
+// nothing behind an ObsOptions may touch an RNG, reorder work, or change
+// a single output bit — `PipelineResult` is bit-identical with observation
+// enabled, disabled, and at any thread count (tests/test_obs.cpp).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace snmpv3fp::obs {
+
+// One scan shard's progress row (recorded by the campaign in shard order,
+// after the parallel region joined — deterministic sequence).
+struct ShardProgress {
+  std::string stage;  // e.g. "v4.scan1"
+  std::size_t shard = 0;
+  std::size_t targets = 0;
+  std::size_t responses = 0;
+  double wall_ms = 0.0;
+};
+
+class RunObserver {
+ public:
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  void add_shard_progress(ShardProgress row) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shard_progress_.push_back(std::move(row));
+  }
+  std::vector<ShardProgress> shard_progress() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shard_progress_;
+  }
+
+ private:
+  Trace trace_;
+  MetricsRegistry metrics_;
+  mutable std::mutex mutex_;
+  std::vector<ShardProgress> shard_progress_;
+};
+
+// Value handed through options structs. Copying is cheap (pointer +
+// scope string); sub("x") extends the dotted scope for a child stage.
+struct ObsOptions {
+  RunObserver* observer = nullptr;
+  std::string scope;
+
+  bool enabled() const { return observer != nullptr; }
+  Trace* trace() const {
+    return observer == nullptr ? nullptr : &observer->trace();
+  }
+
+  ObsOptions sub(std::string_view name) const {
+    ObsOptions child;
+    child.observer = observer;
+    child.scope = scoped(name);
+    return child;
+  }
+
+  // "scope.name", or just "name" at the root.
+  std::string scoped(std::string_view name) const {
+    if (scope.empty()) return std::string(name);
+    std::string out = scope;
+    out.push_back('.');
+    out += name;
+    return out;
+  }
+
+  // No-op handles when disabled, so call sites stay unconditional.
+  Counter counter(std::string_view name) const {
+    return observer == nullptr ? Counter()
+                               : observer->metrics().counter(scoped(name));
+  }
+  Gauge gauge(std::string_view name) const {
+    return observer == nullptr ? Gauge()
+                               : observer->metrics().gauge(scoped(name));
+  }
+  Histogram histogram(std::string_view name,
+                      std::vector<double> bounds) const {
+    return observer == nullptr
+               ? Histogram()
+               : observer->metrics().histogram(scoped(name),
+                                               std::move(bounds));
+  }
+};
+
+}  // namespace snmpv3fp::obs

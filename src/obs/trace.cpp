@@ -1,0 +1,33 @@
+#include "obs/trace.hpp"
+
+namespace snmpv3fp::obs {
+
+namespace {
+// Nesting depth of the current thread's open spans.
+thread_local std::uint32_t open_span_depth = 0;
+}  // namespace
+
+Span::Span(Trace* trace, std::string name)
+    : trace_(trace), name_(std::move(name)) {
+  if (trace_ == nullptr) return;
+  depth_ = open_span_depth++;
+  start_ = std::chrono::steady_clock::now();
+}
+
+double Span::elapsed_ms() const {
+  if (trace_ == nullptr) return 0.0;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void Span::finish() {
+  if (trace_ == nullptr) return;
+  --open_span_depth;
+  trace_->record({std::move(name_), depth_, elapsed_ms(), virtual_duration_});
+  trace_ = nullptr;
+}
+
+Span::~Span() { finish(); }
+
+}  // namespace snmpv3fp::obs

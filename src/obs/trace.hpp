@@ -1,0 +1,87 @@
+// Stage tracing: RAII spans under a per-run trace.
+//
+// A Span measures one pipeline stage twice — wall-clock (steady_clock, the
+// cost on this machine) and virtual-clock (util/vclock, the cost in the
+// simulated experiment; 0 for analysis stages that do not advance virtual
+// time). Spans nest: a thread-local depth counter records how deep each
+// span sat, so the report can indent "pipeline > v4 > scan1 > shard3".
+//
+// Recording is thread-safe (mutex-protected append), but the pipeline
+// records spans from the orchestrating thread — or from per-shard slots
+// merged in shard order — so the span *sequence* in a report is
+// deterministic even though the timing values are not.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/vclock.hpp"
+
+namespace snmpv3fp::obs {
+
+struct SpanRecord {
+  std::string name;   // dotted path, e.g. "pipeline.v4.scan1"
+  std::uint32_t depth = 0;
+  double wall_ms = 0.0;
+  util::VTime virtual_duration = 0;  // 0: stage did not advance virtual time
+};
+
+class Trace {
+ public:
+  void record(SpanRecord span) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(std::move(span));
+  }
+
+  std::vector<SpanRecord> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+};
+
+// RAII stage span. A Span built with a null trace is a no-op — callers
+// write `Span span(obs.trace(), ...)` unconditionally and pay nothing when
+// observability is off.
+class Span {
+ public:
+  Span(Trace* trace, std::string name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Virtual-clock duration, set by stages that advance simulated time
+  // (e.g. campaign end_time - start_time).
+  void set_virtual_duration(util::VTime duration) {
+    virtual_duration_ = duration;
+  }
+
+  // Wall time elapsed so far (for callers that also want the number).
+  double elapsed_ms() const;
+
+  // Records the span now instead of at scope exit (for phase boundaries
+  // inside one function). Idempotent; the destructor becomes a no-op.
+  void finish();
+
+ private:
+  Trace* trace_;
+  std::string name_;
+  std::uint32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  util::VTime virtual_duration_ = 0;
+};
+
+}  // namespace snmpv3fp::obs

@@ -1,6 +1,7 @@
 #include "scan/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 namespace snmpv3fp::scan {
@@ -87,6 +88,8 @@ CampaignPair run_two_scan_campaign(topo::World& world,
   const auto run_sharded_scan = [&](const std::string& label,
                                     std::uint64_t scan_seed,
                                     util::VTime start) {
+    obs::Span scan_span(options.obs.trace(), options.obs.scoped(label));
+
     // Global shuffle first, then contiguous slices: shard k's slice starts
     // at global probe index b_k and is paced with send_offset = b_k * gap,
     // so the union of shard schedules equals one sequential scan's.
@@ -98,7 +101,12 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     const std::size_t base = shard_count == 0 ? 0 : n / shard_count;
     const std::size_t extra = shard_count == 0 ? 0 : n % shard_count;
     std::vector<ScanResult> shard_results(shard_count);
+    // Per-shard wall times land in worker-owned slots and are reported
+    // from this thread in shard order — the observer sequence (like the
+    // scan output) never depends on worker scheduling.
+    std::vector<double> shard_wall_ms(shard_count, 0.0);
     util::parallel_for(0, shard_count, options.parallel, [&](std::size_t shard) {
+      const auto t0 = std::chrono::steady_clock::now();
       const std::size_t begin = shard * base + std::min(shard, extra);
       const std::size_t end = begin + base + (shard < extra ? 1 : 0);
       const std::vector<net::IpAddress> slice(order.begin() + begin,
@@ -111,8 +119,31 @@ CampaignPair run_two_scan_campaign(topo::World& world,
       probe.send_offset = static_cast<util::VTime>(begin) * gap;
       Prober prober(*fabrics[shard], prober_source);
       shard_results[shard] = prober.run(slice, probe, start);
+      shard_wall_ms[shard] = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
     });
-    return merge_shard_results(shard_results);
+
+    if (options.obs.enabled()) {
+      const std::string stage = options.obs.scoped(label);
+      for (std::size_t shard = 0; shard < shard_count; ++shard)
+        options.obs.observer->add_shard_progress(
+            {stage, shard, shard_results[shard].targets_probed,
+             shard_results[shard].records.size(), shard_wall_ms[shard]});
+    }
+
+    ScanResult merged = merge_shard_results(shard_results);
+    scan_span.set_virtual_duration(merged.end_time - merged.start_time);
+    if (options.obs.enabled()) {
+      options.obs.counter(label + ".targets").add(merged.targets_probed);
+      options.obs.counter(label + ".responsive").add(merged.records.size());
+    }
+    obs::log_info("scan finished",
+                  {{"scan", options.obs.scoped(label)},
+                   {"targets", merged.targets_probed},
+                   {"responsive", merged.records.size()},
+                   {"shards", shard_count}});
+    return merged;
   };
 
   CampaignPair out;
@@ -124,13 +155,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
   out.scan2 = run_sharded_scan("scan2", options.seed * 2 + 2,
                                options.first_scan_start + options.scan_gap);
 
-  for (const auto& fabric : fabrics) {
-    const auto& stats = fabric->stats();
-    out.fabric_stats.datagrams_sent += stats.datagrams_sent;
-    out.fabric_stats.datagrams_delivered += stats.datagrams_delivered;
-    out.fabric_stats.responses_generated += stats.responses_generated;
-    out.fabric_stats.responses_received += stats.responses_received;
-  }
+  for (const auto& fabric : fabrics) out.fabric_stats += fabric->stats();
   return out;
 }
 

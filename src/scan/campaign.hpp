@@ -8,6 +8,7 @@
 
 #include <optional>
 
+#include "obs/obs.hpp"
 #include "scan/prober.hpp"
 #include "sim/fabric.hpp"
 #include "topo/world.hpp"
@@ -37,6 +38,9 @@ struct CampaignOptions {
   // by its own Prober + Fabric, then merged in probe order.
   std::size_t shards = kDefaultScanShards;
   util::ParallelOptions parallel;
+  // Execution-only observability (spans, counters, per-shard progress):
+  // never changes a single output bit.
+  obs::ObsOptions obs;
 };
 
 struct CampaignPair {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
 #include "snmp/message.hpp"
 
 namespace snmpv3fp::scan {
@@ -108,6 +109,14 @@ ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
   transport_.run_until(next_send + config.response_timeout);
   drain(result, by_source, sent_at);
   result.end_time = transport_.now();
+  if (obs::Logger::global().enabled(obs::LogLevel::kDebug)) {
+    obs::log_debug("probe run finished",
+                   {{"label", config.label},
+                    {"targets", result.targets_probed},
+                    {"responsive", result.records.size()},
+                    {"virtual_s", util::to_seconds(result.end_time -
+                                                   result.start_time)}});
+  }
   return result;
 }
 

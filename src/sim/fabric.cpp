@@ -2,16 +2,39 @@
 
 namespace snmpv3fp::sim {
 
+FabricStats& FabricStats::operator+=(const FabricStats& other) {
+  datagrams_sent += other.datagrams_sent;
+  datagrams_delivered += other.datagrams_delivered;
+  responses_generated += other.responses_generated;
+  responses_received += other.responses_received;
+  probes_lost += other.probes_lost;
+  probes_dead += other.probes_dead;
+  probes_filtered += other.probes_filtered;
+  probes_rate_limited += other.probes_rate_limited;
+  responses_lost += other.responses_lost;
+  responses_duplicated += other.responses_duplicated;
+  return *this;
+}
+
 Fabric::Fabric(const topo::World& world, const FabricConfig& config)
     : world_(world), config_(config), rng_(config.seed) {}
 
 void Fabric::send(net::Datagram datagram) {
   ++stats_.datagrams_sent;
-  if (rng_.chance(config_.probe_loss)) return;
+  if (rng_.chance(config_.probe_loss)) {
+    ++stats_.probes_lost;
+    return;
+  }
 
   const topo::Device* device = world_.device_at(datagram.destination.address);
-  if (device == nullptr) return;  // dead address space
-  if (datagram.destination.port != net::kSnmpPort) return;
+  if (device == nullptr) {  // dead address space
+    ++stats_.probes_dead;
+    return;
+  }
+  if (datagram.destination.port != net::kSnmpPort) {
+    ++stats_.probes_filtered;
+    return;
+  }
 
   const util::VTime rtt =
       config_.min_rtt +
@@ -19,14 +42,35 @@ void Fabric::send(net::Datagram datagram) {
                                static_cast<double>(config_.max_rtt -
                                                    config_.min_rtt));
   const util::VTime at_device = clock_.now() + rtt / 2;
+
+  // Device-side control-plane policing (off unless configured): at most
+  // device_rate_limit_pps datagrams per device per simulated second.
+  if (config_.device_rate_limit_pps > 0) {
+    auto& window = rate_windows_[static_cast<std::uint32_t>(device->index)];
+    if (at_device - window.window_start >= util::kSecond) {
+      window.window_start = at_device;
+      window.count = 0;
+    }
+    if (++window.count > config_.device_rate_limit_pps) {
+      ++stats_.probes_rate_limited;
+      return;
+    }
+  }
+
   ++stats_.datagrams_delivered;
 
   const auto responses = handle_udp(*device, datagram.payload, at_device, rng_,
                                     config_.agent);
   util::VTime arrival = at_device + rtt / 2;
+  bool first_response = true;
   for (const auto& payload : responses) {
     ++stats_.responses_generated;
-    if (rng_.chance(config_.response_loss)) continue;
+    if (!first_response) ++stats_.responses_duplicated;
+    first_response = false;
+    if (rng_.chance(config_.response_loss)) {
+      ++stats_.responses_lost;
+      continue;
+    }
     net::Datagram response;
     response.source = datagram.destination;  // agents reply from the probed IP
     response.destination = datagram.source;

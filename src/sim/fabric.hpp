@@ -9,6 +9,7 @@
 
 #include <deque>
 #include <queue>
+#include <unordered_map>
 
 #include "net/transport.hpp"
 #include "sim/agent.hpp"
@@ -24,6 +25,11 @@ struct FabricConfig {
   double response_loss = 0.01;  // response never reaches the prober
   util::VTime min_rtt = 10 * util::kMillisecond;
   util::VTime max_rtt = 400 * util::kMillisecond;
+  // Per-device inbound rate limit (datagrams per simulated second);
+  // 0 = unlimited. Real routers police SNMP control-plane traffic — the
+  // knob exists for robustness experiments and is off by default, so
+  // default campaigns are unchanged.
+  std::size_t device_rate_limit_pps = 0;
   AgentConfig agent;
 };
 
@@ -32,6 +38,18 @@ struct FabricStats {
   std::size_t datagrams_delivered = 0;  // to agents
   std::size_t responses_generated = 0;  // by agents (incl. amplification)
   std::size_t responses_received = 0;   // by the prober
+
+  // Drop/duplication causes (Table-1-style accounting for the data plane;
+  // datagrams_sent = datagrams_delivered + probes_lost + probes_dead +
+  // probes_filtered + probes_rate_limited).
+  std::size_t probes_lost = 0;          // random probe loss
+  std::size_t probes_dead = 0;          // no device at the address
+  std::size_t probes_filtered = 0;      // closed port / not listening
+  std::size_t probes_rate_limited = 0;  // device-side rate policing
+  std::size_t responses_lost = 0;       // random response loss
+  std::size_t responses_duplicated = 0; // amplified extra copies generated
+
+  FabricStats& operator+=(const FabricStats& other);
 };
 
 class Fabric final : public net::Transport {
@@ -56,6 +74,12 @@ class Fabric final : public net::Transport {
     }
   };
 
+  // Per-device one-second token window for device_rate_limit_pps.
+  struct RateWindow {
+    util::VTime window_start = 0;
+    std::size_t count = 0;
+  };
+
   const topo::World& world_;
   FabricConfig config_;
   util::Rng rng_;
@@ -63,6 +87,7 @@ class Fabric final : public net::Transport {
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> in_flight_;
   std::deque<net::Datagram> inbox_;
   FabricStats stats_;
+  std::unordered_map<std::uint32_t, RateWindow> rate_windows_;
 };
 
 }  // namespace snmpv3fp::sim

@@ -3,11 +3,18 @@
 // measurement campaign, written as Markdown (stdout) plus CSV next to it.
 //
 // Usage: census_report [output_dir] [--report <path.json>]
+//                      [--checkpoint-dir <dir> [--checkpoint-every <n>]]
 //   output_dir        where census_report.md / vendor_share.csv land
 //                     (default: current directory)
 //   --report <path>   additionally run under the observability layer and
 //                     write the unified RunReport (spans, metrics, fabric
 //                     drop causes, filter funnel) as JSON to <path>
+//   --checkpoint-dir <dir>  checkpoint campaign progress to
+//                     <dir>/campaign_v{4,6}.json; rerunning the same
+//                     command after a kill resumes bit-identically
+//   --checkpoint-every <n>  checkpoint every n targets per shard
+//                     (default 0: only at the scan-1/scan-2 boundary)
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -22,13 +29,23 @@ using namespace snmpv3fp;
 int main(int argc, char** argv) {
   std::filesystem::path out_dir = ".";
   std::string report_path;
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 0;
+  const auto usage = [] {
+    std::cerr << "usage: census_report [output_dir] [--report <path.json>] "
+                 "[--checkpoint-dir <dir> [--checkpoint-every <n>]]\n";
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--report") == 0) {
-      if (i + 1 >= argc) {
-        std::cerr << "usage: census_report [output_dir] [--report <path.json>]\n";
-        return 2;
-      }
+      if (i + 1 >= argc) return usage();
       report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
+      if (i + 1 >= argc) return usage();
+      checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      if (i + 1 >= argc) return usage();
+      checkpoint_every = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       out_dir = argv[i];
     }
@@ -39,7 +56,18 @@ int main(int argc, char** argv) {
   options.world = topo::WorldConfig::tiny();
   // Execution-only: observing never changes result bits (test_obs.cpp).
   if (!report_path.empty()) options.obs.observer = &observer;
+  if (!checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+  }
+  options.checkpoint_dir = checkpoint_dir;
+  options.checkpoint_every_n_targets = checkpoint_every;
   const auto r = core::run_full_pipeline(options);
+  if (r.interrupted) {
+    std::cerr << "campaign interrupted; rerun to resume from "
+              << checkpoint_dir << "\n";
+    return 3;
+  }
 
   std::ostringstream md;
   md << "# SNMPv3 census report (simulated)\n\n";

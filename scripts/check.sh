@@ -4,18 +4,24 @@
 #   2. Focused race check: TSan build in build-tsan/ running the tests that
 #      exercise the parallel execution and observability layers
 #      (test_parallel, test_obs).
+#   3. Focused memory/UB check: ASan+UBSan build in build-asan/ running the
+#      hostile-input corpus plus the decode-path suites (test_hostile,
+#      test_asn1, test_snmp_message, test_checkpoint) — >=10k corrupted
+#      payloads must decode-reject with zero memory errors or UB.
 #
-# Usage: scripts/check.sh [--no-tsan]
+# Usage: scripts/check.sh [--no-tsan] [--no-asan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 RUN_TSAN=1
+RUN_ASAN=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) RUN_TSAN=0 ;;
-    *) echo "usage: scripts/check.sh [--no-tsan]" >&2; exit 2 ;;
+    --no-asan) RUN_ASAN=0 ;;
+    *) echo "usage: scripts/check.sh [--no-tsan] [--no-asan]" >&2; exit 2 ;;
   esac
 done
 
@@ -32,6 +38,17 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # name (unbuilt targets register _NOT_BUILT placeholders ctest must skip).
   (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
       -R "^(ParallelFor|ParallelMap|ParallelDeterminism|Metrics|Json|Log|Trace|ObsContract)\.")
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "==> ASan+UBSan: hostile-input / decode-path memory check"
+  # SNMPFP_SANITIZE=address enables -fsanitize=address,undefined (see the
+  # top-level CMakeLists), so one build covers both sanitizers.
+  cmake -B build-asan -S . -DSNMPFP_SANITIZE=address
+  cmake --build build-asan -j "$JOBS" \
+      --target test_hostile test_asn1 test_snmp_message test_checkpoint
+  (cd build-asan && ctest --output-on-failure -j "$JOBS" \
+      -R "^(HostileInput|HostileFabric|Ber|BerMalformed|V3Message|V2cMessage|DiscoveryRequest|DiscoveryReport|PduType|PeekVersion|CheckpointCodec|CheckpointCampaignTest|CheckpointPipeline|Pacer|RngState)\.")
 fi
 
 echo "==> all checks passed"

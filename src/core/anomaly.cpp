@@ -21,12 +21,17 @@ std::vector<EngineId> engines_of(const scan::ScanRecord& record) {
   return engines;
 }
 
-// Re-probes one address and returns the distinct engines that answered.
-std::set<util::Bytes> reprobe(net::Transport& transport,
-                              const net::Endpoint& source,
-                              const net::IpAddress& target,
-                              const AnomalyOptions& options) {
+// Sends one confirmation burst and returns the distinct engines that
+// answered. `responses_seen` reports whether ANY datagram came back (even
+// an undecodable or engine-less one) — the retry logic must not confuse
+// "silent" with "answered uselessly".
+std::set<util::Bytes> reprobe_burst(net::Transport& transport,
+                                    const net::Endpoint& source,
+                                    const net::IpAddress& target,
+                                    const AnomalyOptions& options,
+                                    bool& responses_seen) {
   std::set<util::Bytes> engines;
+  responses_seen = false;
   std::int32_t id = 21000;
   for (std::size_t i = 0; i < options.reprobe_count; ++i) {
     const std::int32_t msg_id = ++id;
@@ -43,10 +48,39 @@ std::set<util::Bytes> reprobe(net::Transport& transport,
   transport.run_until(transport.now() + options.reprobe_timeout);
   while (auto datagram = transport.receive()) {
     if (datagram->source.address != target) continue;
+    responses_seen = true;
     const auto message = snmp::V3Message::decode(datagram->payload);
     if (!message) continue;
     const auto& engine = message.value().usm.authoritative_engine_id;
     if (!engine.empty()) engines.insert(engine.raw());
+  }
+  return engines;
+}
+
+// Re-probes one address, retrying silent bursts while `budget_left`
+// allows. Burst spacing grows with each retry (500 ms, 1 s, ...) so a
+// rate-limited target gets room to recover before the budget is spent.
+std::set<util::Bytes> reprobe(net::Transport& transport,
+                              const net::Endpoint& source,
+                              const net::IpAddress& target,
+                              const AnomalyOptions& options,
+                              AnomalyReport& report,
+                              std::size_t& budget_left) {
+  bool responses_seen = false;
+  report.reprobes_sent += options.reprobe_count;
+  auto engines =
+      reprobe_burst(transport, source, target, options, responses_seen);
+  std::size_t attempt = 0;
+  while (!responses_seen && budget_left > 0) {
+    --budget_left;
+    ++report.retries_used;
+    ++attempt;
+    transport.run_until(transport.now() +
+                        static_cast<util::VTime>(attempt) * 500 *
+                            util::kMillisecond);
+    report.reprobes_sent += options.reprobe_count;
+    engines = reprobe_burst(transport, source, target, options,
+                            responses_seen);
   }
   return engines;
 }
@@ -76,6 +110,7 @@ AnomalyReport classify_anomalies(const scan::ScanResult& scan1,
                                  const net::AsTable& as_table,
                                  const AnomalyOptions& options) {
   AnomalyReport report;
+  std::size_t budget_left = options.retry_budget;
   const auto index2 = scan2.index();
 
   // Engine -> addresses index of scan 2, for the churn relocation check.
@@ -101,8 +136,8 @@ AnomalyReport classify_anomalies(const scan::ScanResult& scan1,
 
     // Active confirmation: a burst of probes separates a rotating VIP from
     // a one-time identity change.
-    const auto live =
-        reprobe(transport, prober_source, record1.target, options);
+    const auto live = reprobe(transport, prober_source, record1.target,
+                              options, report, budget_left);
     if (live.size() >= options.min_lb_engines) {
       anomaly.kind = AnomalyKind::kLoadBalancer;
     } else if (!record1.engine_id.empty() && !record2.engine_id.empty() &&

@@ -52,10 +52,20 @@ struct AnomalyOptions {
   // Active re-probes per candidate address.
   std::size_t reprobe_count = 5;
   util::VTime reprobe_timeout = 3 * util::kSecond;
+  // Bounded retry budget for the confirmation bursts: when a candidate's
+  // whole burst comes back empty (transient loss or rate limiting at the
+  // target), the burst is retried — at most this many times across the
+  // entire classification, so a black-holed candidate list cannot stall
+  // it. 0 = never retry (historical behavior).
+  std::size_t retry_budget = 0;
 };
 
 struct AnomalyReport {
   std::vector<Anomaly> anomalies;
+  // Re-probe accounting: total confirmation probes sent, and how much of
+  // `AnomalyOptions::retry_budget` was consumed by empty-burst retries.
+  std::size_t reprobes_sent = 0;
+  std::size_t retries_used = 0;
 
   std::size_t count(AnomalyKind kind) const;
   std::size_t churn_count() const { return count(AnomalyKind::kAddressChurn); }

@@ -72,7 +72,18 @@ PipelineResult run_full_pipeline(topo::World world,
     v6.shards = options.scan_shards;
     v6.parallel = options.parallel;
     v6.obs = obs.sub("v6");
+    v6.pacer = options.pacer;
+    if (!options.checkpoint_dir.empty()) {
+      v6.checkpoint_path = options.checkpoint_dir + "/campaign_v6.json";
+      v6.checkpoint_every_n_targets = options.checkpoint_every_n_targets;
+      v6.abort_after_checkpoints = options.abort_after_checkpoints;
+    }
     result.v6_campaign = scan::run_two_scan_campaign(world, v6);
+    if (result.v6_campaign.interrupted) {
+      result.interrupted = true;
+      result.world = std::move(world);
+      return result;
+    }
     span.set_virtual_duration(result.v6_campaign.scan2.end_time -
                               result.v6_campaign.scan1.start_time);
   }
@@ -89,7 +100,18 @@ PipelineResult run_full_pipeline(topo::World world,
     v4.shards = options.scan_shards;
     v4.parallel = options.parallel;
     v4.obs = obs.sub("v4");
+    v4.pacer = options.pacer;
+    if (!options.checkpoint_dir.empty()) {
+      v4.checkpoint_path = options.checkpoint_dir + "/campaign_v4.json";
+      v4.checkpoint_every_n_targets = options.checkpoint_every_n_targets;
+      v4.abort_after_checkpoints = options.abort_after_checkpoints;
+    }
     result.v4_campaign = scan::run_two_scan_campaign(world, v4);
+    if (result.v4_campaign.interrupted) {
+      result.interrupted = true;
+      result.world = std::move(world);
+      return result;
+    }
     span.set_virtual_duration(result.v4_campaign.scan2.end_time -
                               result.v4_campaign.scan1.start_time);
   }

@@ -45,11 +45,28 @@ struct PipelineOptions {
   // metrics and per-shard progress for a RunReport (core/report.hpp).
   // Enabled or not, PipelineResult is bit-identical (tests/test_obs.cpp).
   obs::ObsOptions obs;
+  // Fault tolerance (scan/checkpoint.hpp, scan/pacer.hpp). With
+  // `checkpoint_dir` set, each campaign persists resumable progress to
+  // <checkpoint_dir>/campaign_v6.json / campaign_v4.json — at the boundary
+  // between its two scans always, plus every `checkpoint_every_n_targets`
+  // probes per shard — and a rerun with identical options resumes from the
+  // files bit-identically. `pacer` enables adaptive rate backoff (an
+  // experiment-configuration knob: it moves probe send times).
+  // `abort_after_checkpoints` simulates a kill for tests (see
+  // scan::CampaignOptions::abort_after_checkpoints).
+  scan::PacerConfig pacer;
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every_n_targets = 0;
+  std::size_t abort_after_checkpoints = 0;
 };
 
 struct PipelineResult {
   topo::World world;  // ground truth (address state: final epoch)
   net::AsTable as_table;
+  // True when a simulated kill interrupted a campaign: the results below
+  // the interrupted campaign are empty/partial and the checkpoint files
+  // hold the resumable state. Re-running with the same options resumes.
+  bool interrupted = false;
 
   // Third-party-style datasets, exported before any scan ran.
   topo::RouterDataset itdk_v4;

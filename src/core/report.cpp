@@ -38,6 +38,9 @@ RunReport::CampaignReport summarize_campaign(const std::string& family,
   std::set_intersection(first.begin(), first.end(), second.begin(),
                         second.end(), std::back_inserter(overlap));
   out.cross_scan_consistency = ratio(overlap.size(), first.size());
+  out.undecodable_responses =
+      pair.scan1.undecodable_responses + pair.scan2.undecodable_responses;
+  out.pacer_backoffs = pair.scan1.pacer_backoffs + pair.scan2.pacer_backoffs;
   out.fabric = pair.fabric_stats;
   return out;
 }
@@ -61,6 +64,10 @@ void write_fabric(obs::JsonWriter& json, const sim::FabricStats& fabric) {
   json.kv("responses_lost", static_cast<std::uint64_t>(fabric.responses_lost));
   json.kv("responses_duplicated",
           static_cast<std::uint64_t>(fabric.responses_duplicated));
+  json.kv("probes_corrupted",
+          static_cast<std::uint64_t>(fabric.probes_corrupted));
+  json.kv("responses_corrupted",
+          static_cast<std::uint64_t>(fabric.responses_corrupted));
   json.end_object();
   json.end_object();
 }
@@ -126,6 +133,10 @@ std::string RunReport::to_json() const {
     json.kv("response_rate_scan1", campaign.response_rate1);
     json.kv("response_rate_scan2", campaign.response_rate2);
     json.kv("cross_scan_consistency", campaign.cross_scan_consistency);
+    json.kv("undecodable_responses",
+            static_cast<std::uint64_t>(campaign.undecodable_responses));
+    json.kv("pacer_backoffs",
+            static_cast<std::uint64_t>(campaign.pacer_backoffs));
     json.key("fabric");
     write_fabric(json, campaign.fabric);
     json.end_object();
@@ -224,6 +235,26 @@ std::string RunReport::to_table() const {
                           util::fmt_count(fabric.responses_duplicated)});
   }
   out << fabric_table.render() << "\n";
+
+  // Robustness counters only clutter the output when something actually
+  // dropped, backed off, or got corrupted — clean fixed-rate runs skip it.
+  bool any_robustness = false;
+  for (const auto& campaign : campaigns)
+    any_robustness |= campaign.undecodable_responses != 0 ||
+                      campaign.pacer_backoffs != 0 ||
+                      campaign.fabric.probes_corrupted != 0 ||
+                      campaign.fabric.responses_corrupted != 0;
+  if (any_robustness) {
+    util::TablePrinter robustness_table(
+        {"Campaign", "Undecodable", "Backoffs", "ProbeCorrupt", "RespCorrupt"});
+    for (const auto& campaign : campaigns)
+      robustness_table.add_row(
+          {campaign.family, util::fmt_count(campaign.undecodable_responses),
+           util::fmt_count(campaign.pacer_backoffs),
+           util::fmt_count(campaign.fabric.probes_corrupted),
+           util::fmt_count(campaign.fabric.responses_corrupted)});
+    out << robustness_table.render() << "\n";
+  }
 
   util::TablePrinter funnel_table({"Filter stage", "ipv4", "ipv6"});
   if (funnels.size() == 2) {

@@ -33,6 +33,11 @@ struct RunReport {
     // Fraction of scan-1 responders that also answered scan 2 (the
     // cross-scan consistency the two-scan methodology depends on).
     double cross_scan_consistency = 0.0;
+    // Robustness accounting across both scans: responses that reached the
+    // prober but failed SNMPv3 decode (hostile/corrupted bytes), and
+    // adaptive-pacer backoff events (zero unless PacerConfig::adaptive).
+    std::size_t undecodable_responses = 0;
+    std::size_t pacer_backoffs = 0;
     sim::FabricStats fabric;
   };
   std::vector<CampaignReport> campaigns;

@@ -1,8 +1,10 @@
 #include "scan/campaign.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <memory>
+#include <mutex>
 
 namespace snmpv3fp::scan {
 
@@ -29,6 +31,8 @@ ScanResult merge_shard_results(std::vector<ScanResult>& shards) {
     }
     merged.targets_probed += shard.targets_probed;
     merged.probe_bytes = std::max(merged.probe_bytes, shard.probe_bytes);
+    merged.undecodable_responses += shard.undecodable_responses;
+    merged.pacer_backoffs += shard.pacer_backoffs;
     std::move(shard.records.begin(), shard.records.end(),
               std::back_inserter(merged.records));
   }
@@ -38,6 +42,134 @@ ScanResult merge_shard_results(std::vector<ScanResult>& shards) {
               return a.target < b.target;
             });
   return merged;
+}
+
+// Shared mutable checkpoint state for one campaign run. Shard workers
+// update their own slot under the mutex and persist the whole store; the
+// final on-disk file after a simulated kill is deterministic because every
+// shard settles at its own boundary regardless of scheduling.
+class CheckpointStore {
+ public:
+  CheckpointStore(std::string path, std::uint64_t config_digest,
+                  std::size_t shard_count, std::size_t abort_after)
+      : path_(std::move(path)), abort_after_(abort_after) {
+    data_.config_digest = config_digest;
+    slots_.resize(shard_count);
+    boundaries_crossed_.resize(shard_count, 0);
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Begins a scan: clears per-shard slots, keeps boundary fabrics/scan1.
+  void begin_scan(std::size_t scan_index) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    data_.scan_index = scan_index;
+    std::fill(slots_.begin(), slots_.end(), std::nullopt);
+  }
+
+  void adopt_resume(const CampaignCheckpoint& resume) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    data_.scan_index = resume.scan_index;
+    data_.scan1 = resume.scan1;
+    data_.scan_boundary_fabrics = resume.scan_boundary_fabrics;
+    for (const auto& state : resume.shard_states)
+      if (state.shard < slots_.size()) slots_[state.shard] = state;
+  }
+
+  // A shard crossed a checkpoint boundary: record its snapshot, persist,
+  // and decide whether the simulated kill stops it here.
+  bool record_boundary(std::size_t shard, ShardScanState state) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_[shard] = std::move(state);
+    ++boundaries_crossed_[shard];
+    const bool keep_running =
+        abort_after_ == 0 || boundaries_crossed_[shard] < abort_after_;
+    if (!keep_running) aborted_ = true;
+    persist_locked();
+    return keep_running;
+  }
+
+  void mark_complete(std::size_t shard, const ScanResult& result,
+                     sim::FabricState fabric) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ShardScanState state;
+    state.shard = shard;
+    state.cursor = result.targets_probed;
+    state.complete = true;
+    state.partial = result;
+    state.fabric = std::move(fabric);
+    slots_[shard] = std::move(state);
+  }
+
+  // Scan 1 finished: persist its merged result plus every shard's fabric
+  // at the scan boundary (shards without a mid-scan-2 snapshot resume
+  // their fabric from here).
+  void finish_scan1(ScanResult merged,
+                    std::vector<sim::FabricState> boundary_fabrics) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    data_.scan1 = std::move(merged);
+    data_.scan_index = 2;
+    data_.scan_boundary_fabrics = std::move(boundary_fabrics);
+    std::fill(slots_.begin(), slots_.end(), std::nullopt);
+    persist_locked();
+  }
+
+  void persist() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    persist_locked();
+  }
+
+  bool aborted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aborted_;
+  }
+
+  const sim::FabricState* boundary_fabric(std::size_t shard) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shard >= data_.scan_boundary_fabrics.size()) return nullptr;
+    return &data_.scan_boundary_fabrics[shard];
+  }
+
+ private:
+  void persist_locked() {
+    if (path_.empty()) return;
+    data_.shard_states.clear();
+    for (const auto& slot : slots_)
+      if (slot.has_value()) data_.shard_states.push_back(*slot);
+    save_checkpoint(data_, path_);
+  }
+
+  const std::string path_;
+  const std::size_t abort_after_;
+  mutable std::mutex mutex_;
+  CampaignCheckpoint data_;
+  std::vector<std::optional<ShardScanState>> slots_;
+  std::vector<std::size_t> boundaries_crossed_;
+  bool aborted_ = false;
+};
+
+std::uint64_t digest_config(const CampaignOptions& options,
+                            const std::vector<net::IpAddress>& targets,
+                            std::size_t shard_count) {
+  std::uint64_t digest = util::hash_combine(options.seed, shard_count);
+  digest = util::hash_combine(
+      digest, static_cast<std::uint64_t>(options.family));
+  digest = util::hash_combine(
+      digest, static_cast<std::uint64_t>(options.first_scan_start));
+  digest = util::hash_combine(
+      digest, static_cast<std::uint64_t>(options.scan_gap));
+  digest = util::hash_combine(digest,
+                              std::bit_cast<std::uint64_t>(options.rate_pps));
+  digest = util::hash_combine(digest, options.fabric.seed);
+  digest = util::hash_combine(
+      digest, static_cast<std::uint64_t>(options.pacer.adaptive));
+  digest = util::hash_combine(
+      digest,
+      static_cast<std::uint64_t>(options.checkpoint_every_n_targets));
+  digest = util::hash_combine(digest, targets.size());
+  for (const auto& address : targets)
+    digest = util::hash_combine(digest, util::fnv1a64(address.to_string()));
+  return digest;
 }
 
 }  // namespace
@@ -81,14 +213,48 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     fabrics.push_back(std::make_unique<sim::Fabric>(world, config));
   }
 
+  const std::uint64_t digest = digest_config(options, targets, shard_count);
+  CheckpointStore store(options.checkpoint_path, digest, shard_count,
+                        options.abort_after_checkpoints);
+
+  // Resume: a checkpoint from the same configuration continues where the
+  // previous process stopped; anything else is ignored with a warning. The
+  // loaded checkpoint must outlive the scan that consumes its slots.
+  bool resuming = false;
+  std::size_t resume_scan_index = 1;
+  std::optional<CampaignCheckpoint> resumed;
+  if (store.enabled()) {
+    if (auto loaded = load_checkpoint(options.checkpoint_path)) {
+      if (loaded->config_digest == digest) {
+        resuming = true;
+        resume_scan_index = loaded->scan_index;
+        store.adopt_resume(*loaded);
+        obs::log_info("campaign resuming from checkpoint",
+                      {{"path", options.checkpoint_path},
+                       {"scan", loaded->scan_index},
+                       {"shard_states", loaded->shard_states.size()}});
+        resumed = std::move(loaded);
+      } else {
+        obs::log_warn("checkpoint config mismatch, starting fresh",
+                      {{"path", options.checkpoint_path}});
+      }
+    }
+  }
+
   const auto gap =
       static_cast<util::VTime>(static_cast<double>(util::kSecond) /
                                std::max(options.rate_pps, 1.0));
 
-  const auto run_sharded_scan = [&](const std::string& label,
-                                    std::uint64_t scan_seed,
-                                    util::VTime start) {
+  // Runs one sharded scan; `resume_slots[shard]` (when non-null) continues
+  // that shard from its snapshot. Returns nullopt when a simulated kill
+  // interrupted the scan (the checkpoint file then holds the state).
+  const auto run_sharded_scan =
+      [&](const std::string& label, std::uint64_t scan_seed, util::VTime start,
+          std::size_t scan_index,
+          const std::vector<const ShardScanState*>& resume_slots)
+      -> std::optional<ScanResult> {
     obs::Span scan_span(options.obs.trace(), options.obs.scoped(label));
+    if (store.enabled() && !resuming) store.begin_scan(scan_index);
 
     // Global shuffle first, then contiguous slices: shard k's slice starts
     // at global probe index b_k and is paced with send_offset = b_k * gap,
@@ -107,6 +273,25 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     std::vector<double> shard_wall_ms(shard_count, 0.0);
     util::parallel_for(0, shard_count, options.parallel, [&](std::size_t shard) {
       const auto t0 = std::chrono::steady_clock::now();
+      const ShardScanState* resume_state = resume_slots[shard];
+      if (resume_state != nullptr) {
+        // Fabric state rides in the snapshot; a completed shard needs no
+        // re-probing at all, only its result and fabric back.
+        fabrics[shard]->restore(resume_state->fabric);
+        if (resume_state->complete) {
+          shard_results[shard] = resume_state->partial;
+          if (store.enabled())
+            store.mark_complete(shard, resume_state->partial,
+                                resume_state->fabric);
+          return;
+        }
+      } else if (scan_index == 2 && resuming && resume_scan_index == 2) {
+        // Shard with no mid-scan-2 snapshot: its fabric continues from the
+        // scan-1/scan-2 boundary.
+        if (const auto* boundary = store.boundary_fabric(shard))
+          fabrics[shard]->restore(*boundary);
+      }
+
       const std::size_t begin = shard * base + std::min(shard, extra);
       const std::size_t end = begin + base + (shard < extra ? 1 : 0);
       const std::vector<net::IpAddress> slice(order.begin() + begin,
@@ -117,12 +302,39 @@ CampaignPair run_two_scan_campaign(topo::World& world,
       probe.seed = util::hash_combine(scan_seed, shard);
       probe.randomize_order = false;  // already shuffled globally
       probe.send_offset = static_cast<util::VTime>(begin) * gap;
+      probe.pacer = options.pacer;
+      probe.resume = resume_state;
+      if (store.enabled() && options.checkpoint_every_n_targets != 0) {
+        probe.checkpoint_every_n_targets = options.checkpoint_every_n_targets;
+        probe.on_checkpoint = [&, shard](ShardScanState& state) {
+          state.shard = shard;
+          state.fabric = fabrics[shard]->snapshot();
+          return store.record_boundary(shard, std::move(state));
+        };
+      }
       Prober prober(*fabrics[shard], prober_source);
-      shard_results[shard] = prober.run(slice, probe, start);
+      ScanResult result = prober.run(slice, probe, start);
+      // A shard that ran to the end is complete even if a sibling already
+      // aborted — the final persisted file must not re-probe it on resume.
+      // end_time is only set after the final drain, never on an abort.
+      const bool ran_to_end = result.end_time != 0;
+      if (store.enabled() && ran_to_end)
+        store.mark_complete(shard, result, fabrics[shard]->snapshot());
+      shard_results[shard] = std::move(result);
       shard_wall_ms[shard] = std::chrono::duration<double, std::milli>(
                                  std::chrono::steady_clock::now() - t0)
                                  .count();
     });
+
+    if (store.aborted()) {
+      // Settle the file with every shard at its final (deterministic)
+      // boundary-or-complete state before reporting the interruption.
+      store.persist();
+      obs::log_info("campaign interrupted at checkpoint",
+                    {{"scan", options.obs.scoped(label)},
+                     {"path", options.checkpoint_path}});
+      return std::nullopt;
+    }
 
     if (options.obs.enabled()) {
       const std::string stage = options.obs.scoped(label);
@@ -137,25 +349,73 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     if (options.obs.enabled()) {
       options.obs.counter(label + ".targets").add(merged.targets_probed);
       options.obs.counter(label + ".responsive").add(merged.records.size());
+      options.obs.counter(label + ".undecodable")
+          .add(merged.undecodable_responses);
+      options.obs.counter(label + ".backoffs").add(merged.pacer_backoffs);
     }
     obs::log_info("scan finished",
                   {{"scan", options.obs.scoped(label)},
                    {"targets", merged.targets_probed},
                    {"responsive", merged.records.size()},
+                   {"undecodable", merged.undecodable_responses},
+                   {"backoffs", merged.pacer_backoffs},
                    {"shards", shard_count}});
     return merged;
   };
 
+  // Per-shard resume slots for the scan the checkpoint interrupted.
+  std::vector<const ShardScanState*> no_resume(shard_count, nullptr);
+  const auto slots_for_scan =
+      [&](const CampaignCheckpoint& data) {
+        std::vector<const ShardScanState*> slots(shard_count, nullptr);
+        for (const auto& state : data.shard_states)
+          if (state.shard < shard_count) slots[state.shard] = &state;
+        return slots;
+      };
+
   CampaignPair out;
-  out.scan1 = run_sharded_scan("scan1", options.seed * 2 + 1,
-                               options.first_scan_start);
+  if (resuming && resume_scan_index == 2) {
+    // Scan 1 finished in a previous process: take its merged result.
+    out.scan1 = resumed->scan1.value_or(ScanResult{});
+  } else {
+    const auto slots = (resuming && resume_scan_index == 1)
+                           ? slots_for_scan(*resumed)
+                           : no_resume;
+    auto scan1 = run_sharded_scan("scan1", options.seed * 2 + 1,
+                                  options.first_scan_start, 1, slots);
+    resuming = false;  // past the resume point either way
+    if (!scan1.has_value()) {
+      out.interrupted = true;
+      return out;
+    }
+    out.scan1 = std::move(*scan1);
+    if (store.enabled()) {
+      std::vector<sim::FabricState> boundary;
+      boundary.reserve(shard_count);
+      for (const auto& fabric : fabrics) boundary.push_back(fabric->snapshot());
+      store.finish_scan1(out.scan1, std::move(boundary));
+    }
+  }
 
   world.rebind_churning_devices(churn_seed);
 
-  out.scan2 = run_sharded_scan("scan2", options.seed * 2 + 2,
-                               options.first_scan_start + options.scan_gap);
+  {
+    const auto slots = (resuming && resume_scan_index == 2)
+                           ? slots_for_scan(*resumed)
+                           : no_resume;
+    auto scan2 =
+        run_sharded_scan("scan2", options.seed * 2 + 2,
+                         options.first_scan_start + options.scan_gap, 2, slots);
+    resuming = false;
+    if (!scan2.has_value()) {
+      out.interrupted = true;
+      return out;
+    }
+    out.scan2 = std::move(*scan2);
+  }
 
   for (const auto& fabric : fabrics) out.fabric_stats += fabric->stats();
+  if (store.enabled()) remove_checkpoint(options.checkpoint_path);
   return out;
 }
 

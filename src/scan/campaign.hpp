@@ -9,6 +9,8 @@
 #include <optional>
 
 #include "obs/obs.hpp"
+#include "scan/checkpoint.hpp"
+#include "scan/pacer.hpp"
 #include "scan/prober.hpp"
 #include "sim/fabric.hpp"
 #include "topo/world.hpp"
@@ -41,16 +43,41 @@ struct CampaignOptions {
   // Execution-only observability (spans, counters, per-shard progress):
   // never changes a single output bit.
   obs::ObsOptions obs;
+  // Adaptive rate control (scan/pacer.hpp). Off by default; when on, the
+  // backoff decisions are part of the experiment configuration (they move
+  // probe send times), deterministically derived from the seed.
+  PacerConfig pacer;
+  // Checkpoint/resume (scan/checkpoint.hpp). With `checkpoint_path` set,
+  // the campaign persists per-shard progress there — between the two scans
+  // always, and additionally every `checkpoint_every_n_targets` probes per
+  // shard — and, on the next run with the same options and a pre-churn
+  // world, resumes from the file instead of restarting. Resume output is
+  // bit-identical to an uninterrupted run at any thread count. The file is
+  // removed when the campaign completes. A file whose config digest does
+  // not match is ignored with a warning.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every_n_targets = 0;
+  // Failure-injection hook for tests/benches: simulate a kill by stopping
+  // each shard once it has crossed N checkpoint boundaries (counted across
+  // both scans). 0 = never. The campaign then returns with `interrupted`
+  // set and the checkpoint written.
+  std::size_t abort_after_checkpoints = 0;
 };
 
 struct CampaignPair {
   ScanResult scan1;
   ScanResult scan2;
   sim::FabricStats fabric_stats;
+  // True when a simulated kill stopped the campaign; scan results are
+  // partial and the checkpoint file holds the resumable state.
+  bool interrupted = false;
 };
 
 // Runs scan1, rebinds churning (CPE) addresses, runs scan2. Mutates the
 // world's address assignments (the second epoch persists afterwards).
+// When resuming past scan 1 (checkpoint at the scan boundary or inside
+// scan 2), the world must be the same pre-churn world the original run
+// started from; churn is re-applied deterministically.
 CampaignPair run_two_scan_campaign(topo::World& world,
                                    const CampaignOptions& options);
 

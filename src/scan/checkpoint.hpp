@@ -1,0 +1,76 @@
+// Campaign checkpoint/resume (MIDAR-style staged, resumable probing).
+//
+// An Internet-wide two-scan campaign runs for days; a killed process must
+// not restart from zero. The campaign serializes per-shard progress — the
+// cursor into the (globally shuffled) probe order, the prober's RNG
+// stream, the partial ScanRecord store, the pacer state and the complete
+// per-shard fabric state (virtual clock, in-flight datagrams, stats) — to
+// a JSON file via obs::json. Resuming from any checkpoint reproduces the
+// uninterrupted campaign bit-for-bit at any thread count, because every
+// shard's state is self-contained and thread scheduling never touches it
+// (tests/test_checkpoint.cpp enforces this at 1/2/8 threads).
+//
+// Exactness notes: every 64-bit RNG word and IEEE double travels as a hex
+// bit pattern (JSON numbers round-trip only 53 bits); addresses travel as
+// strings; payloads as hex.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scan/pacer.hpp"
+#include "scan/record.hpp"
+#include "sim/fabric.hpp"
+
+namespace snmpv3fp::scan {
+
+// One shard's mid-scan snapshot. `cursor` counts probes already sent from
+// the shard's slice of the global probe order; everything else is the
+// state needed to continue the shard as if it had never stopped.
+struct ShardScanState {
+  std::size_t shard = 0;
+  std::size_t cursor = 0;
+  bool complete = false;       // shard finished its slice (incl. drain)
+  util::VTime next_send = 0;   // absolute virtual send time of probe `cursor`
+  util::RngState rng;          // prober msg-id stream
+  PacerState pacer;
+  ScanResult partial;          // records so far (final result when complete)
+  // Probes sent but not yet answered need their send times to stamp late
+  // responses; sorted by address for a stable serialization.
+  std::vector<std::pair<net::IpAddress, util::VTime>> sent_at;
+  sim::FabricState fabric;
+};
+
+// Whole-campaign checkpoint: which scan is in progress, the completed
+// first scan (once it exists), per-shard states of the in-progress scan,
+// and the per-shard fabric states at the scan-1/scan-2 boundary (shards
+// that never wrote a mid-scan-2 state still need their fabric continuity).
+struct CampaignCheckpoint {
+  static constexpr std::uint64_t kSchema = 1;
+
+  // Guards against resuming with a different experiment configuration
+  // (seed, shard count, family, rate, target list).
+  std::uint64_t config_digest = 0;
+  std::size_t scan_index = 1;  // 1 or 2: the scan in progress
+  std::optional<ScanResult> scan1;  // merged result, present once complete
+  std::vector<ShardScanState> shard_states;
+  std::vector<sim::FabricState> scan_boundary_fabrics;
+
+  std::string to_json() const;
+  static std::optional<CampaignCheckpoint> from_json(std::string_view text);
+};
+
+// Atomic persistence: write to `<path>.tmp`, then rename over `path`.
+// Returns false (after logging) on I/O failure — a scan must not die
+// because its checkpoint disk filled up.
+bool save_checkpoint(const CampaignCheckpoint& checkpoint,
+                     const std::string& path);
+
+// Loads and parses `path`; nullopt when absent or unparseable.
+std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path);
+
+// Removes a checkpoint file (used after a campaign completes).
+void remove_checkpoint(const std::string& path);
+
+}  // namespace snmpv3fp::scan

@@ -1,0 +1,77 @@
+#include "scan/pacer.hpp"
+
+#include <algorithm>
+
+namespace snmpv3fp::scan {
+
+AdaptivePacer::AdaptivePacer(double target_rate_pps, const PacerConfig& config,
+                             util::Rng& rng)
+    : target_rate_pps_(std::max(target_rate_pps, 1.0)),
+      config_(config),
+      rng_(rng) {
+  state_.rate_pps = target_rate_pps_;
+}
+
+util::VTime AdaptivePacer::gap() const {
+  // Same arithmetic as the historical fixed-gap prober, so the default
+  // (never-backed-off) schedule is bit-identical to the pre-pacer code.
+  return static_cast<util::VTime>(static_cast<double>(util::kSecond) /
+                                  std::max(state_.rate_pps, 1.0));
+}
+
+util::VTime AdaptivePacer::schedule_after(util::VTime previous) {
+  util::VTime jitter = 0;
+  if (config_.adaptive && state_.window_sent >= config_.window_probes)
+    jitter = evaluate_window();
+  return previous + gap() + jitter;
+}
+
+void AdaptivePacer::on_probe_sent() { ++state_.window_sent; }
+
+void AdaptivePacer::on_responses(std::size_t count) {
+  state_.window_responses += count;
+}
+
+util::VTime AdaptivePacer::evaluate_window() {
+  const double window_rate =
+      static_cast<double>(state_.window_responses) /
+      static_cast<double>(std::max<std::size_t>(state_.window_sent, 1));
+  state_.window_sent = 0;
+  state_.window_responses = 0;
+
+  util::VTime jitter = 0;
+  if (state_.baseline_response_rate < 0.0) {
+    // First full window: learn the baseline, make no rate decision yet.
+    state_.baseline_response_rate = window_rate;
+    return 0;
+  }
+
+  const bool collapsed =
+      state_.baseline_response_rate > 0.0 &&
+      window_rate < config_.collapse_threshold * state_.baseline_response_rate;
+  if (collapsed) {
+    state_.rate_pps = std::max(state_.rate_pps * config_.backoff_factor,
+                               config_.min_rate_pps);
+    ++state_.backoffs;
+    if (config_.max_backoff_jitter > 0) {
+      jitter = static_cast<util::VTime>(rng_.next_below(
+          static_cast<std::uint64_t>(config_.max_backoff_jitter) + 1));
+      state_.backoff_wait += jitter;
+    }
+  } else if (state_.rate_pps < target_rate_pps_) {
+    // Healthy window while backed off: multiplicative recovery toward the
+    // configured target.
+    state_.rate_pps =
+        std::min(state_.rate_pps * config_.recover_factor, target_rate_pps_);
+  }
+
+  // EWMA keeps the baseline tracking slow drift (diurnal responsiveness)
+  // without chasing a single bad window.
+  state_.baseline_response_rate =
+      0.9 * state_.baseline_response_rate + 0.1 * window_rate;
+  return jitter;
+}
+
+void AdaptivePacer::restore(const PacerState& state) { state_ = state; }
+
+}  // namespace snmpv3fp::scan

@@ -1,0 +1,81 @@
+// Adaptive probe pacing (MIDAR-style staged rate control).
+//
+// The prober's fixed 1/rate gap assumes a fabric that never pushes back.
+// Real control planes police SNMP traffic: when a scan overruns a device's
+// budget, responses collapse and the naive scanner burns its probe budget
+// on silence. The pacer watches the per-window response rate and backs the
+// shard's rate off (multiplicative, with deterministic jitter so shards
+// desynchronize) when the rate collapses relative to the learned baseline,
+// then recovers multiplicatively toward the configured target once
+// responses return.
+//
+// Determinism contract: with `adaptive` off (the default) the pacer is a
+// pure fixed-gap scheduler — it consumes NO rng draws and reproduces the
+// historical schedule bit-for-bit. With `adaptive` on, every decision is a
+// function of virtual-time observations and the shard's own Rng, so a
+// backed-off campaign is exactly as reproducible as a fixed-rate one.
+// PacerState round-trips through the campaign checkpoint.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/vclock.hpp"
+
+namespace snmpv3fp::scan {
+
+struct PacerConfig {
+  bool adaptive = false;
+  double min_rate_pps = 100.0;      // backoff floor
+  double backoff_factor = 0.5;      // rate multiplier per backoff event
+  double recover_factor = 1.25;     // rate multiplier per healthy window
+  std::size_t window_probes = 64;   // probes per evaluation window
+  // A window whose response rate falls below this fraction of the learned
+  // baseline triggers a backoff.
+  double collapse_threshold = 0.5;
+  // Extra virtual-time delay added per backoff, jittered uniformly in
+  // [0, max_backoff_jitter] by the shard Rng.
+  util::VTime max_backoff_jitter = 50 * util::kMillisecond;
+};
+
+// Serializable pacer state (doubles travel as IEEE bit patterns in the
+// checkpoint codec so resume is exact).
+struct PacerState {
+  double rate_pps = 0.0;                 // current send rate
+  double baseline_response_rate = -1.0;  // EWMA; < 0 = not yet learned
+  std::size_t window_sent = 0;
+  std::size_t window_responses = 0;
+  std::size_t backoffs = 0;              // total backoff events
+  util::VTime backoff_wait = 0;          // total jitter delay inserted
+};
+
+class AdaptivePacer {
+ public:
+  // `rng` must outlive the pacer; it is only drawn from when `adaptive`
+  // is set and a backoff fires.
+  AdaptivePacer(double target_rate_pps, const PacerConfig& config,
+                util::Rng& rng);
+
+  // Returns the send time of the probe after one sent at `previous`.
+  util::VTime schedule_after(util::VTime previous);
+
+  // Window accounting, fed by the prober per probe / per drained response.
+  void on_probe_sent();
+  void on_responses(std::size_t count);
+
+  const PacerState& state() const { return state_; }
+  void restore(const PacerState& state);
+
+ private:
+  util::VTime gap() const;
+  // Closes a full window: returns the jitter delay to apply (0 unless a
+  // backoff fired).
+  util::VTime evaluate_window();
+
+  double target_rate_pps_;
+  PacerConfig config_;
+  util::Rng& rng_;
+  PacerState state_;
+};
+
+}  // namespace snmpv3fp::scan

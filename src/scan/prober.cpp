@@ -30,13 +30,17 @@ std::size_t ScanResult::unique_engine_ids() const {
   return static_cast<std::size_t>(end - ids.begin());
 }
 
-void Prober::drain(ScanResult& result,
-                   std::unordered_map<net::IpAddress, std::size_t>& by_source,
-                   const std::unordered_map<net::IpAddress, util::VTime>&
-                       sent_at) {
+std::size_t Prober::drain(
+    ScanResult& result,
+    std::unordered_map<net::IpAddress, std::size_t>& by_source,
+    const std::unordered_map<net::IpAddress, util::VTime>& sent_at) {
+  std::size_t new_records = 0;
   while (auto datagram = transport_.receive()) {
     auto message = snmp::V3Message::decode(datagram->payload);
-    if (!message) continue;  // non-SNMPv3 noise
+    if (!message) {  // non-SNMPv3 noise or corrupted-in-flight bytes
+      ++result.undecodable_responses;
+      continue;
+    }
     const auto& source = datagram->source.address;
     const auto it = by_source.find(source);
     if (it == by_source.end()) {
@@ -53,6 +57,7 @@ void Prober::drain(ScanResult& result,
       record.response_bytes = datagram->payload.size();
       by_source.emplace(source, result.records.size());
       result.records.push_back(std::move(record));
+      ++new_records;
     } else {
       auto& record = result.records[it->second];
       ++record.response_count;
@@ -67,6 +72,7 @@ void Prober::drain(ScanResult& result,
       }
     }
   }
+  return new_records;
 }
 
 ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
@@ -75,23 +81,40 @@ ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
   std::vector<net::IpAddress> order = targets;
   if (config.randomize_order) rng.shuffle(order);
 
+  AdaptivePacer pacer(config.rate_pps, config.pacer, rng);
   ScanResult result;
-  result.label = config.label;
-  result.targets_probed = order.size();
-  transport_.run_until(start_time);
-  result.start_time = transport_.now();
-
   std::unordered_map<net::IpAddress, std::size_t> by_source;
-  by_source.reserve(order.size() / 4);
   std::unordered_map<net::IpAddress, util::VTime> sent_at;
-  sent_at.reserve(order.size());
+  std::size_t start_index = 0;
+  util::VTime next_send = 0;
+
+  if (config.resume != nullptr) {
+    // Continue a checkpointed run: the caller already restored the
+    // transport; everything prober-side comes from the snapshot.
+    result = config.resume->partial;
+    start_index = config.resume->cursor;
+    next_send = config.resume->next_send;
+    rng.restore_state(config.resume->rng);
+    pacer.restore(config.resume->pacer);
+    by_source.reserve(result.records.size());
+    for (std::size_t i = 0; i < result.records.size(); ++i)
+      by_source.emplace(result.records[i].target, i);
+    sent_at.reserve(order.size());
+    for (const auto& [address, time] : config.resume->sent_at)
+      sent_at.emplace(address, time);
+  } else {
+    result.label = config.label;
+    result.targets_probed = order.size();
+    transport_.run_until(start_time);
+    result.start_time = transport_.now();
+    next_send = transport_.now() + config.send_offset;
+    by_source.reserve(order.size() / 4);
+    sent_at.reserve(order.size());
+  }
   result.records.reserve(order.size());
 
-  const auto gap =
-      static_cast<util::VTime>(static_cast<double>(util::kSecond) /
-                               std::max(config.rate_pps, 1.0));
-  util::VTime next_send = transport_.now() + config.send_offset;
-  for (const auto& target : order) {
+  for (std::size_t i = start_index; i < order.size(); ++i) {
+    const auto& target = order[i];
     transport_.run_until(next_send);
     const auto request =
         snmp::make_discovery_request(two_byte_id(rng), two_byte_id(rng));
@@ -103,12 +126,32 @@ ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
     sent_at.emplace(target, probe.time);
     result.probe_bytes = probe.payload.size();
     transport_.send(std::move(probe));
-    next_send += gap;
-    drain(result, by_source, sent_at);
+    pacer.on_probe_sent();
+    next_send = pacer.schedule_after(next_send);
+    pacer.on_responses(drain(result, by_source, sent_at));
+
+    // Checkpoint boundaries sit at absolute multiples of the interval, so
+    // a resumed run hits the same remaining boundaries as an uninterrupted
+    // one would.
+    if (config.checkpoint_every_n_targets != 0 && config.on_checkpoint &&
+        (i + 1) % config.checkpoint_every_n_targets == 0) {
+      result.pacer_backoffs = pacer.state().backoffs;
+      ShardScanState state;
+      state.cursor = i + 1;
+      state.next_send = next_send;
+      state.rng = rng.save_state();
+      state.pacer = pacer.state();
+      state.partial = result;
+      state.sent_at.assign(sent_at.begin(), sent_at.end());
+      std::sort(state.sent_at.begin(), state.sent_at.end());
+      if (!config.on_checkpoint(state))
+        return result;  // simulated kill; the snapshot supersedes this
+    }
   }
   transport_.run_until(next_send + config.response_timeout);
   drain(result, by_source, sent_at);
   result.end_time = transport_.now();
+  result.pacer_backoffs = pacer.state().backoffs;
   if (obs::Logger::global().enabled(obs::LogLevel::kDebug)) {
     obs::log_debug("probe run finished",
                    {{"label", config.label},

@@ -7,10 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "net/transport.hpp"
+#include "scan/checkpoint.hpp"
+#include "scan/pacer.hpp"
 #include "scan/record.hpp"
 #include "util/rng.hpp"
 
@@ -27,6 +30,21 @@ struct ProbeConfig {
   // the inter-probe gap, so the union of shard schedules reproduces one
   // sequential scan's global pacing exactly.
   util::VTime send_offset = 0;
+  // Adaptive rate control (off by default: fixed-gap pacing, bit-identical
+  // to the historical schedule).
+  PacerConfig pacer;
+  // Checkpoint hook: after every `checkpoint_every_n_targets` probes the
+  // prober snapshots its state (cursor, RNG, pacer, partial records,
+  // outstanding send times — the transport/fabric part is the caller's to
+  // add) and invokes `on_checkpoint`. Returning false aborts the run (a
+  // simulated kill); the partial return value is then superseded by the
+  // captured state.
+  std::size_t checkpoint_every_n_targets = 0;
+  std::function<bool(ShardScanState&)> on_checkpoint;
+  // Resume from a prior shard snapshot. The caller must have restored the
+  // transport (sim::Fabric::restore) to the snapshot's fabric state; the
+  // prober restores everything else and continues bit-identically.
+  const ShardScanState* resume = nullptr;
 };
 
 class Prober {
@@ -40,9 +58,12 @@ class Prober {
                  const ProbeConfig& config, util::VTime start_time);
 
  private:
-  void drain(ScanResult& result,
-             std::unordered_map<net::IpAddress, std::size_t>& by_source,
-             const std::unordered_map<net::IpAddress, util::VTime>& sent_at);
+  // Drains matured responses into `result`; returns the number of NEW
+  // records (first responses), the signal the adaptive pacer watches.
+  std::size_t drain(
+      ScanResult& result,
+      std::unordered_map<net::IpAddress, std::size_t>& by_source,
+      const std::unordered_map<net::IpAddress, util::VTime>& sent_at);
 
   net::Transport& transport_;
   net::Endpoint source_;

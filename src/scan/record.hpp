@@ -43,6 +43,11 @@ struct ScanResult {
   util::VTime end_time = 0;
   std::size_t targets_probed = 0;
   std::size_t probe_bytes = 0;  // payload size of one probe
+  // Robustness accounting: datagrams that reached the prober but failed
+  // SNMPv3 decode (corrupted/hostile bytes), and adaptive-pacer backoff
+  // events (scan/pacer.hpp). Both zero on a clean fixed-rate scan.
+  std::size_t undecodable_responses = 0;
+  std::size_t pacer_backoffs = 0;
   std::vector<ScanRecord> records;  // responsive targets only
 
   std::size_t responsive() const { return records.size(); }

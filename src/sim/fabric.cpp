@@ -1,5 +1,7 @@
 #include "sim/fabric.hpp"
 
+#include <algorithm>
+
 namespace snmpv3fp::sim {
 
 FabricStats& FabricStats::operator+=(const FabricStats& other) {
@@ -13,6 +15,8 @@ FabricStats& FabricStats::operator+=(const FabricStats& other) {
   probes_rate_limited += other.probes_rate_limited;
   responses_lost += other.responses_lost;
   responses_duplicated += other.responses_duplicated;
+  probes_corrupted += other.probes_corrupted;
+  responses_corrupted += other.responses_corrupted;
   return *this;
 }
 
@@ -59,6 +63,13 @@ void Fabric::send(net::Datagram datagram) {
 
   ++stats_.datagrams_delivered;
 
+  // In-flight probe corruption: the agent sees the mutated bytes and must
+  // reject them like any hostile input (tests/test_robustness.cpp).
+  if (rng_.chance(config_.faults.probe_corrupt_rate)) {
+    ++stats_.probes_corrupted;
+    datagram.payload = apply_random_fault(datagram.payload, rng_);
+  }
+
   const auto responses = handle_udp(*device, datagram.payload, at_device, rng_,
                                     config_.agent);
   util::VTime arrival = at_device + rtt / 2;
@@ -75,6 +86,12 @@ void Fabric::send(net::Datagram datagram) {
     response.source = datagram.destination;  // agents reply from the probed IP
     response.destination = datagram.source;
     response.payload = payload;
+    // Response corruption happens after loss: only bytes that actually
+    // reach the prober can be hostile input for its decode path.
+    if (rng_.chance(config_.faults.response_corrupt_rate)) {
+      ++stats_.responses_corrupted;
+      response.payload = apply_random_fault(response.payload, rng_);
+    }
     response.time = arrival;
     in_flight_.push({arrival, std::move(response)});
     // Amplified duplicates trickle out over time (paper §8 reports
@@ -97,5 +114,40 @@ std::optional<net::Datagram> Fabric::receive() {
 }
 
 void Fabric::run_until(util::VTime deadline) { clock_.advance_to(deadline); }
+
+FabricState Fabric::snapshot() const {
+  FabricState state;
+  state.clock = clock_.now();
+  state.rng = rng_.save_state();
+  state.stats = stats_;
+  // Draining a copy of the priority queue yields arrival order — a stable
+  // serialization independent of insertion history.
+  auto queue = in_flight_;
+  state.in_flight.reserve(queue.size());
+  while (!queue.empty()) {
+    state.in_flight.push_back(queue.top().datagram);
+    queue.pop();
+  }
+  state.inbox.assign(inbox_.begin(), inbox_.end());
+  state.rate_windows.reserve(rate_windows_.size());
+  for (const auto& [device, window] : rate_windows_)
+    state.rate_windows.push_back({device, window.window_start, window.count});
+  std::sort(state.rate_windows.begin(), state.rate_windows.end(),
+            [](const auto& a, const auto& b) { return a.device < b.device; });
+  return state;
+}
+
+void Fabric::restore(const FabricState& state) {
+  clock_ = util::VirtualClock(state.clock);
+  rng_.restore_state(state.rng);
+  stats_ = state.stats;
+  in_flight_ = {};
+  for (const auto& datagram : state.in_flight)
+    in_flight_.push({datagram.time, datagram});
+  inbox_.assign(state.inbox.begin(), state.inbox.end());
+  rate_windows_.clear();
+  for (const auto& window : state.rate_windows)
+    rate_windows_[window.device] = {window.window_start, window.count};
+}
 
 }  // namespace snmpv3fp::sim

@@ -13,11 +13,20 @@
 
 #include "net/transport.hpp"
 #include "sim/agent.hpp"
+#include "sim/faults.hpp"
 #include "topo/world.hpp"
 #include "util/rng.hpp"
 #include "util/vclock.hpp"
 
 namespace snmpv3fp::sim {
+
+// Hostile-fabric knobs: probability that a delivered datagram is mutated
+// in flight (sim/faults.hpp picks the mutation). Both off by default, so
+// default campaigns consume no extra RNG draws and stay bit-identical.
+struct FaultConfig {
+  double probe_corrupt_rate = 0.0;     // probe mutated before the agent
+  double response_corrupt_rate = 0.0;  // response mutated before the prober
+};
 
 struct FabricConfig {
   std::uint64_t seed = 1;
@@ -30,6 +39,7 @@ struct FabricConfig {
   // knob exists for robustness experiments and is off by default, so
   // default campaigns are unchanged.
   std::size_t device_rate_limit_pps = 0;
+  FaultConfig faults;
   AgentConfig agent;
 };
 
@@ -48,8 +58,31 @@ struct FabricStats {
   std::size_t probes_rate_limited = 0;  // device-side rate policing
   std::size_t responses_lost = 0;       // random response loss
   std::size_t responses_duplicated = 0; // amplified extra copies generated
+  std::size_t probes_corrupted = 0;     // fault-injected before the agent
+  std::size_t responses_corrupted = 0;  // fault-injected before the prober
 
   FabricStats& operator+=(const FabricStats& other);
+  bool operator==(const FabricStats&) const = default;
+};
+
+// Complete serializable fabric state for campaign checkpoint/resume: the
+// virtual clock, the RNG stream, accumulated stats, every in-flight and
+// matured-but-unread datagram, and the per-device rate windows. Restoring
+// it continues the simulation bit-for-bit (scan/checkpoint.hpp holds the
+// JSON codec).
+struct FabricState {
+  util::VTime clock = 0;
+  util::RngState rng;
+  FabricStats stats;
+  std::vector<net::Datagram> in_flight;  // arrival time in Datagram::time
+  std::vector<net::Datagram> inbox;      // matured, not yet received()
+  // Rate-limit windows, sorted by device index for a stable serialization.
+  struct RateWindowState {
+    std::uint32_t device = 0;
+    util::VTime window_start = 0;
+    std::size_t count = 0;
+  };
+  std::vector<RateWindowState> rate_windows;
 };
 
 class Fabric final : public net::Transport {
@@ -64,6 +97,12 @@ class Fabric final : public net::Transport {
 
   const FabricStats& stats() const { return stats_; }
   util::VirtualClock& clock() { return clock_; }
+
+  // Checkpoint/resume: snapshot() captures the complete mutable state;
+  // restore() on a fabric built over the same world and config continues
+  // the simulation exactly where the snapshot was taken.
+  FabricState snapshot() const;
+  void restore(const FabricState& state);
 
  private:
   struct InFlight {

@@ -1,0 +1,84 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+
+namespace snmpv3fp::sim {
+
+namespace {
+
+util::Bytes random_bytes(util::Rng& rng, std::size_t length) {
+  util::Bytes out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i)
+    out.push_back(static_cast<std::uint8_t>(rng.next()));
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kBitFlip: return "bit_flip";
+    case FaultKind::kGarbage: return "garbage";
+    case FaultKind::kOversizedTlv: return "oversized_tlv";
+    case FaultKind::kSplice: return "splice";
+    case FaultKind::kTrailing: return "trailing";
+  }
+  return "?";
+}
+
+util::Bytes apply_fault(util::ByteView payload, FaultKind kind,
+                        util::Rng& rng) {
+  util::Bytes out(payload.begin(), payload.end());
+  switch (kind) {
+    case FaultKind::kTruncate:
+      if (out.empty()) return random_bytes(rng, 1 + rng.next_below(8));
+      out.resize(rng.next_below(out.size()));
+      return out;
+    case FaultKind::kBitFlip: {
+      if (out.empty()) return random_bytes(rng, 1 + rng.next_below(8));
+      const std::size_t flips = 1 + rng.next_below(8);
+      for (std::size_t i = 0; i < flips; ++i)
+        out[rng.next_below(out.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.next_below(8));
+      return out;
+    }
+    case FaultKind::kGarbage:
+      return random_bytes(rng, 1 + rng.next_below(256));
+    case FaultKind::kOversizedTlv: {
+      // Long-form length claiming up to 4 GiB of content: a decoder that
+      // trusts it allocates or reads far past the buffer end.
+      if (out.size() < 6) out.resize(6, 0x00);
+      const std::size_t at = rng.next_below(out.size() - 5);
+      out[at + 1] = 0x84;  // long form, 4 length bytes follow
+      for (std::size_t i = 0; i < 4; ++i)
+        out[at + 2 + i] = static_cast<std::uint8_t>(rng.next());
+      out[at + 2] |= 0x80;  // force a length >= 2 GiB
+      return out;
+    }
+    case FaultKind::kSplice: {
+      if (out.size() < 2) return random_bytes(rng, 1 + rng.next_below(8));
+      const std::size_t from = rng.next_below(out.size());
+      const std::size_t to = rng.next_below(out.size());
+      const std::size_t length =
+          1 + rng.next_below(out.size() - std::max(from, to));
+      std::copy_n(out.begin() + static_cast<std::ptrdiff_t>(from), length,
+                  out.begin() + static_cast<std::ptrdiff_t>(to));
+      return out;
+    }
+    case FaultKind::kTrailing: {
+      const auto tail = random_bytes(rng, 1 + rng.next_below(64));
+      out.insert(out.end(), tail.begin(), tail.end());
+      return out;
+    }
+  }
+  return out;
+}
+
+util::Bytes apply_random_fault(util::ByteView payload, util::Rng& rng) {
+  const auto kind = static_cast<FaultKind>(rng.next_below(kFaultKindCount));
+  return apply_fault(payload, kind, rng);
+}
+
+}  // namespace snmpv3fp::sim

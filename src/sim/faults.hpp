@@ -1,0 +1,42 @@
+// Byte-level fault injection for hostile-fabric experiments.
+//
+// The paper's Internet-wide scans receive truncated, bit-flipped and
+// outright garbage datagrams from middleboxes and broken agents; the
+// decode path (asn1::ber -> snmp::message) must reject every such payload
+// cleanly. This module produces the corruptions: the Fabric applies them
+// in flight (sim/fabric.hpp, FabricConfig::faults) and the hostile-input
+// regression corpus applies them directly (tests/test_hostile.cpp).
+//
+// Every mutation draws only from the caller's Rng, so a corrupted
+// campaign is exactly as reproducible as a clean one.
+#pragma once
+
+#include <string_view>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace snmpv3fp::sim {
+
+enum class FaultKind : std::uint8_t {
+  kTruncate,      // cut the payload at a random offset
+  kBitFlip,       // flip 1-8 random bits
+  kGarbage,       // replace the whole payload with random bytes
+  kOversizedTlv,  // patch in a long-form length that overruns the buffer
+  kSplice,        // overwrite a slice with bytes copied from elsewhere
+  kTrailing,      // append random trailing bytes
+};
+
+inline constexpr std::size_t kFaultKindCount = 6;
+
+std::string_view to_string(FaultKind kind);
+
+// Applies one specific corruption. Always returns a mutated buffer (an
+// empty input only ever grows); never reads out of bounds.
+util::Bytes apply_fault(util::ByteView payload, FaultKind kind,
+                        util::Rng& rng);
+
+// Applies a fault kind chosen uniformly by `rng`.
+util::Bytes apply_random_fault(util::ByteView payload, util::Rng& rng);
+
+}  // namespace snmpv3fp::sim

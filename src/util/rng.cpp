@@ -1,5 +1,6 @@
 #include "util/rng.hpp"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -134,6 +135,20 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
 
 Rng Rng::fork(std::string_view label) {
   return Rng(next() ^ fnv1a64(label));
+}
+
+RngState Rng::save_state() const {
+  RngState state;
+  state.words = state_;
+  state.have_spare_normal = have_spare_normal_;
+  state.spare_normal_bits = std::bit_cast<std::uint64_t>(spare_normal_);
+  return state;
+}
+
+void Rng::restore_state(const RngState& state) {
+  state_ = state.words;
+  have_spare_normal_ = state.have_spare_normal;
+  spare_normal_ = std::bit_cast<double>(state.spare_normal_bits);
 }
 
 std::uint64_t fnv1a64(std::string_view text) {

@@ -15,6 +15,17 @@
 
 namespace snmpv3fp::util {
 
+// Complete serializable generator state, for checkpoint/resume: restoring
+// a saved state continues the exact output stream, including the cached
+// Box-Muller spare (held as raw IEEE bits so a JSON round trip is exact).
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  bool have_spare_normal = false;
+  std::uint64_t spare_normal_bits = 0;
+
+  bool operator==(const RngState&) const = default;
+};
+
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -73,6 +84,10 @@ class Rng {
   // Derives an independent child generator; `label` decorrelates children
   // created from the same parent state.
   Rng fork(std::string_view label);
+
+  // Checkpoint/resume: the full state round-trips through RngState.
+  RngState save_state() const;
+  void restore_state(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -1,0 +1,509 @@
+// Checkpoint/resume and adaptive-pacer tests.
+//
+// The load-bearing guarantee: a campaign killed at any checkpoint boundary
+// and resumed in a fresh process produces the SAME ScanResults, bit for
+// bit, as one that never stopped — at any thread count, in either scan.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "scan/campaign.hpp"
+#include "scan/checkpoint.hpp"
+#include "scan/pacer.hpp"
+#include "topo/generator.hpp"
+
+namespace snmpv3fp::scan {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void expect_same_scan(const ScanResult& a, const ScanResult& b) {
+  EXPECT_EQ(a.start_time, b.start_time);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.targets_probed, b.targets_probed);
+  EXPECT_EQ(a.undecodable_responses, b.undecodable_responses);
+  EXPECT_EQ(a.pacer_backoffs, b.pacer_backoffs);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    ASSERT_EQ(ra.target, rb.target) << "record " << i;
+    EXPECT_EQ(ra.engine_id, rb.engine_id);
+    EXPECT_EQ(ra.engine_boots, rb.engine_boots);
+    EXPECT_EQ(ra.engine_time, rb.engine_time);
+    EXPECT_EQ(ra.send_time, rb.send_time);
+    EXPECT_EQ(ra.receive_time, rb.receive_time);
+    EXPECT_EQ(ra.response_count, rb.response_count);
+    EXPECT_EQ(ra.response_bytes, rb.response_bytes);
+    EXPECT_EQ(ra.extra_engines, rb.extra_engines);
+  }
+}
+
+// ---- RNG state ------------------------------------------------------------
+
+TEST(RngState, SaveRestoreReproducesStreamIncludingNormalSpare) {
+  util::Rng rng(12345);
+  rng.next();
+  rng.normal();  // leaves a spare Box-Muller value buffered
+  const auto saved = rng.save_state();
+
+  std::vector<std::uint64_t> first;
+  std::vector<double> normals1;
+  for (int i = 0; i < 8; ++i) first.push_back(rng.next());
+  for (int i = 0; i < 5; ++i) normals1.push_back(rng.normal());
+
+  util::Rng other(999);  // entirely different starting stream
+  other.restore_state(saved);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(other.next(), first[i]);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(other.normal(), normals1[i]);
+}
+
+// ---- pacer ----------------------------------------------------------------
+
+TEST(Pacer, FixedModeMatchesHistoricalGapAndDrawsNoRng) {
+  util::Rng rng(7);
+  const auto fresh_state = rng.save_state();
+  AdaptivePacer pacer(5000.0, {}, rng);  // adaptive defaults to off
+
+  const auto gap = static_cast<util::VTime>(
+      static_cast<double>(util::kSecond) / 5000.0);
+  util::VTime t = 1000;
+  for (int i = 0; i < 1000; ++i) {
+    pacer.on_probe_sent();
+    const auto next = pacer.schedule_after(t);
+    EXPECT_EQ(next, t + gap);
+    t = next;
+    pacer.on_responses(1);
+  }
+  EXPECT_EQ(pacer.state().backoffs, 0u);
+  // Fixed-gap mode never touches the shard RNG stream.
+  EXPECT_TRUE(rng.save_state() == fresh_state);
+}
+
+TEST(Pacer, BacksOffOnCollapseAndRecovers) {
+  util::Rng rng(7);
+  PacerConfig config;
+  config.adaptive = true;
+  config.window_probes = 4;
+  config.min_rate_pps = 100.0;
+  config.max_backoff_jitter = 0;  // keep the schedule arithmetic exact
+  AdaptivePacer pacer(1000.0, config, rng);
+
+  // Drives exactly one full window with `responses` total responses; the
+  // closing schedule_after evaluates it.
+  util::VTime t = 0;
+  const auto run_window = [&](std::size_t responses) {
+    for (std::size_t i = 0; i < config.window_probes; ++i)
+      pacer.on_probe_sent();
+    pacer.on_responses(responses);
+    t = pacer.schedule_after(t);
+  };
+
+  // Window 1: full responses — learns baseline 1.0, no rate change.
+  run_window(4);
+  EXPECT_EQ(pacer.state().rate_pps, 1000.0);
+  EXPECT_EQ(pacer.state().backoffs, 0u);
+  EXPECT_EQ(pacer.state().baseline_response_rate, 1.0);
+
+  // Window of silence: response rate 0 < 0.5 * baseline — backoff.
+  run_window(0);
+  EXPECT_EQ(pacer.state().backoffs, 1u);
+  EXPECT_EQ(pacer.state().rate_pps, 500.0);
+
+  // Healthy windows: multiplicative recovery, capped at the target.
+  for (int i = 0; i < 10; ++i) run_window(4);
+  EXPECT_EQ(pacer.state().rate_pps, 1000.0);
+  EXPECT_EQ(pacer.state().backoffs, 1u);
+}
+
+TEST(Pacer, BackoffNeverDropsBelowFloor) {
+  util::Rng rng(7);
+  PacerConfig config;
+  config.adaptive = true;
+  config.window_probes = 2;
+  config.min_rate_pps = 200.0;
+  config.max_backoff_jitter = 0;
+  AdaptivePacer pacer(1000.0, config, rng);
+
+  util::VTime t = 0;
+  const auto run_window = [&](std::size_t responses) {
+    for (std::size_t i = 0; i < config.window_probes; ++i)
+      pacer.on_probe_sent();
+    pacer.on_responses(responses);
+    t = pacer.schedule_after(t);
+  };
+  run_window(2);                               // learn baseline
+  for (int i = 0; i < 20; ++i) run_window(0);  // sustained silence
+  EXPECT_GE(pacer.state().rate_pps, 200.0);
+  EXPECT_GT(pacer.state().backoffs, 1u);
+}
+
+TEST(Pacer, StateRoundTripContinuesIdentically) {
+  util::Rng rng_a(3), rng_b(3);
+  PacerConfig config;
+  config.adaptive = true;
+  config.window_probes = 3;
+  AdaptivePacer a(800.0, config, rng_a);
+  AdaptivePacer b(800.0, config, rng_b);
+
+  util::VTime ta = 0;
+  for (int i = 0; i < 10; ++i) {
+    a.on_probe_sent();
+    ta = a.schedule_after(ta);
+    a.on_responses(i % 3 == 0 ? 1 : 0);
+  }
+  b.restore(a.state());
+  rng_b.restore_state(rng_a.save_state());
+
+  util::VTime tb = ta;
+  for (int i = 0; i < 10; ++i) {
+    a.on_probe_sent();
+    b.on_probe_sent();
+    ta = a.schedule_after(ta);
+    tb = b.schedule_after(tb);
+    EXPECT_EQ(ta, tb);
+    a.on_responses(1);
+    b.on_responses(1);
+  }
+}
+
+// ---- checkpoint codec -----------------------------------------------------
+
+CampaignCheckpoint sample_checkpoint() {
+  CampaignCheckpoint checkpoint;
+  checkpoint.config_digest = 0xdeadbeefcafef00dULL;
+  checkpoint.scan_index = 2;
+
+  ScanResult scan1;
+  scan1.label = "scan1";
+  scan1.start_time = 10 * util::kSecond;
+  scan1.end_time = 20 * util::kSecond;
+  scan1.targets_probed = 3;
+  scan1.probe_bytes = 60;
+  scan1.undecodable_responses = 2;
+  scan1.pacer_backoffs = 1;
+  ScanRecord record;
+  record.target = net::IpAddress(net::Ipv4(203, 0, 113, 9));
+  record.engine_id = snmp::EngineId(util::Bytes{0x80, 0x00, 0x1f, 0x88, 0x04});
+  record.engine_boots = 7;
+  record.engine_time = 424242;
+  record.send_time = 11 * util::kSecond;
+  record.receive_time = 11 * util::kSecond + 31 * util::kMillisecond;
+  record.response_count = 3;
+  record.response_bytes = 107;
+  record.extra_engines.push_back(
+      snmp::EngineId(util::Bytes{0x80, 0x00, 0x1f, 0x88, 0x05}));
+  scan1.records.push_back(record);
+  checkpoint.scan1 = scan1;
+
+  ShardScanState shard;
+  shard.shard = 1;
+  shard.cursor = 17;
+  shard.complete = false;
+  shard.next_send = 123456789;
+  util::Rng rng(55);
+  rng.next();
+  rng.normal();
+  shard.rng = rng.save_state();
+  shard.pacer.rate_pps = 2500.125;
+  shard.pacer.baseline_response_rate = 0.1 + 0.2;  // not exactly 0.3
+  shard.pacer.window_sent = 12;
+  shard.pacer.window_responses = 4;
+  shard.pacer.backoffs = 2;
+  shard.pacer.backoff_wait = 77 * util::kMillisecond;
+  shard.partial = scan1;
+  shard.partial.label = "scan2";
+  shard.sent_at.emplace_back(net::IpAddress(net::Ipv4(203, 0, 113, 10)),
+                             12 * util::kSecond);
+
+  shard.fabric.clock = 42 * util::kSecond;
+  shard.fabric.rng = rng.save_state();
+  shard.fabric.stats.datagrams_sent = 100;
+  shard.fabric.stats.probes_lost = 3;
+  shard.fabric.stats.responses_corrupted = 1;
+  net::Datagram in_flight;
+  in_flight.source = {net::IpAddress(net::Ipv4(203, 0, 113, 9)), 161};
+  in_flight.destination = {net::IpAddress(net::Ipv4(198, 51, 100, 7)), 54321};
+  in_flight.payload = util::Bytes{0x30, 0x82, 0x00, 0x01, 0xff};
+  in_flight.time = 42 * util::kSecond + 5 * util::kMillisecond;
+  shard.fabric.in_flight.push_back(in_flight);
+  shard.fabric.inbox.push_back(in_flight);
+  shard.fabric.rate_windows.push_back({9, 41 * util::kSecond, 4});
+  checkpoint.shard_states.push_back(shard);
+  checkpoint.scan_boundary_fabrics.push_back(shard.fabric);
+  return checkpoint;
+}
+
+void expect_same_fabric_state(const sim::FabricState& a,
+                              const sim::FabricState& b) {
+  EXPECT_EQ(a.clock, b.clock);
+  EXPECT_TRUE(a.rng == b.rng);
+  EXPECT_TRUE(a.stats == b.stats);
+  ASSERT_EQ(a.in_flight.size(), b.in_flight.size());
+  for (std::size_t i = 0; i < a.in_flight.size(); ++i) {
+    EXPECT_EQ(a.in_flight[i].source.address, b.in_flight[i].source.address);
+    EXPECT_EQ(a.in_flight[i].source.port, b.in_flight[i].source.port);
+    EXPECT_EQ(a.in_flight[i].destination.address,
+              b.in_flight[i].destination.address);
+    EXPECT_EQ(a.in_flight[i].payload, b.in_flight[i].payload);
+    EXPECT_EQ(a.in_flight[i].time, b.in_flight[i].time);
+  }
+  ASSERT_EQ(a.inbox.size(), b.inbox.size());
+  ASSERT_EQ(a.rate_windows.size(), b.rate_windows.size());
+  for (std::size_t i = 0; i < a.rate_windows.size(); ++i) {
+    EXPECT_EQ(a.rate_windows[i].device, b.rate_windows[i].device);
+    EXPECT_EQ(a.rate_windows[i].window_start, b.rate_windows[i].window_start);
+    EXPECT_EQ(a.rate_windows[i].count, b.rate_windows[i].count);
+  }
+}
+
+TEST(CheckpointCodec, JsonRoundTripIsExact) {
+  const auto original = sample_checkpoint();
+  const auto parsed = CampaignCheckpoint::from_json(original.to_json());
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->config_digest, original.config_digest);
+  EXPECT_EQ(parsed->scan_index, original.scan_index);
+  ASSERT_TRUE(parsed->scan1.has_value());
+  expect_same_scan(*parsed->scan1, *original.scan1);
+
+  ASSERT_EQ(parsed->shard_states.size(), 1u);
+  const auto& a = parsed->shard_states[0];
+  const auto& b = original.shard_states[0];
+  EXPECT_EQ(a.shard, b.shard);
+  EXPECT_EQ(a.cursor, b.cursor);
+  EXPECT_EQ(a.complete, b.complete);
+  EXPECT_EQ(a.next_send, b.next_send);
+  EXPECT_TRUE(a.rng == b.rng);
+  // Doubles travel as IEEE bit patterns: EXACT equality, not approximate.
+  EXPECT_EQ(a.pacer.rate_pps, b.pacer.rate_pps);
+  EXPECT_EQ(a.pacer.baseline_response_rate, b.pacer.baseline_response_rate);
+  EXPECT_EQ(a.pacer.window_sent, b.pacer.window_sent);
+  EXPECT_EQ(a.pacer.window_responses, b.pacer.window_responses);
+  EXPECT_EQ(a.pacer.backoffs, b.pacer.backoffs);
+  EXPECT_EQ(a.pacer.backoff_wait, b.pacer.backoff_wait);
+  expect_same_scan(a.partial, b.partial);
+  EXPECT_EQ(a.sent_at, b.sent_at);
+  expect_same_fabric_state(a.fabric, b.fabric);
+  ASSERT_EQ(parsed->scan_boundary_fabrics.size(), 1u);
+  expect_same_fabric_state(parsed->scan_boundary_fabrics[0],
+                           original.scan_boundary_fabrics[0]);
+}
+
+TEST(CheckpointCodec, SaveLoadRemoveLifecycle) {
+  const auto path = temp_path("ckpt_lifecycle.json");
+  const auto checkpoint = sample_checkpoint();
+  ASSERT_TRUE(save_checkpoint(checkpoint, path));
+  const auto loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->config_digest, checkpoint.config_digest);
+  remove_checkpoint(path);
+  EXPECT_FALSE(load_checkpoint(path).has_value());
+}
+
+TEST(CheckpointCodec, GarbageFileIsRejected) {
+  const auto path = temp_path("ckpt_garbage.json");
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fputs("{\"schema\": \"not a checkpoint\"", file);
+  std::fclose(file);
+  EXPECT_FALSE(load_checkpoint(path).has_value());
+  remove_checkpoint(path);
+}
+
+// ---- kill + resume --------------------------------------------------------
+
+class CheckpointCampaignTest : public ::testing::Test {
+ protected:
+  static CampaignOptions base_options() {
+    CampaignOptions options;
+    options.seed = 77;
+    options.shards = 4;
+    options.fabric.probe_loss = 0.02;
+    options.fabric.response_loss = 0.02;
+    return options;
+  }
+
+  static topo::World fresh_world() {
+    return topo::generate_world(topo::WorldConfig::tiny());
+  }
+};
+
+TEST_F(CheckpointCampaignTest, KillAtBoundaryThenResumeBitIdentical) {
+  topo::World reference_world = fresh_world();
+  const auto reference =
+      run_two_scan_campaign(reference_world, base_options());
+  ASSERT_FALSE(reference.interrupted);
+  ASSERT_GT(reference.scan1.responsive(), 0u);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto path =
+        temp_path("ckpt_resume_t" + std::to_string(threads) + ".json");
+    remove_checkpoint(path);
+
+    // Phase 1: simulated kill after each shard's first checkpoint.
+    CampaignOptions killed_options = base_options();
+    killed_options.parallel.threads = threads;
+    killed_options.checkpoint_path = path;
+    killed_options.checkpoint_every_n_targets = 16;
+    killed_options.abort_after_checkpoints = 1;
+    topo::World killed_world = fresh_world();
+    const auto killed = run_two_scan_campaign(killed_world, killed_options);
+    EXPECT_TRUE(killed.interrupted) << threads << " threads";
+    ASSERT_TRUE(load_checkpoint(path).has_value());
+
+    // Phase 2: a fresh process (fresh pre-churn world) resumes the file.
+    CampaignOptions resume_options = killed_options;
+    resume_options.abort_after_checkpoints = 0;
+    topo::World resume_world = fresh_world();
+    const auto resumed = run_two_scan_campaign(resume_world, resume_options);
+    EXPECT_FALSE(resumed.interrupted);
+
+    expect_same_scan(reference.scan1, resumed.scan1);
+    expect_same_scan(reference.scan2, resumed.scan2);
+    // Completion removes the file.
+    EXPECT_FALSE(load_checkpoint(path).has_value());
+  }
+}
+
+TEST_F(CheckpointCampaignTest, KillInsideScanTwoResumesBitIdentical) {
+  topo::World reference_world = fresh_world();
+  auto options = base_options();
+  options.shards = 2;
+  const auto reference = run_two_scan_campaign(reference_world, options);
+
+  // Place the kill inside scan 2: each shard crosses its slice/every
+  // boundaries per scan, so max_boundaries+1 can only be reached there.
+  const std::size_t every = 8;
+  const std::size_t n = reference.scan1.targets_probed;
+  const std::size_t base = n / options.shards;
+  const std::size_t max_boundaries = (base + 1) / every;
+  ASSERT_GE(max_boundaries, 1u) << "tiny world too small for this test";
+
+  const auto path = temp_path("ckpt_scan2_kill.json");
+  remove_checkpoint(path);
+  CampaignOptions killed_options = options;
+  killed_options.parallel.threads = 2;
+  killed_options.checkpoint_path = path;
+  killed_options.checkpoint_every_n_targets = every;
+  killed_options.abort_after_checkpoints = max_boundaries + 1;
+  topo::World killed_world = fresh_world();
+  const auto killed = run_two_scan_campaign(killed_world, killed_options);
+  EXPECT_TRUE(killed.interrupted);
+
+  const auto file = load_checkpoint(path);
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->scan_index, 2u);  // the kill landed in scan 2
+  ASSERT_TRUE(file->scan1.has_value());
+  expect_same_scan(reference.scan1, *file->scan1);
+
+  CampaignOptions resume_options = killed_options;
+  resume_options.abort_after_checkpoints = 0;
+  topo::World resume_world = fresh_world();
+  const auto resumed = run_two_scan_campaign(resume_world, resume_options);
+  EXPECT_FALSE(resumed.interrupted);
+  expect_same_scan(reference.scan1, resumed.scan1);
+  expect_same_scan(reference.scan2, resumed.scan2);
+  EXPECT_FALSE(load_checkpoint(path).has_value());
+}
+
+TEST_F(CheckpointCampaignTest, ScanBoundaryOnlyCheckpointStillResumes) {
+  topo::World reference_world = fresh_world();
+  const auto reference =
+      run_two_scan_campaign(reference_world, base_options());
+
+  // checkpoint_every = 0: the only checkpoint is the scan-1/scan-2
+  // boundary. Simulate the kill by just planting that file's state: run
+  // with checkpointing on, no abort, then verify the boundary file from a
+  // mid-campaign write resumes — here the proxy is that a full
+  // checkpointed run equals the reference and cleans up after itself.
+  const auto path = temp_path("ckpt_boundary_only.json");
+  remove_checkpoint(path);
+  CampaignOptions options = base_options();
+  options.checkpoint_path = path;
+  options.checkpoint_every_n_targets = 0;
+  topo::World world = fresh_world();
+  const auto checkpointed = run_two_scan_campaign(world, options);
+  EXPECT_FALSE(checkpointed.interrupted);
+  expect_same_scan(reference.scan1, checkpointed.scan1);
+  expect_same_scan(reference.scan2, checkpointed.scan2);
+  EXPECT_FALSE(load_checkpoint(path).has_value());
+}
+
+TEST_F(CheckpointCampaignTest, MismatchedConfigCheckpointIsIgnored) {
+  const auto path = temp_path("ckpt_mismatch.json");
+  remove_checkpoint(path);
+
+  // Leave a checkpoint behind with seed 77.
+  CampaignOptions killed_options = base_options();
+  killed_options.checkpoint_path = path;
+  killed_options.checkpoint_every_n_targets = 16;
+  killed_options.abort_after_checkpoints = 1;
+  topo::World killed_world = fresh_world();
+  const auto killed = run_two_scan_campaign(killed_world, killed_options);
+  ASSERT_TRUE(killed.interrupted);
+  ASSERT_TRUE(load_checkpoint(path).has_value());
+
+  // A different experiment (seed 78) must ignore it and run fresh.
+  CampaignOptions other_options = base_options();
+  other_options.seed = 78;
+  topo::World reference_world = fresh_world();
+  const auto reference = run_two_scan_campaign(reference_world, other_options);
+
+  other_options.checkpoint_path = path;
+  topo::World world = fresh_world();
+  const auto result = run_two_scan_campaign(world, other_options);
+  EXPECT_FALSE(result.interrupted);
+  expect_same_scan(reference.scan1, result.scan1);
+  expect_same_scan(reference.scan2, result.scan2);
+  EXPECT_FALSE(load_checkpoint(path).has_value());
+}
+
+// ---- full pipeline --------------------------------------------------------
+
+TEST(CheckpointPipeline, InterruptedPipelineResumesToIdenticalResult) {
+  core::PipelineOptions options;
+  options.world = topo::WorldConfig::tiny();
+  options.scan_shards = 4;
+  const auto reference = core::run_full_pipeline(options);
+  ASSERT_FALSE(reference.interrupted);
+
+  core::PipelineOptions killed_options = options;
+  killed_options.checkpoint_dir = ::testing::TempDir();
+  killed_options.checkpoint_every_n_targets = 16;
+  killed_options.abort_after_checkpoints = 1;
+  remove_checkpoint(killed_options.checkpoint_dir + "/campaign_v4.json");
+  remove_checkpoint(killed_options.checkpoint_dir + "/campaign_v6.json");
+  const auto killed = core::run_full_pipeline(killed_options);
+  EXPECT_TRUE(killed.interrupted);
+
+  core::PipelineOptions resume_options = killed_options;
+  resume_options.abort_after_checkpoints = 0;
+  const auto resumed = core::run_full_pipeline(resume_options);
+  EXPECT_FALSE(resumed.interrupted);
+
+  expect_same_scan(reference.v4_campaign.scan1, resumed.v4_campaign.scan1);
+  expect_same_scan(reference.v4_campaign.scan2, resumed.v4_campaign.scan2);
+  expect_same_scan(reference.v6_campaign.scan1, resumed.v6_campaign.scan1);
+  expect_same_scan(reference.v6_campaign.scan2, resumed.v6_campaign.scan2);
+  ASSERT_EQ(reference.devices.size(), resumed.devices.size());
+  for (std::size_t i = 0; i < reference.devices.size(); ++i) {
+    EXPECT_EQ(reference.devices[i].set->addresses,
+              resumed.devices[i].set->addresses);
+    EXPECT_EQ(reference.devices[i].fingerprint.vendor,
+              resumed.devices[i].fingerprint.vendor);
+  }
+  // Both campaign files are gone after the completed resume.
+  EXPECT_FALSE(
+      load_checkpoint(killed_options.checkpoint_dir + "/campaign_v4.json")
+          .has_value());
+  EXPECT_FALSE(
+      load_checkpoint(killed_options.checkpoint_dir + "/campaign_v6.json")
+          .has_value());
+}
+
+}  // namespace
+}  // namespace snmpv3fp::scan

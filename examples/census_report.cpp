@@ -4,6 +4,7 @@
 //
 // Usage: census_report [output_dir] [--report <path.json>]
 //                      [--checkpoint-dir <dir> [--checkpoint-every <n>]]
+//                      [--store-dir <dir> [--max-resident-mb <n>]]
 //   output_dir        where census_report.md / vendor_share.csv land
 //                     (default: current directory)
 //   --report <path>   additionally run under the observability layer and
@@ -14,6 +15,11 @@
 //                     command after a kill resumes bit-identically
 //   --checkpoint-every <n>  checkpoint every n targets per shard
 //                     (default 0: only at the scan-1/scan-2 boundary)
+//   --store-dir <dir>  spill scan records to memory-bounded stores under
+//                     <dir>/v4 and <dir>/v6 instead of holding every
+//                     record in RAM; output is bit-identical
+//   --max-resident-mb <n>  resident-RAM budget per store in MiB
+//                     (default 0: unbounded, spill files still written)
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -31,9 +37,12 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::string checkpoint_dir;
   std::size_t checkpoint_every = 0;
+  std::string store_dir;
+  std::size_t max_resident_mb = 0;
   const auto usage = [] {
     std::cerr << "usage: census_report [output_dir] [--report <path.json>] "
-                 "[--checkpoint-dir <dir> [--checkpoint-every <n>]]\n";
+                 "[--checkpoint-dir <dir> [--checkpoint-every <n>]] "
+                 "[--store-dir <dir> [--max-resident-mb <n>]]\n";
     return 2;
   };
   for (int i = 1; i < argc; ++i) {
@@ -46,6 +55,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
       if (i + 1 >= argc) return usage();
       checkpoint_every = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--store-dir") == 0) {
+      if (i + 1 >= argc) return usage();
+      store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-resident-mb") == 0) {
+      if (i + 1 >= argc) return usage();
+      max_resident_mb = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       out_dir = argv[i];
     }
@@ -62,6 +77,8 @@ int main(int argc, char** argv) {
   }
   options.checkpoint_dir = checkpoint_dir;
   options.checkpoint_every_n_targets = checkpoint_every;
+  options.store.dir = store_dir;
+  options.store.max_resident_bytes = max_resident_mb * std::size_t{1} << 20;
   const auto r = core::run_full_pipeline(options);
   if (r.interrupted) {
     std::cerr << "campaign interrupted; rerun to resume from "

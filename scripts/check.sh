@@ -6,8 +6,13 @@
 #      (test_parallel, test_obs).
 #   3. Focused memory/UB check: ASan+UBSan build in build-asan/ running the
 #      hostile-input corpus plus the decode-path suites (test_hostile,
-#      test_asn1, test_snmp_message, test_checkpoint) — >=10k corrupted
-#      payloads must decode-reject with zero memory errors or UB.
+#      test_asn1, test_snmp_message, test_checkpoint, test_store) — >=10k
+#      corrupted payloads must decode-reject with zero memory errors or UB;
+#      the store suites re-run the codec mutation corpus and the
+#      spill/restore paths under the sanitizers.
+#   4. Bench-artifact schema check: bench_store --quick must emit a
+#      BENCH_store.json that passes its own schema validation (the binary
+#      exits non-zero on drift).
 #
 # Usage: scripts/check.sh [--no-tsan] [--no-asan]
 set -euo pipefail
@@ -46,9 +51,13 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   # top-level CMakeLists), so one build covers both sanitizers.
   cmake -B build-asan -S . -DSNMPFP_SANITIZE=address
   cmake --build build-asan -j "$JOBS" \
-      --target test_hostile test_asn1 test_snmp_message test_checkpoint
+      --target test_hostile test_asn1 test_snmp_message test_checkpoint \
+               test_store
   (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-      -R "^(HostileInput|HostileFabric|Ber|BerMalformed|V3Message|V2cMessage|DiscoveryRequest|DiscoveryReport|PduType|PeekVersion|CheckpointCodec|CheckpointCampaignTest|CheckpointPipeline|Pacer|RngState)\.")
+      -R "^(HostileInput|HostileFabric|Ber|BerMalformed|V3Message|V2cMessage|DiscoveryRequest|DiscoveryReport|PduType|PeekVersion|CheckpointCodec|CheckpointCampaignTest|CheckpointPipeline|Pacer|RngState|StoreCodec|RecordStoreTest|StoreCampaignTest|StoreFilterStream|StorePipelineTest|ScanResultAccessors)\.")
 fi
+
+echo "==> bench-artifact schema check (bench_store --quick)"
+(cd build/bench && ./bench_store --quick >/dev/null)
 
 echo "==> all checks passed"

@@ -78,7 +78,27 @@ AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
                                 const AliasOptions& options,
                                 const util::ParallelOptions& parallel,
                                 const obs::ObsOptions& obs) {
+  const std::span<const JoinedRecord> parts[] = {records};
+  return resolve_aliases(std::span<const std::span<const JoinedRecord>>(parts),
+                         options, parallel, obs);
+}
+
+AliasResolution resolve_aliases(
+    std::span<const std::span<const JoinedRecord>> parts,
+    const AliasOptions& options, const util::ParallelOptions& parallel,
+    const obs::ObsOptions& obs) {
   obs::Span resolve_span(obs.trace(), obs.scoped("alias"));
+  // Flatten the parts into one pointer table (8 bytes per record, no
+  // JoinedRecord copies); every phase below indexes records through it.
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<const JoinedRecord*> ptrs;
+  ptrs.reserve(total);
+  for (const auto& part : parts)
+    for (const auto& record : part) ptrs.push_back(&record);
+  const auto record_at = [&](std::size_t i) -> const JoinedRecord& {
+    return *ptrs[i];
+  };
   // Key: engine ID bytes + boots/reboot of scan 1 (+ scan 2 when enabled).
   // The key's scalar part is precomputed per record; the engine-ID bytes
   // are only ever *compared* against a group's stored EngineId, so no
@@ -91,14 +111,14 @@ AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
 
     bool operator==(const KeyScalars&) const = default;
   };
-  const std::size_t n = records.size();
+  const std::size_t n = total;
 
   // Phase 1: per-record key scalars and a 64-bit key hash, in parallel.
   std::vector<KeyScalars> scalars(n);
   std::vector<std::uint64_t> hashes(n);
   obs::Span keys_span(obs.trace(), obs.scoped("alias.keys"));
   util::parallel_for(0, n, parallel, [&](std::size_t i) {
-    const auto& record = records[i];
+    const auto& record = record_at(i);
     KeyScalars key;
     if (!options.engine_id_only) {
       key.boots1 = record.first.engine_boots;
@@ -147,7 +167,7 @@ AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_hash;
     by_hash.reserve(buckets[shard].size());
     for (const std::uint32_t index : buckets[shard]) {
-      const auto& record = records[index];
+      const auto& record = record_at(index);
       auto& candidates = by_hash[hashes[index]];
       std::uint32_t group = ~std::uint32_t{0};
       for (const std::uint32_t candidate : candidates) {

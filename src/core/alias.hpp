@@ -69,6 +69,15 @@ AliasResolution resolve_aliases(std::span<const JoinedRecord> records,
                                 const util::ParallelOptions& parallel = {},
                                 const obs::ObsOptions& obs = {});
 
+// Variant over several record spans treated as one concatenated sequence
+// (part order = record order). The pipeline hands the v4 and v6 survivor
+// vectors straight through, skipping the combined-vector copy the
+// single-span form would need; output is identical to concatenating.
+AliasResolution resolve_aliases(
+    std::span<const std::span<const JoinedRecord>> parts,
+    const AliasOptions& options = {}, const util::ParallelOptions& parallel = {},
+    const obs::ObsOptions& obs = {});
+
 // Breakdown of a resolution into v4-only / v6-only / dual-stack sets.
 struct StackBreakdown {
   std::size_t v4_only_sets = 0, v6_only_sets = 0, dual_sets = 0;

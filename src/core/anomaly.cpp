@@ -111,18 +111,32 @@ AnomalyReport classify_anomalies(const scan::ScanResult& scan1,
                                  const AnomalyOptions& options) {
   AnomalyReport report;
   std::size_t budget_left = options.retry_budget;
-  const auto index2 = scan2.index();
+  // Store-backed results are materialized once up front: the classifier
+  // reprobes a handful of anomalous addresses, so it only runs at scales
+  // where the copy is cheap.
+  std::vector<scan::ScanRecord> m1, m2;
+  if (scan1.store_backed()) m1 = scan1.materialize_records();
+  if (scan2.store_backed()) m2 = scan2.materialize_records();
+  const auto& records1 = scan1.store_backed() ? m1 : scan1.records;
+  const auto& records2 = scan2.store_backed() ? m2 : scan2.records;
+  std::unordered_map<net::IpAddress, std::size_t> index2_local;
+  if (scan2.store_backed()) {
+    index2_local.reserve(records2.size());
+    for (std::size_t i = 0; i < records2.size(); ++i)
+      index2_local.emplace(records2[i].target, i);
+  }
+  const auto& index2 = scan2.store_backed() ? index2_local : scan2.by_target();
 
   // Engine -> addresses index of scan 2, for the churn relocation check.
   std::map<util::Bytes, std::vector<net::IpAddress>> engine_locations2;
-  for (const auto& record : scan2.records)
+  for (const auto& record : records2)
     if (!record.engine_id.empty())
       engine_locations2[record.engine_id.raw()].push_back(record.target);
 
-  for (const auto& record1 : scan1.records) {
+  for (const auto& record1 : records1) {
     const auto it2 = index2.find(record1.target);
     if (it2 == index2.end()) continue;  // one-scan-only: not classifiable
-    const auto& record2 = scan2.records[it2->second];
+    const auto& record2 = records2[it2->second];
 
     // Collect every engine seen at this address across both scans.
     std::set<util::Bytes> engines;
@@ -161,7 +175,7 @@ AnomalyReport classify_anomalies(const scan::ScanResult& scan1,
   // NAT frontends: a *stable* engine identity (same boots, close last
   // reboot) answering from addresses in several ASes.
   std::map<util::Bytes, std::vector<const scan::ScanRecord*>> by_engine;
-  for (const auto& record : scan1.records)
+  for (const auto& record : records1)
     if (!record.engine_id.empty() && record.extra_engines.empty())
       by_engine[record.engine_id.raw()].push_back(&record);
   for (const auto& [raw, records] : by_engine) {

@@ -12,6 +12,15 @@ namespace {
 
 using snmp::EngineIdFormat;
 
+// The paper's published stage order (drives Table 1's funnel accounting).
+constexpr FilterStage kStageOrder[kFilterStageCount] = {
+    FilterStage::kMissingEngineId,    FilterStage::kInconsistentEngineId,
+    FilterStage::kTooShortEngineId,   FilterStage::kPromiscuousEngineId,
+    FilterStage::kUnroutableIpv4,     FilterStage::kUnregisteredMac,
+    FilterStage::kZeroTimeOrBoots,    FilterStage::kFutureEngineTime,
+    FilterStage::kInconsistentBoots,  FilterStage::kInconsistentReboot,
+};
+
 // True if the record survives a single-record stage.
 bool passes(FilterStage stage, const JoinedRecord& record,
             const FilterOptions& options) {
@@ -55,9 +64,13 @@ bool passes(FilterStage stage, const JoinedRecord& record,
 // under more than one enterprise number marks every holder for removal.
 // Chunks build local payload->enterprise maps merged by set union, so the
 // result is independent of chunking.
+// `prefilter` restricts the census to records that survive every stage
+// ordered before the promiscuous one — the population `apply` sees at that
+// point after its in-place compactions (the streaming path needs this; the
+// in-place path passes records already compacted and prefilter=false).
 std::set<util::Bytes> promiscuous_payloads(
-    const std::vector<JoinedRecord>& records,
-    const util::ParallelOptions& parallel) {
+    std::span<const JoinedRecord> records, const FilterOptions& options,
+    bool prefilter, const util::ParallelOptions& parallel) {
   using PayloadMap = std::map<util::Bytes, std::set<std::uint32_t>>;
   std::vector<PayloadMap> parts(
       std::max<std::size_t>(parallel.resolved_threads(), 1));
@@ -66,6 +79,16 @@ std::set<util::Bytes> promiscuous_payloads(
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         auto& local = parts[chunk];
         for (std::size_t i = begin; i < end; ++i) {
+          if (prefilter) {
+            bool alive = true;
+            for (std::size_t s = 0;
+                 kStageOrder[s] != FilterStage::kPromiscuousEngineId; ++s)
+              if (!passes(kStageOrder[s], records[i], options)) {
+                alive = false;
+                break;
+              }
+            if (!alive) continue;
+          }
           const auto& id = records[i].engine_id();
           const auto enterprise = id.enterprise();
           const auto payload = id.payload();
@@ -83,6 +106,26 @@ std::set<util::Bytes> promiscuous_payloads(
   for (const auto& [payload, enterprises] : enterprises_by_payload)
     if (enterprises.size() > 1) promiscuous.insert(payload);
   return promiscuous;
+}
+
+// Position in kStageOrder of the first stage the record fails, or
+// kFilterStageCount when it survives the whole funnel.
+std::size_t first_failed_stage(const JoinedRecord& record,
+                               const FilterOptions& options,
+                               const std::set<util::Bytes>& promiscuous) {
+  for (std::size_t s = 0; s < kFilterStageCount; ++s) {
+    const FilterStage stage = kStageOrder[s];
+    if (stage == FilterStage::kPromiscuousEngineId) {
+      if (promiscuous.empty()) continue;
+      const auto payload = record.engine_id().payload();
+      if (payload && promiscuous.count(util::Bytes(payload->begin(),
+                                                   payload->end())) > 0)
+        return s;
+      continue;
+    }
+    if (!passes(stage, record, options)) return s;
+  }
+  return kFilterStageCount;
 }
 
 }  // namespace
@@ -143,23 +186,16 @@ FilterReport FilterPipeline::apply(std::vector<JoinedRecord>& records,
   FilterReport report;
   report.input = records.size();
 
-  constexpr FilterStage kOrder[] = {
-      FilterStage::kMissingEngineId,    FilterStage::kInconsistentEngineId,
-      FilterStage::kTooShortEngineId,   FilterStage::kPromiscuousEngineId,
-      FilterStage::kUnroutableIpv4,     FilterStage::kUnregisteredMac,
-      FilterStage::kZeroTimeOrBoots,    FilterStage::kFutureEngineTime,
-      FilterStage::kInconsistentBoots,  FilterStage::kInconsistentReboot,
-  };
-
   std::vector<unsigned char> keep;
-  for (const FilterStage stage : kOrder) {
+  for (const FilterStage stage : kStageOrder) {
     obs::Span stage_span(
         obs.trace(),
         obs.scoped(std::string("filter.") + std::string(to_slug(stage))));
     const std::size_t before = records.size();
     keep.assign(before, 1);
     if (stage == FilterStage::kPromiscuousEngineId) {
-      const auto promiscuous = promiscuous_payloads(records, parallel);
+      const auto promiscuous =
+          promiscuous_payloads(records, options_, false, parallel);
       if (!promiscuous.empty()) {
         util::parallel_for(0, before, parallel, [&](std::size_t i) {
           const auto payload = records[i].engine_id().payload();
@@ -188,6 +224,58 @@ FilterReport FilterPipeline::apply(std::vector<JoinedRecord>& records,
   }
   report.output = records.size();
   if (obs.enabled()) obs.counter("output").add(report.output);
+  if (obs::Logger::global().enabled(obs::LogLevel::kInfo)) {
+    obs::log_info("filter pipeline finished",
+                  {{"scope", obs.scope},
+                   {"input", report.input},
+                   {"dropped", report.total_dropped()},
+                   {"output", report.output}});
+  }
+  return report;
+}
+
+FilterReport FilterPipeline::apply_stream(
+    std::span<const JoinedRecord> input, std::vector<JoinedRecord>& survivors,
+    const util::ParallelOptions& parallel, const obs::ObsOptions& obs) const {
+  obs::Span pipeline_span(obs.trace(), obs.scoped("filter"));
+  if (obs.enabled()) obs.counter("input").add(input.size());
+
+  FilterReport report;
+  report.input = input.size();
+  const std::size_t n = input.size();
+
+  // Pass 1: the promiscuous-payload census (the one stage with global
+  // state), over the records still alive when that stage runs.
+  const auto promiscuous =
+      promiscuous_payloads(input, options_, true, parallel);
+
+  // Pass 2: per-record verdict — the first stage failed, in stage order.
+  std::vector<std::uint8_t> verdict(n);
+  util::parallel_for(0, n, parallel, [&](std::size_t i) {
+    verdict[i] = static_cast<std::uint8_t>(
+        first_failed_stage(input[i], options_, promiscuous));
+  });
+
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (verdict[i] == kFilterStageCount) ++kept;
+  survivors.clear();
+  survivors.reserve(kept);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (verdict[i] == kFilterStageCount) {
+      survivors.push_back(input[i]);
+    } else {
+      ++report.dropped[static_cast<std::size_t>(kStageOrder[verdict[i]])];
+    }
+  }
+  report.output = survivors.size();
+
+  if (obs.enabled()) {
+    for (const FilterStage stage : kStageOrder)
+      obs.counter(std::string("dropped.") + std::string(to_slug(stage)))
+          .add(report.dropped_at(stage));
+    obs.counter("output").add(report.output);
+  }
   if (obs::Logger::global().enabled(obs::LogLevel::kInfo)) {
     obs::log_info("filter pipeline finished",
                   {{"scope", obs.scope},

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -69,6 +70,19 @@ class FilterPipeline {
   FilterReport apply(std::vector<JoinedRecord>& records,
                      const util::ParallelOptions& parallel = {},
                      const obs::ObsOptions& obs = {}) const;
+
+  // Streaming variant: reads `input` without mutating it and appends only
+  // the survivors to `survivors` (cleared first), so the memory-bounded
+  // pipeline skips the full pre-filter copy that `apply` needs. Report and
+  // survivors are bit-identical to `apply` on the same input: each stage
+  // is a per-record predicate, so attributing every record to the first
+  // stage it fails (in the published order) yields exactly the sequential
+  // funnel's drop counts, and the promiscuous-payload set is computed over
+  // the same population (records surviving the stages ordered before it).
+  FilterReport apply_stream(std::span<const JoinedRecord> input,
+                            std::vector<JoinedRecord>& survivors,
+                            const util::ParallelOptions& parallel = {},
+                            const obs::ObsOptions& obs = {}) const;
 
   const FilterOptions& options() const { return options_; }
 

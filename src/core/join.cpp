@@ -1,18 +1,27 @@
 #include "core/join.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "store/record_store.hpp"
 
 namespace snmpv3fp::core {
 
-std::vector<JoinedRecord> join_scans(const scan::ScanResult& first,
-                                     const scan::ScanResult& second,
-                                     JoinStats* stats,
-                                     const util::ParallelOptions& parallel) {
-  const auto second_index = second.index();
-  const std::size_t n = first.records.size();
+namespace {
 
-  // Probe chunks against the shared (read-only) index, then concatenate in
-  // chunk order — identical to the sequential left-to-right join.
+// Hash-join of two in-RAM record vectors. Chunks probe the shared
+// (read-only) index and concatenate in chunk order — identical to the
+// sequential left-to-right join — then the final sort fixes one
+// deterministic order regardless of hash-map iteration.
+std::vector<JoinedRecord> join_vectors(
+    const std::vector<scan::ScanRecord>& first,
+    const std::vector<scan::ScanRecord>& second,
+    const std::unordered_map<net::IpAddress, std::size_t>& second_index,
+    const util::ParallelOptions& parallel) {
+  const std::size_t n = first.size();
   std::vector<std::vector<JoinedRecord>> parts(
       std::max<std::size_t>(parallel.resolved_threads(), 1));
   util::parallel_for_chunks(
@@ -21,11 +30,10 @@ std::vector<JoinedRecord> join_scans(const scan::ScanResult& first,
         auto& local = parts[chunk];
         local.reserve(end - begin);
         for (std::size_t i = begin; i < end; ++i) {
-          const auto& record = first.records[i];
+          const auto& record = first[i];
           const auto it = second_index.find(record.target);
           if (it == second_index.end()) continue;
-          local.push_back(
-              {record.target, record, second.records[it->second]});
+          local.push_back({record.target, record, second[it->second]});
         }
       });
 
@@ -35,17 +43,87 @@ std::vector<JoinedRecord> join_scans(const scan::ScanResult& first,
   joined.reserve(matched);
   for (auto& part : parts)
     std::move(part.begin(), part.end(), std::back_inserter(joined));
-
-  if (stats != nullptr) {
-    stats->overlap = matched;
-    stats->first_only = first.records.size() - matched;
-    stats->second_only = second.records.size() - matched;
-  }
-  // Deterministic order regardless of hash-map iteration.
   std::sort(joined.begin(), joined.end(),
             [](const JoinedRecord& a, const JoinedRecord& b) {
               return a.address < b.address;
             });
+  return joined;
+}
+
+// Store-backed path: external-sort both stores by address (bounded RAM),
+// then a two-cursor merge join. Addresses are unique within a scan, so
+// the address-ordered match sequence is exactly the hash join's output
+// after its final sort. nullopt when a store block read fails.
+std::optional<std::vector<JoinedRecord>> join_stores(
+    const scan::ScanResult& first, const scan::ScanResult& second) {
+  const store::StoreOptions& opts = first.store->options();
+  const std::size_t chunk = store::sort_chunk_records(opts);
+  const auto sorted1 =
+      store::sort_stores({first.store.get()}, store::SortKey::kAddress, opts,
+                         first.store->name() + "_joinkey", chunk);
+  const auto sorted2 =
+      store::sort_stores({second.store.get()}, store::SortKey::kAddress, opts,
+                         second.store->name() + "_joinkey", chunk);
+  if (sorted1 == nullptr || sorted2 == nullptr) return std::nullopt;
+
+  std::vector<JoinedRecord> joined;
+  auto c1 = sorted1->cursor();
+  auto c2 = sorted2->cursor();
+  scan::ScanRecord r1, r2;
+  bool have1 = c1.next(r1);
+  bool have2 = c2.next(r2);
+  while (have1 && have2) {
+    if (r1.target < r2.target) {
+      have1 = c1.next(r1);
+    } else if (r2.target < r1.target) {
+      have2 = c2.next(r2);
+    } else {
+      joined.push_back({r1.target, r1, r2});
+      have1 = c1.next(r1);
+      have2 = c2.next(r2);
+    }
+  }
+  const bool failed = !c1.error().empty() || !c2.error().empty();
+  sorted1->remove_files();
+  sorted2->remove_files();
+  if (failed) return std::nullopt;
+  return joined;
+}
+
+}  // namespace
+
+std::vector<JoinedRecord> join_scans(const scan::ScanResult& first,
+                                     const scan::ScanResult& second,
+                                     JoinStats* stats,
+                                     const util::ParallelOptions& parallel) {
+  std::vector<JoinedRecord> joined;
+  if (first.store_backed() && second.store_backed()) {
+    auto streamed = join_stores(first, second);
+    if (streamed.has_value()) {
+      joined = std::move(*streamed);
+    } else {
+      // Damaged store: best-effort fallback through materialized vectors
+      // (materialize itself fails closed per block, so anything that reads
+      // back clean still joins).
+      obs::log_warn("store merge join failed, materializing",
+                    {{"first", first.label}, {"second", second.label}});
+      const auto records1 = first.materialize_records();
+      const auto records2 = second.materialize_records();
+      std::unordered_map<net::IpAddress, std::size_t> index2;
+      index2.reserve(records2.size());
+      for (std::size_t i = 0; i < records2.size(); ++i)
+        index2.emplace(records2[i].target, i);
+      joined = join_vectors(records1, records2, index2, parallel);
+    }
+  } else {
+    joined = join_vectors(first.records, second.records, second.by_target(),
+                          parallel);
+  }
+  if (stats != nullptr) {
+    stats->overlap = joined.size();
+    stats->first_only = first.responsive() - joined.size();
+    stats->second_only = second.responsive() - joined.size();
+  }
   return joined;
 }
 

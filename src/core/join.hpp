@@ -40,7 +40,9 @@ struct JoinStats {
 // Inner-joins the scans by target address; records responsive in only one
 // scan are dropped (counted in stats). The probe runs in contiguous chunks
 // merged in chunk order, so output and stats are identical at any thread
-// count.
+// count. Store-backed results (memory-bounded campaigns) never come into
+// RAM whole: both stores are external-sorted by address and merge-joined
+// through streaming cursors, producing bit-identical output.
 std::vector<JoinedRecord> join_scans(
     const scan::ScanResult& first, const scan::ScanResult& second,
     JoinStats* stats = nullptr,

@@ -78,6 +78,10 @@ PipelineResult run_full_pipeline(topo::World world,
       v6.checkpoint_every_n_targets = options.checkpoint_every_n_targets;
       v6.abort_after_checkpoints = options.abort_after_checkpoints;
     }
+    if (!options.store.dir.empty()) {
+      v6.store = options.store;
+      v6.store.dir = options.store.dir + "/v6";
+    }
     result.v6_campaign = scan::run_two_scan_campaign(world, v6);
     if (result.v6_campaign.interrupted) {
       result.interrupted = true;
@@ -106,6 +110,10 @@ PipelineResult run_full_pipeline(topo::World world,
       v4.checkpoint_every_n_targets = options.checkpoint_every_n_targets;
       v4.abort_after_checkpoints = options.abort_after_checkpoints;
     }
+    if (!options.store.dir.empty()) {
+      v4.store = options.store;
+      v4.store.dir = options.store.dir + "/v4";
+    }
     result.v4_campaign = scan::run_two_scan_campaign(world, v4);
     if (result.v4_campaign.interrupted) {
       result.interrupted = true;
@@ -128,18 +136,30 @@ PipelineResult run_full_pipeline(topo::World world,
   }
 
   const FilterPipeline pipeline(options.filter);
-  result.v4_records = result.v4_joined;
-  result.v4_report =
-      pipeline.apply(result.v4_records, options.parallel, obs.sub("v4"));
-  result.v6_records = result.v6_joined;
-  result.v6_report =
-      pipeline.apply(result.v6_records, options.parallel, obs.sub("v6"));
+  if (!options.store.dir.empty()) {
+    // Memory-bounded path: stream the joined records through the funnel,
+    // keeping only survivors (bit-identical report and output; see
+    // FilterPipeline::apply_stream).
+    result.v4_report = pipeline.apply_stream(
+        result.v4_joined, result.v4_records, options.parallel, obs.sub("v4"));
+    result.v6_report = pipeline.apply_stream(
+        result.v6_joined, result.v6_records, options.parallel, obs.sub("v6"));
+  } else {
+    result.v4_records = result.v4_joined;
+    result.v4_report =
+        pipeline.apply(result.v4_records, options.parallel, obs.sub("v4"));
+    result.v6_records = result.v6_joined;
+    result.v6_report =
+        pipeline.apply(result.v6_records, options.parallel, obs.sub("v6"));
+  }
 
-  std::vector<JoinedRecord> combined = result.v4_records;
-  combined.insert(combined.end(), result.v6_records.begin(),
-                  result.v6_records.end());
-  result.resolution = resolve_aliases(combined, options.alias,
-                                      options.parallel, obs);
+  // Both families resolve together (dual-stack sets); the multi-span form
+  // reads the two survivor vectors in place instead of concatenating.
+  const std::span<const JoinedRecord> alias_parts[] = {result.v4_records,
+                                                       result.v6_records};
+  result.resolution = resolve_aliases(
+      std::span<const std::span<const JoinedRecord>>(alias_parts),
+      options.alias, options.parallel, obs);
   {
     obs::Span span(obs.trace(), obs.scoped("annotate"));
     result.devices = annotate_devices(result.resolution, result.as_table,

@@ -15,6 +15,7 @@
 #include "obs/obs.hpp"
 #include "scan/aliased_prefix.hpp"
 #include "scan/campaign.hpp"
+#include "store/record_store.hpp"
 #include "topo/datasets.hpp"
 #include "topo/generator.hpp"
 
@@ -58,6 +59,13 @@ struct PipelineOptions {
   std::string checkpoint_dir;
   std::size_t checkpoint_every_n_targets = 0;
   std::size_t abort_after_checkpoints = 0;
+  // Memory-bounded record store (store/record_store.hpp). With `store.dir`
+  // set, each campaign spills its scan records to <store.dir>/v4 and /v6
+  // stores whose resident RAM is bounded by `store.max_resident_bytes`;
+  // joining external-sorts and merge-joins the stores through streaming
+  // cursors, and filtering streams the join without the pre-filter copy.
+  // PipelineResult is bit-identical either way (tests/test_store.cpp).
+  store::StoreOptions store;
 };
 
 struct PipelineResult {

@@ -20,17 +20,20 @@ RunReport::CampaignReport summarize_campaign(const std::string& family,
   RunReport::CampaignReport out;
   out.family = family;
   out.targets = pair.scan1.targets_probed;
-  out.responsive1 = pair.scan1.records.size();
-  out.responsive2 = pair.scan2.records.size();
+  out.responsive1 = pair.scan1.responsive();
+  out.responsive2 = pair.scan2.responsive();
   out.response_rate1 = ratio(out.responsive1, pair.scan1.targets_probed);
   out.response_rate2 = ratio(out.responsive2, pair.scan2.targets_probed);
-  // Overlap of scan-1 responders that answered scan 2 (by address).
+  // Overlap of scan-1 responders that answered scan 2 (by address). The
+  // accessors stream store-backed results, so the accounting is identical
+  // either way; addresses (16 bytes each) are cheap enough to collect.
   std::vector<net::IpAddress> first, second;
-  first.reserve(pair.scan1.records.size());
-  for (const auto& record : pair.scan1.records) first.push_back(record.target);
-  second.reserve(pair.scan2.records.size());
-  for (const auto& record : pair.scan2.records)
-    second.push_back(record.target);
+  first.reserve(pair.scan1.responsive());
+  (void)pair.scan1.for_each_record(
+      [&](const scan::ScanRecord& record) { first.push_back(record.target); });
+  second.reserve(pair.scan2.responsive());
+  (void)pair.scan2.for_each_record(
+      [&](const scan::ScanRecord& record) { second.push_back(record.target); });
   std::sort(first.begin(), first.end());
   std::sort(second.begin(), second.end());
   std::vector<net::IpAddress> overlap;

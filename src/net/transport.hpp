@@ -55,6 +55,12 @@ class Transport {
   // Advances virtual time / waits on real sockets until `deadline`,
   // allowing in-flight datagrams to arrive.
   virtual void run_until(util::VTime deadline) = 0;
+
+  // Cumulative count of probes the far side explicitly refused with a
+  // rate-limit signal (the ICMP admin-prohibited analogue). 0 for
+  // transports that cannot observe it; the adaptive pacer consumes deltas
+  // of this counter as a fast backoff input (scan/pacer.hpp).
+  virtual std::uint64_t rate_limit_signals() const { return 0; }
 };
 
 }  // namespace snmpv3fp::net

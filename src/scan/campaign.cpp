@@ -12,13 +12,15 @@ namespace {
 
 // Merges per-shard scan results back into one ScanResult ordered by probe
 // time (the global pacing schedule), so the merged record order never
-// depends on shard boundaries or scheduling.
-ScanResult merge_shard_results(std::vector<ScanResult>& shards) {
+// depends on shard boundaries or scheduling. Store-backed shards merge via
+// an external merge sort into one store (bounded RAM) and their per-shard
+// files are removed; in-RAM shards concatenate and sort as before.
+ScanResult merge_shard_results(std::vector<ScanResult>& shards,
+                               const store::StoreOptions& store_options,
+                               const std::string& label) {
   ScanResult merged;
-  std::size_t total_records = 0;
-  for (const auto& shard : shards) total_records += shard.records.size();
-  merged.records.reserve(total_records);
   bool first = true;
+  bool store_backed = !shards.empty();
   for (auto& shard : shards) {
     if (first) {
       merged.label = shard.label;
@@ -33,9 +35,40 @@ ScanResult merge_shard_results(std::vector<ScanResult>& shards) {
     merged.probe_bytes = std::max(merged.probe_bytes, shard.probe_bytes);
     merged.undecodable_responses += shard.undecodable_responses;
     merged.pacer_backoffs += shard.pacer_backoffs;
+    store_backed = store_backed && shard.store_backed();
+  }
+
+  if (store_backed) {
+    std::vector<const store::RecordStore*> sources;
+    sources.reserve(shards.size());
+    for (const auto& shard : shards) sources.push_back(shard.store.get());
+    auto sorted = store::sort_stores(
+        sources, store::SortKey::kSendTimeTarget, store_options,
+        label + "_merged", store::sort_chunk_records(store_options));
+    if (sorted != nullptr) {
+      merged.store = std::shared_ptr<store::RecordStore>(std::move(sorted));
+      for (auto& shard : shards) {
+        shard.store->remove_files();
+        shard.store.reset();
+      }
+      return merged;
+    }
+    // A damaged shard store: fall through to the in-RAM merge with
+    // whatever each store can still read (fail-soft, logged by the sort).
+    obs::log_warn("store merge failed, falling back to in-RAM merge",
+                  {{"scan", label}});
+    for (auto& shard : shards) {
+      shard.records = shard.store->materialize();
+      shard.store.reset();
+    }
+  }
+
+  std::size_t total_records = 0;
+  for (const auto& shard : shards) total_records += shard.records.size();
+  merged.records.reserve(total_records);
+  for (auto& shard : shards)
     std::move(shard.records.begin(), shard.records.end(),
               std::back_inserter(merged.records));
-  }
   std::sort(merged.records.begin(), merged.records.end(),
             [](const ScanRecord& a, const ScanRecord& b) {
               if (a.send_time != b.send_time) return a.send_time < b.send_time;
@@ -71,6 +104,7 @@ class CheckpointStore {
     std::lock_guard<std::mutex> lock(mutex_);
     data_.scan_index = resume.scan_index;
     data_.scan1 = resume.scan1;
+    data_.scan1_manifest = resume.scan1_manifest;
     data_.scan_boundary_fabrics = resume.scan_boundary_fabrics;
     for (const auto& state : resume.shard_states)
       if (state.shard < slots_.size()) slots_[state.shard] = state;
@@ -90,7 +124,8 @@ class CheckpointStore {
   }
 
   void mark_complete(std::size_t shard, const ScanResult& result,
-                     sim::FabricState fabric) {
+                     sim::FabricState fabric,
+                     std::optional<store::StoreManifest> manifest) {
     std::lock_guard<std::mutex> lock(mutex_);
     ShardScanState state;
     state.shard = shard;
@@ -98,15 +133,18 @@ class CheckpointStore {
     state.complete = true;
     state.partial = result;
     state.fabric = std::move(fabric);
+    state.store_manifest = std::move(manifest);
     slots_[shard] = std::move(state);
   }
 
   // Scan 1 finished: persist its merged result plus every shard's fabric
   // at the scan boundary (shards without a mid-scan-2 snapshot resume
-  // their fabric from here).
+  // their fabric from here). Store-backed campaigns persist the merged
+  // store's manifest instead of embedding records.
   void finish_scan1(ScanResult merged,
                     std::vector<sim::FabricState> boundary_fabrics) {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (merged.store_backed()) data_.scan1_manifest = merged.store->manifest();
     data_.scan1 = std::move(merged);
     data_.scan_index = 2;
     data_.scan_boundary_fabrics = std::move(boundary_fabrics);
@@ -166,6 +204,10 @@ std::uint64_t digest_config(const CampaignOptions& options,
   digest = util::hash_combine(
       digest,
       static_cast<std::uint64_t>(options.checkpoint_every_n_targets));
+  // Store-backed and in-RAM checkpoints carry records differently (file
+  // manifests vs embedded JSON); never resume across the two modes.
+  digest = util::hash_combine(
+      digest, static_cast<std::uint64_t>(options.store.dir.empty() ? 0 : 1));
   digest = util::hash_combine(digest, targets.size());
   for (const auto& address : targets)
     digest = util::hash_combine(digest, util::fnv1a64(address.to_string()));
@@ -217,15 +259,35 @@ CampaignPair run_two_scan_campaign(topo::World& world,
   CheckpointStore store(options.checkpoint_path, digest, shard_count,
                         options.abort_after_checkpoints);
 
+  const bool store_mode = !options.store.dir.empty();
+
   // Resume: a checkpoint from the same configuration continues where the
   // previous process stopped; anything else is ignored with a warning. The
   // loaded checkpoint must outlive the scan that consumes its slots.
   bool resuming = false;
   std::size_t resume_scan_index = 1;
   std::optional<CampaignCheckpoint> resumed;
+  // Store mode, resuming past scan 1: scan 1's records live in its merged
+  // store's files; re-adopt them before committing to the resume (a
+  // checkpoint whose store files are gone is as useless as no checkpoint).
+  std::shared_ptr<store::RecordStore> scan1_store;
   if (store.enabled()) {
     if (auto loaded = load_checkpoint(options.checkpoint_path)) {
-      if (loaded->config_digest == digest) {
+      bool adoptable = loaded->config_digest == digest;
+      if (!adoptable) {
+        obs::log_warn("checkpoint config mismatch, starting fresh",
+                      {{"path", options.checkpoint_path}});
+      } else if (store_mode && loaded->scan_index == 2) {
+        if (loaded->scan1_manifest.has_value())
+          scan1_store = store::RecordStore::restore(options.store,
+                                                    *loaded->scan1_manifest);
+        if (scan1_store == nullptr) {
+          adoptable = false;
+          obs::log_warn("checkpoint scan1 store unrecoverable, starting fresh",
+                        {{"path", options.checkpoint_path}});
+        }
+      }
+      if (adoptable) {
         resuming = true;
         resume_scan_index = loaded->scan_index;
         store.adopt_resume(*loaded);
@@ -234,9 +296,6 @@ CampaignPair run_two_scan_campaign(topo::World& world,
                        {"scan", loaded->scan_index},
                        {"shard_states", loaded->shard_states.size()}});
         resumed = std::move(loaded);
-      } else {
-        obs::log_warn("checkpoint config mismatch, starting fresh",
-                      {{"path", options.checkpoint_path}});
       }
     }
   }
@@ -274,15 +333,32 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     util::parallel_for(0, shard_count, options.parallel, [&](std::size_t shard) {
       const auto t0 = std::chrono::steady_clock::now();
       const ShardScanState* resume_state = resume_slots[shard];
+      std::shared_ptr<store::RecordStore> shard_store;
+      if (store_mode && resume_state != nullptr) {
+        // Re-adopt the shard's record store before anything else: a shard
+        // whose store files are unrecoverable simply re-runs fresh, which
+        // reproduces the uninterrupted output (just without the head
+        // start), so damage degrades resume speed, never correctness.
+        if (resume_state->store_manifest.has_value())
+          shard_store = store::RecordStore::restore(
+              options.store, *resume_state->store_manifest);
+        if (shard_store == nullptr) {
+          obs::log_warn("shard store unrecoverable, re-running shard",
+                        {{"shard", shard}});
+          resume_state = nullptr;
+        }
+      }
       if (resume_state != nullptr) {
         // Fabric state rides in the snapshot; a completed shard needs no
         // re-probing at all, only its result and fabric back.
         fabrics[shard]->restore(resume_state->fabric);
         if (resume_state->complete) {
           shard_results[shard] = resume_state->partial;
+          shard_results[shard].store = shard_store;
           if (store.enabled())
-            store.mark_complete(shard, resume_state->partial,
-                                resume_state->fabric);
+            store.mark_complete(shard, shard_results[shard],
+                                resume_state->fabric,
+                                resume_state->store_manifest);
           return;
         }
       } else if (scan_index == 2 && resuming && resume_scan_index == 2) {
@@ -291,6 +367,9 @@ CampaignPair run_two_scan_campaign(topo::World& world,
         if (const auto* boundary = store.boundary_fabric(shard))
           fabrics[shard]->restore(*boundary);
       }
+      if (store_mode && shard_store == nullptr)
+        shard_store = std::make_shared<store::RecordStore>(
+            options.store, label + "_shard" + std::to_string(shard));
 
       const std::size_t begin = shard * base + std::min(shard, extra);
       const std::size_t end = begin + base + (shard < extra ? 1 : 0);
@@ -304,6 +383,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
       probe.send_offset = static_cast<util::VTime>(begin) * gap;
       probe.pacer = options.pacer;
       probe.resume = resume_state;
+      probe.sink = shard_store.get();
       if (store.enabled() && options.checkpoint_every_n_targets != 0) {
         probe.checkpoint_every_n_targets = options.checkpoint_every_n_targets;
         probe.on_checkpoint = [&, shard](ShardScanState& state) {
@@ -314,12 +394,17 @@ CampaignPair run_two_scan_campaign(topo::World& world,
       }
       Prober prober(*fabrics[shard], prober_source);
       ScanResult result = prober.run(slice, probe, start);
+      result.store = shard_store;
       // A shard that ran to the end is complete even if a sibling already
       // aborted — the final persisted file must not re-probe it on resume.
       // end_time is only set after the final drain, never on an abort.
       const bool ran_to_end = result.end_time != 0;
       if (store.enabled() && ran_to_end)
-        store.mark_complete(shard, result, fabrics[shard]->snapshot());
+        store.mark_complete(shard, result, fabrics[shard]->snapshot(),
+                            shard_store != nullptr
+                                ? std::optional<store::StoreManifest>(
+                                      shard_store->manifest())
+                                : std::nullopt);
       shard_results[shard] = std::move(result);
       shard_wall_ms[shard] = std::chrono::duration<double, std::milli>(
                                  std::chrono::steady_clock::now() - t0)
@@ -341,14 +426,14 @@ CampaignPair run_two_scan_campaign(topo::World& world,
       for (std::size_t shard = 0; shard < shard_count; ++shard)
         options.obs.observer->add_shard_progress(
             {stage, shard, shard_results[shard].targets_probed,
-             shard_results[shard].records.size(), shard_wall_ms[shard]});
+             shard_results[shard].responsive(), shard_wall_ms[shard]});
     }
 
-    ScanResult merged = merge_shard_results(shard_results);
+    ScanResult merged = merge_shard_results(shard_results, options.store, label);
     scan_span.set_virtual_duration(merged.end_time - merged.start_time);
     if (options.obs.enabled()) {
       options.obs.counter(label + ".targets").add(merged.targets_probed);
-      options.obs.counter(label + ".responsive").add(merged.records.size());
+      options.obs.counter(label + ".responsive").add(merged.responsive());
       options.obs.counter(label + ".undecodable")
           .add(merged.undecodable_responses);
       options.obs.counter(label + ".backoffs").add(merged.pacer_backoffs);
@@ -356,7 +441,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     obs::log_info("scan finished",
                   {{"scan", options.obs.scoped(label)},
                    {"targets", merged.targets_probed},
-                   {"responsive", merged.records.size()},
+                   {"responsive", merged.responsive()},
                    {"undecodable", merged.undecodable_responses},
                    {"backoffs", merged.pacer_backoffs},
                    {"shards", shard_count}});
@@ -375,8 +460,10 @@ CampaignPair run_two_scan_campaign(topo::World& world,
 
   CampaignPair out;
   if (resuming && resume_scan_index == 2) {
-    // Scan 1 finished in a previous process: take its merged result.
+    // Scan 1 finished in a previous process: take its merged result (in
+    // store mode the records come back through the re-adopted store).
     out.scan1 = resumed->scan1.value_or(ScanResult{});
+    out.scan1.store = scan1_store;
   } else {
     const auto slots = (resuming && resume_scan_index == 1)
                            ? slots_for_scan(*resumed)

@@ -57,6 +57,15 @@ struct CampaignOptions {
   // not match is ignored with a warning.
   std::string checkpoint_path;
   std::size_t checkpoint_every_n_targets = 0;
+  // Memory-bounded record store (store/record_store.hpp). With `store.dir`
+  // set, per-shard records append to spill-to-disk stores (resident RAM
+  // bounded by `store.max_resident_bytes`), the merged ScanResults come
+  // back store-backed (records vector empty, use the accessors), and
+  // checkpoints persist only per-shard deltas since the last boundary
+  // instead of embedding every record. Results are bit-identical to the
+  // in-RAM path. Default (empty dir) keeps the historical all-in-RAM
+  // behavior.
+  store::StoreOptions store;
   // Failure-injection hook for tests/benches: simulate a kill by stopping
   // each shard once it has crossed N checkpoint boundaries (counted across
   // both scans). 0 = never. The campaign then returns with `interrupted`

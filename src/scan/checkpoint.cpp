@@ -82,6 +82,9 @@ void write_pacer(JsonWriter& json, const PacerState& state) {
           static_cast<std::uint64_t>(state.window_responses));
   json.kv("backoffs", static_cast<std::uint64_t>(state.backoffs));
   json.kv("backoff_wait", static_cast<std::int64_t>(state.backoff_wait));
+  json.kv("window_signals",
+          static_cast<std::uint64_t>(state.window_rate_limit_signals));
+  json.kv("signals", static_cast<std::uint64_t>(state.rate_limit_signals));
   json.end_object();
 }
 
@@ -94,6 +97,8 @@ PacerState read_pacer(const JsonValue& value) {
   state.window_responses = get_u64(value, "window_responses");
   state.backoffs = get_u64(value, "backoffs");
   state.backoff_wait = get_i64(value, "backoff_wait");
+  state.window_rate_limit_signals = get_u64(value, "window_signals");
+  state.rate_limit_signals = get_u64(value, "signals");
   return state;
 }
 
@@ -308,6 +313,11 @@ void write_shard_state(JsonWriter& json, const ShardScanState& state) {
   json.end_array();
   json.key("fabric");
   write_fabric_state(json, state.fabric);
+  if (state.store_manifest.has_value()) {
+    std::string manifest;
+    store::write_manifest_json(manifest, *state.store_manifest);
+    json.key("store").raw(manifest);
+  }
   json.end_object();
 }
 
@@ -332,6 +342,8 @@ ShardScanState read_shard_state(const JsonValue& value) {
     }
   if (const auto* fabric = value.find("fabric"))
     state.fabric = read_fabric_state(*fabric);
+  if (const auto* manifest = value.find("store"))
+    state.store_manifest = store::read_manifest_json(*manifest);
   return state;
 }
 
@@ -346,6 +358,11 @@ std::string CampaignCheckpoint::to_json() const {
   if (scan1.has_value()) {
     json.key("scan1");
     write_scan_result(json, *scan1);
+  }
+  if (scan1_manifest.has_value()) {
+    std::string manifest;
+    store::write_manifest_json(manifest, *scan1_manifest);
+    json.key("scan1_store").raw(manifest);
   }
   json.key("shard_states").begin_array();
   for (const auto& state : shard_states) write_shard_state(json, state);
@@ -368,6 +385,8 @@ std::optional<CampaignCheckpoint> CampaignCheckpoint::from_json(
   checkpoint.scan_index = get_u64(*root, "scan_index");
   if (const auto* scan1 = root->find("scan1"))
     checkpoint.scan1 = read_scan_result(*scan1);
+  if (const auto* manifest = root->find("scan1_store"))
+    checkpoint.scan1_manifest = store::read_manifest_json(*manifest);
   if (const auto* shards = root->find("shard_states");
       shards != nullptr && shards->is_array())
     for (const auto& item : shards->items())

@@ -22,6 +22,7 @@
 #include "scan/pacer.hpp"
 #include "scan/record.hpp"
 #include "sim/fabric.hpp"
+#include "store/record_store.hpp"
 
 namespace snmpv3fp::scan {
 
@@ -40,6 +41,12 @@ struct ShardScanState {
   // responses; sorted by address for a stable serialization.
   std::vector<std::pair<net::IpAddress, util::VTime>> sent_at;
   sim::FabricState fabric;
+  // Store-backed campaigns: `partial.records` stays empty and the records
+  // live in the shard's on-disk store; this manifest re-adopts them on
+  // resume. Persisting it costs O(records since the last boundary) — the
+  // open tail and patches — because the sealed blocks are already in the
+  // store's own append-only files.
+  std::optional<store::StoreManifest> store_manifest;
 };
 
 // Whole-campaign checkpoint: which scan is in progress, the completed
@@ -54,6 +61,9 @@ struct CampaignCheckpoint {
   std::uint64_t config_digest = 0;
   std::size_t scan_index = 1;  // 1 or 2: the scan in progress
   std::optional<ScanResult> scan1;  // merged result, present once complete
+  // Store-backed campaigns: manifest of scan 1's merged store (the
+  // ScanResult above then carries no records).
+  std::optional<store::StoreManifest> scan1_manifest;
   std::vector<ShardScanState> shard_states;
   std::vector<sim::FabricState> scan_boundary_fabrics;
 

@@ -32,23 +32,35 @@ void AdaptivePacer::on_responses(std::size_t count) {
   state_.window_responses += count;
 }
 
+void AdaptivePacer::on_rate_limit_signals(std::size_t count) {
+  state_.window_rate_limit_signals += count;
+  state_.rate_limit_signals += count;
+}
+
 util::VTime AdaptivePacer::evaluate_window() {
   const double window_rate =
       static_cast<double>(state_.window_responses) /
       static_cast<double>(std::max<std::size_t>(state_.window_sent, 1));
   state_.window_sent = 0;
   state_.window_responses = 0;
+  const bool signaled =
+      config_.use_rate_limit_signals &&
+      state_.window_rate_limit_signals >= config_.rate_limit_signal_threshold;
+  state_.window_rate_limit_signals = 0;
 
   util::VTime jitter = 0;
   if (state_.baseline_response_rate < 0.0) {
-    // First full window: learn the baseline, make no rate decision yet.
+    // First full window: learn the baseline. An explicit rate-limit signal
+    // overrides the no-decision-yet rule — the device told us outright, no
+    // baseline inference needed.
     state_.baseline_response_rate = window_rate;
-    return 0;
+    if (!signaled) return 0;
   }
 
   const bool collapsed =
-      state_.baseline_response_rate > 0.0 &&
-      window_rate < config_.collapse_threshold * state_.baseline_response_rate;
+      signaled ||
+      (state_.baseline_response_rate > 0.0 &&
+       window_rate < config_.collapse_threshold * state_.baseline_response_rate);
   if (collapsed) {
     state_.rate_pps = std::max(state_.rate_pps * config_.backoff_factor,
                                config_.min_rate_pps);

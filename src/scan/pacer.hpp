@@ -36,6 +36,14 @@ struct PacerConfig {
   // Extra virtual-time delay added per backoff, jittered uniformly in
   // [0, max_backoff_jitter] by the shard Rng.
   util::VTime max_backoff_jitter = 50 * util::kMillisecond;
+  // Explicit rate-limit signals (net::Transport::rate_limit_signals
+  // deltas, fed by the prober per drain). A window that saw at least
+  // `rate_limit_signal_threshold` signals backs off immediately — even
+  // before a response-rate baseline is learned — which converges much
+  // faster than rate inference alone. Only consulted when `adaptive` is
+  // set; with no signals the schedule is unchanged.
+  bool use_rate_limit_signals = true;
+  std::size_t rate_limit_signal_threshold = 1;
 };
 
 // Serializable pacer state (doubles travel as IEEE bit patterns in the
@@ -47,6 +55,8 @@ struct PacerState {
   std::size_t window_responses = 0;
   std::size_t backoffs = 0;              // total backoff events
   util::VTime backoff_wait = 0;          // total jitter delay inserted
+  std::size_t window_rate_limit_signals = 0;
+  std::size_t rate_limit_signals = 0;    // total signals observed
 };
 
 class AdaptivePacer {
@@ -62,6 +72,9 @@ class AdaptivePacer {
   // Window accounting, fed by the prober per probe / per drained response.
   void on_probe_sent();
   void on_responses(std::size_t count);
+  // Explicit rate-limit signals observed since the last drain (the
+  // transport counter delta). Pure accounting in fixed mode.
+  void on_rate_limit_signals(std::size_t count);
 
   const PacerState& state() const { return state_; }
   void restore(const PacerState& state);

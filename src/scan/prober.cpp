@@ -4,6 +4,7 @@
 
 #include "obs/log.hpp"
 #include "snmp/message.hpp"
+#include "store/record_store.hpp"
 
 namespace snmpv3fp::scan {
 
@@ -16,23 +17,9 @@ std::int32_t two_byte_id(util::Rng& rng) {
 }
 }  // namespace
 
-std::size_t ScanResult::unique_engine_ids() const {
-  std::vector<const snmp::EngineId*> ids;
-  ids.reserve(records.size());
-  for (const auto& r : records)
-    if (!r.engine_id.empty()) ids.push_back(&r.engine_id);
-  std::sort(ids.begin(), ids.end(),
-            [](const auto* a, const auto* b) { return a->raw() < b->raw(); });
-  const auto end = std::unique(ids.begin(), ids.end(),
-                               [](const auto* a, const auto* b) {
-                                 return a->raw() == b->raw();
-                               });
-  return static_cast<std::size_t>(end - ids.begin());
-}
-
 std::size_t Prober::drain(
-    ScanResult& result,
-    std::unordered_map<net::IpAddress, std::size_t>& by_source,
+    ScanResult& result, store::RecordStore* sink,
+    std::unordered_map<net::IpAddress, SourceEntry>& by_source,
     const std::unordered_map<net::IpAddress, util::VTime>& sent_at) {
   std::size_t new_records = 0;
   while (auto datagram = transport_.receive()) {
@@ -55,20 +42,33 @@ std::size_t Prober::drain(
       record.receive_time = datagram->time;
       record.response_count = 1;
       record.response_bytes = datagram->payload.size();
-      by_source.emplace(source, result.records.size());
-      result.records.push_back(std::move(record));
+      if (sink != nullptr) {
+        const std::size_t index = sink->append(record);
+        by_source.emplace(source,
+                          SourceEntry{index, std::move(record.engine_id)});
+      } else {
+        by_source.emplace(source, SourceEntry{result.records.size(), {}});
+        result.records.push_back(std::move(record));
+      }
       ++new_records;
     } else {
-      auto& record = result.records[it->second];
-      ++record.response_count;
       const auto& engine = message.value().usm.authoritative_engine_id;
-      if (engine != record.engine_id) {
-        // extra_engines stays sorted so membership is a binary search
-        // instead of a linear scan (amplifiers answer thousands of times).
-        const auto pos = std::lower_bound(record.extra_engines.begin(),
-                                          record.extra_engines.end(), engine);
-        if (pos == record.extra_engines.end() || *pos != engine)
-          record.extra_engines.insert(pos, engine);
+      if (sink != nullptr) {
+        // Same accounting as the vector path below, routed through the
+        // store's patch overlay (the record may sit in a sealed block).
+        sink->note_duplicate(it->second.index,
+                             engine != it->second.engine ? &engine : nullptr);
+      } else {
+        auto& record = result.records[it->second.index];
+        ++record.response_count;
+        if (engine != record.engine_id) {
+          // extra_engines stays sorted so membership is a binary search
+          // instead of a linear scan (amplifiers answer thousands of times).
+          const auto pos = std::lower_bound(record.extra_engines.begin(),
+                                            record.extra_engines.end(), engine);
+          if (pos == record.extra_engines.end() || *pos != engine)
+            record.extra_engines.insert(pos, engine);
+        }
       }
     }
   }
@@ -83,22 +83,39 @@ ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
 
   AdaptivePacer pacer(config.rate_pps, config.pacer, rng);
   ScanResult result;
-  std::unordered_map<net::IpAddress, std::size_t> by_source;
+  store::RecordStore* const sink = config.sink;
+  std::unordered_map<net::IpAddress, SourceEntry> by_source;
   std::unordered_map<net::IpAddress, util::VTime> sent_at;
   std::size_t start_index = 0;
   util::VTime next_send = 0;
+  // Rate-limit signal feed: track the transport counter so each drain
+  // hands the pacer only the delta. The baseline is taken after the
+  // fabric restore on resume, so a resumed window sees the same deltas an
+  // uninterrupted run would.
+  std::uint64_t rate_limit_seen = transport_.rate_limit_signals();
 
   if (config.resume != nullptr) {
     // Continue a checkpointed run: the caller already restored the
-    // transport; everything prober-side comes from the snapshot.
+    // transport (and, in sink mode, the record store); everything
+    // prober-side comes from the snapshot.
     result = config.resume->partial;
     start_index = config.resume->cursor;
     next_send = config.resume->next_send;
     rng.restore_state(config.resume->rng);
     pacer.restore(config.resume->pacer);
-    by_source.reserve(result.records.size());
-    for (std::size_t i = 0; i < result.records.size(); ++i)
-      by_source.emplace(result.records[i].target, i);
+    if (sink != nullptr) {
+      std::size_t index = 0;
+      auto cursor = sink->cursor();
+      ScanRecord record;
+      while (cursor.next(record))
+        by_source.emplace(record.target,
+                          SourceEntry{index++, std::move(record.engine_id)});
+    } else {
+      by_source.reserve(result.records.size());
+      for (std::size_t i = 0; i < result.records.size(); ++i)
+        by_source.emplace(result.records[i].target,
+                          SourceEntry{i, {}});
+    }
     sent_at.reserve(order.size());
     for (const auto& [address, time] : config.resume->sent_at)
       sent_at.emplace(address, time);
@@ -111,7 +128,7 @@ ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
     by_source.reserve(order.size() / 4);
     sent_at.reserve(order.size());
   }
-  result.records.reserve(order.size());
+  if (sink == nullptr) result.records.reserve(order.size());
 
   for (std::size_t i = start_index; i < order.size(); ++i) {
     const auto& target = order[i];
@@ -128,7 +145,11 @@ ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
     transport_.send(std::move(probe));
     pacer.on_probe_sent();
     next_send = pacer.schedule_after(next_send);
-    pacer.on_responses(drain(result, by_source, sent_at));
+    pacer.on_responses(drain(result, sink, by_source, sent_at));
+    const auto rate_limit_now = transport_.rate_limit_signals();
+    pacer.on_rate_limit_signals(
+        static_cast<std::size_t>(rate_limit_now - rate_limit_seen));
+    rate_limit_seen = rate_limit_now;
 
     // Checkpoint boundaries sit at absolute multiples of the interval, so
     // a resumed run hits the same remaining boundaries as an uninterrupted
@@ -141,7 +162,8 @@ ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
       state.next_send = next_send;
       state.rng = rng.save_state();
       state.pacer = pacer.state();
-      state.partial = result;
+      state.partial = result;  // sink mode: scalars only, records ride below
+      if (sink != nullptr) state.store_manifest = sink->manifest();
       state.sent_at.assign(sent_at.begin(), sent_at.end());
       std::sort(state.sent_at.begin(), state.sent_at.end());
       if (!config.on_checkpoint(state))
@@ -149,14 +171,18 @@ ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
     }
   }
   transport_.run_until(next_send + config.response_timeout);
-  drain(result, by_source, sent_at);
+  drain(result, sink, by_source, sent_at);
+  pacer.on_rate_limit_signals(static_cast<std::size_t>(
+      transport_.rate_limit_signals() - rate_limit_seen));
+  if (sink != nullptr) sink->seal();
   result.end_time = transport_.now();
   result.pacer_backoffs = pacer.state().backoffs;
   if (obs::Logger::global().enabled(obs::LogLevel::kDebug)) {
     obs::log_debug("probe run finished",
                    {{"label", config.label},
                     {"targets", result.targets_probed},
-                    {"responsive", result.records.size()},
+                    {"responsive",
+                     sink != nullptr ? sink->size() : result.records.size()},
                     {"virtual_s", util::to_seconds(result.end_time -
                                                    result.start_time)}});
   }

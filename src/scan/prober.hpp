@@ -45,6 +45,11 @@ struct ProbeConfig {
   // transport (sim::Fabric::restore) to the snapshot's fabric state; the
   // prober restores everything else and continues bit-identically.
   const ShardScanState* resume = nullptr;
+  // Memory-bounded collection: when set, records append to this store
+  // instead of growing ScanResult::records (which stays empty; the caller
+  // attaches the store to the result). On resume the sink must already
+  // hold the snapshot's records (store::RecordStore::restore).
+  store::RecordStore* sink = nullptr;
 };
 
 class Prober {
@@ -58,11 +63,21 @@ class Prober {
                  const ProbeConfig& config, util::VTime start_time);
 
  private:
-  // Drains matured responses into `result`; returns the number of NEW
-  // records (first responses), the signal the adaptive pacer watches.
+  // A responsive source we already hold a record for: its position (in
+  // ScanResult::records or the sink store) and, for sink mode, a copy of
+  // its primary engine ID (sealed store records are not random-access, so
+  // the duplicate-engine comparison needs the copy).
+  struct SourceEntry {
+    std::size_t index = 0;
+    snmp::EngineId engine;
+  };
+
+  // Drains matured responses into `result` (or `sink`); returns the number
+  // of NEW records (first responses), the signal the adaptive pacer
+  // watches.
   std::size_t drain(
-      ScanResult& result,
-      std::unordered_map<net::IpAddress, std::size_t>& by_source,
+      ScanResult& result, store::RecordStore* sink,
+      std::unordered_map<net::IpAddress, SourceEntry>& by_source,
       const std::unordered_map<net::IpAddress, util::VTime>& sent_at);
 
   net::Transport& transport_;

@@ -7,13 +7,20 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/ip.hpp"
 #include "snmp/engine_id.hpp"
+#include "util/result.hpp"
 #include "util/vclock.hpp"
+
+namespace snmpv3fp::store {
+class RecordStore;
+}
 
 namespace snmpv3fp::scan {
 
@@ -48,20 +55,40 @@ struct ScanResult {
   // events (scan/pacer.hpp). Both zero on a clean fixed-rate scan.
   std::size_t undecodable_responses = 0;
   std::size_t pacer_backoffs = 0;
-  std::vector<ScanRecord> records;  // responsive targets only
+  // Responsive targets only. A store-backed result (store non-null, the
+  // memory-bounded campaign path) keeps the records in `store` and leaves
+  // this vector empty; the accessors below serve both representations.
+  std::vector<ScanRecord> records;
+  std::shared_ptr<store::RecordStore> store;
 
-  std::size_t responsive() const { return records.size(); }
+  bool store_backed() const { return store != nullptr; }
+  std::size_t responsive() const;
 
-  // Index from target address to record position, for joining two scans.
-  std::unordered_map<net::IpAddress, std::size_t> index() const {
-    std::unordered_map<net::IpAddress, std::size_t> map;
-    map.reserve(records.size());
-    for (std::size_t i = 0; i < records.size(); ++i)
-      map.emplace(records[i].target, i);
-    return map;
-  }
+  // Applies `fn` to every record in order; fails closed when a store
+  // block is damaged (always ok for in-RAM results).
+  util::Status for_each_record(
+      const std::function<void(const ScanRecord&)>& fn) const;
+
+  // Copies all records into a vector (tests and small-scale callers; a
+  // store-backed census-scale result defeats the purpose here).
+  std::vector<ScanRecord> materialize_records() const;
+
+  // Index from target address to position in `records`, for joining two
+  // scans. Memoized: built once per scan pass and reused until the record
+  // count changes (the filter pipeline used to rebuild it on every call).
+  // Not thread-safe — build it on the owning thread before sharing, and
+  // never call it on a store-backed result (the streaming merge join
+  // replaces it there).
+  const std::unordered_map<net::IpAddress, std::size_t>& by_target() const;
 
   std::size_t unique_engine_ids() const;
+
+ private:
+  struct TargetIndex {
+    std::size_t records_size = 0;
+    std::unordered_map<net::IpAddress, std::size_t> map;
+  };
+  mutable std::shared_ptr<const TargetIndex> by_target_cache_;
 };
 
 }  // namespace snmpv3fp::scan

@@ -95,6 +95,13 @@ class Fabric final : public net::Transport {
   util::VTime now() const override { return clock_.now(); }
   void run_until(util::VTime deadline) override;
 
+  // Policed probes surface to the scanner as explicit rate-limit signals
+  // (net::Transport contract), like ICMP admin-prohibited rejections would
+  // on a real path.
+  std::uint64_t rate_limit_signals() const override {
+    return stats_.probes_rate_limited;
+  }
+
   const FabricStats& stats() const { return stats_; }
   util::VirtualClock& clock() { return clock_; }
 

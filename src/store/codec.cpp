@@ -1,0 +1,227 @@
+#include "store/codec.hpp"
+
+#include <array>
+
+namespace snmpv3fp::store {
+
+namespace {
+
+// Reflected CRC-32 table for polynomial 0xEDB88320, built once.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u32le(util::Bytes& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+std::uint32_t get_u32le(util::ByteView data, std::size_t pos) {
+  return static_cast<std::uint32_t>(data[pos]) |
+         (static_cast<std::uint32_t>(data[pos + 1]) << 8) |
+         (static_cast<std::uint32_t>(data[pos + 2]) << 16) |
+         (static_cast<std::uint32_t>(data[pos + 3]) << 24);
+}
+
+using DecodeResult = util::Result<std::vector<scan::ScanRecord>>;
+
+bool get_bytes(util::ByteView data, std::size_t& pos, std::size_t count,
+               util::ByteView& out) {
+  if (count > data.size() - pos) return false;
+  out = data.subspan(pos, count);
+  pos += count;
+  return true;
+}
+
+// Reads one length-prefixed engine ID; false on overrun.
+bool get_engine(util::ByteView payload, std::size_t& pos,
+                snmp::EngineId& out) {
+  std::uint64_t length = 0;
+  if (!get_varint(payload, pos, length)) return false;
+  if (length > payload.size() - pos) return false;
+  util::ByteView bytes;
+  if (!get_bytes(payload, pos, static_cast<std::size_t>(length), bytes))
+    return false;
+  out = snmp::EngineId(util::Bytes(bytes.begin(), bytes.end()));
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(util::ByteView data, std::uint32_t seed) {
+  const auto& table = crc_table();
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : data)
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  return ~crc;
+}
+
+void put_varint(util::Bytes& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+bool get_varint(util::ByteView data, std::size_t& pos, std::uint64_t& out) {
+  std::uint64_t value = 0;
+  for (std::size_t shift = 0; shift < 64; shift += 7) {
+    if (pos >= data.size()) return false;
+    const std::uint8_t byte = data[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical 10-byte encodings that would overflow.
+      if (shift == 63 && byte > 1) return false;
+      out = value;
+      return true;
+    }
+  }
+  return false;  // unterminated varint
+}
+
+util::Bytes encode_block(std::span<const scan::ScanRecord> records) {
+  util::Bytes payload;
+  payload.reserve(records.size() * 24);
+  util::VTime previous_send = 0;
+  for (const auto& record : records) {
+    if (record.target.is_v4()) {
+      payload.push_back(4);
+      util::append_be(payload, record.target.v4().value(), 4);
+    } else {
+      payload.push_back(6);
+      const auto& bytes = record.target.v6().bytes();
+      payload.insert(payload.end(), bytes.begin(), bytes.end());
+    }
+    put_varint(payload, record.engine_id.size());
+    payload.insert(payload.end(), record.engine_id.raw().begin(),
+                   record.engine_id.raw().end());
+    put_varint(payload, record.engine_boots);
+    put_varint(payload, record.engine_time);
+    put_varint(payload, zigzag(record.send_time - previous_send));
+    previous_send = record.send_time;
+    put_varint(payload, zigzag(record.receive_time - record.send_time));
+    put_varint(payload, record.response_count);
+    put_varint(payload, record.response_bytes);
+    put_varint(payload, record.extra_engines.size());
+    for (const auto& engine : record.extra_engines) {
+      put_varint(payload, engine.size());
+      payload.insert(payload.end(), engine.raw().begin(), engine.raw().end());
+    }
+  }
+
+  util::Bytes block;
+  block.reserve(kBlockHeaderBytes + payload.size());
+  put_u32le(block, kBlockMagic);
+  put_u32le(block, kCodecVersion);
+  put_u32le(block, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(block, static_cast<std::uint32_t>(records.size()));
+  put_u32le(block, crc32(payload));
+  block.insert(block.end(), payload.begin(), payload.end());
+  return block;
+}
+
+util::Result<std::size_t> peek_block_size(util::ByteView data) {
+  using R = util::Result<std::size_t>;
+  if (data.size() < kBlockHeaderBytes) return R::failure("short block header");
+  if (get_u32le(data, 0) != kBlockMagic) return R::failure("bad block magic");
+  if (get_u32le(data, 4) != kCodecVersion)
+    return R::failure("unknown codec version");
+  const std::uint64_t payload_bytes = get_u32le(data, 8);
+  return static_cast<std::size_t>(kBlockHeaderBytes + payload_bytes);
+}
+
+util::Result<std::vector<scan::ScanRecord>> decode_block(util::ByteView data) {
+  const auto framed = peek_block_size(data);
+  if (!framed) return DecodeResult::failure(framed.error());
+  if (data.size() != framed.value())
+    return DecodeResult::failure("block size mismatch");
+
+  const std::uint32_t record_count = get_u32le(data, 12);
+  const std::uint32_t expected_crc = get_u32le(data, 16);
+  const util::ByteView payload = data.subspan(kBlockHeaderBytes);
+  if (crc32(payload) != expected_crc)
+    return DecodeResult::failure("block crc mismatch");
+  // Every record costs at least one byte; a count beyond that is damage
+  // the CRC happened to miss (or a hostile header) — reject before any
+  // allocation sized from it.
+  if (record_count > payload.size() && record_count != 0)
+    return DecodeResult::failure("implausible record count");
+
+  std::vector<scan::ScanRecord> records;
+  records.reserve(record_count);
+  std::size_t pos = 0;
+  util::VTime previous_send = 0;
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    scan::ScanRecord record;
+    if (pos >= payload.size())
+      return DecodeResult::failure("truncated record");
+    const std::uint8_t family = payload[pos++];
+    util::ByteView address_bytes;
+    if (family == 4) {
+      if (!get_bytes(payload, pos, 4, address_bytes))
+        return DecodeResult::failure("truncated IPv4 address");
+      record.target = net::Ipv4(
+          static_cast<std::uint32_t>(util::read_be(address_bytes)));
+    } else if (family == 6) {
+      if (!get_bytes(payload, pos, 16, address_bytes))
+        return DecodeResult::failure("truncated IPv6 address");
+      auto parsed = net::Ipv6::from_bytes(address_bytes);
+      if (!parsed) return DecodeResult::failure("bad IPv6 address");
+      record.target = parsed.value();
+    } else {
+      return DecodeResult::failure("bad address family");
+    }
+    if (!get_engine(payload, pos, record.engine_id))
+      return DecodeResult::failure("truncated engine ID");
+    std::uint64_t value = 0;
+    if (!get_varint(payload, pos, value) || value > 0xFFFFFFFFull)
+      return DecodeResult::failure("bad engine boots");
+    record.engine_boots = static_cast<std::uint32_t>(value);
+    if (!get_varint(payload, pos, value) || value > 0xFFFFFFFFull)
+      return DecodeResult::failure("bad engine time");
+    record.engine_time = static_cast<std::uint32_t>(value);
+    if (!get_varint(payload, pos, value))
+      return DecodeResult::failure("bad send time");
+    record.send_time = previous_send + unzigzag(value);
+    previous_send = record.send_time;
+    if (!get_varint(payload, pos, value))
+      return DecodeResult::failure("bad receive time");
+    record.receive_time = record.send_time + unzigzag(value);
+    if (!get_varint(payload, pos, value))
+      return DecodeResult::failure("bad response count");
+    record.response_count = static_cast<std::size_t>(value);
+    if (!get_varint(payload, pos, value))
+      return DecodeResult::failure("bad response bytes");
+    record.response_bytes = static_cast<std::size_t>(value);
+    std::uint64_t extra_count = 0;
+    if (!get_varint(payload, pos, extra_count) ||
+        extra_count > payload.size() - pos)
+      return DecodeResult::failure("bad extra-engine count");
+    record.extra_engines.reserve(static_cast<std::size_t>(extra_count));
+    for (std::uint64_t e = 0; e < extra_count; ++e) {
+      snmp::EngineId engine;
+      if (!get_engine(payload, pos, engine))
+        return DecodeResult::failure("truncated extra engine");
+      record.extra_engines.push_back(std::move(engine));
+    }
+    records.push_back(std::move(record));
+  }
+  if (pos != payload.size())
+    return DecodeResult::failure("trailing payload bytes");
+  return records;
+}
+
+}  // namespace snmpv3fp::store

@@ -1,0 +1,71 @@
+// Compact binary codec for ScanRecord batches (the record store's block
+// format).
+//
+// An Internet-wide campaign collects hundreds of millions of ScanRecords;
+// keeping them as in-RAM structs (or as checkpoint JSON) costs an order of
+// magnitude more memory than the information they carry. A block packs a
+// batch of records with varint/delta encoding:
+//
+//   block   := header payload
+//   header  := magic u32le | version u32le | payload_bytes u32le |
+//              record_count u32le | crc32 u32le          (20 bytes, fixed)
+//   payload := record*
+//   record  := family u8 | address bytes (4 or 16) |
+//              engine_id (varint len | bytes) |
+//              engine_boots varint | engine_time varint |
+//              send_time zigzag-varint delta from previous record |
+//              receive_time zigzag-varint delta from own send_time |
+//              response_count varint | response_bytes varint |
+//              extra_engines (varint count | (varint len | bytes)*)
+//
+// send_time deltas are small (records arrive in receive order at a paced
+// send rate) and receive_time sits one RTT after send_time, so both
+// collapse to a few bytes. The CRC is over the payload; decode fails
+// closed — truncation, bit flips, garbage, oversized fields and trailing
+// bytes all return an error, never throw, and never read out of bounds
+// (tests/test_store.cpp drives the sim/faults mutation corpus against
+// encoded blocks under ASan+UBSan).
+#pragma once
+
+#include <span>
+
+#include "scan/record.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace snmpv3fp::store {
+
+inline constexpr std::uint32_t kBlockMagic = 0x42523353;  // "S3RB" little-endian
+inline constexpr std::uint32_t kCodecVersion = 1;
+inline constexpr std::size_t kBlockHeaderBytes = 20;
+
+// CRC-32 (IEEE 802.3 polynomial, reflected), the per-block integrity check.
+std::uint32_t crc32(util::ByteView data, std::uint32_t seed = 0);
+
+// LEB128 varint helpers, bounds-checked on the read side.
+void put_varint(util::Bytes& out, std::uint64_t value);
+bool get_varint(util::ByteView data, std::size_t& pos, std::uint64_t& out);
+
+// Zigzag mapping for signed deltas.
+constexpr std::uint64_t zigzag(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+constexpr std::int64_t unzigzag(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+// Encodes `records` as one framed block.
+util::Bytes encode_block(std::span<const scan::ScanRecord> records);
+
+// Decodes one framed block. The input must be exactly one block (trailing
+// bytes are an error). Fails closed with a short reason on any damage.
+util::Result<std::vector<scan::ScanRecord>> decode_block(util::ByteView data);
+
+// Header-only probe: validates the fixed header of a block starting at
+// `data[0]` without touching the payload; returns the framed size
+// (header + payload_bytes) or an error.
+util::Result<std::size_t> peek_block_size(util::ByteView data);
+
+}  // namespace snmpv3fp::store

@@ -192,7 +192,7 @@ TEST(Alias, SetsCarryRepresentativeMetadata) {
 }
 
 TEST(Alias, EmptyInputYieldsEmptyResolution) {
-  const auto resolution = resolve_aliases({});
+  const auto resolution = resolve_aliases(std::span<const JoinedRecord>{});
   EXPECT_TRUE(resolution.sets.empty());
   EXPECT_EQ(resolution.total_ips(), 0u);
   EXPECT_DOUBLE_EQ(resolution.mean_ips_per_non_singleton(), 0.0);

@@ -141,6 +141,72 @@ TEST(Pacer, BackoffNeverDropsBelowFloor) {
   EXPECT_GT(pacer.state().backoffs, 1u);
 }
 
+TEST(Pacer, RateLimitSignalForcesBackoffBeforeBaseline) {
+  util::Rng rng(7);
+  PacerConfig config;
+  config.adaptive = true;
+  config.window_probes = 4;
+  config.max_backoff_jitter = 0;
+  AdaptivePacer pacer(1000.0, config, rng);
+
+  // First window: responses look perfectly healthy, but the transport saw
+  // an explicit rate-limit signal (the ICMP admin-prohibited analogue) —
+  // backoff fires immediately, before any response-rate baseline exists.
+  // Rate inference alone could never back off here.
+  for (int i = 0; i < 4; ++i) pacer.on_probe_sent();
+  pacer.on_responses(4);
+  pacer.on_rate_limit_signals(1);
+  (void)pacer.schedule_after(0);
+  EXPECT_EQ(pacer.state().backoffs, 1u);
+  EXPECT_EQ(pacer.state().rate_pps, 500.0);
+  EXPECT_EQ(pacer.state().rate_limit_signals, 1u);
+  EXPECT_EQ(pacer.state().window_rate_limit_signals, 0u);  // window closed
+}
+
+TEST(Pacer, RateLimitSignalsDisabledKeepRateInferenceOnly) {
+  util::Rng rng(7);
+  PacerConfig config;
+  config.adaptive = true;
+  config.window_probes = 4;
+  config.max_backoff_jitter = 0;
+  config.use_rate_limit_signals = false;
+  AdaptivePacer pacer(1000.0, config, rng);
+
+  for (int i = 0; i < 4; ++i) pacer.on_probe_sent();
+  pacer.on_responses(4);
+  pacer.on_rate_limit_signals(3);
+  (void)pacer.schedule_after(0);
+  // Signals are still accounted but never force a decision.
+  EXPECT_EQ(pacer.state().backoffs, 0u);
+  EXPECT_EQ(pacer.state().rate_pps, 1000.0);
+  EXPECT_EQ(pacer.state().rate_limit_signals, 3u);
+}
+
+TEST(Pacer, SignalFedCampaignIsDeterministicAndBacksOff) {
+  // A rate-limiting world with the adaptive pacer: the fabric's explicit
+  // signals feed the pacer through the prober, so backoffs must fire, and
+  // the whole campaign must stay bit-identical across thread counts.
+  const auto run = [](std::size_t threads) {
+    CampaignOptions options;
+    options.seed = 55;
+    options.shards = 2;
+    options.rate_pps = 20000.0;
+    options.fabric.device_rate_limit_pps = 1;
+    options.pacer.adaptive = true;
+    options.pacer.window_probes = 32;
+    options.parallel.threads = threads;
+    auto world = topo::generate_world(topo::WorldConfig::tiny());
+    return run_two_scan_campaign(world, options);
+  };
+  const auto a = run(1);
+  const auto b = run(8);
+  EXPECT_GT(a.scan1.pacer_backoffs + a.scan2.pacer_backoffs, 0u);
+  EXPECT_GT(a.fabric_stats.probes_rate_limited, 0u);
+  expect_same_scan(a.scan1, b.scan1);
+  expect_same_scan(a.scan2, b.scan2);
+  EXPECT_TRUE(a.fabric_stats == b.fabric_stats);
+}
+
 TEST(Pacer, StateRoundTripContinuesIdentically) {
   util::Rng rng_a(3), rng_b(3);
   PacerConfig config;

@@ -1,0 +1,659 @@
+// Memory-bounded record store tests.
+//
+// The load-bearing guarantees: (1) the codec and the store fail closed on
+// any damaged input — the sim/faults mutation corpus never makes decode
+// throw or silently accept corrupted records; (2) a store-backed campaign
+// and pipeline are bit-identical to the historical all-in-RAM path at any
+// thread count, including through a kill/resume cycle whose checkpoints
+// carry only per-shard store deltas.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "obs/json.hpp"
+#include "scan/campaign.hpp"
+#include "scan/checkpoint.hpp"
+#include "sim/faults.hpp"
+#include "store/codec.hpp"
+#include "store/record_store.hpp"
+#include "topo/generator.hpp"
+
+namespace snmpv3fp {
+namespace {
+
+using store::RecordStore;
+using store::StoreOptions;
+
+std::string temp_dir(const std::string& name) {
+  const auto dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Deterministic, deliberately varied record shapes: v4/v6 mix, missing and
+// long engine IDs, extra engines, negative receive deltas never occur but
+// send-time deltas do when records interleave across shards.
+scan::ScanRecord make_record(std::size_t i) {
+  scan::ScanRecord r;
+  if (i % 3 == 0) {
+    std::array<std::uint8_t, 16> bytes{};
+    bytes[0] = 0x20;
+    bytes[1] = 0x01;
+    bytes[15] = static_cast<std::uint8_t>(i);
+    bytes[14] = static_cast<std::uint8_t>(i >> 8);
+    r.target = net::IpAddress(net::Ipv6(bytes));
+  } else {
+    r.target = net::IpAddress(net::Ipv4(
+        10, static_cast<std::uint8_t>(i >> 8), static_cast<std::uint8_t>(i),
+        static_cast<std::uint8_t>(i * 7)));
+  }
+  if (i % 5 != 1) {
+    util::Bytes id{0x80, 0x00, 0x1f, 0x88,
+                   static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(i >> 8)};
+    if (i % 7 == 0) id.resize(id.size() + i % 23, 0xab);
+    r.engine_id = snmp::EngineId(id);
+  }
+  r.engine_boots = static_cast<std::uint32_t>(1 + i % 9);
+  r.engine_time = static_cast<std::uint32_t>(i * 13 % 100000);
+  r.send_time = static_cast<util::VTime>(1000000 + i * 200);
+  r.receive_time = r.send_time + 31000 + static_cast<util::VTime>(i % 50);
+  r.response_count = 1 + i % 4;
+  r.response_bytes = 90 + i % 40;
+  if (i % 11 == 0)
+    r.extra_engines.push_back(
+        snmp::EngineId(util::Bytes{0x80, 0x00, 0x1f, 0x88, 0x99}));
+  return r;
+}
+
+std::vector<scan::ScanRecord> make_records(std::size_t n) {
+  std::vector<scan::ScanRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) records.push_back(make_record(i));
+  return records;
+}
+
+void expect_same_records(const std::vector<scan::ScanRecord>& a,
+                         const std::vector<scan::ScanRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].target, b[i].target) << "record " << i;
+    EXPECT_EQ(a[i].engine_id, b[i].engine_id) << "record " << i;
+    EXPECT_EQ(a[i].engine_boots, b[i].engine_boots);
+    EXPECT_EQ(a[i].engine_time, b[i].engine_time);
+    EXPECT_EQ(a[i].send_time, b[i].send_time);
+    EXPECT_EQ(a[i].receive_time, b[i].receive_time);
+    EXPECT_EQ(a[i].response_count, b[i].response_count) << "record " << i;
+    EXPECT_EQ(a[i].response_bytes, b[i].response_bytes);
+    EXPECT_EQ(a[i].extra_engines, b[i].extra_engines) << "record " << i;
+  }
+}
+
+void expect_same_scan(const scan::ScanResult& a, const scan::ScanResult& b) {
+  EXPECT_EQ(a.start_time, b.start_time);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.targets_probed, b.targets_probed);
+  EXPECT_EQ(a.undecodable_responses, b.undecodable_responses);
+  EXPECT_EQ(a.pacer_backoffs, b.pacer_backoffs);
+  expect_same_records(a.materialize_records(), b.materialize_records());
+}
+
+// ---- codec ----------------------------------------------------------------
+
+TEST(StoreCodec, VarintRoundTripAndEdges) {
+  for (const std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{300}, std::uint64_t{1} << 32,
+        ~std::uint64_t{0}}) {
+    util::Bytes out;
+    store::put_varint(out, value);
+    std::size_t pos = 0;
+    std::uint64_t back = 0;
+    ASSERT_TRUE(store::get_varint(out, pos, back));
+    EXPECT_EQ(back, value);
+    EXPECT_EQ(pos, out.size());
+  }
+  // Truncated continuation byte.
+  {
+    const util::Bytes truncated{0x80};
+    std::size_t pos = 0;
+    std::uint64_t back = 0;
+    EXPECT_FALSE(store::get_varint(truncated, pos, back));
+  }
+  // 10-byte encoding overflowing 64 bits.
+  {
+    util::Bytes overflow(9, 0xff);
+    overflow.push_back(0x02);
+    std::size_t pos = 0;
+    std::uint64_t back = 0;
+    EXPECT_FALSE(store::get_varint(overflow, pos, back));
+  }
+}
+
+TEST(StoreCodec, ZigzagRoundTrip) {
+  for (const std::int64_t value :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+        std::int64_t{1} << 40, -(std::int64_t{1} << 40),
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min()}) {
+    EXPECT_EQ(store::unzigzag(store::zigzag(value)), value);
+  }
+}
+
+TEST(StoreCodec, BlockRoundTripPreservesEveryField) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{512}}) {
+    const auto records = make_records(n);
+    const auto block = store::encode_block(records);
+    const auto size = store::peek_block_size(block);
+    ASSERT_TRUE(size.ok()) << size.error();
+    EXPECT_EQ(size.value(), block.size());
+    auto decoded = store::decode_block(block);
+    ASSERT_TRUE(decoded.ok()) << decoded.error();
+    expect_same_records(decoded.value(), records);
+  }
+}
+
+// Reuses the hostile-fabric corruption corpus (sim/faults.hpp) against
+// encoded blocks: every FaultKind, many seeds. Decode must never throw and
+// never silently accept damage — it either fails or (when the mutation
+// happens to be a byte-for-byte no-op, e.g. a splice from an identical
+// region) returns exactly the original records.
+TEST(StoreCodec, FaultCorpusFailsClosed) {
+  const auto records = make_records(64);
+  const auto block = store::encode_block(records);
+  std::size_t rejected = 0, total = 0;
+  for (std::size_t kind = 0; kind < sim::kFaultKindCount; ++kind) {
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+      util::Rng rng(seed * 1000 + kind);
+      const auto mutated =
+          sim::apply_fault(block, static_cast<sim::FaultKind>(kind), rng);
+      const auto decoded = store::decode_block(mutated);
+      ++total;
+      if (!decoded.ok()) {
+        ++rejected;
+        continue;
+      }
+      // Accepted: the mutation must not have changed a single record.
+      expect_same_records(decoded.value(), records);
+      EXPECT_EQ(mutated, block)
+          << "decode accepted a block that differs from the original ("
+          << sim::to_string(static_cast<sim::FaultKind>(kind)) << ", seed "
+          << seed << ")";
+    }
+  }
+  // The corpus must actually exercise the failure path.
+  EXPECT_GT(rejected, total * 9 / 10);
+}
+
+TEST(StoreCodec, TruncationsAndGarbageAreRejected) {
+  const auto records = make_records(16);
+  const auto block = store::encode_block(records);
+  for (std::size_t len = 0; len < block.size(); ++len) {
+    const util::Bytes prefix(block.begin(), block.begin() + len);
+    EXPECT_FALSE(store::decode_block(prefix).ok()) << "length " << len;
+  }
+  util::Rng rng(4242);
+  for (int i = 0; i < 200; ++i) {
+    util::Bytes garbage(rng.next() % 256);
+    for (auto& byte : garbage) byte = static_cast<std::uint8_t>(rng.next());
+    EXPECT_FALSE(store::decode_block(garbage).ok());
+  }
+}
+
+// ---- RecordStore ----------------------------------------------------------
+
+TEST(RecordStoreTest, RamOnlyAppendReadBack) {
+  RecordStore store({}, "ram_only");
+  const auto records = make_records(300);
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(store.append(records[i]), i);
+  store.seal();
+  EXPECT_TRUE(store.status().ok());
+  EXPECT_EQ(store.size(), records.size());
+  EXPECT_EQ(store.spilled_bytes(), 0u);
+  expect_same_records(store.materialize(), records);
+
+  // Cursor agrees with for_each agrees with materialize.
+  auto cursor = store.cursor();
+  scan::ScanRecord record;
+  std::size_t count = 0;
+  while (cursor.next(record)) ++count;
+  EXPECT_EQ(count, records.size());
+  EXPECT_TRUE(cursor.error().empty());
+}
+
+TEST(RecordStoreTest, DuplicatePatchesMatchInPlaceMutation) {
+  StoreOptions options;
+  options.records_per_block = 8;
+  RecordStore store(options, "patches");
+  auto expected = make_records(40);
+  for (const auto& record : expected) store.append(record);
+
+  const snmp::EngineId other(util::Bytes{0x80, 0x00, 0x00, 0x63, 0x01});
+  // Sealed record, new engine; sealed record, same engine; tail record.
+  const std::size_t sealed_a = 3, sealed_b = 10, tail = 38;
+  for (const std::size_t index : {sealed_a, sealed_b, sealed_b, tail}) {
+    const bool differs = index != sealed_b;
+    store.note_duplicate(index, differs ? &other : nullptr);
+    auto& record = expected[index];
+    ++record.response_count;
+    if (differs && record.engine_id != other) {
+      auto& extra = record.extra_engines;
+      const auto it = std::lower_bound(extra.begin(), extra.end(), other);
+      if (it == extra.end() || *it != other) extra.insert(it, other);
+    }
+  }
+  store.seal();
+  expect_same_records(store.materialize(), expected);
+  EXPECT_GT(store.patch_count(), 0u);
+}
+
+TEST(RecordStoreTest, SpillsAndEvictsUnderResidentBudget) {
+  StoreOptions options;
+  options.dir = temp_dir("store_spill");
+  options.max_resident_bytes = 4096;
+  options.records_per_block = 32;
+  const auto records = make_records(2000);
+  RecordStore store(options, "spill");
+  for (const auto& record : records) store.append(record);
+  store.seal();
+  ASSERT_TRUE(store.status().ok()) << store.status().error();
+  EXPECT_GT(store.block_count(), 10u);
+  EXPECT_GT(store.spilled_bytes(), 0u);
+  // Eviction holds the resident encoded bytes at or under the budget.
+  EXPECT_LE(store.resident_bytes(), options.max_resident_bytes);
+  // Evicted blocks come back from disk bit-identically.
+  expect_same_records(store.materialize(), records);
+}
+
+TEST(RecordStoreTest, RestoreContinuesBitIdentically) {
+  StoreOptions options;
+  options.dir = temp_dir("store_restore");
+  options.records_per_block = 16;
+  const auto records = make_records(150);
+  const snmp::EngineId other(util::Bytes{0x80, 0x00, 0x00, 0x63, 0x02});
+
+  // Reference: one uninterrupted store.
+  RecordStore reference(options, "reference");
+  for (const auto& record : records) reference.append(record);
+  reference.note_duplicate(3, &other);
+  reference.note_duplicate(70, nullptr);
+  reference.seal();
+
+  store::StoreManifest manifest;
+  {
+    RecordStore first(options, "resumed");
+    for (std::size_t i = 0; i < 100; ++i) first.append(records[i]);
+    first.note_duplicate(3, &other);
+    first.note_duplicate(70, nullptr);
+    manifest = first.manifest();
+    // Crash simulation: more appends seal one block past the manifest;
+    // restore must truncate it away.
+    for (std::size_t i = 100; i < 120; ++i) first.append(records[i]);
+  }
+  auto resumed = RecordStore::restore(options, manifest);
+  ASSERT_NE(resumed, nullptr);
+  EXPECT_EQ(resumed->size(), 100u);
+  for (std::size_t i = 100; i < records.size(); ++i)
+    resumed->append(records[i]);
+  resumed->seal();
+  expect_same_records(resumed->materialize(), reference.materialize());
+}
+
+TEST(RecordStoreTest, RestoreFailsClosedOnDamagedFiles) {
+  StoreOptions options;
+  options.dir = temp_dir("store_damage");
+  options.records_per_block = 16;
+  store::StoreManifest manifest;
+  {
+    RecordStore store(options, "damaged");
+    for (const auto& record : make_records(64)) store.append(record);
+    manifest = store.manifest();
+  }
+  const auto seg = options.dir + "/damaged.seg";
+  const auto idx = options.dir + "/damaged.idx";
+
+  // Truncated segment: restore refuses.
+  const auto seg_size = std::filesystem::file_size(seg);
+  std::filesystem::resize_file(seg, seg_size - 1);
+  EXPECT_EQ(RecordStore::restore(options, manifest), nullptr);
+  std::filesystem::resize_file(seg, seg_size);
+
+  // Bit flip inside a committed block: restore may succeed (the index is
+  // intact) but reading the store fails closed on the CRC.
+  {
+    std::fstream file(seg, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(static_cast<std::streamoff>(seg_size / 2));
+    char byte = 0;
+    file.seekg(static_cast<std::streamoff>(seg_size / 2));
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(static_cast<std::streamoff>(seg_size / 2));
+    file.write(&byte, 1);
+  }
+  auto flipped = RecordStore::restore(options, manifest);
+  if (flipped != nullptr) {
+    auto cursor = flipped->cursor();
+    scan::ScanRecord record;
+    while (cursor.next(record)) {
+    }
+    EXPECT_FALSE(cursor.error().empty());
+    EXPECT_FALSE(flipped->for_each([](const scan::ScanRecord&, std::size_t) {})
+                     .ok());
+  }
+
+  // Garbage index: restore refuses.
+  {
+    std::ofstream file(idx, std::ios::binary | std::ios::trunc);
+    file << "this is not an index";
+  }
+  EXPECT_EQ(RecordStore::restore(options, manifest), nullptr);
+}
+
+TEST(RecordStoreTest, ExternalSortMatchesInRamSort) {
+  StoreOptions options;
+  options.dir = temp_dir("store_sort");
+  options.records_per_block = 16;
+  auto records = make_records(500);
+  // Shuffle deterministically so the sort has work to do.
+  util::Rng rng(99);
+  for (std::size_t i = records.size(); i > 1; --i)
+    std::swap(records[i - 1], records[rng.next() % i]);
+
+  RecordStore a(options, "sort_a");
+  RecordStore b(options, "sort_b");
+  for (std::size_t i = 0; i < records.size(); ++i)
+    (i % 2 == 0 ? a : b).append(records[i]);
+  a.seal();
+  b.seal();
+
+  // Tiny chunk forces multiple sorted runs and a real k-way merge.
+  const auto sorted = store::sort_stores({&a, &b}, store::SortKey::kAddress,
+                                         options, "sorted", 64);
+  ASSERT_NE(sorted, nullptr);
+  auto expected = records;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const scan::ScanRecord& x, const scan::ScanRecord& y) {
+                     return x.target < y.target;
+                   });
+  expect_same_records(sorted->materialize(), expected);
+}
+
+TEST(RecordStoreTest, ManifestJsonRoundTrip) {
+  store::StoreManifest manifest;
+  manifest.name = "round_trip";
+  manifest.committed_records = 0x1234567890abcdefULL;
+  manifest.committed_bytes = ~std::uint64_t{0};
+  manifest.block_count = 77;
+  manifest.tail_hex = "deadbeef";
+  store::RecordPatch patch;
+  patch.extra_responses = 3;
+  patch.extra_engines.push_back(
+      snmp::EngineId(util::Bytes{0x80, 0x00, 0x1f, 0x88, 0x01}));
+  manifest.patches.emplace_back(42, patch);
+
+  std::string json;
+  store::write_manifest_json(json, manifest);
+  const auto parsed = obs::JsonValue::parse(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  const auto back = store::read_manifest_json(*parsed);
+  EXPECT_EQ(back.name, manifest.name);
+  EXPECT_EQ(back.committed_records, manifest.committed_records);
+  EXPECT_EQ(back.committed_bytes, manifest.committed_bytes);
+  EXPECT_EQ(back.block_count, manifest.block_count);
+  EXPECT_EQ(back.tail_hex, manifest.tail_hex);
+  ASSERT_EQ(back.patches.size(), 1u);
+  EXPECT_EQ(back.patches[0].first, 42u);
+  EXPECT_EQ(back.patches[0].second.extra_responses, 3u);
+  EXPECT_EQ(back.patches[0].second.extra_engines,
+            manifest.patches[0].second.extra_engines);
+}
+
+// ---- ScanResult accessors -------------------------------------------------
+
+TEST(ScanResultAccessors, ByTargetIsMemoizedAndRebuiltOnGrowth) {
+  scan::ScanResult result;
+  result.records = make_records(20);
+  const auto& first = result.by_target();
+  EXPECT_EQ(first.size(), 20u);
+  // Second call returns the same map object, not a rebuild.
+  EXPECT_EQ(&result.by_target(), &first);
+  result.records.push_back(make_record(500));
+  const auto& rebuilt = result.by_target();
+  EXPECT_EQ(rebuilt.size(), 21u);
+  EXPECT_TRUE(rebuilt.count(make_record(500).target));
+}
+
+// ---- campaigns and pipeline -----------------------------------------------
+
+class StoreCampaignTest : public ::testing::Test {
+ protected:
+  static scan::CampaignOptions base_options() {
+    scan::CampaignOptions options;
+    options.seed = 77;
+    options.shards = 4;
+    options.fabric.probe_loss = 0.02;
+    options.fabric.response_loss = 0.02;
+    return options;
+  }
+
+  static topo::World fresh_world() {
+    return topo::generate_world(topo::WorldConfig::tiny());
+  }
+};
+
+TEST_F(StoreCampaignTest, StoreBackedCampaignBitIdenticalAtAnyThreadCount) {
+  topo::World reference_world = fresh_world();
+  const auto reference =
+      scan::run_two_scan_campaign(reference_world, base_options());
+  ASSERT_GT(reference.scan1.responsive(), 0u);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    auto options = base_options();
+    options.parallel.threads = threads;
+    options.store.dir = temp_dir("campaign_t" + std::to_string(threads));
+    options.store.records_per_block = 8;
+    options.store.max_resident_bytes = 4096;
+    topo::World world = fresh_world();
+    const auto pair = scan::run_two_scan_campaign(world, options);
+    EXPECT_TRUE(pair.scan1.store_backed());
+    EXPECT_TRUE(pair.scan2.store_backed());
+    EXPECT_TRUE(pair.scan1.records.empty());
+    expect_same_scan(pair.scan1, reference.scan1);
+    expect_same_scan(pair.scan2, reference.scan2);
+  }
+}
+
+TEST_F(StoreCampaignTest, KillResumeThroughStoreCheckpointsBitIdentical) {
+  topo::World reference_world = fresh_world();
+  const auto reference =
+      scan::run_two_scan_campaign(reference_world, base_options());
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto tag = "store_resume_t" + std::to_string(threads);
+    const auto path = ::testing::TempDir() + tag + ".json";
+    scan::remove_checkpoint(path);
+
+    auto killed_options = base_options();
+    killed_options.parallel.threads = threads;
+    killed_options.checkpoint_path = path;
+    killed_options.checkpoint_every_n_targets = 16;
+    killed_options.abort_after_checkpoints = 1;
+    killed_options.store.dir = temp_dir(tag);
+    killed_options.store.records_per_block = 8;
+    topo::World killed_world = fresh_world();
+    const auto killed = scan::run_two_scan_campaign(killed_world, killed_options);
+    EXPECT_TRUE(killed.interrupted) << threads << " threads";
+    const auto checkpoint = scan::load_checkpoint(path);
+    ASSERT_TRUE(checkpoint.has_value());
+    // The mid-scan checkpoint carries per-shard store manifests, not
+    // embedded records.
+    bool has_manifest = false;
+    for (const auto& shard : checkpoint->shard_states) {
+      EXPECT_TRUE(shard.partial.records.empty());
+      has_manifest = has_manifest || shard.store_manifest.has_value();
+    }
+    EXPECT_TRUE(has_manifest);
+
+    auto resume_options = killed_options;
+    resume_options.abort_after_checkpoints = 0;
+    topo::World resume_world = fresh_world();
+    const auto resumed =
+        scan::run_two_scan_campaign(resume_world, resume_options);
+    EXPECT_FALSE(resumed.interrupted);
+    expect_same_scan(resumed.scan1, reference.scan1);
+    expect_same_scan(resumed.scan2, reference.scan2);
+    EXPECT_FALSE(scan::load_checkpoint(path).has_value());
+  }
+}
+
+TEST_F(StoreCampaignTest, DamagedStoreFilesStillResumeBitIdentically) {
+  topo::World reference_world = fresh_world();
+  const auto reference =
+      scan::run_two_scan_campaign(reference_world, base_options());
+
+  const auto tag = std::string("store_resume_damaged");
+  const auto path = ::testing::TempDir() + tag + ".json";
+  scan::remove_checkpoint(path);
+  auto killed_options = base_options();
+  killed_options.checkpoint_path = path;
+  killed_options.checkpoint_every_n_targets = 16;
+  killed_options.abort_after_checkpoints = 1;
+  killed_options.store.dir = temp_dir(tag);
+  killed_options.store.records_per_block = 8;
+  topo::World killed_world = fresh_world();
+  const auto killed = scan::run_two_scan_campaign(killed_world, killed_options);
+  EXPECT_TRUE(killed.interrupted);
+
+  // Corrupt every store file the kill left behind; the resume falls back
+  // to re-running those shards from scratch — same bits, just slower.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(killed_options.store.dir)) {
+    std::ofstream file(entry.path(), std::ios::binary | std::ios::trunc);
+    file << "garbage";
+  }
+  auto resume_options = killed_options;
+  resume_options.abort_after_checkpoints = 0;
+  topo::World resume_world = fresh_world();
+  const auto resumed =
+      scan::run_two_scan_campaign(resume_world, resume_options);
+  EXPECT_FALSE(resumed.interrupted);
+  expect_same_scan(resumed.scan1, reference.scan1);
+  expect_same_scan(resumed.scan2, reference.scan2);
+}
+
+// ---- filters: streaming equivalence --------------------------------------
+
+TEST(StoreFilterStream, ApplyStreamMatchesApplyOnCampaignData) {
+  auto world = topo::generate_world(topo::WorldConfig::tiny());
+  scan::CampaignOptions options;
+  options.seed = 31;
+  options.shards = 2;
+  const auto pair = scan::run_two_scan_campaign(world, options);
+  auto joined = core::join_scans(pair.scan1, pair.scan2);
+  ASSERT_GT(joined.size(), 0u);
+  // Force a promiscuous payload: reuse one record's engine payload under a
+  // different enterprise so the global stage has something to drop.
+  if (joined.size() > 4) {
+    auto raw = joined[0].first.engine_id.raw();
+    if (raw.size() > 4) {
+      raw[1] = 0x00;
+      raw[2] = 0x00;
+      raw[3] = 0x63;
+      joined[4].first.engine_id = snmp::EngineId(raw);
+      joined[4].second.engine_id = joined[4].first.engine_id;
+    }
+  }
+
+  const core::FilterPipeline pipeline{core::FilterOptions{}};
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ParallelOptions parallel;
+    parallel.threads = threads;
+    auto in_place = joined;
+    const auto report = pipeline.apply(in_place, parallel);
+    std::vector<core::JoinedRecord> streamed;
+    const auto stream_report = pipeline.apply_stream(joined, streamed, parallel);
+
+    EXPECT_EQ(stream_report.input, report.input);
+    EXPECT_EQ(stream_report.output, report.output);
+    EXPECT_EQ(stream_report.dropped, report.dropped);
+    ASSERT_EQ(streamed.size(), in_place.size());
+    for (std::size_t i = 0; i < streamed.size(); ++i)
+      EXPECT_EQ(streamed[i].address, in_place[i].address) << "record " << i;
+  }
+}
+
+// ---- full pipeline --------------------------------------------------------
+
+class StorePipelineTest : public ::testing::Test {
+ protected:
+  static core::PipelineOptions base_options() {
+    core::PipelineOptions options;
+    options.world = topo::WorldConfig::tiny();
+    options.seed = 20210413;
+    return options;
+  }
+};
+
+void expect_same_joined(const std::vector<core::JoinedRecord>& a,
+                        const std::vector<core::JoinedRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].address, b[i].address) << "joined " << i;
+    EXPECT_EQ(a[i].first.engine_id, b[i].first.engine_id);
+    EXPECT_EQ(a[i].second.engine_id, b[i].second.engine_id);
+    EXPECT_EQ(a[i].first.send_time, b[i].first.send_time);
+    EXPECT_EQ(a[i].second.send_time, b[i].second.send_time);
+    EXPECT_EQ(a[i].first.receive_time, b[i].first.receive_time);
+    EXPECT_EQ(a[i].first.response_count, b[i].first.response_count);
+    EXPECT_EQ(a[i].first.extra_engines, b[i].first.extra_engines);
+  }
+}
+
+TEST_F(StorePipelineTest, StoreModePipelineBitIdenticalAtAnyThreadCount) {
+  const auto reference = core::run_full_pipeline(base_options());
+  ASSERT_GT(reference.v4_joined.size(), 0u);
+  ASSERT_GT(reference.devices.size(), 0u);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    auto options = base_options();
+    options.parallel.threads = threads;
+    options.store.dir = temp_dir("pipeline_t" + std::to_string(threads));
+    options.store.records_per_block = 8;
+    options.store.max_resident_bytes = 4096;
+    const auto result = core::run_full_pipeline(options);
+
+    EXPECT_TRUE(result.v4_campaign.scan1.store_backed());
+    EXPECT_TRUE(result.v6_campaign.scan1.store_backed());
+    expect_same_joined(result.v4_joined, reference.v4_joined);
+    expect_same_joined(result.v6_joined, reference.v6_joined);
+    expect_same_joined(result.v4_records, reference.v4_records);
+    expect_same_joined(result.v6_records, reference.v6_records);
+    EXPECT_EQ(result.v4_join_stats.overlap, reference.v4_join_stats.overlap);
+    EXPECT_EQ(result.v4_join_stats.first_only,
+              reference.v4_join_stats.first_only);
+    EXPECT_EQ(result.v4_join_stats.second_only,
+              reference.v4_join_stats.second_only);
+    EXPECT_EQ(result.v4_report.dropped, reference.v4_report.dropped);
+    EXPECT_EQ(result.v6_report.dropped, reference.v6_report.dropped);
+    ASSERT_EQ(result.resolution.sets.size(), reference.resolution.sets.size());
+    for (std::size_t i = 0; i < result.resolution.sets.size(); ++i) {
+      EXPECT_EQ(result.resolution.sets[i].addresses,
+                reference.resolution.sets[i].addresses);
+      EXPECT_EQ(result.resolution.sets[i].engine_id,
+                reference.resolution.sets[i].engine_id);
+    }
+    ASSERT_EQ(result.devices.size(), reference.devices.size());
+    EXPECT_EQ(result.router_device_count(), reference.router_device_count());
+  }
+}
+
+}  // namespace
+}  // namespace snmpv3fp

@@ -7,6 +7,8 @@
 #include "snmp/usm.hpp"
 #include "snmp/message.hpp"
 #include "util/rng.hpp"
+#include "wire/probe_template.hpp"
+#include "wire/report_codec.hpp"
 
 using namespace snmpv3fp;
 
@@ -21,6 +23,20 @@ void BM_EncodeDiscoveryRequest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EncodeDiscoveryRequest);
+
+// Fast-path counterpart of BM_EncodeDiscoveryRequest: stamping ids into
+// the precomputed template (bench_wire has the allocation accounting).
+void BM_StampDiscoveryRequest(benchmark::State& state) {
+  const wire::ProbeTemplate tmpl;
+  util::Bytes buffer;
+  std::int32_t id = 4242;
+  for (auto _ : state) {
+    tmpl.stamp(id, id + 1, buffer);
+    benchmark::DoNotOptimize(buffer.data());
+    id = (id + 1) % 30000 + 200;
+  }
+}
+BENCHMARK(BM_StampDiscoveryRequest);
 
 void BM_DecodeDiscoveryRequest(benchmark::State& state) {
   const auto wire = snmp::make_discovery_request(4242, 4243).encode();
@@ -56,6 +72,38 @@ void BM_DecodeReport(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DecodeReport);
+
+// Fast-path counterpart of BM_EncodeReport: the direct single-buffer
+// REPORT writer the simulated agents use.
+void BM_EncodeReportDirect(benchmark::State& state) {
+  const auto engine_id = snmp::EngineId::make_mac(
+      net::kPenCisco, net::MacAddress::from_oui(0x00000c, 0x31db80));
+  util::Bytes buffer;
+  for (auto _ : state) {
+    wire::encode_report_into(buffer, 4242, 4243, engine_id.raw(), 148,
+                             10043812, 7,
+                             snmp::kOidUsmStatsUnknownEngineIds);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+}
+BENCHMARK(BM_EncodeReportDirect);
+
+// Fast-path counterpart of BM_DecodeReport: the single-pass scanner the
+// prober's drain loop runs on every response.
+void BM_FastParseReport(benchmark::State& state) {
+  const auto request = snmp::make_discovery_request(4242, 4243);
+  const auto engine_id = snmp::EngineId::make_mac(
+      net::kPenCisco, net::MacAddress::from_oui(0x00000c, 0x31db80));
+  const auto wire_bytes =
+      snmp::make_discovery_report(request, engine_id, 148, 10043812, 7)
+          .encode();
+  for (auto _ : state) {
+    wire::V3Fields fields;
+    benchmark::DoNotOptimize(wire::parse_v3_fast(wire_bytes, fields));
+    benchmark::DoNotOptimize(fields.engine_boots);
+  }
+}
+BENCHMARK(BM_FastParseReport);
 
 void BM_ClassifyEngineId(benchmark::State& state) {
   util::Rng rng(1);

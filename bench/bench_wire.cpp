@@ -1,0 +1,322 @@
+// bench_wire: the zero-allocation wire fast path vs the full codec
+// (ROADMAP "Wire fast path").
+//
+// Measures ns/op AND allocs/op for both sides of the hot loop,
+// machine-readable in BENCH_wire.json:
+//   probe_encode_full    make_discovery_request(m, r).encode()
+//   probe_encode_stamp   ProbeTemplate::stamp into a reused buffer
+//   report_decode_full   V3Message::decode over a REPORT
+//   report_decode_fast   FastReportParser over the same bytes
+//   report_encode_full   make_discovery_report(...).encode()
+//   report_encode_direct wire::encode_report_into into a reused buffer
+//
+// Allocation counts come from global operator new/delete overrides (a
+// relaxed atomic tick per allocation) — the fast-path rows must report
+// exactly 0 allocs/op once their reusable buffers have warmed up.
+//
+// Usage: bench_wire [--quick]
+// Exits non-zero when (scripts/check.sh gates on all three):
+//   - the emitted JSON fails its own schema check (artifact drift),
+//   - any fast-path row allocates (the "zero-allocation" in the name),
+//   - the fast parser rejects any payload of the clean REPORT corpus
+//     (its accept set regressed; the scanner would silently fall back).
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "net/registry.hpp"
+#include "obs/json.hpp"
+#include "snmp/message.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "wire/probe_template.hpp"
+#include "wire/report_codec.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: every operator-new path ticks one relaxed atomic.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc wants the size rounded up to an alignment multiple.
+  const auto a = static_cast<std::size_t>(align);
+  const std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace snmpv3fp;
+
+namespace {
+
+struct Measurement {
+  double ns_per_op = 0;
+  double allocs_per_op = 0;
+};
+
+// Times `iterations` calls of `op(i)` (best wall time of `repeats` runs)
+// and counts allocations over one run. `op` runs once before counting so
+// reusable buffers warm up first — steady-state is what a census-scale
+// loop sees.
+template <typename Op>
+Measurement measure(int repeats, std::int64_t iterations, Op&& op) {
+  // Warm-up: fault in code and grow scratch buffers to their steady-state
+  // capacity. The full input rotation runs once — message sizes are not
+  // monotone in i (e.g. boots = i & 0xff needs an extra INTEGER byte at
+  // 128..255), so only a complete pass guarantees the buffers have seen
+  // the largest input before allocations start counting.
+  for (std::int64_t i = 0; i < iterations; ++i) op(i);
+  const std::uint64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (std::int64_t i = 0; i < iterations; ++i) op(i);
+  const std::uint64_t allocs_after =
+      g_allocations.load(std::memory_order_relaxed);
+
+  double best_ms = 0;
+  for (int r = 0; r < repeats; ++r) {
+    benchx::WallTimer timer;
+    for (std::int64_t i = 0; i < iterations; ++i) op(i);
+    const double ms = timer.elapsed_ms();
+    if (r == 0 || ms < best_ms) best_ms = ms;
+  }
+  Measurement m;
+  m.ns_per_op = best_ms * 1e6 / static_cast<double>(iterations);
+  m.allocs_per_op = static_cast<double>(allocs_after - allocs_before) /
+                    static_cast<double>(iterations);
+  return m;
+}
+
+// Keeps results observable without volatile tricks: fold a byte into a
+// global sink the optimizer cannot see through.
+std::uint64_t g_sink = 0;
+inline void consume(std::uint64_t v) { g_sink = g_sink * 31 + v; }
+
+// Rotating two-byte ids so the encoders never see a constant input.
+inline std::int32_t rotate_id(std::int64_t i) {
+  return static_cast<std::int32_t>(
+      wire::kMinTwoByteId +
+      (i * 7919) % (wire::kMaxTwoByteId - wire::kMinTwoByteId + 1));
+}
+
+// Fails closed on drift: scripts/check.sh relies on this exit code.
+bool schema_ok(const std::string& json) {
+  const auto parsed = obs::JsonValue::parse(json);
+  if (!parsed || !parsed->is_object()) return false;
+  const auto* meta = parsed->find("meta");
+  if (!meta || !meta->is_object() || !meta->find("schema") ||
+      !meta->find("build_flags"))
+    return false;
+  const auto* rows = parsed->find("rows");
+  if (!rows || !rows->is_array() || rows->items().empty()) return false;
+  std::size_t pairs = 0;
+  for (const auto& row : rows->items()) {
+    if (!row.is_object()) return false;
+    for (const char* key :
+         {"op", "baseline", "ns_per_op", "baseline_ns_per_op",
+          "allocs_per_op", "baseline_allocs_per_op", "speedup"})
+      if (!row.find(key)) return false;
+    ++pairs;
+  }
+  return pairs >= 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  benchx::print_header("wire", "Zero-allocation wire fast path");
+
+  const int repeats = quick ? 3 : 7;
+  const std::int64_t iterations = quick ? 20000 : 200000;
+
+  // Shared fixtures. The decode corpus covers the engine-ID formats the
+  // census sees (plus the empty-engine bug) so the fast parser's timing is
+  // not a best-case over one layout.
+  const wire::ProbeTemplate tmpl;
+  if (!tmpl.valid()) {
+    std::fprintf(stderr, "FAIL: probe template failed self-validation\n");
+    return 1;
+  }
+  const auto request = snmp::make_discovery_request(4242, 4243);
+  const std::vector<snmp::EngineId> engines = {
+      snmp::EngineId(),
+      snmp::EngineId::make_mac(net::kPenCisco,
+                               net::MacAddress::from_oui(0x00000c, 0x31db80)),
+      snmp::EngineId::make_ipv4(2636, net::Ipv4(198, 51, 100, 7)),
+      snmp::EngineId::make_text(8072, "core-router-17.example.net"),
+      snmp::EngineId::make_netsnmp(0x1122334455667788ull),
+  };
+  std::vector<util::Bytes> reports;
+  for (std::size_t i = 0; i < engines.size(); ++i)
+    reports.push_back(snmp::make_discovery_report(
+                          request, engines[i],
+                          static_cast<std::uint32_t>(5 + i),
+                          static_cast<std::uint32_t>(86400 * (i + 1)), 42)
+                          .encode());
+
+  // Clean-corpus gate: the fast parser must take every well-formed REPORT
+  // (and the probe itself). One rejection means census traffic would fall
+  // back to the slow path — and the "fast" numbers below would be fiction.
+  {
+    wire::V3Fields fields;
+    std::size_t fallbacks = 0;
+    for (const auto& report : reports)
+      if (!wire::parse_v3_fast(report, fields)) ++fallbacks;
+    if (!wire::parse_v3_fast(request.encode(), fields)) ++fallbacks;
+    if (fallbacks != 0) {
+      std::fprintf(stderr,
+                   "FAIL: fast parser rejected %zu of %zu clean payloads\n",
+                   fallbacks, reports.size() + 1);
+      return 1;
+    }
+  }
+
+  // --- probe encode: full build-and-encode vs template stamp ------------
+  const Measurement probe_full = measure(repeats, iterations, [&](auto i) {
+    const auto message =
+        snmp::make_discovery_request(rotate_id(i), rotate_id(i + 1));
+    consume(message.encode().size());
+  });
+  util::Bytes stamp_buffer;
+  const Measurement probe_stamp = measure(repeats, iterations, [&](auto i) {
+    tmpl.stamp(rotate_id(i), rotate_id(i + 1), stamp_buffer);
+    consume(stamp_buffer[tmpl.msg_id_offset()]);
+  });
+
+  // --- report decode: full message tree vs single-pass scan ------------
+  const Measurement decode_full = measure(repeats, iterations, [&](auto i) {
+    const auto message =
+        snmp::V3Message::decode(reports[static_cast<std::size_t>(i) %
+                                        reports.size()]);
+    consume(message.ok() ? message.value().usm.engine_boots : 0);
+  });
+  const Measurement decode_fast = measure(repeats, iterations, [&](auto i) {
+    wire::V3Fields fields;
+    wire::parse_v3_fast(
+        reports[static_cast<std::size_t>(i) % reports.size()], fields);
+    consume(fields.engine_boots);
+  });
+
+  // --- report encode: message tree vs direct writer ---------------------
+  const auto& report_engine = engines[1];
+  const Measurement encode_full = measure(repeats, iterations, [&](auto i) {
+    const auto message = snmp::make_discovery_report(
+        request, report_engine, static_cast<std::uint32_t>(i & 0xff),
+        static_cast<std::uint32_t>(i), 42);
+    consume(message.encode().size());
+  });
+  util::Bytes report_buffer;
+  const Measurement encode_direct = measure(repeats, iterations, [&](auto i) {
+    wire::encode_report_into(report_buffer, 4242, 4243, report_engine.raw(),
+                             static_cast<std::uint32_t>(i & 0xff),
+                             static_cast<std::uint32_t>(i), 42,
+                             snmp::kOidUsmStatsUnknownEngineIds);
+    consume(report_buffer.size());
+  });
+
+  struct Row {
+    const char* op;
+    const char* baseline;
+    Measurement fast;
+    Measurement full;
+    bool must_be_alloc_free;
+  };
+  const Row result_rows[] = {
+      {"probe_encode_stamp", "probe_encode_full", probe_stamp, probe_full,
+       true},
+      {"report_decode_fast", "report_decode_full", decode_fast, decode_full,
+       true},
+      {"report_encode_direct", "report_encode_full", encode_direct,
+       encode_full, true},
+  };
+
+  benchx::JsonRows rows;
+  benchx::stamp_run_metadata(rows, /*seed=*/1, /*threads=*/1,
+                             /*scan_shards=*/0);
+  rows.meta("quick", std::int64_t{quick});
+  rows.meta("iterations", iterations);
+
+  util::TablePrinter table(
+      {"Op", "Fast ns/op", "Full ns/op", "Speedup", "Fast allocs/op",
+       "Full allocs/op"});
+  bool alloc_free = true;
+  for (const Row& row : result_rows) {
+    const double speedup =
+        row.fast.ns_per_op > 0 ? row.full.ns_per_op / row.fast.ns_per_op : 0;
+    char speedup_text[32], fast_ns[32], full_ns[32], fast_allocs[32],
+        full_allocs[32];
+    std::snprintf(speedup_text, sizeof(speedup_text), "%.1fx", speedup);
+    std::snprintf(fast_ns, sizeof(fast_ns), "%.1f", row.fast.ns_per_op);
+    std::snprintf(full_ns, sizeof(full_ns), "%.1f", row.full.ns_per_op);
+    std::snprintf(fast_allocs, sizeof(fast_allocs), "%.3f",
+                  row.fast.allocs_per_op);
+    std::snprintf(full_allocs, sizeof(full_allocs), "%.3f",
+                  row.full.allocs_per_op);
+    table.add_row({row.op, fast_ns, full_ns, speedup_text, fast_allocs,
+                   full_allocs});
+    rows.begin_row()
+        .field("op", row.op)
+        .field("baseline", row.baseline)
+        .field("ns_per_op", row.fast.ns_per_op)
+        .field("baseline_ns_per_op", row.full.ns_per_op)
+        .field("allocs_per_op", row.fast.allocs_per_op)
+        .field("baseline_allocs_per_op", row.full.allocs_per_op)
+        .field("speedup", speedup);
+    if (row.must_be_alloc_free && row.fast.allocs_per_op != 0.0) {
+      std::fprintf(stderr, "FAIL: %s allocated (%.3f allocs/op) — the fast "
+                           "path must be allocation-free\n",
+                   row.op, row.fast.allocs_per_op);
+      alloc_free = false;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (!alloc_free) return 1;
+
+  const std::string json = rows.render();
+  if (!schema_ok(json)) {
+    std::fprintf(stderr, "FAIL: BENCH_wire.json failed its schema check\n");
+    return 1;
+  }
+  rows.write("BENCH_wire.json");
+  std::printf("Wrote BENCH_wire.json  (sink %llu)\n",
+              static_cast<unsigned long long>(g_sink));
+  return 0;
+}

@@ -6,13 +6,18 @@
 #      (test_parallel, test_obs).
 #   3. Focused memory/UB check: ASan+UBSan build in build-asan/ running the
 #      hostile-input corpus plus the decode-path suites (test_hostile,
-#      test_asn1, test_snmp_message, test_checkpoint, test_store) — >=10k
-#      corrupted payloads must decode-reject with zero memory errors or UB;
-#      the store suites re-run the codec mutation corpus and the
-#      spill/restore paths under the sanitizers.
-#   4. Bench-artifact schema check: bench_store --quick must emit a
-#      BENCH_store.json that passes its own schema validation (the binary
-#      exits non-zero on drift).
+#      test_asn1, test_snmp_message, test_checkpoint, test_store,
+#      test_wire) — >=10k corrupted payloads must decode-reject with zero
+#      memory errors or UB; the store suites re-run the codec mutation
+#      corpus and the spill/restore paths under the sanitizers; the wire
+#      suites re-run the fast-parser differential fuzz (fast-accept must
+#      imply full-accept with equal fields, throw-free).
+#   4. Bench-artifact schema checks: bench_store --quick and
+#      bench_wire --quick must emit BENCH_*.json files that pass their own
+#      schema validation (the binaries exit non-zero on drift). bench_wire
+#      additionally fails when any fast-path op allocates or when the fast
+#      parser rejects a payload of the clean REPORT corpus (a fallback on
+#      clean census traffic means its accept set regressed).
 #
 # Usage: scripts/check.sh [--no-tsan] [--no-asan]
 set -euo pipefail
@@ -52,12 +57,15 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   cmake -B build-asan -S . -DSNMPFP_SANITIZE=address
   cmake --build build-asan -j "$JOBS" \
       --target test_hostile test_asn1 test_snmp_message test_checkpoint \
-               test_store
+               test_store test_wire
   (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-      -R "^(HostileInput|HostileFabric|Ber|BerMalformed|V3Message|V2cMessage|DiscoveryRequest|DiscoveryReport|PduType|PeekVersion|CheckpointCodec|CheckpointCampaignTest|CheckpointPipeline|Pacer|RngState|StoreCodec|RecordStoreTest|StoreCampaignTest|StoreFilterStream|StorePipelineTest|ScanResultAccessors)\.")
+      -R "^(HostileInput|HostileFabric|Ber|BerMalformed|V3Message|V2cMessage|DiscoveryRequest|DiscoveryReport|PduType|PeekVersion|CheckpointCodec|CheckpointCampaignTest|CheckpointPipeline|Pacer|RngState|StoreCodec|RecordStoreTest|StoreCampaignTest|StoreFilterStream|StorePipelineTest|ScanResultAccessors|WireTemplate|WireFastParse|WireReportWriter|WireTransport|WireCampaign)\.")
 fi
 
 echo "==> bench-artifact schema check (bench_store --quick)"
 (cd build/bench && ./bench_store --quick >/dev/null)
+
+echo "==> wire fast-path check (bench_wire --quick: schema, zero-alloc, no clean-corpus fallback)"
+(cd build/bench && ./bench_wire --quick >/dev/null)
 
 echo "==> all checks passed"

@@ -1,9 +1,25 @@
 #include "asn1/ber.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 namespace snmpv3fp::asn1 {
+
+namespace {
+
+// Encoded width of a definite length field (what write_length will emit).
+std::size_t length_size(std::size_t length) {
+  if (length < 0x80) return 1;
+  std::size_t n = 0;
+  while (length > 0) {
+    length >>= 8;
+    ++n;
+  }
+  return 1 + n;
+}
+
+}  // namespace
 
 std::string oid_to_string(const Oid& oid) {
   std::string out;
@@ -23,26 +39,29 @@ void write_length(Bytes& out, std::size_t length) {
     out.push_back(static_cast<std::uint8_t>(length));
     return;
   }
-  // Long form: count the bytes needed.
-  Bytes digits;
+  // Long form; the digit count fits a stack buffer (sizeof(size_t) <= 8).
+  std::array<std::uint8_t, sizeof(std::size_t)> digits;
+  std::size_t n = 0;
   std::size_t v = length;
   while (v > 0) {
-    digits.push_back(static_cast<std::uint8_t>(v & 0xff));
+    digits[n++] = static_cast<std::uint8_t>(v & 0xff);
     v >>= 8;
   }
-  out.push_back(static_cast<std::uint8_t>(0x80 | digits.size()));
-  out.insert(out.end(), digits.rbegin(), digits.rend());
+  out.push_back(static_cast<std::uint8_t>(0x80 | n));
+  while (n > 0) out.push_back(digits[--n]);
 }
 
 void write_tlv(Bytes& out, std::uint8_t tag, ByteView content) {
+  out.reserve(out.size() + 1 + length_size(content.size()) + content.size());
   out.push_back(tag);
   write_length(out, content.size());
   out.insert(out.end(), content.begin(), content.end());
 }
 
 Bytes encode_integer(std::int64_t value) {
-  // Minimal two's-complement big-endian content.
-  Bytes content;
+  // Minimal two's-complement big-endian content, built on the stack.
+  std::array<std::uint8_t, 8> content;
+  std::size_t n = 0;
   bool more = true;
   while (more) {
     const auto byte = static_cast<std::uint8_t>(value & 0xff);
@@ -50,25 +69,30 @@ Bytes encode_integer(std::int64_t value) {
     // Done when the remaining value is pure sign extension of this byte.
     more = !((value == 0 && (byte & 0x80) == 0) ||
              (value == -1 && (byte & 0x80) != 0));
-    content.push_back(byte);
+    content[n++] = byte;
   }
-  std::reverse(content.begin(), content.end());
   Bytes out;
-  write_tlv(out, kTagInteger, content);
+  out.reserve(2 + n);
+  out.push_back(kTagInteger);
+  out.push_back(static_cast<std::uint8_t>(n));
+  while (n > 0) out.push_back(content[--n]);
   return out;
 }
 
 Bytes encode_unsigned(std::uint64_t value, std::uint8_t tag) {
-  Bytes content;
+  std::array<std::uint8_t, 9> content;
+  std::size_t n = 0;
   do {
-    content.push_back(static_cast<std::uint8_t>(value & 0xff));
+    content[n++] = static_cast<std::uint8_t>(value & 0xff);
     value >>= 8;
   } while (value > 0);
   // A leading 1-bit would read as negative: prepend 0x00.
-  if (content.back() & 0x80) content.push_back(0x00);
-  std::reverse(content.begin(), content.end());
+  if (content[n - 1] & 0x80) content[n++] = 0x00;
   Bytes out;
-  write_tlv(out, tag, content);
+  out.reserve(2 + n);
+  out.push_back(tag);
+  out.push_back(static_cast<std::uint8_t>(n));
+  while (n > 0) out.push_back(content[--n]);
   return out;
 }
 
@@ -86,22 +110,34 @@ Bytes encode_null() {
 
 Bytes encode_oid(const Oid& oid) {
   assert(oid.size() >= 2 && oid[0] <= 2 && oid[1] < 40);
-  Bytes content;
-  content.push_back(static_cast<std::uint8_t>(oid[0] * 40 + oid[1]));
+  // Precompute the content width so the TLV lands in one allocation.
+  std::size_t content_size = 1;
   for (std::size_t i = 2; i < oid.size(); ++i) {
-    // Base-128, high bit marks continuation.
     std::uint32_t v = oid[i];
-    Bytes chunk;
-    chunk.push_back(static_cast<std::uint8_t>(v & 0x7f));
-    v >>= 7;
-    while (v > 0) {
-      chunk.push_back(static_cast<std::uint8_t>(0x80 | (v & 0x7f)));
+    do {
+      ++content_size;
       v >>= 7;
-    }
-    content.insert(content.end(), chunk.rbegin(), chunk.rend());
+    } while (v > 0);
   }
   Bytes out;
-  write_tlv(out, kTagOid, content);
+  out.reserve(1 + length_size(content_size) + content_size);
+  out.push_back(kTagOid);
+  write_length(out, content_size);
+  out.push_back(static_cast<std::uint8_t>(oid[0] * 40 + oid[1]));
+  for (std::size_t i = 2; i < oid.size(); ++i) {
+    // Base-128, high bit marks continuation; a 32-bit arc is <= 5 chunks.
+    const std::uint32_t v = oid[i];
+    std::array<std::uint8_t, 5> chunk;
+    std::size_t n = 0;
+    std::uint32_t rest = v;
+    chunk[n++] = static_cast<std::uint8_t>(rest & 0x7f);
+    rest >>= 7;
+    while (rest > 0) {
+      chunk[n++] = static_cast<std::uint8_t>(0x80 | (rest & 0x7f));
+      rest >>= 7;
+    }
+    while (n > 0) out.push_back(chunk[--n]);
+  }
   return out;
 }
 

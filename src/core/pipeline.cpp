@@ -73,6 +73,7 @@ PipelineResult run_full_pipeline(topo::World world,
     v6.parallel = options.parallel;
     v6.obs = obs.sub("v6");
     v6.pacer = options.pacer;
+    v6.wire_fast_path = options.wire_fast_path;
     if (!options.checkpoint_dir.empty()) {
       v6.checkpoint_path = options.checkpoint_dir + "/campaign_v6.json";
       v6.checkpoint_every_n_targets = options.checkpoint_every_n_targets;
@@ -105,6 +106,7 @@ PipelineResult run_full_pipeline(topo::World world,
     v4.parallel = options.parallel;
     v4.obs = obs.sub("v4");
     v4.pacer = options.pacer;
+    v4.wire_fast_path = options.wire_fast_path;
     if (!options.checkpoint_dir.empty()) {
       v4.checkpoint_path = options.checkpoint_dir + "/campaign_v4.json";
       v4.checkpoint_every_n_targets = options.checkpoint_every_n_targets;

@@ -59,6 +59,11 @@ struct PipelineOptions {
   std::string checkpoint_dir;
   std::size_t checkpoint_every_n_targets = 0;
   std::size_t abort_after_checkpoints = 0;
+  // Wire fast path (src/wire): template-stamped probes and the single-pass
+  // REPORT scanner with full-codec fallback. Execution-only knob —
+  // PipelineResult is bit-identical on or off at any thread count
+  // (tests/test_wire.cpp).
+  bool wire_fast_path = true;
   // Memory-bounded record store (store/record_store.hpp). With `store.dir`
   // set, each campaign spills its scan records to <store.dir>/v4 and /v6
   // stores whose resident RAM is bounded by `store.max_resident_bytes`;

@@ -35,6 +35,16 @@ struct Datagram {
   util::VTime time = 0;
 };
 
+// Borrowed-payload view of a received datagram (the wire fast path's
+// allocation-free receive). The payload view is owned by the transport and
+// stays valid only until the next receive()/receive_view() call.
+struct DatagramView {
+  Endpoint source;
+  Endpoint destination;
+  util::ByteView payload;
+  util::VTime time = 0;
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -45,9 +55,35 @@ class Transport {
   // Queues a datagram for delivery. Never blocks.
   virtual void send(Datagram datagram) = 0;
 
+  // Borrowed-payload send: the transport copies (or transmits) `payload`
+  // before returning, so the caller may reuse the buffer immediately. The
+  // default adapter copies into a Datagram; transports on the scan hot
+  // path (sim::Fabric) override it to consume the bytes in place.
+  virtual void send_view(const Endpoint& source, const Endpoint& destination,
+                         util::ByteView payload, util::VTime time) {
+    Datagram datagram;
+    datagram.source = source;
+    datagram.destination = destination;
+    datagram.payload.assign(payload.begin(), payload.end());
+    datagram.time = time;
+    send(std::move(datagram));
+  }
+
   // Pops the next datagram that has arrived by the transport's current
   // time, or nullopt if none is pending.
   virtual std::optional<Datagram> receive() = 0;
+
+  // View-returning receive for the response hot loop: same datagrams in
+  // the same order as receive(), but the payload is borrowed from a
+  // transport-owned slot instead of moved into a caller-owned Bytes. The
+  // view is invalidated by the next receive()/receive_view() call.
+  virtual std::optional<DatagramView> receive_view() {
+    auto datagram = receive();
+    if (!datagram.has_value()) return std::nullopt;
+    view_slot_ = std::move(*datagram);
+    return DatagramView{view_slot_.source, view_slot_.destination,
+                        view_slot_.payload, view_slot_.time};
+  }
 
   // Current transport time (virtual in simulation, wall-clock otherwise).
   virtual util::VTime now() const = 0;
@@ -61,6 +97,11 @@ class Transport {
   // transports that cannot observe it; the adaptive pacer consumes deltas
   // of this counter as a fast backoff input (scan/pacer.hpp).
   virtual std::uint64_t rate_limit_signals() const { return 0; }
+
+ protected:
+  // Backing storage for the default receive_view(): keeps the last popped
+  // datagram alive while the caller holds its view.
+  Datagram view_slot_;
 };
 
 }  // namespace snmpv3fp::net

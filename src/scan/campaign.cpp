@@ -330,6 +330,17 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     // from this thread in shard order — the observer sequence (like the
     // scan output) never depends on worker scheduling.
     std::vector<double> shard_wall_ms(shard_count, 0.0);
+    // Wire-path counters are registered here, on the orchestrating thread,
+    // before the workers start (obs counter creation is not thread-safe;
+    // Counter::add is). Shards share them — add() uses relaxed atomics.
+    obs::Counter wire_fast_parses =
+        options.obs.counter(label + ".wire.fast_parses");
+    obs::Counter wire_parse_fallbacks =
+        options.obs.counter(label + ".wire.parse_fallbacks");
+    obs::Counter wire_stamped_probes =
+        options.obs.counter(label + ".wire.stamped_probes");
+    obs::Counter wire_full_encodes =
+        options.obs.counter(label + ".wire.full_encodes");
     util::parallel_for(0, shard_count, options.parallel, [&](std::size_t shard) {
       const auto t0 = std::chrono::steady_clock::now();
       const ShardScanState* resume_state = resume_slots[shard];
@@ -384,6 +395,11 @@ CampaignPair run_two_scan_campaign(topo::World& world,
       probe.pacer = options.pacer;
       probe.resume = resume_state;
       probe.sink = shard_store.get();
+      probe.wire_fast_path = options.wire_fast_path;
+      probe.wire_fast_parses = wire_fast_parses;
+      probe.wire_parse_fallbacks = wire_parse_fallbacks;
+      probe.wire_stamped_probes = wire_stamped_probes;
+      probe.wire_full_encodes = wire_full_encodes;
       if (store.enabled() && options.checkpoint_every_n_targets != 0) {
         probe.checkpoint_every_n_targets = options.checkpoint_every_n_targets;
         probe.on_checkpoint = [&, shard](ShardScanState& state) {

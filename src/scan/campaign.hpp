@@ -66,6 +66,11 @@ struct CampaignOptions {
   // in-RAM path. Default (empty dir) keeps the historical all-in-RAM
   // behavior.
   store::StoreOptions store;
+  // Wire fast path (src/wire): template-stamped probes and the single-pass
+  // REPORT scanner, with full-codec fallback. Execution-only knob — the
+  // campaign output is bit-identical on or off; excluded from the
+  // checkpoint config digest for the same reason thread count is.
+  bool wire_fast_path = true;
   // Failure-injection hook for tests/benches: simulate a kill by stopping
   // each shard once it has crossed N checkpoint boundaries (counted across
   // both scans). 0 = never. The campaign then returns with `interrupted`

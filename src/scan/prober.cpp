@@ -1,10 +1,13 @@
 #include "scan/prober.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "obs/log.hpp"
 #include "snmp/message.hpp"
 #include "store/record_store.hpp"
+#include "wire/probe_template.hpp"
+#include "wire/report_codec.hpp"
 
 namespace snmpv3fp::scan {
 
@@ -20,23 +23,52 @@ std::int32_t two_byte_id(util::Rng& rng) {
 std::size_t Prober::drain(
     ScanResult& result, store::RecordStore* sink,
     std::unordered_map<net::IpAddress, SourceEntry>& by_source,
-    const std::unordered_map<net::IpAddress, util::VTime>& sent_at) {
+    const std::unordered_map<net::IpAddress, util::VTime>& sent_at,
+    WireState& wire) {
   std::size_t new_records = 0;
-  while (auto datagram = transport_.receive()) {
-    auto message = snmp::V3Message::decode(datagram->payload);
-    if (!message) {  // non-SNMPv3 noise or corrupted-in-flight bytes
-      ++result.undecodable_responses;
-      continue;
+  while (auto datagram = transport_.receive_view()) {
+    // Fast path first: the single-pass scanner extracts engineID (as a
+    // view), boots and time without allocating. Anything it rejects goes
+    // through the full decoder — it accepts a strict subset with equal
+    // fields (src/wire/report_codec.hpp), so the combined path's output is
+    // bit-identical to the full codec alone. The fallback counter only
+    // counts responses the full decoder then accepted; garbage both paths
+    // reject is undecodable noise, not a fast-path miss.
+    wire::V3Fields fast;
+    const bool fast_ok =
+        wire.enabled && wire::parse_v3_fast(datagram->payload, fast);
+    std::optional<snmp::V3Message> full;
+    if (fast_ok) {
+      wire.fast_parses.add();
+    } else {
+      auto message = snmp::V3Message::decode(datagram->payload);
+      if (!message) {  // non-SNMPv3 noise or corrupted-in-flight bytes
+        ++result.undecodable_responses;
+        continue;
+      }
+      if (wire.enabled) wire.fallbacks.add();
+      full = std::move(message).value();
     }
+    const util::ByteView engine_view =
+        fast_ok ? fast.engine_id
+                : util::ByteView(full->usm.authoritative_engine_id.raw());
+    // Materializes an owning EngineId; called at most once per datagram
+    // (it moves out of the full-decode message).
+    const auto materialize_engine = [&]() {
+      return fast_ok ? snmp::EngineId(util::Bytes(fast.engine_id.begin(),
+                                                  fast.engine_id.end()))
+                     : std::move(full->usm.authoritative_engine_id);
+    };
+
     const auto& source = datagram->source.address;
     const auto it = by_source.find(source);
     if (it == by_source.end()) {
       // First response from this address.
       ScanRecord record;
       record.target = source;
-      record.engine_id = message.value().usm.authoritative_engine_id;
-      record.engine_boots = message.value().usm.engine_boots;
-      record.engine_time = message.value().usm.engine_time;
+      record.engine_id = materialize_engine();
+      record.engine_boots = fast_ok ? fast.engine_boots : full->usm.engine_boots;
+      record.engine_time = fast_ok ? fast.engine_time : full->usm.engine_time;
       if (const auto sent = sent_at.find(source); sent != sent_at.end())
         record.send_time = sent->second;
       record.receive_time = datagram->time;
@@ -51,24 +83,26 @@ std::size_t Prober::drain(
         result.records.push_back(std::move(record));
       }
       ++new_records;
-    } else {
-      const auto& engine = message.value().usm.authoritative_engine_id;
-      if (sink != nullptr) {
-        // Same accounting as the vector path below, routed through the
-        // store's patch overlay (the record may sit in a sealed block).
-        sink->note_duplicate(it->second.index,
-                             engine != it->second.engine ? &engine : nullptr);
+    } else if (sink != nullptr) {
+      // Same accounting as the vector path below, routed through the
+      // store's patch overlay (the record may sit in a sealed block).
+      if (util::equal(engine_view, it->second.engine.raw())) {
+        sink->note_duplicate(it->second.index, nullptr);
       } else {
-        auto& record = result.records[it->second.index];
-        ++record.response_count;
-        if (engine != record.engine_id) {
-          // extra_engines stays sorted so membership is a binary search
-          // instead of a linear scan (amplifiers answer thousands of times).
-          const auto pos = std::lower_bound(record.extra_engines.begin(),
-                                            record.extra_engines.end(), engine);
-          if (pos == record.extra_engines.end() || *pos != engine)
-            record.extra_engines.insert(pos, engine);
-        }
+        const snmp::EngineId engine = materialize_engine();
+        sink->note_duplicate(it->second.index, &engine);
+      }
+    } else {
+      auto& record = result.records[it->second.index];
+      ++record.response_count;
+      if (!util::equal(engine_view, record.engine_id.raw())) {
+        const snmp::EngineId engine = materialize_engine();
+        // extra_engines stays sorted so membership is a binary search
+        // instead of a linear scan (amplifiers answer thousands of times).
+        const auto pos = std::lower_bound(record.extra_engines.begin(),
+                                          record.extra_engines.end(), engine);
+        if (pos == record.extra_engines.end() || *pos != engine)
+          record.extra_engines.insert(pos, engine);
       }
     }
   }
@@ -82,6 +116,14 @@ ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
   if (config.randomize_order) rng.shuffle(order);
 
   AdaptivePacer pacer(config.rate_pps, config.pacer, rng);
+  // Wire fast path: one template per run (three full encodes to build),
+  // stamped into one reusable buffer for every probe thereafter.
+  const wire::ProbeTemplate probe_template;
+  util::Bytes probe_scratch;
+  WireState wire{config.wire_fast_path, config.wire_fast_parses,
+                 config.wire_parse_fallbacks};
+  obs::Counter stamped_probes = config.wire_stamped_probes;
+  obs::Counter full_encodes = config.wire_full_encodes;
   ScanResult result;
   store::RecordStore* const sink = config.sink;
   std::unordered_map<net::IpAddress, SourceEntry> by_source;
@@ -133,19 +175,33 @@ ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
   for (std::size_t i = start_index; i < order.size(); ++i) {
     const auto& target = order[i];
     transport_.run_until(next_send);
-    const auto request =
-        snmp::make_discovery_request(two_byte_id(rng), two_byte_id(rng));
-    net::Datagram probe;
-    probe.source = source_;
-    probe.destination = {target, net::kSnmpPort};
-    probe.payload = request.encode();
-    probe.time = transport_.now();
-    sent_at.emplace(target, probe.time);
-    result.probe_bytes = probe.payload.size();
-    transport_.send(std::move(probe));
+    // Draw order matters for bit-compatibility with historical runs:
+    // request_id consumed the first draw when both ids were drawn inside
+    // the make_discovery_request call (right-to-left argument evaluation).
+    const std::int32_t request_id = two_byte_id(rng);
+    const std::int32_t msg_id = two_byte_id(rng);
+    const util::VTime send_time = transport_.now();
+    sent_at.emplace(target, send_time);
+    if (config.wire_fast_path &&
+        probe_template.stamp(msg_id, request_id, probe_scratch)) {
+      result.probe_bytes = probe_scratch.size();
+      transport_.send_view(source_, {target, net::kSnmpPort}, probe_scratch,
+                           send_time);
+      stamped_probes.add();
+    } else {
+      const auto request = snmp::make_discovery_request(msg_id, request_id);
+      net::Datagram probe;
+      probe.source = source_;
+      probe.destination = {target, net::kSnmpPort};
+      probe.payload = request.encode();
+      probe.time = send_time;
+      result.probe_bytes = probe.payload.size();
+      transport_.send(std::move(probe));
+      full_encodes.add();
+    }
     pacer.on_probe_sent();
     next_send = pacer.schedule_after(next_send);
-    pacer.on_responses(drain(result, sink, by_source, sent_at));
+    pacer.on_responses(drain(result, sink, by_source, sent_at, wire));
     const auto rate_limit_now = transport_.rate_limit_signals();
     pacer.on_rate_limit_signals(
         static_cast<std::size_t>(rate_limit_now - rate_limit_seen));
@@ -171,7 +227,7 @@ ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
     }
   }
   transport_.run_until(next_send + config.response_timeout);
-  drain(result, sink, by_source, sent_at);
+  drain(result, sink, by_source, sent_at, wire);
   pacer.on_rate_limit_signals(static_cast<std::size_t>(
       transport_.rate_limit_signals() - rate_limit_seen));
   if (sink != nullptr) sink->seal();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "scan/checkpoint.hpp"
 #include "scan/pacer.hpp"
 #include "scan/record.hpp"
@@ -50,6 +51,22 @@ struct ProbeConfig {
   // attaches the store to the result). On resume the sink must already
   // hold the snapshot's records (store::RecordStore::restore).
   store::RecordStore* sink = nullptr;
+  // Wire fast path (src/wire): probes are stamped from a precomputed
+  // template into a reusable buffer and responses go through the
+  // single-pass REPORT scanner, falling back to the full codec on any
+  // structural surprise. Execution-only knob: the scan output is
+  // bit-identical on or off (tests/test_wire.cpp enforces it at 1/2/8
+  // threads).
+  bool wire_fast_path = true;
+  // Decode/encode path counters (default handles are no-ops): how many
+  // responses the fast scanner handled vs deferred to the full decoder,
+  // and how many probes were template-stamped vs fully encoded. A nonzero
+  // fallback count on a clean corpus means the fast parser's accept set
+  // regressed (scripts/check.sh gates on it via bench_wire).
+  obs::Counter wire_fast_parses;
+  obs::Counter wire_parse_fallbacks;
+  obs::Counter wire_stamped_probes;
+  obs::Counter wire_full_encodes;
 };
 
 class Prober {
@@ -72,13 +89,22 @@ class Prober {
     snmp::EngineId engine;
   };
 
+  // Response-path decode state for one run: the fast-path switch plus the
+  // path counters (copied out of ProbeConfig so drain can bump them).
+  struct WireState {
+    bool enabled = true;
+    obs::Counter fast_parses;
+    obs::Counter fallbacks;
+  };
+
   // Drains matured responses into `result` (or `sink`); returns the number
   // of NEW records (first responses), the signal the adaptive pacer
   // watches.
   std::size_t drain(
       ScanResult& result, store::RecordStore* sink,
       std::unordered_map<net::IpAddress, SourceEntry>& by_source,
-      const std::unordered_map<net::IpAddress, util::VTime>& sent_at);
+      const std::unordered_map<net::IpAddress, util::VTime>& sent_at,
+      WireState& wire);
 
   net::Transport& transport_;
   net::Endpoint source_;

@@ -2,6 +2,7 @@
 
 #include "snmp/usm.hpp"
 #include "sim/mib.hpp"
+#include "wire/report_codec.hpp"
 
 #include <algorithm>
 
@@ -80,21 +81,16 @@ std::vector<util::Bytes> handle_authenticated_v3(const topo::Device& device,
   return {response.encode()};
 }
 
-std::vector<util::Bytes> handle_v3(const topo::Device& device,
-                                   const V3Message& request, util::VTime now,
-                                   util::Rng& rng,
-                                   const AgentConfig& config) {
-  if (!device.snmpv3_enabled) return {};
-
-  // Configured-user path: correct engine ID + user + HMAC -> Response.
-  if ((request.header.msg_flags & snmp::kFlagAuth) &&
-      !device.usm_user.empty() && request.usm.user_name == device.usm_user &&
-      request.usm.authoritative_engine_id == device.engine_id)
-    return handle_authenticated_v3(device, request, now, rng, config);
-
-  // Only reportable requests elicit REPORTs (RFC 3412 §7.1).
-  if (!(request.header.msg_flags & snmp::kFlagReportable)) return {};
-
+// REPORT generation shared by the full-decode path and the wire fast path:
+// engine selection (incl. the VIP/bug behaviours), boots/time, and the
+// direct single-pass REPORT writer — byte-identical to
+// make_discovery_report(...).encode() (tests/test_wire.cpp), without the
+// message-tree build and re-encode per response.
+std::vector<util::Bytes> discovery_reports(const topo::Device& device,
+                                           std::int32_t msg_id,
+                                           std::int32_t request_id,
+                                           bool discovery, util::VTime now,
+                                           util::Rng& rng) {
   EngineId engine_id =
       device.empty_engine_id_bug ? EngineId() : device.engine_id;
   // Load-balancer VIP: each request lands on one of the backends.
@@ -115,12 +111,33 @@ std::vector<util::Bytes> handle_v3(const topo::Device& device,
   // Wrong engine ID or unknown user -> usmStatsUnknownUserNames. Either
   // way the authoritative engine fields are disclosed — the paper's core
   // observation.
-  const bool discovery = request.usm.authoritative_engine_id.empty();
   const auto& oid = discovery ? snmp::kOidUsmStatsUnknownEngineIds
                               : snmp::kOidUsmStatsUnknownUserNames;
-  const V3Message report = snmp::make_discovery_report(
-      request, engine_id, boots, time, report_counter(device, now), oid);
-  return amplify(report.encode(), std::max(device.amplification, 1));
+  util::Bytes report;
+  wire::encode_report_into(report, msg_id, request_id, engine_id.raw(), boots,
+                           time, report_counter(device, now), oid);
+  return amplify(std::move(report), std::max(device.amplification, 1));
+}
+
+std::vector<util::Bytes> handle_v3(const topo::Device& device,
+                                   const V3Message& request, util::VTime now,
+                                   util::Rng& rng,
+                                   const AgentConfig& config) {
+  if (!device.snmpv3_enabled) return {};
+
+  // Configured-user path: correct engine ID + user + HMAC -> Response.
+  if ((request.header.msg_flags & snmp::kFlagAuth) &&
+      !device.usm_user.empty() && request.usm.user_name == device.usm_user &&
+      request.usm.authoritative_engine_id == device.engine_id)
+    return handle_authenticated_v3(device, request, now, rng, config);
+
+  // Only reportable requests elicit REPORTs (RFC 3412 §7.1).
+  if (!(request.header.msg_flags & snmp::kFlagReportable)) return {};
+
+  return discovery_reports(device, request.header.msg_id,
+                           request.scoped_pdu.pdu.request_id,
+                           request.usm.authoritative_engine_id.empty(), now,
+                           rng);
 }
 
 std::vector<util::Bytes> handle_v2c(const topo::Device& device,
@@ -183,6 +200,24 @@ std::uint32_t reported_engine_time(const topo::Device& device, util::VTime now,
 std::vector<util::Bytes> handle_udp(const topo::Device& device,
                                     util::ByteView payload, util::VTime now,
                                     util::Rng& rng, const AgentConfig& config) {
+  // Wire fast path: census traffic is overwhelmingly plaintext discovery
+  // GETs. One allocation-free pass covers them; anything it rejects —
+  // authenticated/encrypted v3, v2c, hostile bytes — takes the original
+  // full-decode route. The fast parser accepts a strict subset of
+  // V3Message::decode with identical fields (src/wire/report_codec.hpp),
+  // so behavior and response bytes are identical either way. Requests
+  // carrying the auth flag need the whole message for HMAC verification,
+  // hence the full-decode route even when the fast parse succeeds.
+  wire::V3Fields fast;
+  if (wire::parse_v3_fast(payload, fast) &&
+      (fast.msg_flags & snmp::kFlagAuth) == 0) {
+    if (!device.snmpv3_enabled) return {};
+    // Only reportable requests elicit REPORTs (RFC 3412 §7.1).
+    if (!(fast.msg_flags & snmp::kFlagReportable)) return {};
+    return discovery_reports(device, fast.msg_id, fast.request_id,
+                             fast.engine_id.empty(), now, rng);
+  }
+
   const auto version = snmp::peek_version(payload);
   if (!version) return {};  // not SNMP at all
   if (version.value() == 3) {

@@ -24,18 +24,35 @@ Fabric::Fabric(const topo::World& world, const FabricConfig& config)
     : world_(world), config_(config), rng_(config.seed) {}
 
 void Fabric::send(net::Datagram datagram) {
+  deliver(datagram.source, datagram.destination, datagram.payload);
+}
+
+void Fabric::send_view(const net::Endpoint& source,
+                       const net::Endpoint& destination,
+                       util::ByteView payload, util::VTime /*time*/) {
+  // Same path as send(): the fabric consumes the bytes synchronously (the
+  // agent either answers or drops), so a borrowed view needs no copy and
+  // the caller's buffer is free for the next probe on return. send() has
+  // always stamped delivery times from the virtual clock, so the send-time
+  // parameter is as unused here as Datagram::time was.
+  deliver(source, destination, payload);
+}
+
+void Fabric::deliver(const net::Endpoint& source,
+                     const net::Endpoint& destination,
+                     util::ByteView payload) {
   ++stats_.datagrams_sent;
   if (rng_.chance(config_.probe_loss)) {
     ++stats_.probes_lost;
     return;
   }
 
-  const topo::Device* device = world_.device_at(datagram.destination.address);
+  const topo::Device* device = world_.device_at(destination.address);
   if (device == nullptr) {  // dead address space
     ++stats_.probes_dead;
     return;
   }
-  if (datagram.destination.port != net::kSnmpPort) {
+  if (destination.port != net::kSnmpPort) {
     ++stats_.probes_filtered;
     return;
   }
@@ -65,16 +82,18 @@ void Fabric::send(net::Datagram datagram) {
 
   // In-flight probe corruption: the agent sees the mutated bytes and must
   // reject them like any hostile input (tests/test_robustness.cpp).
+  util::Bytes corrupted;
   if (rng_.chance(config_.faults.probe_corrupt_rate)) {
     ++stats_.probes_corrupted;
-    datagram.payload = apply_random_fault(datagram.payload, rng_);
+    corrupted = apply_random_fault(payload, rng_);
+    payload = corrupted;
   }
 
-  const auto responses = handle_udp(*device, datagram.payload, at_device, rng_,
-                                    config_.agent);
+  auto responses = handle_udp(*device, payload, at_device, rng_,
+                              config_.agent);
   util::VTime arrival = at_device + rtt / 2;
   bool first_response = true;
-  for (const auto& payload : responses) {
+  for (auto& response_payload : responses) {
     ++stats_.responses_generated;
     if (!first_response) ++stats_.responses_duplicated;
     first_response = false;
@@ -83,9 +102,9 @@ void Fabric::send(net::Datagram datagram) {
       continue;
     }
     net::Datagram response;
-    response.source = datagram.destination;  // agents reply from the probed IP
-    response.destination = datagram.source;
-    response.payload = payload;
+    response.source = destination;  // agents reply from the probed IP
+    response.destination = source;
+    response.payload = std::move(response_payload);
     // Response corruption happens after loss: only bytes that actually
     // reach the prober can be hostile input for its decode path.
     if (rng_.chance(config_.faults.response_corrupt_rate)) {

@@ -91,6 +91,11 @@ class Fabric final : public net::Transport {
   Fabric(const topo::World& world, const FabricConfig& config);
 
   void send(net::Datagram datagram) override;
+  // Borrowed-payload send (the prober's stamped-template hot path): no
+  // Datagram construction, no payload copy — identical delivery behavior
+  // and RNG draws to send().
+  void send_view(const net::Endpoint& source, const net::Endpoint& destination,
+                 util::ByteView payload, util::VTime time) override;
   std::optional<net::Datagram> receive() override;
   util::VTime now() const override { return clock_.now(); }
   void run_until(util::VTime deadline) override;
@@ -112,6 +117,11 @@ class Fabric final : public net::Transport {
   void restore(const FabricState& state);
 
  private:
+  // Shared body of send()/send_view(): loss, lookup, policing, agent
+  // dispatch and response scheduling over a borrowed payload view.
+  void deliver(const net::Endpoint& source, const net::Endpoint& destination,
+               util::ByteView payload);
+
   struct InFlight {
     util::VTime arrival;
     net::Datagram datagram;

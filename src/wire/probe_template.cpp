@@ -1,0 +1,62 @@
+#include "wire/probe_template.hpp"
+
+#include "snmp/message.hpp"
+
+namespace snmpv3fp::wire {
+
+namespace {
+
+// Reference ids for offset discovery. Both bytes of each id differ between
+// the pair, so a diff against the reference encoding lights up the full
+// two-byte content of exactly one field.
+constexpr std::int32_t kRefId = 0x1234;
+constexpr std::int32_t kAltId = 0x2b47;
+
+// Returns the offset of the changed two-byte run, or SIZE_MAX when the two
+// encodings do not differ by exactly two consecutive bytes (which would
+// mean the codec layout changed under us — refuse the fast path entirely
+// rather than stamp garbage).
+std::size_t diff_offset(const util::Bytes& a, const util::Bytes& b) {
+  constexpr std::size_t kBad = static_cast<std::size_t>(-1);
+  if (a.size() != b.size()) return kBad;
+  std::size_t first = kBad;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    if (first == kBad) first = i;
+    ++count;
+  }
+  if (count != 2 || first == kBad || first + 1 >= a.size()) return kBad;
+  if (a[first + 1] == b[first + 1]) return kBad;  // not consecutive
+  return first;
+}
+
+}  // namespace
+
+ProbeTemplate::ProbeTemplate() {
+  template_ = snmp::make_discovery_request(kRefId, kRefId).encode();
+  const auto with_msg = snmp::make_discovery_request(kAltId, kRefId).encode();
+  const auto with_req = snmp::make_discovery_request(kRefId, kAltId).encode();
+  msg_id_offset_ = diff_offset(template_, with_msg);
+  request_id_offset_ = diff_offset(template_, with_req);
+  constexpr std::size_t kBad = static_cast<std::size_t>(-1);
+  valid_ = msg_id_offset_ != kBad && request_id_offset_ != kBad &&
+           msg_id_offset_ != request_id_offset_;
+}
+
+bool ProbeTemplate::stamp(std::int32_t msg_id, std::int32_t request_id,
+                          util::Bytes& out) const {
+  if (!valid_ || msg_id < kMinTwoByteId || msg_id > kMaxTwoByteId ||
+      request_id < kMinTwoByteId || request_id > kMaxTwoByteId)
+    return false;
+  // assign() reuses capacity: after the first stamp this is a 60-byte
+  // memcpy with no heap traffic.
+  out.assign(template_.begin(), template_.end());
+  out[msg_id_offset_] = static_cast<std::uint8_t>(msg_id >> 8);
+  out[msg_id_offset_ + 1] = static_cast<std::uint8_t>(msg_id & 0xff);
+  out[request_id_offset_] = static_cast<std::uint8_t>(request_id >> 8);
+  out[request_id_offset_ + 1] = static_cast<std::uint8_t>(request_id & 0xff);
+  return true;
+}
+
+}  // namespace snmpv3fp::wire

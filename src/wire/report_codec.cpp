@@ -1,0 +1,386 @@
+#include "wire/report_codec.hpp"
+
+#include "snmp/message.hpp"
+
+namespace snmpv3fp::wire {
+
+namespace {
+
+using util::ByteView;
+using util::Bytes;
+
+// ---------------------------------------------------------------------------
+// Parsing: a bool-returning cursor that mirrors asn1::Reader::read_tlv's
+// accept/reject rules exactly, minus the error-string allocations.
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+  explicit Cursor(ByteView data)
+      : p(data.data()), end(data.data() + data.size()) {}
+  bool at_end() const { return p >= end; }
+};
+
+bool read_tlv(Cursor& c, std::uint8_t& tag, ByteView& content) {
+  if (c.end - c.p < 2) return false;  // truncated TLV header
+  tag = c.p[0];
+  if ((tag & 0x1f) == 0x1f) return false;  // multi-byte tags unsupported
+  const std::uint8_t* q = c.p + 1;
+  const std::uint8_t first_len = *q++;
+  std::size_t length = 0;
+  if (first_len < 0x80) {
+    length = first_len;
+  } else {
+    const std::size_t num_bytes = first_len & 0x7f;
+    if (num_bytes == 0) return false;                  // indefinite length
+    if (num_bytes > sizeof(std::size_t)) return false;  // length too large
+    if (static_cast<std::size_t>(c.end - q) < num_bytes) return false;
+    for (std::size_t i = 0; i < num_bytes; ++i) length = (length << 8) | *q++;
+  }
+  if (static_cast<std::size_t>(c.end - q) < length) return false;
+  content = ByteView(q, length);
+  c.p = q + length;
+  return true;
+}
+
+bool expect(Cursor& c, std::uint8_t want, ByteView& content) {
+  std::uint8_t tag = 0;
+  return read_tlv(c, tag, content) && tag == want;
+}
+
+// Mirrors decode_integer_content: 1..8 content bytes, two's complement
+// (non-minimal encodings accepted, like the full decoder).
+bool parse_int(Cursor& c, std::int64_t& out) {
+  ByteView content;
+  if (!expect(c, asn1::kTagInteger, content)) return false;
+  if (content.empty() || content.size() > 8) return false;
+  std::int64_t value = (content[0] & 0x80) ? -1 : 0;
+  for (std::uint8_t b : content) value = (value << 8) | b;
+  out = value;
+  return true;
+}
+
+// Mirrors decode_oid_content's accept set without building the Oid.
+bool oid_content_ok(ByteView content) {
+  if (content.empty()) return false;
+  int continuation = 0;
+  for (std::size_t i = 1; i < content.size(); ++i) {
+    if (continuation > 4) return false;  // arc wider than 32 bits
+    if (content[i] & 0x80)
+      ++continuation;
+    else
+      continuation = 0;
+  }
+  return continuation == 0;  // no trailing continuation byte
+}
+
+// Mirrors decode_var_value's accept set per tag.
+bool var_value_ok(std::uint8_t tag, ByteView content) {
+  switch (tag) {
+    case asn1::kTagNull:
+      return true;  // full decoder ignores NULL content
+    case asn1::kTagInteger:
+      return !content.empty() && content.size() <= 8;
+    case asn1::kTagCounter32:
+    case asn1::kTagTimeTicks:
+      return !content.empty() && content.size() <= 5;
+    case asn1::kTagOctetString:
+      return true;
+    case asn1::kTagOid:
+      return oid_content_ok(content);
+    default:
+      return false;
+  }
+}
+
+// Mirrors pdu_type_from_tag: context-class constructed tag with a known
+// PDU selector.
+bool pdu_tag_ok(std::uint8_t tag) {
+  if ((tag & 0xe0) != 0xa0) return false;
+  switch (tag & 0x1f) {
+    case 0: case 1: case 2: case 3: case 5: case 6: case 7: case 8:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool FastReportParser::parse(ByteView payload, V3Fields& out) {
+  // Outer message SEQUENCE (trailing bytes after it are ignored, like the
+  // full decoder's Reader).
+  Cursor top(payload);
+  ByteView message;
+  if (!expect(top, asn1::kTagSequence, message)) return false;
+  Cursor m(message);
+
+  std::int64_t version = 0;
+  if (!parse_int(m, version) || version != 3) return false;
+
+  // msgGlobalData header.
+  ByteView header;
+  if (!expect(m, asn1::kTagSequence, header)) return false;
+  Cursor h(header);
+  std::int64_t msg_id = 0;
+  std::int64_t max_size = 0;
+  std::int64_t model = 0;
+  ByteView flags;
+  if (!parse_int(h, msg_id)) return false;
+  if (!parse_int(h, max_size)) return false;
+  if (!expect(h, asn1::kTagOctetString, flags) || flags.size() != 1)
+    return false;
+  if (!parse_int(h, model)) return false;
+  // Encrypted msgData is the full codec's job (it keeps the ciphertext);
+  // the fast path only walks plaintext scoped PDUs.
+  if ((flags[0] & snmp::kFlagPriv) != 0) return false;
+
+  // UsmSecurityParameters: BER SEQUENCE inside an OCTET STRING.
+  ByteView usm_wire;
+  if (!expect(m, asn1::kTagOctetString, usm_wire)) return false;
+  Cursor u_outer(usm_wire);
+  ByteView usm_seq;
+  if (!expect(u_outer, asn1::kTagSequence, usm_seq)) return false;
+  Cursor u(usm_seq);
+  ByteView engine;
+  ByteView user;
+  ByteView auth_params;
+  ByteView priv_params;
+  std::int64_t boots = 0;
+  std::int64_t time = 0;
+  if (!expect(u, asn1::kTagOctetString, engine)) return false;
+  if (!parse_int(u, boots)) return false;
+  if (!parse_int(u, time)) return false;
+  if (boots < 0 || time < 0) return false;
+  if (!expect(u, asn1::kTagOctetString, user)) return false;
+  if (!expect(u, asn1::kTagOctetString, auth_params)) return false;
+  if (!expect(u, asn1::kTagOctetString, priv_params)) return false;
+
+  // Plaintext scoped PDU.
+  ByteView scoped;
+  if (!expect(m, asn1::kTagSequence, scoped)) return false;
+  Cursor s(scoped);
+  ByteView ctx_engine;
+  ByteView ctx_name;
+  if (!expect(s, asn1::kTagOctetString, ctx_engine)) return false;
+  if (!expect(s, asn1::kTagOctetString, ctx_name)) return false;
+
+  std::uint8_t pdu_tag = 0;
+  ByteView pdu;
+  if (!read_tlv(s, pdu_tag, pdu)) return false;
+  if (!pdu_tag_ok(pdu_tag)) return false;
+  Cursor b(pdu);
+  std::int64_t request_id = 0;
+  std::int64_t error_status = 0;
+  std::int64_t error_index = 0;
+  if (!parse_int(b, request_id)) return false;
+  if (!parse_int(b, error_status)) return false;
+  if (!parse_int(b, error_index)) return false;
+  ByteView bindings;
+  if (!expect(b, asn1::kTagSequence, bindings)) return false;
+  Cursor vb(bindings);
+  while (!vb.at_end()) {
+    ByteView one;
+    if (!expect(vb, asn1::kTagSequence, one)) return false;
+    Cursor o(one);
+    ByteView oid;
+    if (!expect(o, asn1::kTagOid, oid) || !oid_content_ok(oid)) return false;
+    std::uint8_t value_tag = 0;
+    ByteView value;
+    if (!read_tlv(o, value_tag, value)) return false;
+    if (!var_value_ok(value_tag, value)) return false;
+  }
+
+  // Same narrowing the full decoder applies (int64 -> int32 / uint32).
+  out.msg_id = static_cast<std::int32_t>(msg_id);
+  out.msg_flags = flags[0];
+  out.engine_id = engine;
+  out.engine_boots = static_cast<std::uint32_t>(boots);
+  out.engine_time = static_cast<std::uint32_t>(time);
+  out.user_name = user;
+  out.pdu_tag = pdu_tag;
+  out.request_id = static_cast<std::int32_t>(request_id);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Direct REPORT writer: bottom-up length precomputation, single reserve.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Content width of a minimal two's-complement INTEGER (what encode_integer
+// emits).
+std::size_t int_content_size(std::int64_t value) {
+  std::size_t n = 0;
+  bool more = true;
+  while (more) {
+    const auto byte = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;
+    more = !((value == 0 && (byte & 0x80) == 0) ||
+             (value == -1 && (byte & 0x80) != 0));
+    ++n;
+  }
+  return n;
+}
+
+// Content width of an unsigned (Counter32-style) value, including the
+// 0x00 pad byte a set top bit forces (what encode_unsigned emits).
+std::size_t unsigned_content_size(std::uint64_t value) {
+  std::size_t n = 0;
+  std::uint8_t top = 0;
+  do {
+    top = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;
+    ++n;
+  } while (value > 0);
+  return (top & 0x80) ? n + 1 : n;
+}
+
+std::size_t length_size(std::size_t length) {
+  if (length < 0x80) return 1;
+  std::size_t n = 0;
+  while (length > 0) {
+    length >>= 8;
+    ++n;
+  }
+  return 1 + n;
+}
+
+// Full TLV width for a given content width.
+std::size_t tlv_size(std::size_t content) {
+  return 1 + length_size(content) + content;
+}
+
+std::size_t oid_content_size(const asn1::Oid& oid) {
+  std::size_t n = 1;  // first two components pack into one byte
+  for (std::size_t i = 2; i < oid.size(); ++i) {
+    std::uint32_t v = oid[i];
+    do {
+      ++n;
+      v >>= 7;
+    } while (v > 0);
+  }
+  return n;
+}
+
+void put_tag_len(Bytes& out, std::uint8_t tag, std::size_t length) {
+  out.push_back(tag);
+  asn1::write_length(out, length);
+}
+
+void put_int(Bytes& out, std::int64_t value) {
+  const std::size_t n = int_content_size(value);  // <= 8, short-form length
+  out.push_back(asn1::kTagInteger);
+  out.push_back(static_cast<std::uint8_t>(n));
+  for (std::size_t i = n; i > 0; --i)
+    out.push_back(static_cast<std::uint8_t>((value >> ((i - 1) * 8)) & 0xff));
+}
+
+void put_unsigned(Bytes& out, std::uint8_t tag, std::uint64_t value) {
+  const std::size_t n = unsigned_content_size(value);  // <= 9
+  out.push_back(tag);
+  out.push_back(static_cast<std::uint8_t>(n));
+  for (std::size_t i = n; i > 0; --i) {
+    // i == 9 is the pad byte (shift by 64 would be UB).
+    out.push_back(i > 8 ? std::uint8_t{0}
+                        : static_cast<std::uint8_t>(
+                              (value >> ((i - 1) * 8)) & 0xff));
+  }
+}
+
+void put_octet_string(Bytes& out, ByteView value) {
+  put_tag_len(out, asn1::kTagOctetString, value.size());
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+void put_oid(Bytes& out, const asn1::Oid& oid, std::size_t content_size) {
+  put_tag_len(out, asn1::kTagOid, content_size);
+  out.push_back(static_cast<std::uint8_t>(oid[0] * 40 + oid[1]));
+  for (std::size_t i = 2; i < oid.size(); ++i) {
+    const std::uint32_t v = oid[i];
+    std::size_t chunks = 0;
+    for (std::uint32_t t = v;; t >>= 7) {
+      ++chunks;
+      if (t < 0x80) break;
+    }
+    for (std::size_t c = chunks; c > 0; --c) {
+      auto byte = static_cast<std::uint8_t>((v >> ((c - 1) * 7)) & 0x7f);
+      if (c > 1) byte |= 0x80;
+      out.push_back(byte);
+    }
+  }
+}
+
+}  // namespace
+
+void encode_report_into(Bytes& out, std::int32_t msg_id,
+                        std::int32_t request_id, ByteView engine_id,
+                        std::uint32_t engine_boots, std::uint32_t engine_time,
+                        std::uint32_t report_counter,
+                        const asn1::Oid& report_oid) {
+  // Bottom-up content widths. Fixed fields: maxSize 65507 encodes in 3
+  // content bytes, msgFlags 0x00 in 1, securityModel 3 in 1, the empty
+  // user/auth/priv strings and contextName in 0, error-status/index in 1.
+  const std::size_t header_content = tlv_size(int_content_size(msg_id)) +
+                                     (2 + 3) + (2 + 1) + (2 + 1);
+
+  const std::size_t engine_tlv = tlv_size(engine_id.size());
+  const std::size_t usm_seq_content =
+      engine_tlv + tlv_size(int_content_size(engine_boots)) +
+      tlv_size(int_content_size(engine_time)) + 2 + 2 + 2;
+  const std::size_t usm_string_content = tlv_size(usm_seq_content);
+
+  const std::size_t oid_content = oid_content_size(report_oid);
+  const std::size_t varbind_content =
+      tlv_size(oid_content) + tlv_size(unsigned_content_size(report_counter));
+  const std::size_t bindings_content = tlv_size(varbind_content);
+  const std::size_t pdu_content = tlv_size(int_content_size(request_id)) +
+                                  (2 + 1) + (2 + 1) +
+                                  tlv_size(bindings_content);
+  const std::size_t scoped_content =
+      engine_tlv + 2 + tlv_size(pdu_content);
+
+  const std::size_t message_content =
+      (2 + 1) +  // msgVersion INTEGER 3
+      tlv_size(header_content) + tlv_size(usm_string_content) +
+      tlv_size(scoped_content);
+
+  out.clear();
+  out.reserve(tlv_size(message_content));
+
+  put_tag_len(out, asn1::kTagSequence, message_content);
+  put_int(out, 3);  // msgVersion
+
+  put_tag_len(out, asn1::kTagSequence, header_content);
+  put_int(out, msg_id);
+  put_int(out, 65507);  // msgMaxSize
+  out.push_back(asn1::kTagOctetString);  // msgFlags: response, noAuthNoPriv
+  out.push_back(1);
+  out.push_back(0x00);
+  put_int(out, snmp::kSecurityModelUsm);
+
+  put_tag_len(out, asn1::kTagOctetString, usm_string_content);
+  put_tag_len(out, asn1::kTagSequence, usm_seq_content);
+  put_octet_string(out, engine_id);
+  put_int(out, engine_boots);
+  put_int(out, engine_time);
+  put_octet_string(out, {});  // user name
+  put_octet_string(out, {});  // authentication parameters
+  put_octet_string(out, {});  // privacy parameters
+
+  put_tag_len(out, asn1::kTagSequence, scoped_content);
+  put_octet_string(out, engine_id);  // contextEngineID
+  put_octet_string(out, {});         // contextName
+  put_tag_len(out, asn1::context_tag(8), pdu_content);  // REPORT
+  put_int(out, request_id);
+  put_int(out, 0);  // error-status
+  put_int(out, 0);  // error-index
+  put_tag_len(out, asn1::kTagSequence, bindings_content);
+  put_tag_len(out, asn1::kTagSequence, varbind_content);
+  put_oid(out, report_oid, oid_content);
+  put_unsigned(out, asn1::kTagCounter32, report_counter);
+}
+
+}  // namespace snmpv3fp::wire

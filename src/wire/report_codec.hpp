@@ -1,0 +1,72 @@
+// Single-pass SNMPv3 wire fast path for the response side of the census.
+//
+// FastReportParser walks the exact RFC 3412 message / RFC 3414 §2.4 USM
+// layout in one bounds-checked pass and returns the fingerprint fields
+// (msgAuthoritativeEngineID as a borrowed view, engineBoots, engineTime)
+// without allocating — no Result<> error strings, no variant tree, no
+// Bytes copies.
+//
+// Fallback contract (the invariant tests/test_wire.cpp fuzzes): the fast
+// parser accepts a SUBSET of what V3Message::decode accepts, and whenever
+// it accepts, the extracted fields equal the full decoder's. Anything it
+// rejects — encrypted messages, v2c, malformed or hostile bytes — the
+// caller routes through V3Message::decode, so the combined path's results
+// are bit-identical to the full codec alone. The fast path and the full
+// codec must never disagree; any divergence is a bug in this file, not a
+// tolerable approximation.
+//
+// encode_report_into is the mirror image for the simulated agents: it
+// writes make_discovery_report(...).encode()'s exact bytes into a reusable
+// buffer with all lengths precomputed bottom-up (one reserve, no
+// intermediate TLV buffers).
+#pragma once
+
+#include <cstdint>
+
+#include "asn1/ber.hpp"
+#include "util/bytes.hpp"
+
+namespace snmpv3fp::wire {
+
+// The fields the scanner (and the simulated agent) needs from a plaintext
+// v3 message. Views borrow from the parsed buffer and are valid only while
+// it is.
+struct V3Fields {
+  std::int32_t msg_id = 0;
+  std::uint8_t msg_flags = 0;
+  util::ByteView engine_id;   // msgAuthoritativeEngineID
+  std::uint32_t engine_boots = 0;
+  std::uint32_t engine_time = 0;
+  util::ByteView user_name;
+  std::uint8_t pdu_tag = 0;   // context tag, e.g. 0xa8 for REPORT
+  std::int32_t request_id = 0;
+};
+
+class FastReportParser {
+ public:
+  // Returns true and fills `out` iff `payload` is a structurally valid
+  // plaintext (priv bit clear) SNMPv3 message that V3Message::decode would
+  // also accept with identical field values. Never throws, never
+  // allocates, never reads out of bounds.
+  static bool parse(util::ByteView payload, V3Fields& out);
+};
+
+inline bool parse_v3_fast(util::ByteView payload, V3Fields& out) {
+  return FastReportParser::parse(payload, out);
+}
+
+// Writes the discovery REPORT (paper Figure 3) for the given fields into
+// `out`, byte-identical to
+//   make_discovery_report(request, engine, boots, time, counter, oid)
+//       .encode()
+// for a request with (msg_id, request_id). Clears and reuses `out`'s
+// capacity: zero allocations once the buffer has grown to the message
+// size. `report_oid` must have >= 2 components with oid[0] <= 2 and
+// oid[1] < 40 (the usmStats OIDs always do).
+void encode_report_into(util::Bytes& out, std::int32_t msg_id,
+                        std::int32_t request_id, util::ByteView engine_id,
+                        std::uint32_t engine_boots, std::uint32_t engine_time,
+                        std::uint32_t report_counter,
+                        const asn1::Oid& report_oid);
+
+}  // namespace snmpv3fp::wire

@@ -18,8 +18,15 @@
 #      additionally fails when any fast-path op allocates or when the fast
 #      parser rejects a payload of the clean REPORT corpus (a fallback on
 #      clean census traffic means its accept set regressed).
+#   5. Parallel-scaling gate: bench_micro_parallel --gate on the full
+#      world must show the columnar filter >= 4x the recorded pre-columnar
+#      single-thread baseline and no stage speedup regressing below 70% of
+#      bench/baselines/BENCH_parallel_before.json (the scan 8-thread >= 3x
+#      gate additionally needs >= 8 hardware threads and self-skips below
+#      that). Skipped under --quick-bench, which swaps in the fast
+#      schema-only run.
 #
-# Usage: scripts/check.sh [--no-tsan] [--no-asan]
+# Usage: scripts/check.sh [--no-tsan] [--no-asan] [--quick-bench]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,11 +34,13 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 RUN_TSAN=1
 RUN_ASAN=1
+QUICK_BENCH=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) RUN_TSAN=0 ;;
     --no-asan) RUN_ASAN=0 ;;
-    *) echo "usage: scripts/check.sh [--no-tsan] [--no-asan]" >&2; exit 2 ;;
+    --quick-bench) QUICK_BENCH=1 ;;
+    *) echo "usage: scripts/check.sh [--no-tsan] [--no-asan] [--quick-bench]" >&2; exit 2 ;;
   esac
 done
 
@@ -41,13 +50,16 @@ cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
 if [[ "$RUN_TSAN" == 1 ]]; then
-  echo "==> TSan: focused parallel/observability race check"
+  echo "==> TSan: focused parallel/observability/columnar race check"
   cmake -B build-tsan -S . -DSNMPFP_SANITIZE=thread
-  cmake --build build-tsan -j "$JOBS" --target test_parallel test_obs
-  # Only the two focused binaries are built; select their gtest suites by
+  cmake --build build-tsan -j "$JOBS" --target test_parallel test_obs test_columnar
+  # Only the focused binaries are built; select their gtest suites by
   # name (unbuilt targets register _NOT_BUILT placeholders ctest must skip).
+  # The columnar suites drive the overlapped join+filter stages and the
+  # radix alias grouping at 8 threads — the paths with real cross-thread
+  # queue handoffs.
   (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-      -R "^(ParallelFor|ParallelMap|ParallelDeterminism|Metrics|Json|Log|Trace|ObsContract)\.")
+      -R "^(ParallelFor|ParallelMap|ParallelDeterminism|Metrics|Json|Log|Trace|ObsContract|EngineDictionaryTest|ColumnarBlockTest|ColumnarCursorTest|ColumnarFilterTest|ColumnarAliasTest|ColumnarPipelineTest)\.")
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -67,5 +79,14 @@ echo "==> bench-artifact schema check (bench_store --quick)"
 
 echo "==> wire fast-path check (bench_wire --quick: schema, zero-alloc, no clean-corpus fallback)"
 (cd build/bench && ./bench_wire --quick >/dev/null)
+
+if [[ "$QUICK_BENCH" == 1 ]]; then
+  echo "==> parallel-scaling gate: quick schema-only run (--quick-bench)"
+  ./build/bench/bench_micro_parallel --quick --gate >/dev/null
+else
+  echo "==> parallel-scaling gate (bench_micro_parallel --gate, full world)"
+  # Run from the repo root so the default --baseline path resolves.
+  ./build/bench/bench_micro_parallel --gate >/dev/null
+fi
 
 echo "==> all checks passed"

@@ -6,6 +6,8 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "store/columnar.hpp"
+
 namespace snmpv3fp::core {
 
 namespace {
@@ -99,10 +101,10 @@ AliasResolution resolve_aliases(
   const auto record_at = [&](std::size_t i) -> const JoinedRecord& {
     return *ptrs[i];
   };
-  // Key: engine ID bytes + boots/reboot of scan 1 (+ scan 2 when enabled).
-  // The key's scalar part is precomputed per record; the engine-ID bytes
-  // are only ever *compared* against a group's stored EngineId, so no
-  // per-record byte-buffer copy is made anywhere.
+  // Key: engine ID (as a dictionary code) + boots/reboot of scan 1
+  // (+ scan 2 when enabled). Once the IDs are dictionary-encoded, every
+  // key comparison below is integer-only — the ID bytes are hashed and
+  // compared exactly once per distinct engine ID, at dictionary insert.
   struct KeyScalars {
     std::uint32_t boots1 = 0;
     std::int64_t reboot1 = 0;
@@ -113,10 +115,44 @@ AliasResolution resolve_aliases(
   };
   const std::size_t n = total;
 
-  // Phase 1: per-record key scalars and a 64-bit key hash, in parallel.
+  obs::Span keys_span(obs.trace(), obs.scoped("alias.keys"));
+  // Phase 1a: dictionary-encode the engine IDs. Chunk count is FIXED (not
+  // thread-derived): per-chunk local dictionaries build in parallel, then
+  // merge into the global code space in chunk order, so codes — and
+  // everything derived from them — never depend on the thread count.
+  constexpr std::size_t kDictChunks = 16;
+  std::vector<std::uint32_t> code(n);
+  store::EngineDictionary dict;
+  {
+    struct ChunkDict {
+      store::EngineDictionary local;
+      std::size_t begin = 0, end = 0;
+    };
+    std::array<ChunkDict, kDictChunks> chunks;
+    util::parallel_for(0, kDictChunks, parallel, [&](std::size_t c) {
+      auto& chunk = chunks[c];
+      chunk.begin = n * c / kDictChunks;
+      chunk.end = n * (c + 1) / kDictChunks;
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+        code[i] = chunk.local.encode(record_at(i).engine_id().raw());
+    });
+    for (auto& chunk : chunks) {
+      std::vector<std::uint32_t> remap(chunk.local.size());
+      for (std::size_t e = 0; e < chunk.local.size(); ++e)
+        remap[e] = dict.encode(chunk.local.entries()[e].raw());
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+        code[i] = remap[code[i]];
+    }
+  }
+  // Per-code hash of the ID bytes, computed once per distinct ID.
+  std::vector<std::uint64_t> id_hash(dict.size());
+  for (std::size_t c = 0; c < dict.size(); ++c)
+    id_hash[c] = store::fnv1a(dict.entries()[c].raw());
+
+  // Phase 1b: per-record key scalars and a 64-bit key hash, in parallel —
+  // integer-only now that the ID contribution is a per-code table lookup.
   std::vector<KeyScalars> scalars(n);
   std::vector<std::uint64_t> hashes(n);
-  obs::Span keys_span(obs.trace(), obs.scoped("alias.keys"));
   util::parallel_for(0, n, parallel, [&](std::size_t i) {
     const auto& record = record_at(i);
     KeyScalars key;
@@ -128,11 +164,7 @@ AliasResolution resolve_aliases(
         key.reboot2 = match_key(options.match, record.second.last_reboot());
       }
     }
-    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the ID bytes
-    for (const std::uint8_t byte : record.engine_id().raw()) {
-      h ^= byte;
-      h *= 1099511628211ULL;
-    }
+    std::uint64_t h = id_hash[code[i]];
     h = util::hash_combine(h, key.boots1);
     h = util::hash_combine(h, static_cast<std::uint64_t>(key.reboot1));
     h = util::hash_combine(h, key.boots2);
@@ -143,51 +175,63 @@ AliasResolution resolve_aliases(
   keys_span.finish();
 
   obs::Span bucket_span(obs.trace(), obs.scoped("alias.bucket"));
-  // Phase 2: bucket record indices by hash shard. The shard count is fixed
-  // (not thread-derived) so the grouping structure never depends on the
-  // thread count; equal keys always share a hash and thus a shard.
-  constexpr std::size_t kShards = 16;
-  std::array<std::vector<std::uint32_t>, kShards> buckets;
-  for (auto& bucket : buckets) bucket.reserve(n / kShards + 1);
-  for (std::size_t i = 0; i < n; ++i)
-    buckets[hashes[i] % kShards].push_back(static_cast<std::uint32_t>(i));
+  // Phase 2: radix partition by the low hash byte — a counting sort into
+  // 256 buckets, stable, so each bucket lists its records in input order.
+  // The bucket count is fixed (not thread-derived); equal keys always
+  // share a hash and thus a bucket.
+  constexpr std::size_t kRadixBuckets = 256;
+  std::array<std::uint32_t, kRadixBuckets + 1> offsets{};
+  for (std::size_t i = 0; i < n; ++i) ++offsets[(hashes[i] & 0xFF) + 1];
+  for (std::size_t b = 0; b < kRadixBuckets; ++b)
+    offsets[b + 1] += offsets[b];
+  std::vector<std::uint32_t> order(n);
+  {
+    auto cursor = offsets;  // copy: running write positions per bucket
+    for (std::size_t i = 0; i < n; ++i)
+      order[cursor[hashes[i] & 0xFF]++] = static_cast<std::uint32_t>(i);
+  }
   bucket_span.finish();
 
   obs::Span group_span(obs.trace(), obs.scoped("alias.group"));
-  // Phase 3: group each shard independently. Hash collisions between
-  // distinct keys are resolved by comparing the full key (ID bytes against
-  // the group's stored EngineId plus the scalars).
-  struct ShardGroups {
+  // Phase 3: group each bucket independently. Hash collisions between
+  // distinct keys are resolved by comparing (code, scalars) — integers
+  // only; the dictionary made byte comparison unnecessary.
+  struct BucketGroups {
     std::vector<AliasSet> sets;
-    std::vector<KeyScalars> keys;  // key scalars per set, for the merge sort
+    std::vector<KeyScalars> keys;  // key scalars per set, for the merge
+    std::vector<std::uint32_t> codes;  // engine-ID code per set
   };
-  std::array<ShardGroups, kShards> shards;
-  util::parallel_for(0, kShards, parallel, [&](std::size_t shard) {
-    auto& out = shards[shard];
+  std::vector<BucketGroups> groups(kRadixBuckets);
+  util::parallel_for(0, kRadixBuckets, parallel, [&](std::size_t bucket) {
+    auto& out = groups[bucket];
+    const std::uint32_t begin = offsets[bucket];
+    const std::uint32_t end = offsets[bucket + 1];
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_hash;
-    by_hash.reserve(buckets[shard].size());
-    for (const std::uint32_t index : buckets[shard]) {
-      const auto& record = record_at(index);
+    by_hash.reserve(end - begin);
+    for (std::uint32_t slot = begin; slot < end; ++slot) {
+      const std::uint32_t index = order[slot];
       auto& candidates = by_hash[hashes[index]];
       std::uint32_t group = ~std::uint32_t{0};
       for (const std::uint32_t candidate : candidates) {
-        if (out.keys[candidate] == scalars[index] &&
-            out.sets[candidate].engine_id.raw() == record.engine_id().raw()) {
+        if (out.codes[candidate] == code[index] &&
+            out.keys[candidate] == scalars[index]) {
           group = candidate;
           break;
         }
       }
       if (group == ~std::uint32_t{0}) {
+        const auto& record = record_at(index);
         group = static_cast<std::uint32_t>(out.sets.size());
         AliasSet set;
-        set.engine_id = record.engine_id();
+        set.engine_id = dict.entries()[code[index]];
         set.engine_boots = record.first.engine_boots;
         set.last_reboot = record.first.last_reboot();
         out.sets.push_back(std::move(set));
         out.keys.push_back(scalars[index]);
+        out.codes.push_back(code[index]);
         candidates.push_back(group);
       }
-      out.sets[group].addresses.push_back(record.address);
+      out.sets[group].addresses.push_back(record_at(index).address);
     }
     for (auto& set : out.sets)
       std::sort(set.addresses.begin(), set.addresses.end());
@@ -195,28 +239,40 @@ AliasResolution resolve_aliases(
   group_span.finish();
 
   obs::Span merge_span(obs.trace(), obs.scoped("alias.merge"));
-  // Phase 4: merge shards into canonical key order — (ID bytes, boots1,
+  // Phase 4: merge buckets into canonical key order — (ID bytes, boots1,
   // reboot1, boots2, reboot2) lexicographically, exactly the order the
-  // former std::map<Key> produced. Distinct groups have distinct keys, so
-  // the order is total.
+  // former std::map<Key> produced. The byte comparison collapses to an
+  // integer rank precomputed once over the dictionary. Distinct groups
+  // have distinct keys, so the order is total.
+  std::vector<std::uint32_t> rank(dict.size());
+  {
+    std::vector<std::uint32_t> by_bytes(dict.size());
+    for (std::uint32_t c = 0; c < dict.size(); ++c) by_bytes[c] = c;
+    std::sort(by_bytes.begin(), by_bytes.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return dict.entries()[a].raw() < dict.entries()[b].raw();
+              });
+    for (std::uint32_t r = 0; r < by_bytes.size(); ++r)
+      rank[by_bytes[r]] = r;
+  }
   struct GroupRef {
-    std::uint32_t shard;
+    std::uint32_t bucket;
     std::uint32_t index;
   };
   std::vector<GroupRef> refs;
   std::size_t total_groups = 0;
-  for (const auto& shard : shards) total_groups += shard.sets.size();
+  for (const auto& bucket : groups) total_groups += bucket.sets.size();
   refs.reserve(total_groups);
-  for (std::uint32_t s = 0; s < kShards; ++s)
-    for (std::uint32_t g = 0; g < shards[s].sets.size(); ++g)
-      refs.push_back({s, g});
+  for (std::uint32_t b = 0; b < kRadixBuckets; ++b)
+    for (std::uint32_t g = 0; g < groups[b].sets.size(); ++g)
+      refs.push_back({b, g});
   std::sort(refs.begin(), refs.end(),
             [&](const GroupRef& a, const GroupRef& b) {
-              const auto& id_a = shards[a.shard].sets[a.index].engine_id.raw();
-              const auto& id_b = shards[b.shard].sets[b.index].engine_id.raw();
-              if (id_a != id_b) return id_a < id_b;
-              const auto& key_a = shards[a.shard].keys[a.index];
-              const auto& key_b = shards[b.shard].keys[b.index];
+              const std::uint32_t rank_a = rank[groups[a.bucket].codes[a.index]];
+              const std::uint32_t rank_b = rank[groups[b.bucket].codes[b.index]];
+              if (rank_a != rank_b) return rank_a < rank_b;
+              const auto& key_a = groups[a.bucket].keys[a.index];
+              const auto& key_b = groups[b.bucket].keys[b.index];
               return std::tie(key_a.boots1, key_a.reboot1, key_a.boots2,
                               key_a.reboot2) <
                      std::tie(key_b.boots1, key_b.reboot1, key_b.boots2,
@@ -226,7 +282,7 @@ AliasResolution resolve_aliases(
   AliasResolution resolution;
   resolution.sets.reserve(total_groups);
   for (const auto& ref : refs)
-    resolution.sets.push_back(std::move(shards[ref.shard].sets[ref.index]));
+    resolution.sets.push_back(std::move(groups[ref.bucket].sets[ref.index]));
   merge_span.finish();
 
   if (obs.enabled()) {

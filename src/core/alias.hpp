@@ -59,9 +59,12 @@ struct AliasResolution {
 
 // Groups records into alias sets. Records from both families may be mixed;
 // identical keys then produce dual-stack sets (paper §5.1's final step).
-// Grouping is two-phase: per-record 64-bit key hashes computed in parallel,
-// then a fixed number of hash shards grouped independently and merged into
-// canonical key order — output is bit-identical at any thread count.
+// Grouping is radix-hash over dictionary-encoded engine IDs: a fixed
+// number of dictionary chunks built in parallel and merged, per-record key
+// hashes over the integer codes, a 256-bucket counting sort on the low
+// hash byte, then per-bucket grouping with integer (code, scalar) key
+// verification, merged into canonical key order — output is bit-identical
+// at any thread count.
 // `obs` (execution-only) records one span per resolution phase (keys /
 // bucket / group / merge) plus set-count metrics.
 AliasResolution resolve_aliases(std::span<const JoinedRecord> records,

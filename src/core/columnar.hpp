@@ -1,0 +1,119 @@
+// Columnar execution of the analysis funnel (execution-only, see the
+// `columnar` knob in core/pipeline.hpp).
+//
+// The filter funnel consults a handful of scalar fields per record plus a
+// few predicates of the engine ID. Row-layout execution re-derives the
+// engine-ID predicates (format parse, OUI lookup, routability) per record
+// per stage; columnar execution pivots a batch of JoinedRecords into flat
+// per-field columns with both scans' engine IDs dictionary-encoded through
+// ONE shared dictionary, so
+//   - engine-ID equality between the scans is a u32 compare (shared
+//     dictionary: code equality <=> byte equality), and
+//   - every engine-ID predicate is evaluated once per *distinct* engine ID
+//     for the whole run, not once per record per stage.
+// The verdict loop is then a single branch-light pass over integer
+// columns. Drop accounting decomposes exactly as apply_stream's does:
+// verdict_row = first failed row-local stage (promiscuous skipped), the
+// promiscuous census runs over rows alive before its position, and the
+// final verdict re-inserts the promiscuous stage — bit-identical to
+// FilterPipeline::apply on the same input (tests/test_columnar.cpp).
+//
+// ColumnarFunnel is incremental so the store-backed pipeline can overlap
+// stages: feed() consumes pivoted blocks as the merge join produces them
+// (core/overlap.hpp), finish() runs the census and materializes survivors
+// once the last block has arrived.
+#pragma once
+
+#include <span>
+
+#include "core/filters.hpp"
+#include "store/columnar.hpp"
+
+namespace snmpv3fp::core {
+
+// Funnel-relevant columns of a JoinedRecord batch. Deliberately NOT a full
+// pivot: addresses, send times and response counters are never consulted
+// by the filter stages, and survivors rematerialize from the caller's row
+// vector, so pivoting them would be pure memory traffic.
+struct ColumnarJoined {
+  store::EngineDictionary dict;  // shared by BOTH scans' engine IDs
+  struct Side {
+    std::vector<std::uint32_t> engine_code;
+    std::vector<std::uint32_t> engine_boots;
+    std::vector<std::uint32_t> engine_time;
+    std::vector<util::VTime> receive_time;
+  } first, second;
+
+  std::size_t size() const { return first.engine_code.size(); }
+  const std::vector<snmp::EngineId>& dictionary() const {
+    return dict.entries();
+  }
+
+  void append(const JoinedRecord& record);
+  static ColumnarJoined from_rows(std::span<const JoinedRecord> rows);
+};
+
+// Incremental columnar filter executor. Usage:
+//   ColumnarFunnel funnel(options);
+//   for each block (in row order): funnel.feed(block, parallel);
+//   report = funnel.finish(all_rows, survivors, parallel, obs);
+// feed() computes per-row verdicts for the row-local stages; finish() runs
+// the promiscuous census over the accumulated verdicts and materializes
+// survivors from `rows` (which must be the concatenation, in order, of
+// every row fed). Blocks must arrive in row order — the verdict store is
+// positional.
+class ColumnarFunnel {
+ public:
+  explicit ColumnarFunnel(FilterOptions options);
+
+  void feed(const ColumnarJoined& block,
+            const util::ParallelOptions& parallel = {});
+
+  // Row-layout entry point: encodes both engine IDs of every row straight
+  // into the run-global dictionary (no per-batch pivot, no remap pass) and
+  // computes the same verdicts feed() would. apply_columnar uses this when
+  // the input is already materialized as rows.
+  void feed_rows(std::span<const JoinedRecord> rows,
+                 const util::ParallelOptions& parallel = {});
+
+  // Emits per-stage dropped.<slug> and output counters on `obs` (the
+  // caller owns the surrounding "filter" span and input counter, since
+  // feeding may be spread across an overlapped region).
+  FilterReport finish(std::span<const JoinedRecord> rows,
+                      std::vector<JoinedRecord>& survivors,
+                      const util::ParallelOptions& parallel = {},
+                      const obs::ObsOptions& obs = {});
+
+  std::size_t rows_fed() const { return verdict_row_.size(); }
+
+ private:
+  // Predicates of one distinct engine ID, evaluated once at dictionary
+  // insertion and reused by every row that carries the ID.
+  struct CodeInfo {
+    bool empty = false;
+    bool too_short = false;
+    bool unroutable_v4 = false;
+    bool unregistered_mac = false;
+    bool has_payload = false;
+    bool has_census_key = false;  // enterprise + non-empty payload
+    std::uint32_t enterprise = 0;
+    // View into dict_'s entry for this code — stable because entries only
+    // append and the underlying byte buffers move, never reallocate.
+    util::ByteView payload;
+  };
+
+  // Code of `id` in the run-global dictionary, evaluating the CodeInfo
+  // predicates once on first appearance.
+  std::uint32_t encode_id(const snmp::EngineId& id);
+
+  FilterOptions options_;
+  store::EngineDictionary dict_;  // run-global code space
+  std::vector<CodeInfo> info_;
+  // Per row fed: first failed row-local stage position (promiscuous
+  // treated as passing), kFilterStageCount when none; and the first scan's
+  // run-global engine-ID code for the census.
+  std::vector<std::uint8_t> verdict_row_;
+  std::vector<std::uint32_t> code_;
+};
+
+}  // namespace snmpv3fp::core

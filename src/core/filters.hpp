@@ -84,6 +84,17 @@ class FilterPipeline {
                             const util::ParallelOptions& parallel = {},
                             const obs::ObsOptions& obs = {}) const;
 
+  // Columnar variant (core/columnar.hpp): pivots the input into per-field
+  // column slices with dictionary-encoded engine IDs and runs the funnel
+  // as one branch-light verdict pass, evaluating engine-ID predicates once
+  // per distinct ID instead of once per record per stage. Report and
+  // survivors are bit-identical to `apply`/`apply_stream` on the same
+  // input (tests/test_columnar.cpp). Implemented in core/columnar.cpp.
+  FilterReport apply_columnar(std::span<const JoinedRecord> input,
+                              std::vector<JoinedRecord>& survivors,
+                              const util::ParallelOptions& parallel = {},
+                              const obs::ObsOptions& obs = {}) const;
+
   const FilterOptions& options() const { return options_; }
 
  private:

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "store/columnar.hpp"
 #include "store/record_store.hpp"
 
 namespace snmpv3fp::core {
@@ -50,43 +51,102 @@ std::vector<JoinedRecord> join_vectors(
   return joined;
 }
 
+// One side of the columnar merge join: a columnar block cursor plus the
+// in-block position. Advancing past the last row loads the next block.
+struct BlockStream {
+  store::RecordStore::ColumnarCursor cursor;
+  store::ColumnarBlock block;
+  std::size_t pos = 0;
+  bool have = false;
+
+  explicit BlockStream(const store::RecordStore& owner)
+      : cursor(owner.columnar_cursor()) {
+    advance_block();
+  }
+  void advance_block() {
+    pos = 0;
+    have = cursor.next_block(block);
+  }
+  void advance() {
+    if (++pos >= block.size()) advance_block();
+  }
+  const net::IpAddress& address() const { return block.target[pos]; }
+};
+
+}  // namespace
+
 // Store-backed path: external-sort both stores by address (bounded RAM),
-// then a two-cursor merge join. Addresses are unique within a scan, so
-// the address-ordered match sequence is exactly the hash join's output
-// after its final sort. nullopt when a store block read fails.
-std::optional<std::vector<JoinedRecord>> join_stores(
-    const scan::ScanResult& first, const scan::ScanResult& second) {
+// then a two-cursor columnar merge join. Addresses are unique within a
+// scan, so the address-ordered match sequence is exactly the hash join's
+// output after its final sort.
+bool join_stores_blocked(
+    const scan::ScanResult& first, const scan::ScanResult& second,
+    std::size_t block_rows,
+    const std::function<void(std::vector<JoinedRecord>&&)>& emit) {
   const store::StoreOptions& opts = first.store->options();
   const std::size_t chunk = store::sort_chunk_records(opts);
-  const auto sorted1 =
-      store::sort_stores({first.store.get()}, store::SortKey::kAddress, opts,
-                         first.store->name() + "_joinkey", chunk);
-  const auto sorted2 =
-      store::sort_stores({second.store.get()}, store::SortKey::kAddress, opts,
-                         second.store->name() + "_joinkey", chunk);
-  if (sorted1 == nullptr || sorted2 == nullptr) return std::nullopt;
+  // The two sorts are independent (distinct sources, distinct output
+  // names); running them on dedicated threads halves the pre-join stall
+  // the ordered-merge barrier used to serialize.
+  std::unique_ptr<store::RecordStore> sorted1, sorted2;
+  util::run_overlapped(
+      {[&] {
+         sorted1 = store::sort_stores({first.store.get()},
+                                      store::SortKey::kAddress, opts,
+                                      first.store->name() + "_joinkey", chunk);
+       },
+       [&] {
+         sorted2 = store::sort_stores({second.store.get()},
+                                      store::SortKey::kAddress, opts,
+                                      second.store->name() + "_joinkey",
+                                      chunk);
+       }});
+  if (sorted1 == nullptr || sorted2 == nullptr) {
+    if (sorted1 != nullptr) sorted1->remove_files();
+    if (sorted2 != nullptr) sorted2->remove_files();
+    return false;
+  }
 
-  std::vector<JoinedRecord> joined;
-  auto c1 = sorted1->cursor();
-  auto c2 = sorted2->cursor();
-  scan::ScanRecord r1, r2;
-  bool have1 = c1.next(r1);
-  bool have2 = c2.next(r2);
-  while (have1 && have2) {
-    if (r1.target < r2.target) {
-      have1 = c1.next(r1);
-    } else if (r2.target < r1.target) {
-      have2 = c2.next(r2);
+  if (block_rows == 0) block_rows = 1;
+  std::vector<JoinedRecord> out;
+  out.reserve(block_rows);
+  BlockStream s1(*sorted1);
+  BlockStream s2(*sorted2);
+  while (s1.have && s2.have) {
+    if (s1.address() < s2.address()) {
+      s1.advance();
+    } else if (s2.address() < s1.address()) {
+      s2.advance();
     } else {
-      joined.push_back({r1.target, r1, r2});
-      have1 = c1.next(r1);
-      have2 = c2.next(r2);
+      out.push_back({s1.address(), s1.block.row(s1.pos), s2.block.row(s2.pos)});
+      if (out.size() >= block_rows) {
+        emit(std::move(out));
+        out = {};
+        out.reserve(block_rows);
+      }
+      s1.advance();
+      s2.advance();
     }
   }
-  const bool failed = !c1.error().empty() || !c2.error().empty();
+  const bool failed =
+      !s1.cursor.error().empty() || !s2.cursor.error().empty();
   sorted1->remove_files();
   sorted2->remove_files();
-  if (failed) return std::nullopt;
+  if (failed) return false;
+  if (!out.empty()) emit(std::move(out));
+  return true;
+}
+
+namespace {
+
+std::optional<std::vector<JoinedRecord>> join_stores(
+    const scan::ScanResult& first, const scan::ScanResult& second) {
+  std::vector<JoinedRecord> joined;
+  const bool ok = join_stores_blocked(
+      first, second, 4096, [&joined](std::vector<JoinedRecord>&& block) {
+        std::move(block.begin(), block.end(), std::back_inserter(joined));
+      });
+  if (!ok) return std::nullopt;
   return joined;
 }
 

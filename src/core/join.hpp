@@ -4,6 +4,7 @@
 // consistency signals every later stage keys on.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "scan/record.hpp"
@@ -47,5 +48,19 @@ std::vector<JoinedRecord> join_scans(
     const scan::ScanResult& first, const scan::ScanResult& second,
     JoinStats* stats = nullptr,
     const util::ParallelOptions& parallel = {});
+
+// Store-backed streaming join (both results must be store-backed):
+// external-sorts both stores by address — the two sorts run concurrently
+// on dedicated threads — then merge-joins them through columnar block
+// cursors (store/columnar.hpp), so each sealed block is decoded once,
+// straight into columns, and only *matched* rows ever materialize as
+// ScanRecords. Matched pairs are emitted in address order as blocks of at
+// most `block_rows` JoinedRecords; `emit` is called on the joining thread,
+// in order. Returns false when a store block read fails (the caller falls
+// back to the materializing join).
+bool join_stores_blocked(
+    const scan::ScanResult& first, const scan::ScanResult& second,
+    std::size_t block_rows,
+    const std::function<void(std::vector<JoinedRecord>&&)>& emit);
 
 }  // namespace snmpv3fp::core

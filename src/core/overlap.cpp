@@ -1,0 +1,67 @@
+#include "core/overlap.hpp"
+
+#include <atomic>
+#include <iterator>
+
+#include "core/columnar.hpp"
+
+namespace snmpv3fp::core {
+
+namespace {
+
+// Rows per queued block and blocks in flight. 4096 rows keeps a block's
+// working set cache-friendly; 4 blocks in flight bounds the producer's
+// lead to ~16k rows beyond what the consumer has absorbed.
+constexpr std::size_t kOverlapBlockRows = 4096;
+constexpr std::size_t kOverlapQueueBlocks = 4;
+
+}  // namespace
+
+OverlapOutcome join_filter_overlapped(const scan::ScanResult& first,
+                                      const scan::ScanResult& second,
+                                      const FilterPipeline& filter,
+                                      const util::ParallelOptions& parallel,
+                                      const obs::ObsOptions& obs) {
+  OverlapOutcome outcome;
+  util::BoundedQueue<std::vector<JoinedRecord>> queue(kOverlapQueueBlocks);
+  std::atomic<bool> join_ok{false};
+  ColumnarFunnel funnel(filter.options());
+
+  util::run_overlapped(
+      {// Consumer (calling thread): pivot each block, run the verdict
+       // pass, keep the raw rows — blocks arrive and are fed strictly in
+       // production order, so the funnel state is thread-count-invariant.
+       [&] {
+         try {
+           while (auto block = queue.pop()) {
+             funnel.feed(ColumnarJoined::from_rows(*block), parallel);
+             std::move(block->begin(), block->end(),
+                       std::back_inserter(outcome.joined));
+           }
+         } catch (...) {
+           queue.close();  // unblock the producer before propagating
+           throw;
+         }
+       },
+       // Producer: streaming merge join over the sorted stores.
+       [&] {
+         const bool ok = join_stores_blocked(
+             first, second, kOverlapBlockRows,
+             [&queue](std::vector<JoinedRecord>&& block) {
+               queue.push(std::move(block));
+             });
+         join_ok.store(ok, std::memory_order_release);
+         queue.close();
+       }});
+
+  if (!join_ok.load(std::memory_order_acquire)) return outcome;  // ok=false
+  outcome.stats.overlap = outcome.joined.size();
+  outcome.stats.first_only = first.responsive() - outcome.joined.size();
+  outcome.stats.second_only = second.responsive() - outcome.joined.size();
+  outcome.report =
+      funnel.finish(outcome.joined, outcome.survivors, parallel, obs);
+  outcome.ok = true;
+  return outcome;
+}
+
+}  // namespace snmpv3fp::core

@@ -1,5 +1,8 @@
 #include "core/pipeline.hpp"
 
+#include "core/overlap.hpp"
+#include "obs/log.hpp"
+
 namespace snmpv3fp::core {
 
 AddressSet PipelineResult::responsive_v4() const {
@@ -126,34 +129,61 @@ PipelineResult run_full_pipeline(topo::World world,
                               result.v4_campaign.scan1.start_time);
   }
 
-  // Join, filter, resolve.
-  {
-    obs::Span span(obs.trace(), obs.scoped("join"));
-    result.v4_joined = join_scans(result.v4_campaign.scan1,
-                                  result.v4_campaign.scan2,
-                                  &result.v4_join_stats, options.parallel);
-    result.v6_joined = join_scans(result.v6_campaign.scan1,
-                                  result.v6_campaign.scan2,
-                                  &result.v6_join_stats, options.parallel);
-  }
-
+  // Join + filter. Three execution shapes, one bit-identical output:
+  // columnar+store overlaps the streaming join with the filter's verdict
+  // pass (core/overlap.hpp); columnar in-RAM pivots the joined vector and
+  // filters it columnar-ly; the legacy shapes stay as fallbacks and as the
+  // reference for the identity tests.
   const FilterPipeline pipeline(options.filter);
-  if (!options.store.dir.empty()) {
-    // Memory-bounded path: stream the joined records through the funnel,
-    // keeping only survivors (bit-identical report and output; see
-    // FilterPipeline::apply_stream).
-    result.v4_report = pipeline.apply_stream(
-        result.v4_joined, result.v4_records, options.parallel, obs.sub("v4"));
-    result.v6_report = pipeline.apply_stream(
-        result.v6_joined, result.v6_records, options.parallel, obs.sub("v6"));
-  } else {
-    result.v4_records = result.v4_joined;
-    result.v4_report =
-        pipeline.apply(result.v4_records, options.parallel, obs.sub("v4"));
-    result.v6_records = result.v6_joined;
-    result.v6_report =
-        pipeline.apply(result.v6_records, options.parallel, obs.sub("v6"));
-  }
+  const bool store_backed = !options.store.dir.empty();
+  const auto join_filter_family =
+      [&](const scan::CampaignPair& campaign, JoinStats& stats,
+          std::vector<JoinedRecord>& joined, std::vector<JoinedRecord>& records,
+          FilterReport& report, const obs::ObsOptions& family_obs) {
+        const bool can_overlap = options.columnar && campaign.scan1.store_backed() &&
+                                 campaign.scan2.store_backed();
+        if (can_overlap) {
+          obs::Span span(obs.trace(), family_obs.scoped("join_filter"));
+          auto outcome = join_filter_overlapped(campaign.scan1, campaign.scan2,
+                                                pipeline, options.parallel,
+                                                family_obs);
+          if (outcome.ok) {
+            if (family_obs.enabled())
+              family_obs.counter("input").add(outcome.report.input);
+            stats = outcome.stats;
+            joined = std::move(outcome.joined);
+            records = std::move(outcome.survivors);
+            report = outcome.report;
+            return;
+          }
+          // Store damage mid-stream: fall through to the materializing
+          // join + row filter (both fail soft on damaged blocks).
+          obs::log_warn("overlapped join+filter failed, falling back",
+                        {{"first", campaign.scan1.label},
+                         {"second", campaign.scan2.label}});
+        }
+        {
+          obs::Span span(obs.trace(), obs.scoped("join"));
+          joined = join_scans(campaign.scan1, campaign.scan2, &stats,
+                              options.parallel);
+        }
+        if (options.columnar) {
+          report = pipeline.apply_columnar(joined, records, options.parallel,
+                                           family_obs);
+        } else if (store_backed) {
+          report = pipeline.apply_stream(joined, records, options.parallel,
+                                         family_obs);
+        } else {
+          records = joined;
+          report = pipeline.apply(records, options.parallel, family_obs);
+        }
+      };
+  join_filter_family(result.v4_campaign, result.v4_join_stats,
+                     result.v4_joined, result.v4_records, result.v4_report,
+                     obs.sub("v4"));
+  join_filter_family(result.v6_campaign, result.v6_join_stats,
+                     result.v6_joined, result.v6_records, result.v6_report,
+                     obs.sub("v6"));
 
   // Both families resolve together (dual-stack sets); the multi-span form
   // reads the two survivor vectors in place instead of concatenating.

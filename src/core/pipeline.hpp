@@ -71,6 +71,16 @@ struct PipelineOptions {
   // cursors, and filtering streams the join without the pre-filter copy.
   // PipelineResult is bit-identical either way (tests/test_store.cpp).
   store::StoreOptions store;
+  // Columnar analysis + stage overlap (core/columnar.hpp, core/overlap.hpp,
+  // docs/ARCHITECTURE.md §6). Execution-only knob: on, the filter funnel
+  // runs as a branch-light verdict pass over per-field column slices with
+  // dictionary-encoded engine IDs, and (store-backed runs) the merge join
+  // streams blocks into the funnel through a bounded queue instead of
+  // barriering between the stages. PipelineResult is bit-identical on or
+  // off at any thread count (tests/test_columnar.cpp), and — like
+  // wire_fast_path — the knob is excluded from the checkpoint config
+  // digest, so checkpoints written either way resume interchangeably.
+  bool columnar = true;
 };
 
 struct PipelineResult {

@@ -5,16 +5,29 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <span>
 
 namespace snmpv3fp::scan {
 
 namespace {
 
+// Orders records by the global pacing schedule. send_time plus target is
+// a total order over scan records (one probe per target), so any sorted
+// sequence of the same records is unique — per-shard sorts followed by a
+// k-way merge reproduce the historical concatenate-and-sort output bit
+// for bit.
+bool record_schedule_less(const ScanRecord& a, const ScanRecord& b) {
+  if (a.send_time != b.send_time) return a.send_time < b.send_time;
+  return a.target < b.target;
+}
+
 // Merges per-shard scan results back into one ScanResult ordered by probe
 // time (the global pacing schedule), so the merged record order never
 // depends on shard boundaries or scheduling. Store-backed shards merge via
 // an external merge sort into one store (bounded RAM) and their per-shard
-// files are removed; in-RAM shards concatenate and sort as before.
+// files are removed; in-RAM shards arrive already sorted from the workers
+// (sorting rides inside the parallel region) and k-way merge here — the
+// serial tail is a single linear merge pass instead of a full sort.
 ScanResult merge_shard_results(std::vector<ScanResult>& shards,
                                const store::StoreOptions& store_options,
                                const std::string& label) {
@@ -59,21 +72,34 @@ ScanResult merge_shard_results(std::vector<ScanResult>& shards,
                   {{"scan", label}});
     for (auto& shard : shards) {
       shard.records = shard.store->materialize();
+      // Materialized records come back in store (receive) order, not the
+      // schedule order the worker-side sort guarantees for in-RAM shards.
+      std::sort(shard.records.begin(), shard.records.end(),
+                record_schedule_less);
       shard.store.reset();
     }
   }
 
+  // K-way merge of the per-shard sorted runs. Shard schedules interleave
+  // (shard k's j-th probe is global probe b_k + j), so this is a genuine
+  // merge, but shard counts are small enough that a linear min-select
+  // beats a heap.
   std::size_t total_records = 0;
   for (const auto& shard : shards) total_records += shard.records.size();
   merged.records.reserve(total_records);
-  for (auto& shard : shards)
-    std::move(shard.records.begin(), shard.records.end(),
-              std::back_inserter(merged.records));
-  std::sort(merged.records.begin(), merged.records.end(),
-            [](const ScanRecord& a, const ScanRecord& b) {
-              if (a.send_time != b.send_time) return a.send_time < b.send_time;
-              return a.target < b.target;
-            });
+  std::vector<std::size_t> heads(shards.size(), 0);
+  while (merged.records.size() < total_records) {
+    std::size_t best = shards.size();
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      if (heads[k] >= shards[k].records.size()) continue;
+      if (best == shards.size() ||
+          record_schedule_less(shards[k].records[heads[k]],
+                               shards[best].records[heads[best]]))
+        best = k;
+    }
+    merged.records.push_back(std::move(shards[best].records[heads[best]]));
+    ++heads[best];
+  }
   return merged;
 }
 
@@ -384,8 +410,8 @@ CampaignPair run_two_scan_campaign(topo::World& world,
 
       const std::size_t begin = shard * base + std::min(shard, extra);
       const std::size_t end = begin + base + (shard < extra ? 1 : 0);
-      const std::vector<net::IpAddress> slice(order.begin() + begin,
-                                              order.begin() + end);
+      const std::span<const net::IpAddress> slice(order.data() + begin,
+                                                  end - begin);
       ProbeConfig probe;
       probe.label = label;
       probe.rate_pps = options.rate_pps;
@@ -415,6 +441,15 @@ CampaignPair run_two_scan_campaign(topo::World& world,
       // aborted — the final persisted file must not re-probe it on resume.
       // end_time is only set after the final drain, never on an abort.
       const bool ran_to_end = result.end_time != 0;
+      // In-RAM shards sort their own records here, inside the parallel
+      // region, so the post-barrier merge is a linear k-way pass. The sort
+      // must precede mark_complete: a completed shard's checkpointed
+      // records re-enter the merge as-is on resume. Mid-scan snapshots are
+      // untouched (the prober checkpoints receive-order records; a resumed
+      // shard appends to them and sorts here at its own end).
+      if (ran_to_end)
+        std::sort(result.records.begin(), result.records.end(),
+                  record_schedule_less);
       if (store.enabled() && ran_to_end)
         store.mark_complete(shard, result, fabrics[shard]->snapshot(),
                             shard_store != nullptr

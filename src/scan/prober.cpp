@@ -109,11 +109,16 @@ std::size_t Prober::drain(
   return new_records;
 }
 
-ScanResult Prober::run(const std::vector<net::IpAddress>& targets,
+ScanResult Prober::run(std::span<const net::IpAddress> targets,
                        const ProbeConfig& config, util::VTime start_time) {
   util::Rng rng(config.seed);
-  std::vector<net::IpAddress> order = targets;
-  if (config.randomize_order) rng.shuffle(order);
+  std::span<const net::IpAddress> order = targets;
+  std::vector<net::IpAddress> shuffled;
+  if (config.randomize_order) {
+    shuffled.assign(targets.begin(), targets.end());
+    rng.shuffle(shuffled);
+    order = shuffled;
+  }
 
   AdaptivePacer pacer(config.rate_pps, config.pacer, rng);
   // Wire fast path: one template per run (three full encodes to build),

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -75,8 +76,10 @@ class Prober {
       : transport_(transport), source_(std::move(source)) {}
 
   // Runs one campaign over `targets` starting at `start_time` (transport
-  // time is advanced to it first). One probe per target, no retries.
-  ScanResult run(const std::vector<net::IpAddress>& targets,
+  // time is advanced to it first). One probe per target, no retries. The
+  // span is only copied when `randomize_order` needs a mutable shuffle —
+  // sharded campaigns pass pre-shuffled views straight into the slices.
+  ScanResult run(std::span<const net::IpAddress> targets,
                  const ProbeConfig& config, util::VTime start_time);
 
  private:

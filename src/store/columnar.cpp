@@ -1,0 +1,242 @@
+#include "store/columnar.hpp"
+
+#include <algorithm>
+
+namespace snmpv3fp::store {
+
+std::uint64_t fnv1a(util::ByteView data) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+bool equal_bytes(const util::Bytes& a, util::ByteView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+std::uint32_t get_u32le(util::ByteView data, std::size_t pos) {
+  return static_cast<std::uint32_t>(data[pos]) |
+         (static_cast<std::uint32_t>(data[pos + 1]) << 8) |
+         (static_cast<std::uint32_t>(data[pos + 2]) << 16) |
+         (static_cast<std::uint32_t>(data[pos + 3]) << 24);
+}
+
+}  // namespace
+
+// ---- EngineDictionary ----
+
+std::uint32_t EngineDictionary::encode(util::ByteView raw) {
+  if (slots_.empty()) grow();
+  std::uint64_t slot = fnv1a(raw) & mask_;
+  for (;;) {
+    const std::uint32_t entry = slots_[slot];
+    if (entry == 0) break;
+    if (equal_bytes(entries_[entry - 1].raw(), raw)) return entry - 1;
+    slot = (slot + 1) & mask_;
+  }
+  const auto code = static_cast<std::uint32_t>(entries_.size());
+  entries_.emplace_back(util::Bytes(raw.begin(), raw.end()));
+  slots_[slot] = code + 1;
+  // Keep the table under ~70% load so probe chains stay short.
+  if ((entries_.size() + 1) * 10 >= slots_.size() * 7) grow();
+  return code;
+}
+
+bool EngineDictionary::find(util::ByteView raw, std::uint32_t& code) const {
+  if (slots_.empty()) return false;
+  std::uint64_t slot = fnv1a(raw) & mask_;
+  for (;;) {
+    const std::uint32_t entry = slots_[slot];
+    if (entry == 0) return false;
+    if (equal_bytes(entries_[entry - 1].raw(), raw)) {
+      code = entry - 1;
+      return true;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+void EngineDictionary::reserve(std::size_t expected) {
+  std::size_t capacity = slots_.empty() ? 64 : slots_.size();
+  while ((expected + 1) * 10 >= capacity * 7) capacity *= 2;
+  if (capacity > slots_.size()) rebuild(capacity);
+}
+
+void EngineDictionary::grow() {
+  rebuild(slots_.empty() ? 64 : slots_.size() * 2);
+}
+
+void EngineDictionary::rebuild(std::size_t capacity) {
+  slots_.assign(capacity, 0);
+  mask_ = capacity - 1;
+  for (std::size_t code = 0; code < entries_.size(); ++code) {
+    std::uint64_t slot = fnv1a(entries_[code].raw()) & mask_;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask_;
+    slots_[slot] = static_cast<std::uint32_t>(code) + 1;
+  }
+}
+
+// ---- ColumnarBlock ----
+
+void ColumnarBlock::clear() {
+  dict = EngineDictionary();
+  engine_code.clear();
+  target.clear();
+  engine_boots.clear();
+  engine_time.clear();
+  send_time.clear();
+  receive_time.clear();
+  response_count.clear();
+  response_bytes.clear();
+  extra_engines.clear();
+}
+
+scan::ScanRecord ColumnarBlock::row(std::size_t i) const {
+  scan::ScanRecord record;
+  record.target = target[i];
+  record.engine_id = dictionary()[engine_code[i]];
+  record.engine_boots = engine_boots[i];
+  record.engine_time = engine_time[i];
+  record.send_time = send_time[i];
+  record.receive_time = receive_time[i];
+  record.response_count = static_cast<std::size_t>(response_count[i]);
+  record.response_bytes = static_cast<std::size_t>(response_bytes[i]);
+  const auto it = std::lower_bound(
+      extra_engines.begin(), extra_engines.end(), i,
+      [](const auto& entry, std::size_t row) { return entry.first < row; });
+  if (it != extra_engines.end() && it->first == i)
+    record.extra_engines = it->second;
+  return record;
+}
+
+void ColumnarBlock::append(const scan::ScanRecord& record) {
+  const auto row_index = static_cast<std::uint32_t>(size());
+  engine_code.push_back(dict.encode(record.engine_id.raw()));
+  target.push_back(record.target);
+  engine_boots.push_back(record.engine_boots);
+  engine_time.push_back(record.engine_time);
+  send_time.push_back(record.send_time);
+  receive_time.push_back(record.receive_time);
+  response_count.push_back(record.response_count);
+  response_bytes.push_back(record.response_bytes);
+  if (!record.extra_engines.empty())
+    extra_engines.emplace_back(row_index, record.extra_engines);
+}
+
+ColumnarBlock ColumnarBlock::from_records(
+    std::span<const scan::ScanRecord> records) {
+  ColumnarBlock block;
+  block.engine_code.reserve(records.size());
+  block.target.reserve(records.size());
+  block.engine_boots.reserve(records.size());
+  block.engine_time.reserve(records.size());
+  block.send_time.reserve(records.size());
+  block.receive_time.reserve(records.size());
+  block.response_count.reserve(records.size());
+  block.response_bytes.reserve(records.size());
+  for (const auto& record : records) block.append(record);
+  return block;
+}
+
+// ---- single-pass columnar block decode ----
+
+util::Result<ColumnarBlock> decode_block_columnar(util::ByteView data) {
+  using R = util::Result<ColumnarBlock>;
+  const auto framed = peek_block_size(data);
+  if (!framed) return R::failure(framed.error());
+  if (data.size() != framed.value()) return R::failure("block size mismatch");
+
+  const std::uint32_t record_count = get_u32le(data, 12);
+  const std::uint32_t expected_crc = get_u32le(data, 16);
+  const util::ByteView payload = data.subspan(kBlockHeaderBytes);
+  if (crc32(payload) != expected_crc) return R::failure("block crc mismatch");
+  // Same hostile-header guard as decode_block: reject counts the payload
+  // cannot possibly hold before sizing any allocation from them.
+  if (record_count > payload.size() && record_count != 0)
+    return R::failure("implausible record count");
+
+  ColumnarBlock block;
+  block.engine_code.reserve(record_count);
+  block.target.reserve(record_count);
+  block.engine_boots.reserve(record_count);
+  block.engine_time.reserve(record_count);
+  block.send_time.reserve(record_count);
+  block.receive_time.reserve(record_count);
+  block.response_count.reserve(record_count);
+  block.response_bytes.reserve(record_count);
+
+  std::size_t pos = 0;
+  util::VTime previous_send = 0;
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    if (pos >= payload.size()) return R::failure("truncated record");
+    const std::uint8_t family = payload[pos++];
+    if (family == 4) {
+      if (payload.size() - pos < 4) return R::failure("truncated IPv4 address");
+      block.target.emplace_back(net::Ipv4(
+          static_cast<std::uint32_t>(util::read_be(payload.subspan(pos, 4)))));
+      pos += 4;
+    } else if (family == 6) {
+      if (payload.size() - pos < 16)
+        return R::failure("truncated IPv6 address");
+      auto parsed = net::Ipv6::from_bytes(payload.subspan(pos, 16));
+      if (!parsed) return R::failure("bad IPv6 address");
+      block.target.emplace_back(parsed.value());
+      pos += 16;
+    } else {
+      return R::failure("bad address family");
+    }
+    std::uint64_t value = 0;
+    if (!get_varint(payload, pos, value) || value > payload.size() - pos)
+      return R::failure("truncated engine ID");
+    // The dictionary is the columnar win: the ID's bytes are hashed in
+    // place and only ever copied once per *distinct* engine ID.
+    block.engine_code.push_back(
+        block.dict.encode(payload.subspan(pos, static_cast<std::size_t>(value))));
+    pos += static_cast<std::size_t>(value);
+    if (!get_varint(payload, pos, value) || value > 0xFFFFFFFFull)
+      return R::failure("bad engine boots");
+    block.engine_boots.push_back(static_cast<std::uint32_t>(value));
+    if (!get_varint(payload, pos, value) || value > 0xFFFFFFFFull)
+      return R::failure("bad engine time");
+    block.engine_time.push_back(static_cast<std::uint32_t>(value));
+    if (!get_varint(payload, pos, value)) return R::failure("bad send time");
+    previous_send += unzigzag(value);
+    block.send_time.push_back(previous_send);
+    if (!get_varint(payload, pos, value)) return R::failure("bad receive time");
+    block.receive_time.push_back(previous_send + unzigzag(value));
+    if (!get_varint(payload, pos, value))
+      return R::failure("bad response count");
+    block.response_count.push_back(value);
+    if (!get_varint(payload, pos, value))
+      return R::failure("bad response bytes");
+    block.response_bytes.push_back(value);
+    std::uint64_t extra_count = 0;
+    if (!get_varint(payload, pos, extra_count) ||
+        extra_count > payload.size() - pos)
+      return R::failure("bad extra-engine count");
+    if (extra_count != 0) {
+      std::vector<snmp::EngineId> engines;
+      engines.reserve(static_cast<std::size_t>(extra_count));
+      for (std::uint64_t e = 0; e < extra_count; ++e) {
+        std::uint64_t length = 0;
+        if (!get_varint(payload, pos, length) ||
+            length > payload.size() - pos)
+          return R::failure("truncated extra engine");
+        const auto bytes = payload.subspan(
+            pos, static_cast<std::size_t>(length));
+        engines.emplace_back(util::Bytes(bytes.begin(), bytes.end()));
+        pos += static_cast<std::size_t>(length);
+      }
+      block.extra_engines.emplace_back(i, std::move(engines));
+    }
+  }
+  if (pos != payload.size()) return R::failure("trailing payload bytes");
+  return block;
+}
+
+}  // namespace snmpv3fp::store

@@ -1,0 +1,110 @@
+// Columnar (structure-of-arrays) view of a ScanRecord batch.
+//
+// The analysis funnel is read-heavy: the filter stages and the alias
+// grouping touch one or two fields of every record, yet the row layout
+// (scan/record.hpp) drags the whole struct — two heap buffers per record —
+// through the cache on every pass. A ColumnarBlock pivots a batch into
+// per-field column slices: engine IDs are dictionary-encoded (one owning
+// EngineId per *distinct* ID, a u32 code per record), everything else is a
+// flat primitive array. decode_block_columnar() parses an encoded codec
+// block (store/codec.hpp) straight into columns in a single pass, so a
+// sealed block is decoded exactly once and never materializes per-record
+// ScanRecords at all.
+//
+// The pivot is lossless: row(i) reconstructs the exact ScanRecord, and
+// tests/test_columnar.cpp drives round-trip identity against the row
+// decoder, including patch overlays and damaged/truncated blocks (the
+// columnar decoder fails closed on everything decode_block rejects).
+#pragma once
+
+#include <span>
+
+#include "scan/record.hpp"
+#include "store/codec.hpp"
+#include "util/result.hpp"
+
+namespace snmpv3fp::store {
+
+// Open-addressing dictionary of engine-ID byte strings -> dense u32 codes,
+// assigned in first-appearance order. Shared by the block pivot here and
+// the joined-record pivot in core/columnar.hpp; deliberately tiny — the
+// whole point of dictionary encoding is that distinct engine IDs number in
+// the thousands while records number in the hundreds of millions.
+class EngineDictionary {
+ public:
+  // Code of `raw`, inserting a new entry when unseen. References into
+  // `entries()` remain valid (codes are stable, entries only append).
+  std::uint32_t encode(util::ByteView raw);
+  // Lookup without insertion; returns false when unseen.
+  bool find(util::ByteView raw, std::uint32_t& code) const;
+  // Pre-size the slot table for `expected` total entries, so a bulk encode
+  // pass re-hashes existing entries at most once instead of per doubling.
+  void reserve(std::size_t expected);
+
+  const std::vector<snmp::EngineId>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  void grow();
+  void rebuild(std::size_t capacity);
+
+  std::vector<snmp::EngineId> entries_;
+  // Slot table: code + 1 (0 = empty slot), sized to a power of two kept
+  // under 70% load.
+  std::vector<std::uint32_t> slots_;
+  std::uint64_t mask_ = 0;
+};
+
+// FNV-1a over a byte view — the dictionary's hash, exposed so per-code
+// hash tables elsewhere agree with it.
+std::uint64_t fnv1a(util::ByteView data);
+
+struct ColumnarBlock {
+  // Dictionary of distinct engine IDs in first-appearance order;
+  // `engine_code[i]` indexes dictionary(). The empty engine ID is an
+  // ordinary entry.
+  EngineDictionary dict;
+  std::vector<std::uint32_t> engine_code;
+
+  std::vector<net::IpAddress> target;
+  std::vector<std::uint32_t> engine_boots;
+  std::vector<std::uint32_t> engine_time;
+  std::vector<util::VTime> send_time;
+  std::vector<util::VTime> receive_time;
+  std::vector<std::uint64_t> response_count;
+  std::vector<std::uint64_t> response_bytes;
+  // Extra engines are rare (amplifiers and LB rotation); kept as a sparse
+  // (row, engines) overlay sorted by row instead of a per-row column.
+  std::vector<std::pair<std::uint32_t, std::vector<snmp::EngineId>>>
+      extra_engines;
+
+  std::size_t size() const { return target.size(); }
+  const std::vector<snmp::EngineId>& dictionary() const {
+    return dict.entries();
+  }
+
+  // Derived last reboot, same definition as ScanRecord::last_reboot().
+  util::VTime last_reboot(std::size_t i) const {
+    return receive_time[i] -
+           static_cast<util::VTime>(engine_time[i]) * util::kSecond;
+  }
+
+  // Reconstructs row `i` as an owning ScanRecord (engine IDs copied out of
+  // the dictionary).
+  scan::ScanRecord row(std::size_t i) const;
+
+  // Appends one record, dictionary-encoding its engine ID.
+  void append(const scan::ScanRecord& record);
+
+  void clear();
+
+  // Pivots a record batch (tests, in-RAM stores).
+  static ColumnarBlock from_records(std::span<const scan::ScanRecord> records);
+};
+
+// Single-pass decode of exactly one framed codec block into columns. Fails
+// closed on precisely the inputs decode_block rejects (same validation,
+// same error surface); never throws, never reads out of bounds.
+util::Result<ColumnarBlock> decode_block_columnar(util::ByteView data);
+
+}  // namespace snmpv3fp::store

@@ -47,6 +47,8 @@ class JsonValue;
 
 namespace snmpv3fp::store {
 
+struct ColumnarBlock;
+
 struct StoreOptions {
   // Spill directory. Empty = RAM-only: blocks are never written to disk
   // and never evicted (max_resident_bytes is ignored), which preserves
@@ -150,6 +152,32 @@ class RecordStore {
   };
   Cursor cursor() const { return Cursor(*this); }
 
+  // Streaming columnar reader (store/columnar.hpp): yields one pivoted
+  // block at a time in append order, decoding each sealed block straight
+  // into columns (decoded exactly once, no per-record materialization)
+  // with the patch overlay applied. Same concurrency contract as Cursor.
+  class ColumnarCursor {
+   public:
+    // Replaces `out` with the next block; false at end of store or on a
+    // read/decode error (check error()).
+    bool next_block(ColumnarBlock& out);
+    // Global record index of row 0 of the block last returned.
+    std::size_t base() const { return base_; }
+    const std::string& error() const { return error_; }
+
+   private:
+    friend class RecordStore;
+    explicit ColumnarCursor(const RecordStore& owner);
+
+    const RecordStore* owner_;
+    std::size_t block_ = 0;  // next block to load; blocks_.size() = tail
+    std::size_t base_ = 0;
+    std::size_t next_base_ = 0;
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+    std::string error_;
+  };
+  ColumnarCursor columnar_cursor() const { return ColumnarCursor(*this); }
+
   // Applies `fn(record, index)` to every record in append order; fails
   // closed on a damaged block.
   util::Status for_each(
@@ -187,6 +215,8 @@ class RecordStore {
                           std::vector<scan::ScanRecord>& out) const;
   void apply_patches(std::vector<scan::ScanRecord>& records,
                      std::size_t base_index) const;
+  void apply_patches_columnar(ColumnarBlock& block,
+                              std::size_t base_index) const;
 
   StoreOptions options_;
   std::string name_;

@@ -179,6 +179,29 @@ void parallel_for(std::size_t begin, std::size_t end,
                       });
 }
 
+void run_overlapped(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  std::vector<std::exception_ptr> errors(tasks.size());
+  std::vector<std::thread> threads;
+  threads.reserve(tasks.size() - 1);
+  for (std::size_t i = 1; i < tasks.size(); ++i)
+    threads.emplace_back([&, i] {
+      try {
+        tasks[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  try {
+    tasks[0]();
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  for (auto& thread : threads) thread.join();
+  for (auto& error : errors)
+    if (error) std::rethrow_exception(error);
+}
+
 std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
   std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (value + 1);
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;

@@ -8,9 +8,14 @@
 // `threads=1` is an exact sequential fallback, not a different algorithm.
 #pragma once
 
+#include <algorithm>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 namespace snmpv3fp::util {
@@ -73,13 +78,28 @@ void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);
 
 // Ordered map: out[i] = fn(i). Results land in index order regardless of
-// which thread computed them.
+// which thread computed them. Each chunk emplaces into its own reserved
+// vector and the chunks are moved into place in chunk order, so no slot is
+// ever default-constructed first and assigned over (the intermediate-copy
+// churn the old `out[i] = fn(i)` form showed up as in allocation profiles).
 template <typename T, typename Fn>
 std::vector<T> parallel_map(std::size_t count, const ParallelOptions& options,
                             Fn&& fn) {
-  std::vector<T> out(count);
-  parallel_for(0, count, options,
-               [&](std::size_t index) { out[index] = fn(index); });
+  const std::size_t threads = std::max<std::size_t>(
+      options.resolved_threads(), 1);
+  std::vector<std::vector<T>> parts(std::min(std::max<std::size_t>(count, 1),
+                                             threads));
+  parallel_for_chunks(
+      0, count, options,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        auto& local = parts[chunk];
+        local.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) local.emplace_back(fn(i));
+      });
+  std::vector<T> out;
+  out.reserve(count);
+  for (auto& part : parts)
+    for (auto& value : part) out.push_back(std::move(value));
   return out;
 }
 
@@ -87,5 +107,63 @@ std::vector<T> parallel_map(std::size_t count, const ParallelOptions& options,
 // campaign seed: hash_combine(seed, shard) never collides with the parent
 // stream in practice and is stable across platforms.
 std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
+
+// Bounded single-producer/single-consumer handoff queue for overlapping
+// pipeline stages (producer fills blocks while the consumer drains them).
+// push blocks when `capacity` items are in flight — backpressure, so the
+// producer can never run unboundedly ahead of the consumer. close() wakes
+// a blocked pop, which then returns nullopt once the queue drains.
+// Determinism: the queue only changes *when* items are processed, never
+// their order — items pop in push order.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  void push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return;  // producer-after-close: drop (consumer is gone)
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Producer is done (or the consumer aborts): unblocks both sides.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+// Runs `tasks` concurrently on dedicated threads (the calling thread takes
+// the first task) and joins them all; rethrows the first exception in task
+// order. Unlike ThreadPool::run_tasks this never queues behind pool work
+// and never inlines when nested, so producer/consumer stage pairs that
+// block on a BoundedQueue cannot deadlock against pool scheduling. Meant
+// for a handful of long-lived stage drivers, not data parallelism.
+void run_overlapped(const std::vector<std::function<void()>>& tasks);
 
 }  // namespace snmpv3fp::util

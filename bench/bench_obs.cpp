@@ -1,0 +1,351 @@
+// bench_obs: the live-telemetry layer's cost and artifact contracts
+// (ROADMAP "Live campaign telemetry").
+//
+// Two gates (scripts/check.sh runs `bench_obs --quick --gate`):
+//
+//  1. Telemetry-off overhead is ~zero. The probe loop carries one
+//     obs::ShardTelemetry unconditionally; when nothing is configured
+//     every member is a null-check no-op. The bench times that disabled
+//     hot path (timeline tick + flight record + status check + histogram
+//     observe per simulated probe) and fails if it costs more than
+//     kMaxDisabledNsPerOp — or allocates at all.
+//
+//  2. The emitted JSON artifacts hold their schemas. One tiny campaign
+//     runs fully armed; the chrome trace, status.json, flight dump and
+//     timeline section must parse through obs::JsonValue with their
+//     documented structure, and the armed run's scan output must be
+//     bit-identical to the unarmed run's (the execution-only contract,
+//     checked here end-to-end because a bench is the cheapest place to
+//     prove it outside the test suite).
+//
+// Usage: bench_obs [--quick] [--gate]
+//   --quick  fewer timing iterations (CI)
+//   --gate   exit non-zero when a gate fails (always checked; the flag
+//            exists for symmetry with bench_micro_parallel)
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_export.hpp"
+#include "scan/campaign.hpp"
+#include "topo/generator.hpp"
+#include "util/table.hpp"
+#include "util/vclock.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counting (same idiom as bench_wire): every operator-new path
+// ticks one relaxed atomic, so the disabled hot path can prove it never
+// touches the heap.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(align);
+  const std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace snmpv3fp;
+
+namespace {
+
+// Generous even for an unoptimized build: the disabled path is a handful
+// of null checks, not a budget for real work.
+constexpr double kMaxDisabledNsPerOp = 100.0;
+
+std::uint64_t g_sink = 0;
+inline void consume(std::uint64_t v) { g_sink = g_sink * 31 + v; }
+
+std::string temp_dir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Scan-output equality proxy for the execution-only gate: every campaign
+// aggregate that would move if telemetry perturbed a single probe.
+std::uint64_t campaign_digest(const scan::CampaignPair& pair) {
+  std::uint64_t digest = 0;
+  for (const auto* scan : {&pair.scan1, &pair.scan2}) {
+    digest = digest * 1099511628211ull + scan->responsive();
+    digest = digest * 1099511628211ull + scan->targets_probed;
+    digest = digest * 1099511628211ull + scan->unique_engine_ids();
+    digest = digest * 1099511628211ull +
+             static_cast<std::uint64_t>(scan->end_time);
+  }
+  digest = digest * 1099511628211ull + pair.fabric_stats.datagrams_sent;
+  digest = digest * 1099511628211ull + pair.fabric_stats.responses_received;
+  return digest;
+}
+
+bool has_keys(const obs::JsonValue& object, const char* what,
+              std::initializer_list<const char*> keys) {
+  if (!object.is_object()) {
+    std::fprintf(stderr, "FAIL: %s is not a JSON object\n", what);
+    return false;
+  }
+  for (const char* key : keys) {
+    if (object.find(key) == nullptr) {
+      std::fprintf(stderr, "FAIL: %s is missing key \"%s\"\n", what, key);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    // --gate is accepted for check.sh symmetry; the gates always apply.
+  }
+
+  benchx::print_header("obs", "Live telemetry: overhead + artifact schemas");
+  bool ok = true;
+
+  // --- gate 1: the disabled hot path ------------------------------------
+  const std::int64_t iterations = quick ? 2'000'000 : 20'000'000;
+  obs::ShardTelemetry disabled;  // what every unobserved probe carries
+  const auto tick_once = [&](std::int64_t i) {
+    const auto now = static_cast<util::VTime>(i);
+    disabled.timeline.tick(now, obs::TimelinePoint{});
+    disabled.flight.record(obs::FlightEventKind::kNote, now, i);
+    if (disabled.status.enabled()) consume(1);
+    disabled.rtt_ms.observe(static_cast<double>(i & 0xff));
+    consume(static_cast<std::uint64_t>(disabled.timeline.enabled()));
+  };
+  for (std::int64_t i = 0; i < 1000; ++i) tick_once(i);  // warm up
+  const std::uint64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  double best_ms = 0.0;
+  const int repeats = quick ? 3 : 5;
+  for (int r = 0; r < repeats; ++r) {
+    benchx::WallTimer timer;
+    for (std::int64_t i = 0; i < iterations; ++i) tick_once(i);
+    const double ms = timer.elapsed_ms();
+    if (r == 0 || ms < best_ms) best_ms = ms;
+  }
+  const std::uint64_t disabled_allocs =
+      g_allocations.load(std::memory_order_relaxed) - allocs_before;
+  const double disabled_ns =
+      best_ms * 1e6 / static_cast<double>(iterations);
+  if (disabled_ns > kMaxDisabledNsPerOp) {
+    std::fprintf(stderr,
+                 "FAIL: disabled telemetry tick costs %.1f ns/op "
+                 "(budget %.0f)\n",
+                 disabled_ns, kMaxDisabledNsPerOp);
+    ok = false;
+  }
+  if (disabled_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: disabled telemetry tick allocated (%llu allocs over "
+                 "%lld ops)\n",
+                 static_cast<unsigned long long>(disabled_allocs),
+                 static_cast<long long>(iterations));
+    ok = false;
+  }
+
+  // --- gate 2: armed campaign, artifact schemas, bit-identity -----------
+  const std::string dir = temp_dir("bench_obs");
+  // Two identical worlds from the same config/seed (campaigns mutate the
+  // world's address epoch, so each run gets its own copy).
+  auto world_plain = topo::generate_world(topo::WorldConfig::tiny());
+  auto world_armed = topo::generate_world(topo::WorldConfig::tiny());
+
+  scan::CampaignOptions campaign;
+  campaign.seed = 4242;
+  const auto plain = scan::run_two_scan_campaign(world_plain, campaign);
+
+  obs::RunObserver observer;
+  obs::TelemetryOptions telemetry;
+  telemetry.timeline.sample_every_virtual = 30 * util::kSecond;
+  telemetry.flight.dump_path = dir + "/flight.json";
+  telemetry.status.path = dir + "/status.json";
+  telemetry.status.every_n_targets = 64;
+  telemetry.status.min_write_interval_ms = 0.0;
+  observer.configure_telemetry(telemetry);
+  campaign.obs.observer = &observer;
+  campaign.obs.scope = "bench";
+  benchx::WallTimer armed_timer;
+  const auto armed = scan::run_two_scan_campaign(world_armed, campaign);
+  const double armed_ms = armed_timer.elapsed_ms();
+
+  if (campaign_digest(plain) != campaign_digest(armed)) {
+    std::fprintf(stderr,
+                 "FAIL: armed telemetry changed the scan output "
+                 "(execution-only contract broken)\n");
+    ok = false;
+  }
+
+  // Chrome trace: object form, thread-name metadata, complete events.
+  const std::string trace_json = obs::to_chrome_trace_json(
+      observer.trace().snapshot(), observer.flight().events());
+  std::size_t trace_events = 0;
+  if (const auto doc = obs::JsonValue::parse(trace_json);
+      doc.has_value() && has_keys(*doc, "trace.json",
+                                  {"displayTimeUnit", "traceEvents"})) {
+    for (const auto& event : doc->find("traceEvents")->items())
+      if (!has_keys(event, "traceEvents[i]", {"ph", "pid", "tid"})) {
+        ok = false;
+        break;
+      }
+    trace_events = doc->find("traceEvents")->items().size();
+    if (trace_events == 0) {
+      std::fprintf(stderr, "FAIL: trace.json has no events\n");
+      ok = false;
+    }
+  } else {
+    std::fprintf(stderr, "FAIL: trace.json did not parse\n");
+    ok = false;
+  }
+
+  // status.json: totals + per-shard rows, complete after the campaign.
+  if (const auto doc = obs::JsonValue::parse(slurp(telemetry.status.path));
+      doc.has_value() &&
+      has_keys(*doc, "status.json", {"schema", "complete", "totals", "shards"})) {
+    if (!doc->find("complete")->as_bool()) {
+      std::fprintf(stderr, "FAIL: status.json not complete after campaign\n");
+      ok = false;
+    }
+    for (const auto& row : doc->find("shards")->items())
+      if (!has_keys(row, "shards[i]",
+                    {"stage", "shard", "targets_total", "targets_sent",
+                     "response_rate", "eta_s", "complete"})) {
+        ok = false;
+        break;
+      }
+  } else {
+    std::fprintf(stderr, "FAIL: status.json did not parse\n");
+    ok = false;
+  }
+
+  // flight dump: exit-reason document with the event schema.
+  if (const auto doc = obs::JsonValue::parse(slurp(telemetry.flight.dump_path));
+      doc.has_value() &&
+      has_keys(*doc, "flight.json", {"schema", "reason", "events"})) {
+    for (const auto& event : doc->find("events")->items())
+      if (!has_keys(event, "events[i]",
+                    {"kind", "stage", "shard", "virtual_s", "value", "seq"})) {
+        ok = false;
+        break;
+      }
+  } else {
+    std::fprintf(stderr, "FAIL: flight.json did not parse\n");
+    ok = false;
+  }
+
+  // timeline section: deterministic virtual series with points.
+  const auto timeline_snapshot = observer.timeline().snapshot();
+  std::size_t timeline_points = 0;
+  if (const auto doc = obs::JsonValue::parse(timeline_snapshot.to_json());
+      doc.has_value() &&
+      has_keys(*doc, "time_series", {"virtual_interval_s", "virtual", "wall"})) {
+    for (const auto& series : doc->find("virtual")->items()) {
+      if (!has_keys(series, "virtual[i]", {"stage", "shard", "points"})) {
+        ok = false;
+        break;
+      }
+      timeline_points += series.find("points")->items().size();
+    }
+    if (timeline_points == 0) {
+      std::fprintf(stderr, "FAIL: timeline has no virtual points\n");
+      ok = false;
+    }
+  } else {
+    std::fprintf(stderr, "FAIL: timeline JSON did not parse\n");
+    ok = false;
+  }
+
+  // --- report + artifact -------------------------------------------------
+  util::TablePrinter table({"Measurement", "Value"});
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f ns/op", disabled_ns);
+  table.add_row({"disabled telemetry tick", buf});
+  table.add_row({"disabled tick allocs",
+                 std::to_string(disabled_allocs)});
+  std::snprintf(buf, sizeof buf, "%.1f ms", armed_ms);
+  table.add_row({"armed tiny campaign", buf});
+  table.add_row({"trace events", util::fmt_count(trace_events)});
+  table.add_row({"timeline points", util::fmt_count(timeline_points)});
+  table.add_row({"status writes",
+                 util::fmt_count(observer.status().writes())});
+  table.add_row({"flight dumps",
+                 util::fmt_count(observer.flight().dump_count())});
+  std::printf("%s\n", table.render().c_str());
+
+  benchx::JsonRows rows;
+  benchx::stamp_run_metadata(rows, campaign.seed, /*threads=*/1,
+                             /*scan_shards=*/0);
+  rows.meta("quick", static_cast<std::int64_t>(quick));
+  rows.begin_row()
+      .field("metric", "disabled_tick_ns_per_op")
+      .field("value", disabled_ns);
+  rows.begin_row()
+      .field("metric", "disabled_tick_allocs")
+      .field("value", static_cast<std::int64_t>(disabled_allocs));
+  rows.begin_row()
+      .field("metric", "trace_events")
+      .field("value", static_cast<std::int64_t>(trace_events));
+  rows.begin_row()
+      .field("metric", "timeline_points")
+      .field("value", static_cast<std::int64_t>(timeline_points));
+  rows.write("BENCH_obs.json");
+  std::printf("Wrote BENCH_obs.json  (sink %llu)\n",
+              static_cast<unsigned long long>(g_sink));
+
+  if (!ok) return 1;
+  std::printf("PASS: telemetry-off overhead ~zero, all artifact schemas "
+              "valid, scan output bit-identical\n");
+  return 0;
+}

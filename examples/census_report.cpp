@@ -5,11 +5,17 @@
 // Usage: census_report [output_dir] [--report <path.json>]
 //                      [--checkpoint-dir <dir> [--checkpoint-every <n>]]
 //                      [--store-dir <dir> [--max-resident-mb <n>]]
+//                      [--trace <path.json>]
+//                      [--timeline-virtual <s>] [--timeline-wall-ms <ms>]
+//                      [--flight <path.json> [--flight-ring <n>]
+//                       [--fault-surge <n>]]
+//                      [--status <path.json> [--status-every <n>]]
+//                      [--watch <status.json>]
 //   output_dir        where census_report.md / vendor_share.csv land
 //                     (default: current directory)
 //   --report <path>   additionally run under the observability layer and
 //                     write the unified RunReport (spans, metrics, fabric
-//                     drop causes, filter funnel) as JSON to <path>
+//                     drop causes, filter funnel, time series) as JSON
 //   --checkpoint-dir <dir>  checkpoint campaign progress to
 //                     <dir>/campaign_v{4,6}.json; rerunning the same
 //                     command after a kill resumes bit-identically
@@ -20,17 +26,70 @@
 //                     record in RAM; output is bit-identical
 //   --max-resident-mb <n>  resident-RAM budget per store in MiB
 //                     (default 0: unbounded, spill files still written)
+//   --trace <path>    write the run's spans + flight events in the Chrome
+//                     trace event format (chrome://tracing / Perfetto)
+//   --timeline-virtual <s>  sample deterministic per-shard time series
+//                     every <s> simulated seconds (RunReport time_series)
+//   --timeline-wall-ms <ms>  sample a full metrics snapshot every <ms> of
+//                     wall time (non-deterministic, diagnostic)
+//   --flight <path>   flight recorder: per-shard rings of notable events,
+//                     dumped atomically to <path> at checkpoints, fault
+//                     surges and exit
+//   --flight-ring <n> events kept per shard ring (default 256)
+//   --fault-surge <n> extra dump every n decode faults (default 0: off)
+//   --status <path>   atomically rewrite a live status.json every
+//                     --status-every targets per shard (default 1024)
+//   --watch <path>    do not run a campaign; poll <path> (a status.json
+//                     another process is writing) and render a refreshing
+//                     ASCII dashboard until it reports complete
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <thread>
 
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "obs/fileio.hpp"
+#include "obs/json.hpp"
+#include "obs/trace_export.hpp"
 #include "util/table.hpp"
 
 using namespace snmpv3fp;
+
+namespace {
+
+// --watch: poll a status.json some other census_report is rewriting and
+// redraw it in place. Exits when the file reports the campaign complete,
+// or after ~10s without a readable file.
+int watch_status(const std::string& path) {
+  int missing_polls = 0;
+  bool drew = false;
+  while (true) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto parsed = obs::JsonValue::parse(buffer.str());
+    if (in && parsed.has_value() && parsed->is_object()) {
+      missing_polls = 0;
+      // ANSI home+clear keeps the dashboard in place between redraws.
+      std::cout << "\033[H\033[2J" << obs::render_status_dashboard(*parsed)
+                << std::flush;
+      drew = true;
+      const auto* complete = parsed->find("complete");
+      if (complete != nullptr && complete->as_bool()) return 0;
+    } else if (++missing_polls > 20) {
+      std::cerr << (drew ? "status file went away: " : "no status file at: ")
+                << path << "\n";
+      return drew ? 0 : 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::filesystem::path out_dir = ".";
@@ -39,10 +98,18 @@ int main(int argc, char** argv) {
   std::size_t checkpoint_every = 0;
   std::string store_dir;
   std::size_t max_resident_mb = 0;
+  std::string trace_path;
+  std::string watch_path;
+  obs::TelemetryOptions telemetry;
   const auto usage = [] {
     std::cerr << "usage: census_report [output_dir] [--report <path.json>] "
                  "[--checkpoint-dir <dir> [--checkpoint-every <n>]] "
-                 "[--store-dir <dir> [--max-resident-mb <n>]]\n";
+                 "[--store-dir <dir> [--max-resident-mb <n>]] "
+                 "[--trace <path.json>] [--timeline-virtual <s>] "
+                 "[--timeline-wall-ms <ms>] [--flight <path.json> "
+                 "[--flight-ring <n>] [--fault-surge <n>]] "
+                 "[--status <path.json> [--status-every <n>]] "
+                 "[--watch <status.json>]\n";
     return 2;
   };
   for (int i = 1; i < argc; ++i) {
@@ -61,16 +128,55 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--max-resident-mb") == 0) {
       if (i + 1 >= argc) return usage();
       max_resident_mb = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) return usage();
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeline-virtual") == 0) {
+      if (i + 1 >= argc) return usage();
+      telemetry.timeline.sample_every_virtual = static_cast<util::VTime>(
+          std::atof(argv[++i]) * static_cast<double>(util::kSecond));
+    } else if (std::strcmp(argv[i], "--timeline-wall-ms") == 0) {
+      if (i + 1 >= argc) return usage();
+      telemetry.timeline.sample_every_wall_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--flight") == 0) {
+      if (i + 1 >= argc) return usage();
+      telemetry.flight.dump_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight-ring") == 0) {
+      if (i + 1 >= argc) return usage();
+      telemetry.flight.ring_capacity =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--fault-surge") == 0) {
+      if (i + 1 >= argc) return usage();
+      telemetry.flight.fault_surge_threshold =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--status") == 0) {
+      if (i + 1 >= argc) return usage();
+      telemetry.status.path = argv[++i];
+    } else if (std::strcmp(argv[i], "--status-every") == 0) {
+      if (i + 1 >= argc) return usage();
+      telemetry.status.every_n_targets =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      if (i + 1 >= argc) return usage();
+      watch_path = argv[++i];
     } else {
       out_dir = argv[i];
     }
   }
 
+  if (!watch_path.empty()) return watch_status(watch_path);
+
+  const bool wants_telemetry = telemetry.timeline.enabled() ||
+                               !telemetry.flight.dump_path.empty() ||
+                               !telemetry.status.path.empty();
   obs::RunObserver observer;
   core::PipelineOptions options;
   options.world = topo::WorldConfig::tiny();
-  // Execution-only: observing never changes result bits (test_obs.cpp).
-  if (!report_path.empty()) options.obs.observer = &observer;
+  // Execution-only: observing never changes result bits (test_obs.cpp,
+  // test_telemetry.cpp).
+  if (!report_path.empty() || !trace_path.empty() || wants_telemetry)
+    options.obs.observer = &observer;
+  if (wants_telemetry) observer.configure_telemetry(telemetry);
   if (!checkpoint_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(checkpoint_dir, ec);
@@ -170,6 +276,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "wrote " << report_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    const std::string trace_json = obs::to_chrome_trace_json(
+        observer.trace().snapshot(), observer.flight().events());
+    if (!obs::write_file_atomic(trace_path, trace_json)) {
+      std::cerr << "failed to write " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << trace_path << "\n";
   }
   return 0;
 }

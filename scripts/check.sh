@@ -3,7 +3,7 @@
 #   1. Tier-1: configure + build + full ctest suite in build/.
 #   2. Focused race check: TSan build in build-tsan/ running the tests that
 #      exercise the parallel execution and observability layers
-#      (test_parallel, test_obs).
+#      (test_parallel, test_obs, test_telemetry).
 #   3. Focused memory/UB check: ASan+UBSan build in build-asan/ running the
 #      hostile-input corpus plus the decode-path suites (test_hostile,
 #      test_asn1, test_snmp_message, test_checkpoint, test_store,
@@ -17,7 +17,11 @@
 #      schema validation (the binaries exit non-zero on drift). bench_wire
 #      additionally fails when any fast-path op allocates or when the fast
 #      parser rejects a payload of the clean REPORT corpus (a fallback on
-#      clean census traffic means its accept set regressed).
+#      clean census traffic means its accept set regressed). bench_obs
+#      --quick --gate checks the telemetry layer: the disabled hot path
+#      must cost ~nothing and never allocate, the trace/status/flight/
+#      timeline JSON artifacts must hold their schemas, and an armed
+#      campaign must be bit-identical to an unarmed one.
 #   5. Parallel-scaling gate: bench_micro_parallel --gate on the full
 #      world must show the columnar filter >= 4x the recorded pre-columnar
 #      single-thread baseline and no stage speedup regressing below 70% of
@@ -52,14 +56,15 @@ cmake --build build -j "$JOBS"
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "==> TSan: focused parallel/observability/columnar race check"
   cmake -B build-tsan -S . -DSNMPFP_SANITIZE=thread
-  cmake --build build-tsan -j "$JOBS" --target test_parallel test_obs test_columnar
+  cmake --build build-tsan -j "$JOBS" \
+      --target test_parallel test_obs test_telemetry test_columnar
   # Only the focused binaries are built; select their gtest suites by
   # name (unbuilt targets register _NOT_BUILT placeholders ctest must skip).
   # The columnar suites drive the overlapped join+filter stages and the
   # radix alias grouping at 8 threads — the paths with real cross-thread
   # queue handoffs.
   (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-      -R "^(ParallelFor|ParallelMap|ParallelDeterminism|Metrics|Json|Log|Trace|ObsContract|EngineDictionaryTest|ColumnarBlockTest|ColumnarCursorTest|ColumnarFilterTest|ColumnarAliasTest|ColumnarPipelineTest)\.")
+      -R "^(ParallelFor|ParallelMap|ParallelDeterminism|Metrics|Json|Log|Trace|ObsContract|EngineDictionaryTest|TelemetryContract|Timeline|Status|TraceExport|Flight|Report|ColumnarBlockTest|ColumnarCursorTest|ColumnarFilterTest|ColumnarAliasTest|ColumnarPipelineTest)\.")
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -79,6 +84,9 @@ echo "==> bench-artifact schema check (bench_store --quick)"
 
 echo "==> wire fast-path check (bench_wire --quick: schema, zero-alloc, no clean-corpus fallback)"
 (cd build/bench && ./bench_wire --quick >/dev/null)
+
+echo "==> telemetry gate (bench_obs --quick --gate: zero-overhead off, artifact schemas, bit-identity)"
+(cd build/bench && ./bench_obs --quick --gate >/dev/null)
 
 if [[ "$QUICK_BENCH" == 1 ]]; then
   echo "==> parallel-scaling gate: quick schema-only run (--quick-bench)"

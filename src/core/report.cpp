@@ -110,6 +110,7 @@ RunReport build_run_report(const PipelineResult& result,
     report.spans = observer->trace().snapshot();
     report.shard_progress = observer->shard_progress();
     report.metrics = observer->metrics().snapshot();
+    report.time_series = observer->timeline().snapshot();
   }
   return report;
 }
@@ -194,10 +195,13 @@ std::string RunReport::to_json() const {
   }
   json.end_array();
 
-  // MetricsSnapshot renders itself; splice the pre-rendered object in via
-  // the writer's raw string (it is already valid JSON).
+  // MetricsSnapshot and TimelineSnapshot render themselves; splice the
+  // pre-rendered objects in via the writer's raw string (both are already
+  // valid JSON).
   json.key("metrics");
   json.raw(metrics.to_json());
+  json.key("time_series");
+  json.raw(time_series.to_json());
 
   json.end_object();
   return json.str();
@@ -298,6 +302,28 @@ std::string RunReport::to_table() const {
                            util::fmt_count(row.responses),
                            util::fmt_double(row.wall_ms, 2)});
     out << shard_table.render() << "\n";
+  }
+
+  bool any_observations = false;
+  for (const auto& row : metrics.histograms) any_observations |= row.total != 0;
+  if (any_observations) {
+    util::TablePrinter hist_table({"Histogram", "Count", "p50", "p90", "p99"});
+    for (const auto& row : metrics.histograms) {
+      if (row.total == 0) continue;
+      hist_table.add_row({row.name, util::fmt_count(row.total),
+                          util::fmt_double(row.p50(), 2),
+                          util::fmt_double(row.p90(), 2),
+                          util::fmt_double(row.p99(), 2)});
+    }
+    out << hist_table.render() << "\n";
+  }
+
+  if (!time_series.empty()) {
+    std::size_t points = 0;
+    for (const auto& series : time_series.series) points += series.points.size();
+    out << "Timeline: " << util::fmt_count(time_series.series.size())
+        << " virtual series (" << util::fmt_count(points) << " points), "
+        << util::fmt_count(time_series.wall.size()) << " wall samples\n";
   }
 
   return out.str();

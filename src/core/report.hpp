@@ -62,6 +62,8 @@ struct RunReport {
   std::vector<obs::SpanRecord> spans;
   std::vector<obs::ShardProgress> shard_progress;
   obs::MetricsSnapshot metrics;
+  // Sampled time series (empty unless the run configured a Timeline).
+  obs::TimelineSnapshot time_series;
 
   std::string to_json() const;
   std::string to_table() const;  // util/table ASCII rendering

@@ -1,0 +1,21 @@
+#include "obs/fileio.hpp"
+
+#include <cstdio>
+
+namespace snmpv3fp::obs {
+
+bool write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace snmpv3fp::obs

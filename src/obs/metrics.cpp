@@ -110,6 +110,28 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return out;
 }
 
+double MetricsSnapshot::HistogramRow::percentile(double p) const {
+  if (total == 0 || bounds.empty() || counts.empty()) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double rank = p * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t count = counts[i];
+    if (count == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += count;
+    if (rank > static_cast<double>(cumulative)) continue;
+    // The overflow bucket has no upper edge; clamp to the last bound.
+    if (i >= bounds.size()) return bounds.back();
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double fraction = (rank - before) / static_cast<double>(count);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds.back();
+}
+
 const MetricsSnapshot::CounterRow* MetricsSnapshot::find_counter(
     std::string_view name) const {
   for (const auto& row : counters)
@@ -136,6 +158,9 @@ std::string MetricsSnapshot::to_json() const {
     for (const std::uint64_t count : row.counts) json.value(count);
     json.end_array();
     json.kv("total", row.total);
+    json.kv("p50", row.p50());
+    json.kv("p90", row.p90());
+    json.kv("p99", row.p99());
     json.end_object();
   }
   json.end_object();

@@ -131,6 +131,15 @@ struct MetricsSnapshot {
     std::vector<double> bounds;
     std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
     std::uint64_t total = 0;
+
+    // Interpolated percentile estimate (p in [0, 1]): walks the
+    // cumulative counts to the bucket containing rank p*total, then
+    // interpolates linearly inside it (first bucket spans [0, bounds[0]];
+    // the overflow bucket clamps to bounds.back()). 0 when empty.
+    double percentile(double p) const;
+    double p50() const { return percentile(0.50); }
+    double p90() const { return percentile(0.90); }
+    double p99() const { return percentile(0.99); }
   };
 
   std::vector<CounterRow> counters;

@@ -13,11 +13,24 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/status.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace snmpv3fp::obs {
+
+// Live telemetry knobs, configured once on the RunObserver before a run
+// (configure_telemetry). All default-off; all execution-only — none of
+// them is hashed into the checkpoint config digest, and results are
+// bit-identical with any combination enabled (tests/test_telemetry.cpp).
+struct TelemetryOptions {
+  TimelineConfig timeline;  // time-series sampling (virtual + wall clock)
+  FlightConfig flight;      // per-shard event rings + atomic JSON dumps
+  StatusConfig status;      // atomically rewritten status.json
+};
 
 // One scan shard's progress row (recorded by the campaign in shard order,
 // after the parallel region joined — deterministic sequence).
@@ -35,6 +48,20 @@ class RunObserver {
   const Trace& trace() const { return trace_; }
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
+  Timeline& timeline() { return timeline_; }
+  const Timeline& timeline() const { return timeline_; }
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
+  StatusBoard& status() { return status_; }
+  const StatusBoard& status() const { return status_; }
+
+  // Arms the live telemetry surfaces. Call once, before the run, from a
+  // single thread. Without this call every surface stays a no-op.
+  void configure_telemetry(const TelemetryOptions& options) {
+    timeline_.configure(options.timeline, &metrics_);
+    flight_.configure(options.flight);
+    status_.configure(options.status);
+  }
 
   void add_shard_progress(ShardProgress row) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -48,8 +75,21 @@ class RunObserver {
  private:
   Trace trace_;
   MetricsRegistry metrics_;
+  Timeline timeline_;
+  FlightRecorder flight_;
+  StatusBoard status_;
   mutable std::mutex mutex_;
   std::vector<ShardProgress> shard_progress_;
+};
+
+// The per-shard telemetry bundle the campaign hands into the probe loop.
+// Every member is a cheap shard-bound handle whose default-constructed
+// state is a permanent no-op, so the prober carries one unconditionally.
+struct ShardTelemetry {
+  Timeline::Recorder timeline;
+  FlightHandle flight;
+  StatusHandle status;
+  Histogram rtt_ms;  // probe round-trip time (virtual clock, ms)
 };
 
 // Value handed through options structs. Copying is cheap (pointer +
@@ -61,6 +101,15 @@ struct ObsOptions {
   bool enabled() const { return observer != nullptr; }
   Trace* trace() const {
     return observer == nullptr ? nullptr : &observer->trace();
+  }
+  Timeline* timeline() const {
+    return observer == nullptr ? nullptr : &observer->timeline();
+  }
+  FlightRecorder* flight() const {
+    return observer == nullptr ? nullptr : &observer->flight();
+  }
+  StatusBoard* status_board() const {
+    return observer == nullptr ? nullptr : &observer->status();
   }
 
   ObsOptions sub(std::string_view name) const {

@@ -1,0 +1,160 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace snmpv3fp::obs {
+
+void Timeline::configure(TimelineConfig config, const MetricsRegistry* registry) {
+  config_ = config;
+  registry_ = registry;
+  epoch_ = std::chrono::steady_clock::now();
+  if (config_.sample_every_wall_ms > 0) {
+    next_wall_due_us_.store(
+        static_cast<std::int64_t>(config_.sample_every_wall_ms * 1000.0),
+        std::memory_order_relaxed);
+  }
+}
+
+Timeline::Recorder Timeline::recorder(std::string stage, std::size_t shard) {
+  Recorder out;
+  if (!enabled()) return out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Track* track = nullptr;
+  for (auto& existing : tracks_) {
+    if (existing.stage == stage && existing.shard == shard) {
+      track = &existing;
+      break;
+    }
+  }
+  if (track == nullptr) {
+    tracks_.emplace_back();
+    track = &tracks_.back();
+    track->stage = std::move(stage);
+    track->shard = shard;
+  }
+  out.timeline_ = this;
+  out.track_ = track;
+  out.virtual_every_ = config_.sample_every_virtual;
+  // First sample only once a full interval boundary is crossed — a tick
+  // before `sample_every_virtual` elapsed is not a sample point.
+  out.next_virtual_ = config_.sample_every_virtual;
+  out.wall_armed_ =
+      config_.sample_every_wall_ms > 0 && registry_ != nullptr;
+  return out;
+}
+
+void Timeline::Recorder::take_virtual(util::VTime virtual_now,
+                                      const TimelinePoint& values) {
+  // One point per boundary crossing: round down to the interval boundary
+  // so the sample time depends only on the virtual clock, then arm the
+  // next boundary. A clock jump over several intervals emits one point.
+  const util::VTime boundary = virtual_now - virtual_now % virtual_every_;
+  next_virtual_ = boundary + virtual_every_;
+  TimelinePoint point = values;
+  point.t = boundary;
+  timeline_->append_point(track_, point);
+}
+
+void Timeline::append_point(Track* track, const TimelinePoint& point) {
+  std::lock_guard<std::mutex> lock(track->mutex);
+  if (track->points.size() >= config_.max_points_per_track) {
+    dropped_points_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  track->points.push_back(point);
+}
+
+void Timeline::maybe_wall_sample() {
+  const auto now = std::chrono::steady_clock::now();
+  const std::int64_t now_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now - epoch_)
+          .count();
+  std::int64_t due = next_wall_due_us_.load(std::memory_order_relaxed);
+  if (now_us < due) return;
+  const std::int64_t interval_us =
+      static_cast<std::int64_t>(config_.sample_every_wall_ms * 1000.0);
+  // One claimant per interval; losers see the advanced deadline and leave.
+  if (!next_wall_due_us_.compare_exchange_strong(due, now_us + interval_us,
+                                                 std::memory_order_relaxed))
+    return;
+  // Snapshot outside the timeline lock — the registry has its own.
+  MetricsSnapshot metrics = registry_->snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wall_samples_.size() >= config_.max_wall_samples) {
+    dropped_points_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  WallSample sample;
+  sample.wall_ms = static_cast<double>(now_us) / 1000.0;
+  sample.metrics = std::move(metrics);
+  wall_samples_.push_back(std::move(sample));
+}
+
+TimelineSnapshot Timeline::snapshot() const {
+  TimelineSnapshot out;
+  out.sample_every_virtual = config_.sample_every_virtual;
+  out.sample_every_wall_ms = config_.sample_every_wall_ms;
+  out.dropped_points = dropped_points_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.series.reserve(tracks_.size());
+  for (const auto& track : tracks_) {
+    VirtualSeries series;
+    series.stage = track.stage;
+    series.shard = track.shard;
+    {
+      std::lock_guard<std::mutex> track_lock(track.mutex);
+      series.points = track.points;
+    }
+    out.series.push_back(std::move(series));
+  }
+  std::sort(out.series.begin(), out.series.end(),
+            [](const VirtualSeries& a, const VirtualSeries& b) {
+              if (a.stage != b.stage) return a.stage < b.stage;
+              return a.shard < b.shard;
+            });
+  out.wall = wall_samples_;
+  return out;
+}
+
+std::string TimelineSnapshot::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.kv("virtual_interval_s", util::to_seconds(sample_every_virtual));
+  json.kv("wall_interval_ms", sample_every_wall_ms);
+  json.kv("dropped_points", dropped_points);
+  json.key("virtual").begin_array();
+  for (const auto& s : series) {
+    json.begin_object();
+    json.kv("stage", s.stage);
+    json.kv("shard", static_cast<std::uint64_t>(s.shard));
+    json.key("points").begin_array();
+    for (const auto& p : s.points) {
+      json.begin_object();
+      json.kv("t_s", util::to_seconds(p.t));
+      json.kv("sent", p.targets_sent);
+      json.kv("responses", p.responses);
+      json.kv("undecodable", p.undecodable);
+      json.kv("backoffs", p.backoffs);
+      json.kv("rate_pps", p.pacer_rate_pps);
+      json.kv("resident_bytes", p.store_resident_bytes);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("wall").begin_array();
+  for (const auto& sample : wall) {
+    json.begin_object();
+    json.kv("wall_ms", sample.wall_ms);
+    json.key("metrics").raw(sample.metrics.to_json());
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace snmpv3fp::obs

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <atomic>
+
 namespace snmpv3fp::obs {
 
 namespace {
@@ -7,11 +9,20 @@ namespace {
 thread_local std::uint32_t open_span_depth = 0;
 }  // namespace
 
+std::uint32_t trace_tid() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 Span::Span(Trace* trace, std::string name)
     : trace_(trace), name_(std::move(name)) {
   if (trace_ == nullptr) return;
   depth_ = open_span_depth++;
+  start_ms_ = trace_->now_ms();
   start_ = std::chrono::steady_clock::now();
+  tid_ = trace_tid();
 }
 
 double Span::elapsed_ms() const {
@@ -21,11 +32,33 @@ double Span::elapsed_ms() const {
       .count();
 }
 
+SpanRecord Span::make_record() {
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.depth = depth_;
+  record.start_ms = start_ms_;
+  record.wall_ms = elapsed_ms();
+  record.virtual_duration = virtual_duration_;
+  record.tid = tid_;
+  record.shard = shard_;
+  return record;
+}
+
 void Span::finish() {
   if (trace_ == nullptr) return;
   --open_span_depth;
-  trace_->record({std::move(name_), depth_, elapsed_ms(), virtual_duration_});
+  Trace* trace = trace_;
+  SpanRecord record = make_record();  // reads elapsed before trace_ clears
   trace_ = nullptr;
+  trace->record(std::move(record));
+}
+
+SpanRecord Span::finish_record() {
+  if (trace_ == nullptr) return SpanRecord{};
+  --open_span_depth;
+  SpanRecord record = make_record();
+  trace_ = nullptr;
+  return record;
 }
 
 Span::~Span() { finish(); }

@@ -6,10 +6,16 @@
 // time). Spans nest: a thread-local depth counter records how deep each
 // span sat, so the report can indent "pipeline > v4 > scan1 > shard3".
 //
+// For timeline views (Chrome trace / Perfetto, see trace_export.hpp) each
+// span also records where it sat: start_ms relative to the trace's epoch,
+// a small per-thread id, and an optional shard number — enough to lay
+// shards out on parallel tracks and see the overlap.
+//
 // Recording is thread-safe (mutex-protected append), but the pipeline
-// records spans from the orchestrating thread — or from per-shard slots
-// merged in shard order — so the span *sequence* in a report is
-// deterministic even though the timing values are not.
+// records spans from the orchestrating thread — or worker spans finish
+// detached (finish_record()) into per-shard slots the orchestrator merges
+// in shard order — so the span *sequence* in a report is deterministic
+// even though the timing values are not.
 #pragma once
 
 #include <chrono>
@@ -26,12 +32,21 @@ namespace snmpv3fp::obs {
 struct SpanRecord {
   std::string name;   // dotted path, e.g. "pipeline.v4.scan1"
   std::uint32_t depth = 0;
+  double start_ms = 0.0;  // wall offset from the trace epoch
   double wall_ms = 0.0;
   util::VTime virtual_duration = 0;  // 0: stage did not advance virtual time
+  std::uint32_t tid = 0;   // small dense per-thread id (see trace_tid())
+  std::int64_t shard = -1;  // -1: not a per-shard span
 };
+
+// Dense id for the calling thread (0, 1, 2, ... in first-use order).
+// Stable for the thread's lifetime; used as the Chrome trace "tid".
+std::uint32_t trace_tid();
 
 class Trace {
  public:
+  Trace() : epoch_(std::chrono::steady_clock::now()) {}
+
   void record(SpanRecord span) {
     std::lock_guard<std::mutex> lock(mutex_);
     spans_.push_back(std::move(span));
@@ -47,7 +62,15 @@ class Trace {
     return spans_.size();
   }
 
+  // Wall ms since this trace was created (the span start_ms reference).
+  double now_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
  private:
+  std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;
 };
@@ -68,6 +91,10 @@ class Span {
   void set_virtual_duration(util::VTime duration) {
     virtual_duration_ = duration;
   }
+  // Tags the span with the shard it measured (for per-shard trace tracks).
+  void set_shard(std::int64_t shard) { shard_ = shard; }
+
+  std::uint32_t depth() const { return depth_; }
 
   // Wall time elapsed so far (for callers that also want the number).
   double elapsed_ms() const;
@@ -76,12 +103,22 @@ class Span {
   // inside one function). Idempotent; the destructor becomes a no-op.
   void finish();
 
+  // Like finish(), but returns the record instead of appending it to the
+  // trace — worker threads finish detached and the orchestrating thread
+  // records the slots in shard order, keeping the sequence deterministic.
+  SpanRecord finish_record();
+
  private:
+  SpanRecord make_record();
+
   Trace* trace_;
   std::string name_;
   std::uint32_t depth_ = 0;
+  double start_ms_ = 0.0;
   std::chrono::steady_clock::time_point start_;
   util::VTime virtual_duration_ = 0;
+  std::int64_t shard_ = -1;
+  std::uint32_t tid_ = 0;
 };
 
 }  // namespace snmpv3fp::obs

@@ -1,0 +1,95 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace snmpv3fp::obs {
+
+namespace {
+
+constexpr std::uint64_t kPid = 1;
+
+void span_event(JsonWriter& json, const SpanRecord& span) {
+  json.begin_object();
+  json.kv("name", span.name);
+  json.kv("ph", "X");
+  json.kv("ts", span.start_ms * 1000.0);  // Chrome wants microseconds
+  json.kv("dur", span.wall_ms * 1000.0);
+  json.kv("pid", kPid);
+  json.kv("tid", static_cast<std::uint64_t>(span.tid));
+  json.key("args").begin_object();
+  json.kv("depth", static_cast<std::uint64_t>(span.depth));
+  json.kv("virtual_s", util::to_seconds(span.virtual_duration));
+  if (span.shard >= 0) json.kv("shard", span.shard);
+  json.end_object();
+  json.end_object();
+}
+
+void flight_event(JsonWriter& json, const FlightEvent& event) {
+  json.begin_object();
+  std::string name(to_string(event.kind));
+  json.kv("name", name);
+  json.kv("ph", "i");
+  json.kv("ts", event.wall_ms * 1000.0);
+  json.kv("pid", kPid);
+  // Flight events are recorded per shard, not per thread; give each shard
+  // ring its own instant track offset so surges stay readable.
+  json.kv("tid", 1000 + static_cast<std::uint64_t>(event.shard));
+  json.kv("s", "t");  // instant scope: thread
+  json.key("args").begin_object();
+  json.kv("stage", event.stage);
+  json.kv("shard", static_cast<std::uint64_t>(event.shard));
+  json.kv("virtual_s", util::to_seconds(event.virtual_time));
+  json.kv("value", event.value);
+  if (!event.detail.empty()) json.kv("detail", event.detail);
+  json.end_object();
+  json.end_object();
+}
+
+void thread_name_event(JsonWriter& json, std::uint64_t tid,
+                       const std::string& name) {
+  json.begin_object();
+  json.kv("name", "thread_name");
+  json.kv("ph", "M");
+  json.kv("pid", kPid);
+  json.kv("tid", tid);
+  json.key("args").begin_object();
+  json.kv("name", name);
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(
+    const std::vector<SpanRecord>& spans,
+    const std::vector<FlightEvent>& flight_events) {
+  JsonWriter json;
+  json.begin_object();
+  json.kv("displayTimeUnit", "ms");
+  json.key("traceEvents").begin_array();
+  std::set<std::uint64_t> tids;
+  for (const auto& span : spans) tids.insert(span.tid);
+  for (const std::uint64_t tid : tids) {
+    thread_name_event(json, tid,
+                      tid == 0 ? "orchestrator"
+                               : "worker-" + std::to_string(tid));
+  }
+  std::set<std::uint64_t> flight_tracks;
+  for (const auto& event : flight_events)
+    flight_tracks.insert(1000 + static_cast<std::uint64_t>(event.shard));
+  for (const std::uint64_t tid : flight_tracks) {
+    thread_name_event(json, tid,
+                      "flight-shard-" + std::to_string(tid - 1000));
+  }
+  for (const auto& span : spans) span_event(json, span);
+  for (const auto& event : flight_events) flight_event(json, event);
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace snmpv3fp::obs

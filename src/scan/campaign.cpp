@@ -367,8 +367,60 @@ CampaignPair run_two_scan_campaign(topo::World& world,
         options.obs.counter(label + ".wire.stamped_probes");
     obs::Counter wire_full_encodes =
         options.obs.counter(label + ".wire.full_encodes");
+    // Live telemetry: every handle (timeline tracks, flight rings, status
+    // slots, the RTT histogram, store metrics) is registered here on the
+    // orchestrating thread; workers only write through the pre-bound
+    // handles. The RTT histogram observes virtual-clock round-trips, so
+    // its buckets are deterministic at any thread count.
+    const std::string stage = options.obs.scoped(label);
+    obs::Histogram rtt_hist = options.obs.histogram(
+        label + ".rtt_ms",
+        {1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0});
+    std::vector<obs::ShardTelemetry> shard_telemetry(shard_count);
+    std::vector<obs::SpanRecord> shard_spans(shard_count);
+    store::StoreOptions shard_store_options = options.store;
+    obs::FlightHandle scan_flight;  // scan-level boundary events
+    if (options.obs.enabled()) {
+      obs::Timeline* timeline = options.obs.timeline();
+      obs::FlightRecorder* flight = options.obs.flight();
+      obs::StatusBoard* board = options.obs.status_board();
+      if (store_mode) {
+        auto& st = shard_store_options.telemetry;
+        st.resident_bytes = options.obs.gauge("store.resident_bytes");
+        st.sealed_blocks = options.obs.counter("store.sealed_blocks");
+        st.spilled_blocks = options.obs.counter("store.spilled_blocks");
+        st.evicted_blocks = options.obs.counter("store.evicted_blocks");
+        st.patched_records = options.obs.counter("store.patched_records");
+      }
+      if (flight->enabled()) {
+        scan_flight = flight->handle(stage, shard_count);
+        scan_flight.record(obs::FlightEventKind::kScanBoundary, start,
+                           static_cast<std::int64_t>(n), "scan_start");
+      }
+      for (std::size_t shard = 0; shard < shard_count; ++shard) {
+        auto& telemetry = shard_telemetry[shard];
+        telemetry.rtt_ms = rtt_hist;
+        if (timeline->enabled())
+          telemetry.timeline = timeline->recorder(stage, shard);
+        if (flight->enabled()) telemetry.flight = flight->handle(stage, shard);
+        if (board->enabled()) {
+          const std::size_t begin = shard * base + std::min(shard, extra);
+          const std::size_t end = begin + base + (shard < extra ? 1 : 0);
+          telemetry.status = board->add_shard(stage, shard, end - begin);
+        }
+      }
+    }
     util::parallel_for(0, shard_count, options.parallel, [&](std::size_t shard) {
       const auto t0 = std::chrono::steady_clock::now();
+      // The worker's span finishes detached into its slot; the orchestrator
+      // records the slots in shard order after the join (deterministic
+      // sequence, true per-thread timing for the Chrome trace).
+      obs::Span shard_span(options.obs.trace(),
+                           stage + ".shard" + std::to_string(shard));
+      shard_span.set_shard(static_cast<std::int64_t>(shard));
+      // Per-shard store options: shared aggregate metrics, own flight ring.
+      store::StoreOptions my_store_options = shard_store_options;
+      my_store_options.telemetry.flight = shard_telemetry[shard].flight;
       const ShardScanState* resume_state = resume_slots[shard];
       std::shared_ptr<store::RecordStore> shard_store;
       if (store_mode && resume_state != nullptr) {
@@ -378,7 +430,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
         // start), so damage degrades resume speed, never correctness.
         if (resume_state->store_manifest.has_value())
           shard_store = store::RecordStore::restore(
-              options.store, *resume_state->store_manifest);
+              my_store_options, *resume_state->store_manifest);
         if (shard_store == nullptr) {
           obs::log_warn("shard store unrecoverable, re-running shard",
                         {{"shard", shard}});
@@ -396,6 +448,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
             store.mark_complete(shard, shard_results[shard],
                                 resume_state->fabric,
                                 resume_state->store_manifest);
+          shard_spans[shard] = shard_span.finish_record();
           return;
         }
       } else if (scan_index == 2 && resuming && resume_scan_index == 2) {
@@ -406,7 +459,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
       }
       if (store_mode && shard_store == nullptr)
         shard_store = std::make_shared<store::RecordStore>(
-            options.store, label + "_shard" + std::to_string(shard));
+            my_store_options, label + "_shard" + std::to_string(shard));
 
       const std::size_t begin = shard * base + std::min(shard, extra);
       const std::size_t end = begin + base + (shard < extra ? 1 : 0);
@@ -426,12 +479,20 @@ CampaignPair run_two_scan_campaign(topo::World& world,
       probe.wire_parse_fallbacks = wire_parse_fallbacks;
       probe.wire_stamped_probes = wire_stamped_probes;
       probe.wire_full_encodes = wire_full_encodes;
+      probe.telemetry = shard_telemetry[shard];
       if (store.enabled() && options.checkpoint_every_n_targets != 0) {
         probe.checkpoint_every_n_targets = options.checkpoint_every_n_targets;
         probe.on_checkpoint = [&, shard](ShardScanState& state) {
           state.shard = shard;
           state.fabric = fabrics[shard]->snapshot();
-          return store.record_boundary(shard, std::move(state));
+          const bool keep_running =
+              store.record_boundary(shard, std::move(state));
+          // The flight trail lands on disk beside every checkpoint, so a
+          // crash right after the boundary still leaves a diagnosable dump.
+          if (obs::FlightRecorder* flight = options.obs.flight();
+              flight != nullptr && flight->enabled())
+            flight->dump("checkpoint");
+          return keep_running;
         };
       }
       Prober prober(*fabrics[shard], prober_source);
@@ -457,10 +518,27 @@ CampaignPair run_two_scan_campaign(topo::World& world,
                                       shard_store->manifest())
                                 : std::nullopt);
       shard_results[shard] = std::move(result);
+      if (ran_to_end)
+        shard_span.set_virtual_duration(shard_results[shard].end_time -
+                                        shard_results[shard].start_time);
+      shard_spans[shard] = shard_span.finish_record();
       shard_wall_ms[shard] = std::chrono::duration<double, std::milli>(
                                  std::chrono::steady_clock::now() - t0)
                                  .count();
     });
+
+    if (options.obs.enabled()) {
+      // Record the detached worker spans in shard order — the observer
+      // sequence never depends on worker scheduling — and before the abort
+      // check, so an interrupted run still carries its shard spans.
+      const std::uint32_t shard_depth = scan_span.depth() + 1;
+      for (std::size_t shard = 0; shard < shard_count; ++shard) {
+        obs::SpanRecord record = std::move(shard_spans[shard]);
+        if (record.name.empty()) continue;
+        record.depth = shard_depth;
+        options.obs.trace()->record(std::move(record));
+      }
+    }
 
     if (store.aborted()) {
       // Settle the file with every shard at its final (deterministic)
@@ -473,7 +551,6 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     }
 
     if (options.obs.enabled()) {
-      const std::string stage = options.obs.scoped(label);
       for (std::size_t shard = 0; shard < shard_count; ++shard)
         options.obs.observer->add_shard_progress(
             {stage, shard, shard_results[shard].targets_probed,
@@ -488,6 +565,14 @@ CampaignPair run_two_scan_campaign(topo::World& world,
       options.obs.counter(label + ".undecodable")
           .add(merged.undecodable_responses);
       options.obs.counter(label + ".backoffs").add(merged.pacer_backoffs);
+      if (scan_flight.enabled())
+        scan_flight.record(obs::FlightEventKind::kScanBoundary,
+                           merged.end_time,
+                           static_cast<std::int64_t>(merged.targets_probed),
+                           "scan_end");
+      if (obs::StatusBoard* board = options.obs.status_board();
+          board->enabled())
+        board->mark_stage_complete(stage);
     }
     obs::log_info("scan finished",
                   {{"scan", options.obs.scoped(label)},
@@ -497,6 +582,17 @@ CampaignPair run_two_scan_campaign(topo::World& world,
                    {"backoffs", merged.pacer_backoffs},
                    {"shards", shard_count}});
     return merged;
+  };
+
+  // Final telemetry flush: the flight trail and status surface always land
+  // on disk once more at campaign exit, interrupted or not.
+  const auto flush_telemetry = [&](bool interrupted) {
+    if (obs::FlightRecorder* flight = options.obs.flight();
+        flight != nullptr && flight->enabled())
+      flight->dump(interrupted ? "interrupted" : "exit");
+    if (obs::StatusBoard* board = options.obs.status_board();
+        board != nullptr && board->enabled())
+      board->write_now();
   };
 
   // Per-shard resume slots for the scan the checkpoint interrupted.
@@ -524,6 +620,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     resuming = false;  // past the resume point either way
     if (!scan1.has_value()) {
       out.interrupted = true;
+      flush_telemetry(true);
       return out;
     }
     out.scan1 = std::move(*scan1);
@@ -547,6 +644,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     resuming = false;
     if (!scan2.has_value()) {
       out.interrupted = true;
+      flush_telemetry(true);
       return out;
     }
     out.scan2 = std::move(*scan2);
@@ -554,6 +652,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
 
   for (const auto& fabric : fabrics) out.fabric_stats += fabric->stats();
   if (store.enabled()) remove_checkpoint(options.checkpoint_path);
+  flush_telemetry(false);
   return out;
 }
 

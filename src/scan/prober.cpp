@@ -24,7 +24,7 @@ std::size_t Prober::drain(
     ScanResult& result, store::RecordStore* sink,
     std::unordered_map<net::IpAddress, SourceEntry>& by_source,
     const std::unordered_map<net::IpAddress, util::VTime>& sent_at,
-    WireState& wire) {
+    WireState& wire, obs::ShardTelemetry& telemetry) {
   std::size_t new_records = 0;
   while (auto datagram = transport_.receive_view()) {
     // Fast path first: the single-pass scanner extracts engineID (as a
@@ -44,9 +44,17 @@ std::size_t Prober::drain(
       auto message = snmp::V3Message::decode(datagram->payload);
       if (!message) {  // non-SNMPv3 noise or corrupted-in-flight bytes
         ++result.undecodable_responses;
+        telemetry.flight.record(obs::FlightEventKind::kUndecodable,
+                                datagram->time,
+                                static_cast<std::int64_t>(
+                                    result.undecodable_responses));
         continue;
       }
-      if (wire.enabled) wire.fallbacks.add();
+      if (wire.enabled) {
+        wire.fallbacks.add();
+        telemetry.flight.record(obs::FlightEventKind::kWireFallback,
+                                datagram->time, 1);
+      }
       full = std::move(message).value();
     }
     const util::ByteView engine_view =
@@ -69,8 +77,13 @@ std::size_t Prober::drain(
       record.engine_id = materialize_engine();
       record.engine_boots = fast_ok ? fast.engine_boots : full->usm.engine_boots;
       record.engine_time = fast_ok ? fast.engine_time : full->usm.engine_time;
-      if (const auto sent = sent_at.find(source); sent != sent_at.end())
+      if (const auto sent = sent_at.find(source); sent != sent_at.end()) {
         record.send_time = sent->second;
+        // Virtual-clock RTT: deterministic, so the histogram (and its
+        // percentiles) are identical at any thread count.
+        telemetry.rtt_ms.observe(
+            static_cast<double>(datagram->time - sent->second) / 1000.0);
+      }
       record.receive_time = datagram->time;
       record.response_count = 1;
       record.response_bytes = datagram->payload.size();
@@ -129,6 +142,10 @@ ScanResult Prober::run(std::span<const net::IpAddress> targets,
                  config.wire_parse_fallbacks};
   obs::Counter stamped_probes = config.wire_stamped_probes;
   obs::Counter full_encodes = config.wire_full_encodes;
+  // Local copy: the timeline recorder carries per-run cursor state (next
+  // virtual boundary, wall-check countdown) the shared config must not.
+  obs::ShardTelemetry telemetry = config.telemetry;
+  std::size_t backoffs_reported = 0;
   ScanResult result;
   store::RecordStore* const sink = config.sink;
   std::unordered_map<net::IpAddress, SourceEntry> by_source;
@@ -206,11 +223,46 @@ ScanResult Prober::run(std::span<const net::IpAddress> targets,
     }
     pacer.on_probe_sent();
     next_send = pacer.schedule_after(next_send);
-    pacer.on_responses(drain(result, sink, by_source, sent_at, wire));
+    pacer.on_responses(drain(result, sink, by_source, sent_at, wire,
+                             telemetry));
     const auto rate_limit_now = transport_.rate_limit_signals();
     pacer.on_rate_limit_signals(
         static_cast<std::size_t>(rate_limit_now - rate_limit_seen));
     rate_limit_seen = rate_limit_now;
+
+    if (telemetry.flight.enabled() &&
+        pacer.state().backoffs != backoffs_reported) {
+      backoffs_reported = pacer.state().backoffs;
+      telemetry.flight.record(
+          obs::FlightEventKind::kPacerBackoff, transport_.now(),
+          static_cast<std::int64_t>(pacer.state().rate_pps));
+    }
+    if (telemetry.timeline.enabled()) {
+      obs::TimelinePoint point;
+      point.targets_sent = i + 1;
+      point.responses = sink != nullptr ? sink->size() : result.records.size();
+      point.undecodable = result.undecodable_responses;
+      point.backoffs = pacer.state().backoffs;
+      point.pacer_rate_pps = pacer.state().rate_pps;
+      point.store_resident_bytes =
+          sink != nullptr ? static_cast<std::int64_t>(sink->resident_bytes())
+                          : -1;
+      telemetry.timeline.tick(transport_.now(), point);
+    }
+    if (telemetry.status.enabled() &&
+        (i + 1) % telemetry.status.every_n_targets() == 0) {
+      obs::ShardStatusRow row;
+      row.targets_sent = i + 1;
+      row.responses = sink != nullptr ? sink->size() : result.records.size();
+      row.undecodable = result.undecodable_responses;
+      row.backoffs = pacer.state().backoffs;
+      row.pacer_rate_pps = pacer.state().rate_pps;
+      row.store_resident_bytes =
+          sink != nullptr ? static_cast<std::int64_t>(sink->resident_bytes())
+                          : -1;
+      row.virtual_now = transport_.now();
+      telemetry.status.update(row);
+    }
 
     // Checkpoint boundaries sit at absolute multiples of the interval, so
     // a resumed run hits the same remaining boundaries as an uninterrupted
@@ -227,17 +279,34 @@ ScanResult Prober::run(std::span<const net::IpAddress> targets,
       if (sink != nullptr) state.store_manifest = sink->manifest();
       state.sent_at.assign(sent_at.begin(), sent_at.end());
       std::sort(state.sent_at.begin(), state.sent_at.end());
+      telemetry.flight.record(obs::FlightEventKind::kCheckpoint,
+                              transport_.now(),
+                              static_cast<std::int64_t>(i + 1));
       if (!config.on_checkpoint(state))
         return result;  // simulated kill; the snapshot supersedes this
     }
   }
   transport_.run_until(next_send + config.response_timeout);
-  drain(result, sink, by_source, sent_at, wire);
+  drain(result, sink, by_source, sent_at, wire, telemetry);
   pacer.on_rate_limit_signals(static_cast<std::size_t>(
       transport_.rate_limit_signals() - rate_limit_seen));
   if (sink != nullptr) sink->seal();
   result.end_time = transport_.now();
   result.pacer_backoffs = pacer.state().backoffs;
+  if (telemetry.status.enabled()) {
+    obs::ShardStatusRow row;
+    row.targets_sent = order.size();
+    row.responses = sink != nullptr ? sink->size() : result.records.size();
+    row.undecodable = result.undecodable_responses;
+    row.backoffs = pacer.state().backoffs;
+    row.pacer_rate_pps = pacer.state().rate_pps;
+    row.store_resident_bytes =
+        sink != nullptr ? static_cast<std::int64_t>(sink->resident_bytes())
+                        : -1;
+    row.virtual_now = transport_.now();
+    row.complete = true;
+    telemetry.status.update(row);
+  }
   if (obs::Logger::global().enabled(obs::LogLevel::kDebug)) {
     obs::log_debug("probe run finished",
                    {{"label", config.label},

@@ -14,6 +14,7 @@
 
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "scan/checkpoint.hpp"
 #include "scan/pacer.hpp"
 #include "scan/record.hpp"
@@ -68,6 +69,12 @@ struct ProbeConfig {
   obs::Counter wire_parse_fallbacks;
   obs::Counter wire_stamped_probes;
   obs::Counter wire_full_encodes;
+  // Live telemetry bundle (obs/obs.hpp): timeline ticks, flight-recorder
+  // events, status-slot updates and the probe-RTT histogram, all recorded
+  // from the probe loop. Default-constructed members are permanent no-ops
+  // (a couple of null checks per probe); everything behind them is
+  // execution-only by the obs contract.
+  obs::ShardTelemetry telemetry;
 };
 
 class Prober {
@@ -107,7 +114,7 @@ class Prober {
       ScanResult& result, store::RecordStore* sink,
       std::unordered_map<net::IpAddress, SourceEntry>& by_source,
       const std::unordered_map<net::IpAddress, util::VTime>& sent_at,
-      WireState& wire);
+      WireState& wire, obs::ShardTelemetry& telemetry);
 
   net::Transport& transport_;
   net::Endpoint source_;

@@ -98,6 +98,9 @@ RecordStore::RecordStore(StoreOptions options, std::string name, bool fresh)
 RecordStore::~RecordStore() {
   if (seg_ != nullptr) std::fclose(seg_);
   if (idx_ != nullptr) std::fclose(idx_);
+  // Hand the resident budget back so the shared gauge tracks live stores.
+  options_.telemetry.resident_bytes.add(
+      -static_cast<std::int64_t>(resident_bytes_));
 }
 
 std::string RecordStore::seg_path() const {
@@ -127,6 +130,7 @@ void RecordStore::note_duplicate(std::size_t index,
   auto& patch = patches_[index];
   ++patch.extra_responses;
   if (engine != nullptr) insert_sorted_unique(patch.extra_engines, *engine);
+  options_.telemetry.patched_records.add();
 }
 
 void RecordStore::seal() { seal_block(); }
@@ -157,6 +161,10 @@ void RecordStore::seal_block() {
     if (wrote) {
       block.spilled = true;
       spilled_bytes_ += encoded->size();
+      options_.telemetry.spilled_blocks.add();
+      options_.telemetry.flight.record(
+          obs::FlightEventKind::kStoreSpill, 0,
+          static_cast<std::int64_t>(encoded->size()), name_);
     } else {
       status_ = util::Status::failure("store: short write to " + seg_path());
       obs::log_warn("record store spill failed, staying resident",
@@ -168,6 +176,9 @@ void RecordStore::seal_block() {
   resident_bytes_ += encoded->size();
   committed_records_ += tail_.size();
   committed_bytes_ += encoded->size();
+  options_.telemetry.sealed_blocks.add();
+  options_.telemetry.resident_bytes.add(
+      static_cast<std::int64_t>(encoded->size()));
   blocks_.push_back(std::move(block));
   tail_.clear();
   evict_over_budget();
@@ -179,8 +190,15 @@ void RecordStore::evict_over_budget() {
          evict_cursor_ < blocks_.size()) {
     Block& block = blocks_[evict_cursor_++];
     if (block.resident != nullptr && block.spilled) {
-      resident_bytes_ -= block.resident->size();
+      const std::size_t freed = block.resident->size();
+      resident_bytes_ -= freed;
       block.resident.reset();
+      options_.telemetry.evicted_blocks.add();
+      options_.telemetry.resident_bytes.add(
+          -static_cast<std::int64_t>(freed));
+      options_.telemetry.flight.record(obs::FlightEventKind::kStoreEvict, 0,
+                                       static_cast<std::int64_t>(freed),
+                                       name_);
     }
   }
 }

@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "scan/record.hpp"
 #include "store/codec.hpp"
 #include "util/result.hpp"
@@ -49,6 +51,21 @@ namespace snmpv3fp::store {
 
 struct ColumnarBlock;
 
+// Execution-only store instrumentation (values the store already tracks
+// internally, exported to the metrics registry / flight recorder when a
+// run is observed). Default-constructed handles are no-ops; the campaign
+// registers the metrics on the orchestrating thread and copies the bundle
+// into each shard's StoreOptions, so the gauge/counters aggregate across
+// shards while flight events stay per-shard.
+struct StoreTelemetry {
+  obs::Gauge resident_bytes;     // encoded sealed blocks held in RAM
+  obs::Counter sealed_blocks;    // blocks sealed (spilled or resident)
+  obs::Counter spilled_blocks;   // blocks safely written to disk
+  obs::Counter evicted_blocks;   // resident copies dropped under budget
+  obs::Counter patched_records;  // post-seal duplicate patches
+  obs::FlightHandle flight;      // spill/evict events for the ring
+};
+
 struct StoreOptions {
   // Spill directory. Empty = RAM-only: blocks are never written to disk
   // and never evicted (max_resident_bytes is ignored), which preserves
@@ -60,6 +77,8 @@ struct StoreOptions {
   // Records per sealed block: the codec batch size and the granularity of
   // spill, eviction and cursor reads.
   std::size_t records_per_block = 512;
+  // Observability hooks; all no-ops by default. Never affects behaviour.
+  StoreTelemetry telemetry;
 };
 
 // Per-record updates that arrived after the record's block was sealed

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -108,6 +110,20 @@ std::vector<T> parallel_map(std::size_t count, const ParallelOptions& options,
 // stream in practice and is stable across platforms.
 std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
 
+// Optional instrumentation for a BoundedQueue (attach with
+// set_telemetry). Plain atomics so util stays independent of the obs
+// layer; core/overlap.cpp publishes these into the metrics registry.
+// Stall time is wall-clock microseconds a side spent blocked on the
+// queue — producer stalls mean the consumer is the bottleneck and vice
+// versa — so overlap backpressure shows up in timeline and trace.
+struct QueueTelemetry {
+  std::atomic<std::uint64_t> items{0};              // total pushes accepted
+  std::atomic<std::uint64_t> producer_stall_us{0};  // push() blocked (full)
+  std::atomic<std::uint64_t> consumer_stall_us{0};  // pop() blocked (empty)
+  std::atomic<std::uint64_t> max_depth{0};          // high-water item count
+  std::atomic<std::int64_t> depth{0};               // current item count
+};
+
 // Bounded single-producer/single-consumer handoff queue for overlapping
 // pipeline stages (producer fills blocks while the consumer drains them).
 // push blocks when `capacity` items are in flight — backpressure, so the
@@ -121,22 +137,60 @@ class BoundedQueue {
   explicit BoundedQueue(std::size_t capacity)
       : capacity_(std::max<std::size_t>(capacity, 1)) {}
 
+  // Execution-only instrumentation; attach before the first push/pop.
+  void set_telemetry(QueueTelemetry* telemetry) { telemetry_ = telemetry; }
+
   void push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return items_.size() < capacity_ || closed_; });
+    if (telemetry_ != nullptr && items_.size() >= capacity_ && !closed_) {
+      const auto blocked_at = std::chrono::steady_clock::now();
+      not_full_.wait(lock,
+                     [&] { return items_.size() < capacity_ || closed_; });
+      telemetry_->producer_stall_us.fetch_add(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - blocked_at)
+              .count(),
+          std::memory_order_relaxed);
+    } else {
+      not_full_.wait(lock,
+                     [&] { return items_.size() < capacity_ || closed_; });
+    }
     if (closed_) return;  // producer-after-close: drop (consumer is gone)
     items_.push_back(std::move(item));
+    if (telemetry_ != nullptr) {
+      telemetry_->items.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t depth = items_.size();
+      telemetry_->depth.store(static_cast<std::int64_t>(depth),
+                              std::memory_order_relaxed);
+      std::uint64_t prev =
+          telemetry_->max_depth.load(std::memory_order_relaxed);
+      while (depth > prev && !telemetry_->max_depth.compare_exchange_weak(
+                                 prev, depth, std::memory_order_relaxed)) {
+      }
+    }
     not_empty_.notify_one();
   }
 
   // Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (telemetry_ != nullptr && items_.empty() && !closed_) {
+      const auto blocked_at = std::chrono::steady_clock::now();
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      telemetry_->consumer_stall_us.fetch_add(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - blocked_at)
+              .count(),
+          std::memory_order_relaxed);
+    } else {
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    if (telemetry_ != nullptr)
+      telemetry_->depth.store(static_cast<std::int64_t>(items_.size()),
+                              std::memory_order_relaxed);
     not_full_.notify_one();
     return item;
   }
@@ -156,6 +210,7 @@ class BoundedQueue {
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  QueueTelemetry* telemetry_ = nullptr;
 };
 
 // Runs `tasks` concurrently on dedicated threads (the calling thread takes

@@ -3,7 +3,10 @@
 #   1. Tier-1: configure + build + full ctest suite in build/.
 #   2. Focused race check: TSan build in build-tsan/ running the tests that
 #      exercise the parallel execution and observability layers
-#      (test_parallel, test_obs, test_telemetry).
+#      (test_parallel, test_obs, test_telemetry) plus test_worlds — the
+#      procedural-vs-materialized equivalence suite drives sharded
+#      spec-mode campaigns over the lazy per-fabric device cache, the
+#      newest cross-thread surface.
 #   3. Focused memory/UB check: ASan+UBSan build in build-asan/ running the
 #      hostile-input corpus plus the decode-path suites (test_hostile,
 #      test_asn1, test_snmp_message, test_checkpoint, test_store,
@@ -22,7 +25,12 @@
 #      must cost ~nothing and never allocate, the trace/status/flight/
 #      timeline JSON artifacts must hold their schemas, and an armed
 #      campaign must be bit-identical to an unarmed one.
-#   5. Parallel-scaling gate: bench_micro_parallel --gate on the full
+#   5. Flat-memory gate: bench_world --gate sweeps procedural census
+#      worlds of growing address count and fails when the RSS delta of
+#      the largest sweep exceeds 2x the smallest's (the O(responders)
+#      claim), or when BENCH_world.json drifts from its schema. Under
+#      --quick-bench the sweep sizes shrink (1M/4M instead of 1M/134M).
+#   6. Parallel-scaling gate: bench_micro_parallel --gate on the full
 #      world must show the columnar filter >= 4x the recorded pre-columnar
 #      single-thread baseline and no stage speedup regressing below 70% of
 #      bench/baselines/BENCH_parallel_before.json (the scan 8-thread >= 3x
@@ -57,14 +65,16 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   echo "==> TSan: focused parallel/observability/columnar race check"
   cmake -B build-tsan -S . -DSNMPFP_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS" \
-      --target test_parallel test_obs test_telemetry test_columnar
+      --target test_parallel test_obs test_telemetry test_columnar test_worlds
   # Only the focused binaries are built; select their gtest suites by
   # name (unbuilt targets register _NOT_BUILT placeholders ctest must skip).
   # The columnar suites drive the overlapped join+filter stages and the
   # radix alias grouping at 8 threads — the paths with real cross-thread
-  # queue handoffs.
+  # queue handoffs. The worlds suites run the procedural-vs-materialized
+  # pipeline equivalence and the spec-mode kill/resume at 8 threads over
+  # the per-fabric lazy device caches.
   (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-      -R "^(ParallelFor|ParallelMap|ParallelDeterminism|Metrics|Json|Log|Trace|ObsContract|EngineDictionaryTest|TelemetryContract|Timeline|Status|TraceExport|Flight|Report|ColumnarBlockTest|ColumnarCursorTest|ColumnarFilterTest|ColumnarAliasTest|ColumnarPipelineTest)\.")
+      -R "^(ParallelFor|ParallelMap|ParallelDeterminism|Metrics|Json|Log|Trace|ObsContract|EngineDictionaryTest|TelemetryContract|Timeline|Status|TraceExport|Flight|Report|ColumnarBlockTest|ColumnarCursorTest|ColumnarFilterTest|ColumnarAliasTest|ColumnarPipelineTest|TargetGenerator|ProceduralWorld|SpecModeCampaign|ScenarioLayers)\.")
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -89,9 +99,13 @@ echo "==> telemetry gate (bench_obs --quick --gate: zero-overhead off, artifact 
 (cd build/bench && ./bench_obs --quick --gate >/dev/null)
 
 if [[ "$QUICK_BENCH" == 1 ]]; then
+  echo "==> flat-memory gate: quick sweeps (bench_world --quick --gate)"
+  (cd build/bench && ./bench_world --quick --gate >/dev/null)
   echo "==> parallel-scaling gate: quick schema-only run (--quick-bench)"
   ./build/bench/bench_micro_parallel --quick --gate >/dev/null
 else
+  echo "==> flat-memory gate (bench_world --gate: 1M -> 134M census sweeps)"
+  (cd build/bench && ./bench_world --gate >/dev/null)
   echo "==> parallel-scaling gate (bench_micro_parallel --gate, full world)"
   # Run from the repo root so the default --baseline path resolves.
   ./build/bench/bench_micro_parallel --gate >/dev/null

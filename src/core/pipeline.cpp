@@ -18,12 +18,18 @@ std::size_t PipelineResult::router_device_count() const {
   return count;
 }
 
-PipelineResult run_full_pipeline(const PipelineOptions& options) {
-  return run_full_pipeline(topo::generate_world(options.world), options);
-}
+namespace {
 
-PipelineResult run_full_pipeline(topo::World world,
-                                 const PipelineOptions& options) {
+// The pipeline body, parameterized over the scan substrate. Campaigns and
+// the hitlist prescan run against `model` (lazy worlds derive devices on
+// demand); the third-party-style datasets and the hitlist export read
+// `ground_truth`, a materialized pre-churn snapshot of the same world —
+// exactly the role the by-value World played before the model layer.
+// Leaves PipelineResult::world unset; each public wrapper fills it with
+// its own final-epoch world.
+PipelineResult run_pipeline_over_model(topo::WorldModel& model,
+                                       const topo::World& ground_truth,
+                                       const PipelineOptions& options) {
   PipelineResult result;
 
   // Root scope: every span/metric below hangs off "pipeline".
@@ -42,15 +48,15 @@ PipelineResult run_full_pipeline(topo::World world,
   // against April 2021 scans.
   {
     obs::Span span(obs.trace(), obs.scoped("datasets"));
-    result.as_table = topo::build_as_table(world);
-    result.itdk_v4 = topo::export_itdk_v4(world, options.datasets);
-    result.itdk_v6 = topo::export_itdk_v6(world, options.datasets);
-    result.atlas = topo::export_atlas(world, options.datasets);
-    result.hitlist_v6 = topo::export_hitlist_v6(world, options.seed);
+    result.as_table = topo::build_as_table(ground_truth);
+    result.itdk_v4 = topo::export_itdk_v4(ground_truth, options.datasets);
+    result.itdk_v6 = topo::export_itdk_v6(ground_truth, options.datasets);
+    result.atlas = topo::export_atlas(ground_truth, options.datasets);
+    result.hitlist_v6 = topo::export_hitlist_v6(ground_truth, options.seed);
   }
   if (options.exclude_aliased_prefixes && !result.hitlist_v6.empty()) {
     obs::Span span(obs.trace(), obs.scoped("hitlist_prescan"));
-    sim::Fabric prescan(world, {.seed = options.seed ^ 0xa11a5ed});
+    sim::Fabric prescan(model, {.seed = options.seed ^ 0xa11a5ed});
     result.aliased_prefixes = scan::detect_aliased_prefixes(
         prescan, {net::Ipv4(198, 51, 100, 7), 54320}, result.hitlist_v6);
     result.hitlist_v6 =
@@ -86,10 +92,9 @@ PipelineResult run_full_pipeline(topo::World world,
       v6.store = options.store;
       v6.store.dir = options.store.dir + "/v6";
     }
-    result.v6_campaign = scan::run_two_scan_campaign(world, v6);
+    result.v6_campaign = scan::run_two_scan_campaign(model, v6);
     if (result.v6_campaign.interrupted) {
       result.interrupted = true;
-      result.world = std::move(world);
       return result;
     }
     span.set_virtual_duration(result.v6_campaign.scan2.end_time -
@@ -119,10 +124,9 @@ PipelineResult run_full_pipeline(topo::World world,
       v4.store = options.store;
       v4.store.dir = options.store.dir + "/v4";
     }
-    result.v4_campaign = scan::run_two_scan_campaign(world, v4);
+    result.v4_campaign = scan::run_two_scan_campaign(model, v4);
     if (result.v4_campaign.interrupted) {
       result.interrupted = true;
-      result.world = std::move(world);
       return result;
     }
     span.set_virtual_duration(result.v4_campaign.scan2.end_time -
@@ -198,7 +202,34 @@ PipelineResult run_full_pipeline(topo::World world,
                                       result.router_addresses);
   }
 
+  return result;
+}
+
+}  // namespace
+
+PipelineResult run_full_pipeline(const PipelineOptions& options) {
+  return run_full_pipeline(topo::generate_world(options.world), options);
+}
+
+PipelineResult run_full_pipeline(topo::World world,
+                                 const PipelineOptions& options) {
+  topo::MaterializedWorldModel model(world);
+  PipelineResult result = run_pipeline_over_model(model, world, options);
+  // Ground truth doubles as the scan substrate here, so after the
+  // campaigns it already sits at the final epoch — exactly what the
+  // historical by-value overload returned.
   result.world = std::move(world);
+  return result;
+}
+
+PipelineResult run_full_pipeline(topo::WorldModel& model,
+                                 const PipelineOptions& options) {
+  // Snapshot the pre-churn epoch for the dataset exports, then let the
+  // campaigns drive (and churn) the model itself; the returned world is a
+  // fresh final-epoch materialization.
+  topo::World ground_truth = model.materialize();
+  PipelineResult result = run_pipeline_over_model(model, ground_truth, options);
+  result.world = model.materialize();
   return result;
 }
 

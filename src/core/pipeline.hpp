@@ -126,4 +126,17 @@ PipelineResult run_full_pipeline(const PipelineOptions& options = {});
 PipelineResult run_full_pipeline(topo::World world,
                                  const PipelineOptions& options);
 
+// Variant over any WorldModel (topo/world_model.hpp): campaigns and the
+// hitlist prescan read devices through the model's lazy view, so a
+// procedural world never materializes per-device state beyond its
+// responder cache. The dataset exports and PipelineResult::world come
+// from materialize() snapshots (pre- and post-churn respectively) — fine
+// for the equivalence tests this overload serves, but census-scale sweeps
+// should drive scan::run_two_scan_campaign directly instead. A procedural
+// world restricted to static scenario layers produces a bit-identical
+// PipelineResult to run_full_pipeline(model.materialize(), options)
+// (tests/test_worlds.cpp).
+PipelineResult run_full_pipeline(topo::WorldModel& model,
+                                 const PipelineOptions& options);
+
 }  // namespace snmpv3fp::core

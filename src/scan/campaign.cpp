@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 
 namespace snmpv3fp::scan {
 
@@ -234,6 +235,22 @@ std::uint64_t digest_config(const CampaignOptions& options,
   // manifests vs embedded JSON); never resume across the two modes.
   digest = util::hash_combine(
       digest, static_cast<std::uint64_t>(options.store.dir.empty() ? 0 : 1));
+  if (options.target_spec.has_value()) {
+    // Spec mode never materializes its targets; the sweep is identified by
+    // its ranges and permutation parameters (a marker keeps a spec-mode
+    // digest from ever colliding with a list-mode one).
+    digest = util::hash_combine(digest, 0x5bec5bec5bec5becull);
+    digest = util::hash_combine(digest, options.target_spec->ranges.size());
+    for (const auto& range : options.target_spec->ranges) {
+      digest = util::hash_combine(
+          digest, static_cast<std::uint64_t>(range.base().value()));
+      digest = util::hash_combine(
+          digest, static_cast<std::uint64_t>(range.length()));
+    }
+    digest = util::hash_combine(
+        digest, static_cast<std::uint64_t>(options.target_spec->feistel_rounds));
+    return digest;
+  }
   digest = util::hash_combine(digest, targets.size());
   for (const auto& address : targets)
     digest = util::hash_combine(digest, util::fnv1a64(address.to_string()));
@@ -242,24 +259,26 @@ std::uint64_t digest_config(const CampaignOptions& options,
 
 }  // namespace
 
-CampaignPair run_two_scan_campaign(topo::World& world,
+CampaignPair run_two_scan_campaign(topo::WorldModel& model,
                                    const CampaignOptions& options) {
   const std::uint64_t churn_seed = options.seed ^ 0xc0ffee;
+  const bool spec_mode = options.target_spec.has_value();
+  if (spec_mode && options.family != net::Family::kIpv4)
+    throw std::invalid_argument("target_spec sweeps are IPv4-only");
+  if (spec_mode && options.target_spec->ranges.empty())
+    throw std::invalid_argument("target_spec needs at least one range");
 
-  // Target list: explicit, or every address of the family assigned in
-  // either epoch (the paper probes all routable space; probing known-dead
-  // space only burns simulated time, so we probe the live superset). The
-  // second epoch's addresses are computed by a world query instead of
-  // churning a full copy of the world.
+  // Target list (list mode only; spec mode generates targets on demand):
+  // explicit, or every address of the family assigned in either epoch (the
+  // paper probes all routable space; probing known-dead space only burns
+  // simulated time, so we probe the live superset). The second epoch's
+  // addresses come from a model query instead of churning a full copy of
+  // the world.
   std::vector<net::IpAddress> targets;
-  if (options.targets.has_value()) {
-    targets = *options.targets;
-  } else {
-    targets = world.addresses(options.family);
-    const auto later = world.addresses_after_churn(churn_seed, options.family);
-    targets.insert(targets.end(), later.begin(), later.end());
-    std::sort(targets.begin(), targets.end());
-    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  if (!spec_mode) {
+    targets = options.targets.has_value()
+                  ? *options.targets
+                  : model.campaign_targets(options.family, churn_seed);
   }
 
   const net::Endpoint prober_source{
@@ -270,15 +289,17 @@ CampaignPair run_two_scan_campaign(topo::World& world,
       54321};
 
   // One fabric per shard, persistent across both scans (clock and stats
-  // continuity, like the former single fabric). Shards only ever touch the
-  // world read-only while probing; churn is applied between the scans.
+  // continuity, like the former single fabric). Shards only ever read the
+  // model while probing (each holds its own device view, so lazy worlds
+  // derive into per-shard caches with no locking); churn is applied
+  // between the scans.
   const std::size_t shard_count = std::max<std::size_t>(options.shards, 1);
   std::vector<std::unique_ptr<sim::Fabric>> fabrics;
   fabrics.reserve(shard_count);
   for (std::size_t shard = 0; shard < shard_count; ++shard) {
     sim::FabricConfig config = options.fabric;
     config.seed = util::hash_combine(options.fabric.seed, shard);
-    fabrics.push_back(std::make_unique<sim::Fabric>(world, config));
+    fabrics.push_back(std::make_unique<sim::Fabric>(model, config));
   }
 
   const std::uint64_t digest = digest_config(options, targets, shard_count);
@@ -341,14 +362,25 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     obs::Span scan_span(options.obs.trace(), options.obs.scoped(label));
     if (store.enabled() && !resuming) store.begin_scan(scan_index);
 
-    // Global shuffle first, then contiguous slices: shard k's slice starts
-    // at global probe index b_k and is paced with send_offset = b_k * gap,
-    // so the union of shard schedules equals one sequential scan's.
-    std::vector<net::IpAddress> order = targets;
-    util::Rng rng(scan_seed);
-    rng.shuffle(order);
+    // Global randomization first, then contiguous slices: shard k's slice
+    // starts at global probe index b_k and is paced with send_offset =
+    // b_k * gap, so the union of shard schedules equals one sequential
+    // scan's. List mode shuffles a materialized copy (the historical
+    // path); spec mode seeds a Feistel permutation and computes each
+    // shard's window positionally — nothing is materialized.
+    std::vector<net::IpAddress> order;
+    std::optional<TargetGenerator> generator;
+    if (spec_mode) {
+      generator.emplace(*options.target_spec, scan_seed);
+    } else {
+      order = targets;
+      util::Rng rng(scan_seed);
+      rng.shuffle(order);
+    }
 
-    const std::size_t n = order.size();
+    const std::size_t n = spec_mode
+                              ? static_cast<std::size_t>(generator->size())
+                              : order.size();
     const std::size_t base = shard_count == 0 ? 0 : n / shard_count;
     const std::size_t extra = shard_count == 0 ? 0 : n % shard_count;
     std::vector<ScanResult> shard_results(shard_count);
@@ -463,14 +495,31 @@ CampaignPair run_two_scan_campaign(topo::World& world,
 
       const std::size_t begin = shard * base + std::min(shard, extra);
       const std::size_t end = begin + base + (shard < extra ? 1 : 0);
-      const std::span<const net::IpAddress> slice(order.data() + begin,
-                                                  end - begin);
+      // The shard's window of the global probe order: a borrowed span of
+      // the shuffled list, or a positional slice of the permuted sweep.
+      std::optional<SpanTargets> span_slice;
+      std::optional<GeneratorSlice> generator_slice;
+      const TargetSequence* slice = nullptr;
+      if (spec_mode) {
+        generator_slice.emplace(*generator, begin, end);
+        slice = &*generator_slice;
+      } else {
+        span_slice.emplace(
+            std::span<const net::IpAddress>(order.data() + begin, end - begin));
+        slice = &*span_slice;
+      }
       ProbeConfig probe;
       probe.label = label;
       probe.rate_pps = options.rate_pps;
       probe.seed = util::hash_combine(scan_seed, shard);
       probe.randomize_order = false;  // already shuffled globally
       probe.send_offset = static_cast<util::VTime>(begin) * gap;
+      // Generated sweeps cover orders of magnitude more dead space than
+      // they have responders; forgetting send times past the worst-case
+      // round trip keeps the outstanding-probe map constant-sized. List
+      // mode keeps the historical retain-everything behavior bit for bit.
+      if (spec_mode)
+        probe.sent_horizon = options.fabric.max_rtt + util::kSecond;
       probe.pacer = options.pacer;
       probe.resume = resume_state;
       probe.sink = shard_store.get();
@@ -496,7 +545,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
         };
       }
       Prober prober(*fabrics[shard], prober_source);
-      ScanResult result = prober.run(slice, probe, start);
+      ScanResult result = prober.run(*slice, probe, start);
       result.store = shard_store;
       // A shard that ran to the end is complete even if a sibling already
       // aborted — the final persisted file must not re-probe it on resume.
@@ -606,6 +655,12 @@ CampaignPair run_two_scan_campaign(topo::World& world,
       };
 
   CampaignPair out;
+  // Lazy-device cache telemetry survives every exit, interrupted or not
+  // (a census bench wants the hit rate even when it kills the run).
+  const auto collect_cache_stats = [&] {
+    for (const auto& fabric : fabrics)
+      out.responder_cache += fabric->cache_stats();
+  };
   if (resuming && resume_scan_index == 2) {
     // Scan 1 finished in a previous process: take its merged result (in
     // store mode the records come back through the re-adopted store).
@@ -620,6 +675,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     resuming = false;  // past the resume point either way
     if (!scan1.has_value()) {
       out.interrupted = true;
+      collect_cache_stats();
       flush_telemetry(true);
       return out;
     }
@@ -632,7 +688,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     }
   }
 
-  world.rebind_churning_devices(churn_seed);
+  model.apply_churn(churn_seed);
 
   {
     const auto slots = (resuming && resume_scan_index == 2)
@@ -644,6 +700,7 @@ CampaignPair run_two_scan_campaign(topo::World& world,
     resuming = false;
     if (!scan2.has_value()) {
       out.interrupted = true;
+      collect_cache_stats();
       flush_telemetry(true);
       return out;
     }
@@ -651,9 +708,16 @@ CampaignPair run_two_scan_campaign(topo::World& world,
   }
 
   for (const auto& fabric : fabrics) out.fabric_stats += fabric->stats();
+  collect_cache_stats();
   if (store.enabled()) remove_checkpoint(options.checkpoint_path);
   flush_telemetry(false);
   return out;
+}
+
+CampaignPair run_two_scan_campaign(topo::World& world,
+                                   const CampaignOptions& options) {
+  topo::MaterializedWorldModel model(world);
+  return run_two_scan_campaign(model, options);
 }
 
 }  // namespace snmpv3fp::scan

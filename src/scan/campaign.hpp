@@ -12,8 +12,10 @@
 #include "scan/checkpoint.hpp"
 #include "scan/pacer.hpp"
 #include "scan/prober.hpp"
+#include "scan/targets.hpp"
 #include "sim/fabric.hpp"
 #include "topo/world.hpp"
+#include "topo/world_model.hpp"
 #include "util/parallel.hpp"
 
 namespace snmpv3fp::scan {
@@ -30,6 +32,16 @@ struct CampaignOptions {
   // Explicit target list (e.g. the IPv6 hitlist). When absent, all
   // addresses of `family` assigned in either epoch are probed both times.
   std::optional<std::vector<net::IpAddress>> targets;
+  // Streaming target sweep (scan/targets.hpp): probe every address of the
+  // given IPv4 prefix ranges in a seeded Feistel permutation, generating
+  // each target on demand instead of materializing a list. Memory stays
+  // O(shards) regardless of range size — this is how census-scale
+  // campaigns over a procedural world run in flat RSS. Takes precedence
+  // over `targets`; IPv4 only. The permutation differs from the
+  // list-mode Fisher-Yates shuffle, so spec-mode and list-mode campaigns
+  // over the same address set probe in different orders (the responder
+  // set is the same at zero loss).
+  std::optional<TargetSpec> target_spec;
   util::VTime first_scan_start = 0;
   util::VTime scan_gap = 6 * util::kDay;  // paper: Apr 16-20 vs Apr 22-27
   double rate_pps = 5000.0;
@@ -82,16 +94,29 @@ struct CampaignPair {
   ScanResult scan1;
   ScanResult scan2;
   sim::FabricStats fabric_stats;
+  // Lazy-device cache behavior summed over every shard fabric (all zeros
+  // for materialized worlds, whose views derive nothing). Execution-only
+  // telemetry: hit rates vary with thread interleaving-independent shard
+  // structure only, but play no part in any scan output.
+  topo::WorldCacheStats responder_cache;
   // True when a simulated kill stopped the campaign; scan results are
   // partial and the checkpoint file holds the resumable state.
   bool interrupted = false;
 };
 
-// Runs scan1, rebinds churning (CPE) addresses, runs scan2. Mutates the
-// world's address assignments (the second epoch persists afterwards).
-// When resuming past scan 1 (checkpoint at the scan boundary or inside
-// scan 2), the world must be the same pre-churn world the original run
-// started from; churn is re-applied deterministically.
+// Runs scan1, applies address churn through the model, runs scan2. The
+// model's second epoch persists afterwards. When resuming past scan 1
+// (checkpoint at the scan boundary or inside scan 2), the model must be
+// in the same pre-churn epoch the original run started from; churn is
+// re-applied deterministically.
+CampaignPair run_two_scan_campaign(topo::WorldModel& model,
+                                   const CampaignOptions& options);
+
+// Materialized-world convenience wrapper: adapts `world` behind a
+// MaterializedWorldModel and runs the model campaign. Mutates the world's
+// address assignments (the second epoch persists afterwards). Output is
+// bit-identical to what this overload produced before the model layer
+// existed.
 CampaignPair run_two_scan_campaign(topo::World& world,
                                    const CampaignOptions& options);
 

@@ -251,6 +251,12 @@ void write_fabric_state(JsonWriter& json, const sim::FabricState& state) {
     json.end_object();
   }
   json.end_array();
+  // Lazy-world responder cache, MRU first (empty for materialized worlds;
+  // older checkpoints without the key restore to a cold cache).
+  json.key("responder_cache").begin_array();
+  for (const auto& address : state.responder_cache)
+    json.value(address.to_string());
+  json.end_array();
   json.end_object();
 }
 
@@ -286,6 +292,11 @@ sim::FabricState read_fabric_state(const JsonValue& value) {
       state.rate_windows.push_back(
           {static_cast<std::uint32_t>(get_u64(item, "device")),
            get_i64(item, "window_start"), get_u64(item, "count")});
+  if (const auto* cache = value.find("responder_cache");
+      cache != nullptr && cache->is_array())
+    for (const auto& item : cache->items())
+      if (const auto address = net::IpAddress::parse(item.as_string()))
+        state.responder_cache.push_back(address.value());
   return state;
 }
 

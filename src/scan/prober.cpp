@@ -1,6 +1,7 @@
 #include "scan/prober.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <optional>
 
 #include "obs/log.hpp"
@@ -132,7 +133,18 @@ ScanResult Prober::run(std::span<const net::IpAddress> targets,
     rng.shuffle(shuffled);
     order = shuffled;
   }
+  return run_impl(SpanTargets(order), config, start_time, rng);
+}
 
+ScanResult Prober::run(const TargetSequence& targets,
+                       const ProbeConfig& config, util::VTime start_time) {
+  util::Rng rng(config.seed);
+  return run_impl(targets, config, start_time, rng);
+}
+
+ScanResult Prober::run_impl(const TargetSequence& order,
+                            const ProbeConfig& config, util::VTime start_time,
+                            util::Rng& rng) {
   AdaptivePacer pacer(config.rate_pps, config.pacer, rng);
   // Wire fast path: one template per run (three full encodes to build),
   // stamped into one reusable buffer for every probe thereafter.
@@ -150,6 +162,12 @@ ScanResult Prober::run(std::span<const net::IpAddress> targets,
   store::RecordStore* const sink = config.sink;
   std::unordered_map<net::IpAddress, SourceEntry> by_source;
   std::unordered_map<net::IpAddress, util::VTime> sent_at;
+  // Outstanding sends in order, for sent_horizon pruning (empty when off).
+  std::deque<std::pair<util::VTime, net::IpAddress>> send_log;
+  // Generated sweeps can cover billions of positions; pre-sizing must
+  // follow the expected working set, not the sweep length.
+  const auto reserve_n =
+      static_cast<std::size_t>(std::min<std::uint64_t>(order.size(), 65536));
   std::size_t start_index = 0;
   util::VTime next_send = 0;
   // Rate-limit signal feed: track the transport counter so each drain
@@ -180,22 +198,29 @@ ScanResult Prober::run(std::span<const net::IpAddress> targets,
         by_source.emplace(result.records[i].target,
                           SourceEntry{i, {}});
     }
-    sent_at.reserve(order.size());
+    sent_at.reserve(reserve_n);
     for (const auto& [address, time] : config.resume->sent_at)
       sent_at.emplace(address, time);
+    if (config.sent_horizon > 0) {
+      // Rebuild the pruning log in the snapshot's (time, address) order so
+      // a resumed run forgets entries on exactly the same probes an
+      // uninterrupted run would (the snapshot is already sorted that way).
+      for (const auto& [address, time] : config.resume->sent_at)
+        send_log.emplace_back(time, address);
+    }
   } else {
     result.label = config.label;
     result.targets_probed = order.size();
     transport_.run_until(start_time);
     result.start_time = transport_.now();
     next_send = transport_.now() + config.send_offset;
-    by_source.reserve(order.size() / 4);
-    sent_at.reserve(order.size());
+    by_source.reserve(reserve_n / 4);
+    sent_at.reserve(reserve_n);
   }
-  if (sink == nullptr) result.records.reserve(order.size());
+  if (sink == nullptr) result.records.reserve(reserve_n);
 
   for (std::size_t i = start_index; i < order.size(); ++i) {
-    const auto& target = order[i];
+    const net::IpAddress target = order.at(i);
     transport_.run_until(next_send);
     // Draw order matters for bit-compatibility with historical runs:
     // request_id consumed the first draw when both ids were drawn inside
@@ -204,6 +229,14 @@ ScanResult Prober::run(std::span<const net::IpAddress> targets,
     const std::int32_t msg_id = two_byte_id(rng);
     const util::VTime send_time = transport_.now();
     sent_at.emplace(target, send_time);
+    if (config.sent_horizon > 0) {
+      send_log.emplace_back(send_time, target);
+      const util::VTime cutoff = send_time - config.sent_horizon;
+      while (!send_log.empty() && send_log.front().first < cutoff) {
+        sent_at.erase(send_log.front().second);
+        send_log.pop_front();
+      }
+    }
     if (config.wire_fast_path &&
         probe_template.stamp(msg_id, request_id, probe_scratch)) {
       result.probe_bytes = probe_scratch.size();

@@ -18,6 +18,7 @@
 #include "scan/checkpoint.hpp"
 #include "scan/pacer.hpp"
 #include "scan/record.hpp"
+#include "scan/targets.hpp"
 #include "util/rng.hpp"
 
 namespace snmpv3fp::scan {
@@ -75,6 +76,15 @@ struct ProbeConfig {
   // (a couple of null checks per probe); everything behind them is
   // execution-only by the obs contract.
   obs::ShardTelemetry telemetry;
+  // Outstanding-probe horizon: when nonzero, send times older than this are
+  // forgotten (no response can still be matched to them). Bounds the
+  // sent_at working set to rate x horizon entries — constant over the sweep
+  // size — which streaming (generator-fed) census campaigns need; 0 keeps
+  // the historical retain-everything behavior bit-identically. Responses
+  // arriving later than the horizon after their probe lose only their RTT
+  // annotation (send_time stays 0), so size it past the transport's
+  // worst-case round trip.
+  util::VTime sent_horizon = 0;
 };
 
 class Prober {
@@ -88,6 +98,12 @@ class Prober {
   // sharded campaigns pass pre-shuffled views straight into the slices.
   ScanResult run(std::span<const net::IpAddress> targets,
                  const ProbeConfig& config, util::VTime start_time);
+
+  // Runs over any TargetSequence (e.g. a GeneratorSlice of a permuted
+  // prefix sweep). No shuffle is applied — generated sequences are already
+  // permuted positionally — so `randomize_order` is ignored.
+  ScanResult run(const TargetSequence& targets, const ProbeConfig& config,
+                 util::VTime start_time);
 
  private:
   // A responsive source we already hold a record for: its position (in
@@ -115,6 +131,12 @@ class Prober {
       std::unordered_map<net::IpAddress, SourceEntry>& by_source,
       const std::unordered_map<net::IpAddress, util::VTime>& sent_at,
       WireState& wire, obs::ShardTelemetry& telemetry);
+
+  // Shared probe loop. `rng` belongs to the caller because the span
+  // overload's shuffle must consume draws from the same stream that later
+  // produces the message ids (bit-compatibility with historical runs).
+  ScanResult run_impl(const TargetSequence& order, const ProbeConfig& config,
+                      util::VTime start_time, util::Rng& rng);
 
   net::Transport& transport_;
   net::Endpoint source_;

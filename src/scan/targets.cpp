@@ -1,0 +1,71 @@
+#include "scan/targets.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace snmpv3fp::scan {
+
+std::uint64_t TargetSpec::total() const {
+  std::uint64_t total = 0;
+  for (const auto& range : ranges) total += range.size();
+  return total;
+}
+
+TargetGenerator::TargetGenerator(const TargetSpec& spec, std::uint64_t seed)
+    : ranges_(spec.ranges) {
+  if (ranges_.empty())
+    throw std::invalid_argument("TargetGenerator: spec has no ranges");
+  const std::uint32_t rounds = std::max<std::uint32_t>(spec.feistel_rounds, 2);
+  cumulative_.reserve(ranges_.size());
+  for (const auto& range : ranges_) {
+    cumulative_.push_back(total_);
+    total_ += range.size();
+  }
+  // Smallest even-bit-width power-of-two domain covering the sweep. The
+  // balanced Feistel network permutes 2*half_bits_ bits; cycle-walking in
+  // at() skips the < 3x overshoot positions outside [0, total_).
+  const auto domain_bits = static_cast<std::uint32_t>(
+      std::bit_width(std::max<std::uint64_t>(total_ - 1, 1)));
+  half_bits_ = std::max<std::uint32_t>((domain_bits + 1) / 2, 1);
+  util::Rng rng(seed);
+  round_keys_.reserve(rounds);
+  for (std::uint32_t i = 0; i < rounds; ++i) round_keys_.push_back(rng.next());
+}
+
+std::uint64_t TargetGenerator::permute(std::uint64_t value) const {
+  const std::uint64_t mask = (std::uint64_t{1} << half_bits_) - 1;
+  std::uint64_t left = value >> half_bits_;
+  std::uint64_t right = value & mask;
+  for (const std::uint64_t key : round_keys_) {
+    // splitmix64-style round function: cheap, full-avalanche within the
+    // half-domain, and stable across platforms.
+    std::uint64_t f = right + key + 0x9e3779b97f4a7c15ull;
+    f = (f ^ (f >> 30)) * 0xbf58476d1ce4e5b9ull;
+    f = (f ^ (f >> 27)) * 0x94d049bb133111ebull;
+    f ^= f >> 31;
+    const std::uint64_t next_right = left ^ (f & mask);
+    left = right;
+    right = next_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+net::IpAddress TargetGenerator::at(std::uint64_t index) const {
+  // Cycle-walk: a Feistel permutation of the padded power-of-two domain
+  // restricted to [0, total_) is still a permutation, and every walk
+  // terminates in < 4 expected steps (domain < 4 * total_).
+  std::uint64_t position = index;
+  do {
+    position = permute(position);
+  } while (position >= total_);
+  const auto range =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), position) - 1;
+  const auto range_index =
+      static_cast<std::size_t>(range - cumulative_.begin());
+  return ranges_[range_index].at(position - *range);
+}
+
+}  // namespace snmpv3fp::scan

@@ -21,7 +21,12 @@ FabricStats& FabricStats::operator+=(const FabricStats& other) {
 }
 
 Fabric::Fabric(const topo::World& world, const FabricConfig& config)
-    : world_(world), config_(config), rng_(config.seed) {}
+    : view_(topo::make_materialized_view(world)),
+      config_(config),
+      rng_(config.seed) {}
+
+Fabric::Fabric(const topo::WorldModel& model, const FabricConfig& config)
+    : view_(model.open_view()), config_(config), rng_(config.seed) {}
 
 void Fabric::send(net::Datagram datagram) {
   deliver(datagram.source, datagram.destination, datagram.payload);
@@ -47,7 +52,7 @@ void Fabric::deliver(const net::Endpoint& source,
     return;
   }
 
-  const topo::Device* device = world_.device_at(destination.address);
+  const topo::Device* device = view_->device_at(destination.address);
   if (device == nullptr) {  // dead address space
     ++stats_.probes_dead;
     return;
@@ -153,6 +158,7 @@ FabricState Fabric::snapshot() const {
     state.rate_windows.push_back({device, window.window_start, window.count});
   std::sort(state.rate_windows.begin(), state.rate_windows.end(),
             [](const auto& a, const auto& b) { return a.device < b.device; });
+  state.responder_cache = view_->cached_addresses();
   return state;
 }
 
@@ -167,6 +173,7 @@ void Fabric::restore(const FabricState& state) {
   rate_windows_.clear();
   for (const auto& window : state.rate_windows)
     rate_windows_[window.device] = {window.window_start, window.count};
+  view_->warm(state.responder_cache);
 }
 
 }  // namespace snmpv3fp::sim

@@ -15,6 +15,7 @@
 #include "sim/agent.hpp"
 #include "sim/faults.hpp"
 #include "topo/world.hpp"
+#include "topo/world_model.hpp"
 #include "util/rng.hpp"
 #include "util/vclock.hpp"
 
@@ -83,12 +84,20 @@ struct FabricState {
     std::size_t count = 0;
   };
   std::vector<RateWindowState> rate_windows;
+  // Lazy-backend responder cache: primary addresses of cached devices, most
+  // recently used first. Empty for materialized worlds. Execution-only —
+  // restoring it reproduces hit-rate telemetry, never an output bit.
+  std::vector<net::IpAddress> responder_cache;
 };
 
 class Fabric final : public net::Transport {
  public:
   // The world must outlive the fabric.
   Fabric(const topo::World& world, const FabricConfig& config);
+  // Probes through any WorldModel (materialized or procedural); the model
+  // must outlive the fabric. Each fabric owns its own DeviceView, so one
+  // model can back many shard fabrics concurrently.
+  Fabric(const topo::WorldModel& model, const FabricConfig& config);
 
   void send(net::Datagram datagram) override;
   // Borrowed-payload send (the prober's stamped-template hot path): no
@@ -108,6 +117,9 @@ class Fabric final : public net::Transport {
   }
 
   const FabricStats& stats() const { return stats_; }
+  // Responder-cache accounting of this fabric's device view (all-zero over
+  // materialized worlds).
+  topo::WorldCacheStats cache_stats() const { return view_->cache_stats(); }
   util::VirtualClock& clock() { return clock_; }
 
   // Checkpoint/resume: snapshot() captures the complete mutable state;
@@ -136,7 +148,7 @@ class Fabric final : public net::Transport {
     std::size_t count = 0;
   };
 
-  const topo::World& world_;
+  std::unique_ptr<topo::DeviceView> view_;
   FabricConfig config_;
   util::Rng rng_;
   util::VirtualClock clock_;

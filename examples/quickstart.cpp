@@ -65,21 +65,38 @@ int run_live(const char* target_text) {
     std::fprintf(stderr, "socket: %s\n", socket.error().c_str());
     return 1;
   }
+  // Connected sockets get ICMP port-unreachable reported back as
+  // SendOutcome::kRefused / RecvOutcome::refused instead of silence.
+  const net::Endpoint peer{target.value(), net::kSnmpPort};
+  if (auto connected = socket.value().connect_to(peer); !connected.ok()) {
+    std::fprintf(stderr, "connect: %s\n", connected.error().c_str());
+    return 1;
+  }
   const auto probe = snmp::make_discovery_request(0x4a69, 0x37f0).encode();
-  const auto sent =
-      socket.value().send_to({target.value(), net::kSnmpPort}, probe);
-  if (!sent || !sent.value()) {
-    std::fprintf(stderr, "send failed\n");
+  const auto sent = socket.value().send_to(peer, probe);
+  if (!sent || sent.value() != net::SendOutcome::kSent) {
+    std::fprintf(stderr, "send failed%s\n",
+                 sent && sent.value() == net::SendOutcome::kRefused
+                     ? " (port unreachable)"
+                     : "");
     return 1;
   }
   std::printf("sent %zu-byte discovery probe to %s:161\n", probe.size(),
               target.value().to_string().c_str());
   auto reply = socket.value().receive(/*timeout_ms=*/3000);
-  if (!reply || !reply.value().has_value()) {
+  if (!reply) {
+    std::fprintf(stderr, "receive: %s\n", reply.error().c_str());
+    return 1;
+  }
+  if (reply.value().refused) {
+    std::printf("target refused the probe (ICMP port unreachable)\n");
+    return 0;
+  }
+  if (!reply.value().datagram.has_value()) {
     std::printf("no response within 3 s\n");
     return 0;
   }
-  const auto message = snmp::V3Message::decode(reply.value()->payload);
+  const auto message = snmp::V3Message::decode(reply.value().datagram->payload);
   if (!message) {
     std::printf("response did not parse as SNMPv3: %s\n",
                 message.error().c_str());

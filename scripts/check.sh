@@ -37,6 +37,12 @@
 #      gate additionally needs >= 8 hardware threads and self-skips below
 #      that). Skipped under --quick-bench, which swaps in the fast
 #      schema-only run.
+#   7. Real-socket gates: the test_net_engine loopback self-test (the
+#      pipeline through actual kernel sockets must be bit-identical to the
+#      sim-fabric run) and bench_net --gate (batched sendmmsg+GSO send
+#      >= 2x the per-datagram loop at batch 64, zero allocations per
+#      probe, BENCH_net.json schema). Both print SKIP and pass when the
+#      sandbox denies sockets — visible, never silent.
 #
 # Usage: scripts/check.sh [--no-tsan] [--no-asan] [--quick-bench]
 set -euo pipefail
@@ -110,5 +116,20 @@ else
   # Run from the repo root so the default --baseline path resolves.
   ./build/bench/bench_micro_parallel --gate >/dev/null
 fi
+
+echo "==> real-socket loopback self-test (test_net_engine: pipeline bit-identity over kernel sockets)"
+# The suite GTEST_SKIPs each socket test individually when the sandbox
+# denies sockets; surface those skip lines instead of hiding them, but
+# still fail on any real failure.
+NET_TEST_OUT="$(cd build && ./tests/test_net_engine 2>&1)" || {
+  echo "$NET_TEST_OUT" | tail -30; exit 1; }
+echo "$NET_TEST_OUT" | grep -E "^\[  SKIPPED|sockets unavailable" || true
+echo "$NET_TEST_OUT" | tail -1
+
+echo "==> batched-I/O gate (bench_net --quick --gate: sendmmsg+GSO >= 2x per-datagram, zero allocs/probe)"
+# bench_net prints its own SKIP line and exits 0 when sockets are denied.
+(cd build/bench && ./bench_net --quick --gate | grep -E "SKIP|GATE" || true)
+# Propagate the gate verdict (grep above swallows the status).
+(cd build/bench && ./bench_net --quick --gate >/dev/null)
 
 echo "==> all checks passed"

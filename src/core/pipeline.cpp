@@ -2,6 +2,7 @@
 
 #include "core/overlap.hpp"
 #include "obs/log.hpp"
+#include "sim/reflector.hpp"
 
 namespace snmpv3fp::core {
 
@@ -56,7 +57,9 @@ PipelineResult run_pipeline_over_model(topo::WorldModel& model,
   }
   if (options.exclude_aliased_prefixes && !result.hitlist_v6.empty()) {
     obs::Span span(obs.trace(), obs.scoped("hitlist_prescan"));
-    sim::Fabric prescan(model, {.seed = options.seed ^ 0xa11a5ed});
+    sim::FabricConfig prescan_config = options.fabric;
+    prescan_config.seed = options.seed ^ 0xa11a5ed;
+    sim::Fabric prescan(model, prescan_config);
     result.aliased_prefixes = scan::detect_aliased_prefixes(
         prescan, {net::Ipv4(198, 51, 100, 7), 54320}, result.hitlist_v6);
     result.hitlist_v6 =
@@ -67,6 +70,30 @@ PipelineResult run_pipeline_over_model(topo::WorldModel& model,
        {&result.itdk_v4, &result.itdk_v6, &result.atlas})
     result.router_addresses.insert(dataset->addresses.begin(),
                                    dataset->addresses.end());
+
+  // Real-socket mode: one loopback reflector serves both campaigns (the
+  // SimFrame header carries each probe's logical family, so v4 and v6
+  // targets share the v4 wire). It must outlive every shard engine's
+  // linger drain, i.e. both campaigns.
+  std::unique_ptr<sim::LoopbackReflector> reflector;
+  std::optional<net::EngineConfig> engine_config = options.net_engine;
+  if (engine_config.has_value()) {
+    sim::ReflectorConfig reflector_config;
+    reflector_config.rtt = options.net_rtt;
+    reflector_config.seed = options.seed ^ 0x5eaf1ec7;
+    auto started = sim::LoopbackReflector::start(model, reflector_config);
+    if (!started.ok()) {
+      // No sockets here (sandboxed CI): surface the reason on both
+      // campaigns and return the pre-scan products.
+      result.v4_campaign.net_error = started.error();
+      result.v6_campaign.net_error = started.error();
+      obs::log_warn("net engine unavailable, pipeline returning empty scans",
+                    {{"error", started.error()}});
+      return result;
+    }
+    reflector = std::move(started).value();
+    engine_config->sim_peer = reflector->endpoint();
+  }
 
   // IPv6 campaign first (paper: Apr 13-14), over the hitlist.
   if (options.scan_ipv6) {
@@ -83,6 +110,8 @@ PipelineResult run_pipeline_over_model(topo::WorldModel& model,
     v6.obs = obs.sub("v6");
     v6.pacer = options.pacer;
     v6.wire_fast_path = options.wire_fast_path;
+    v6.fabric = options.fabric;
+    v6.net_engine = engine_config;
     if (!options.checkpoint_dir.empty()) {
       v6.checkpoint_path = options.checkpoint_dir + "/campaign_v6.json";
       v6.checkpoint_every_n_targets = options.checkpoint_every_n_targets;
@@ -95,6 +124,10 @@ PipelineResult run_pipeline_over_model(topo::WorldModel& model,
     result.v6_campaign = scan::run_two_scan_campaign(model, v6);
     if (result.v6_campaign.interrupted) {
       result.interrupted = true;
+      return result;
+    }
+    if (!result.v6_campaign.net_error.empty()) {
+      result.v4_campaign.net_error = result.v6_campaign.net_error;
       return result;
     }
     span.set_virtual_duration(result.v6_campaign.scan2.end_time -
@@ -115,6 +148,8 @@ PipelineResult run_pipeline_over_model(topo::WorldModel& model,
     v4.obs = obs.sub("v4");
     v4.pacer = options.pacer;
     v4.wire_fast_path = options.wire_fast_path;
+    v4.fabric = options.fabric;
+    v4.net_engine = engine_config;
     if (!options.checkpoint_dir.empty()) {
       v4.checkpoint_path = options.checkpoint_dir + "/campaign_v4.json";
       v4.checkpoint_every_n_targets = options.checkpoint_every_n_targets;
@@ -129,6 +164,7 @@ PipelineResult run_pipeline_over_model(topo::WorldModel& model,
       result.interrupted = true;
       return result;
     }
+    if (!result.v4_campaign.net_error.empty()) return result;
     span.set_virtual_duration(result.v4_campaign.scan2.end_time -
                               result.v4_campaign.scan1.start_time);
   }

@@ -71,6 +71,26 @@ struct PipelineOptions {
   // cursors, and filtering streams the join without the pre-filter copy.
   // PipelineResult is bit-identical either way (tests/test_store.cpp).
   store::StoreOptions store;
+  // Delivery fabric shared by both campaigns and (seed aside) the hitlist
+  // prescan. The default is the loss-free fixed-default fabric the
+  // pipeline always used — every historical output bit is preserved —
+  // while equality tests dial rtt/loss knobs to the deterministic subset
+  // the loopback reflector mirrors.
+  sim::FabricConfig fabric;
+  // Real-socket campaigns (net/batched_udp.hpp): when set, the pipeline
+  // starts one sim::LoopbackReflector serving the world model over a
+  // loopback UDP socket, points EngineConfig::sim_peer at it, and both
+  // campaigns probe through per-shard BatchedUdpEngines — the full
+  // methodology through actual kernel sockets. With EngineClock::kVirtual
+  // and a fabric restricted to the deterministic subset (zero loss,
+  // min_rtt == max_rtt matching the reflector's), the PipelineResult is
+  // bit-identical to the sim-fabric run (tests/test_net_engine.cpp). If
+  // the reflector's socket cannot open (sandboxed CI), the campaigns come
+  // back empty with CampaignPair::net_error set — a skip, not a crash.
+  std::optional<net::EngineConfig> net_engine;
+  // Reflector RTT when `net_engine` is set; must equal the fabric's fixed
+  // rtt for equality runs.
+  util::VTime net_rtt = 20 * util::kMillisecond;
   // Columnar analysis + stage overlap (core/columnar.hpp, core/overlap.hpp,
   // docs/ARCHITECTURE.md §6). Execution-only knob: on, the filter funnel
   // runs as a branch-light verdict pass over per-field column slices with

@@ -45,6 +45,7 @@ RunReport::CampaignReport summarize_campaign(const std::string& family,
       pair.scan1.undecodable_responses + pair.scan2.undecodable_responses;
   out.pacer_backoffs = pair.scan1.pacer_backoffs + pair.scan2.pacer_backoffs;
   out.fabric = pair.fabric_stats;
+  out.net_io = pair.net_io;
   return out;
 }
 
@@ -71,6 +72,28 @@ void write_fabric(obs::JsonWriter& json, const sim::FabricStats& fabric) {
           static_cast<std::uint64_t>(fabric.probes_corrupted));
   json.kv("responses_corrupted",
           static_cast<std::uint64_t>(fabric.responses_corrupted));
+  json.end_object();
+  json.end_object();
+}
+
+void write_net_io(obs::JsonWriter& json, const net::NetIoStats& net) {
+  json.begin_object();
+  json.kv("datagrams_sent", net.datagrams_sent);
+  json.kv("datagrams_received", net.datagrams_received);
+  json.kv("sendmmsg_calls", net.sendmmsg_calls);
+  json.kv("recvmmsg_calls", net.recvmmsg_calls);
+  json.kv("sendto_calls", net.sendto_calls);
+  json.kv("recvfrom_calls", net.recvfrom_calls);
+  json.kv("gso_batches", net.gso_batches);
+  json.key("drops").begin_object();
+  json.kv("send_pressure", net.send_pressure);
+  json.kv("send_refused", net.send_refused);
+  json.kv("send_errors", net.send_errors);
+  json.kv("recv_truncated", net.recv_truncated);
+  json.kv("recv_bad_frame", net.recv_bad_frame);
+  json.kv("recv_errors", net.recv_errors);
+  json.kv("drop_notices", net.drop_notices);
+  json.kv("flow_stalls", net.flow_stalls);
   json.end_object();
   json.end_object();
 }
@@ -143,6 +166,8 @@ std::string RunReport::to_json() const {
             static_cast<std::uint64_t>(campaign.pacer_backoffs));
     json.key("fabric");
     write_fabric(json, campaign.fabric);
+    json.key("net_io");
+    write_net_io(json, campaign.net_io);
     json.end_object();
   }
   json.end_array();
@@ -242,6 +267,29 @@ std::string RunReport::to_table() const {
                           util::fmt_count(fabric.responses_duplicated)});
   }
   out << fabric_table.render() << "\n";
+
+  // Kernel I/O accounting appears only when a campaign actually probed
+  // through real sockets (net/batched_udp.hpp).
+  bool any_net = false;
+  for (const auto& campaign : campaigns)
+    any_net |= campaign.net_io.datagrams_sent != 0;
+  if (any_net) {
+    util::TablePrinter net_table({"Campaign", "Sent", "Recv", "sendmmsg",
+                                  "GSO", "Pressure", "Refused", "Trunc",
+                                  "Stalls"});
+    for (const auto& campaign : campaigns) {
+      const auto& net = campaign.net_io;
+      net_table.add_row({campaign.family, util::fmt_count(net.datagrams_sent),
+                         util::fmt_count(net.datagrams_received),
+                         util::fmt_count(net.sendmmsg_calls),
+                         util::fmt_count(net.gso_batches),
+                         util::fmt_count(net.send_pressure),
+                         util::fmt_count(net.send_refused),
+                         util::fmt_count(net.recv_truncated),
+                         util::fmt_count(net.flow_stalls)});
+    }
+    out << net_table.render() << "\n";
+  }
 
   // Robustness counters only clutter the output when something actually
   // dropped, backed off, or got corrupted — clean fixed-rate runs skip it.

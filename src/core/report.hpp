@@ -39,6 +39,12 @@ struct RunReport {
     std::size_t undecodable_responses = 0;
     std::size_t pacer_backoffs = 0;
     sim::FabricStats fabric;
+    // Kernel I/O and drop-cause accounting for net-engine campaigns
+    // (net/batched_udp.hpp): syscall batching counters plus the send/recv
+    // error taxonomy (pressure, refusals, truncation, bad frames). All
+    // zeros for fabric campaigns; the JSON always carries the object, the
+    // ASCII table appears only when datagrams actually hit the wire.
+    net::NetIoStats net_io;
   };
   std::vector<CampaignReport> campaigns;
 

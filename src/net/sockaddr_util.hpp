@@ -1,0 +1,50 @@
+// Endpoint <-> sockaddr conversion shared by the POSIX transports
+// (udp_socket.cpp, batched_udp.cpp). Internal header — include only from
+// .cpp files that already speak POSIX sockets.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <array>
+#include <cstring>
+
+#include "net/transport.hpp"
+
+namespace snmpv3fp::net::detail {
+
+// Fills `storage` from `ep` and returns the address length for the family.
+inline socklen_t to_sockaddr(const Endpoint& ep, sockaddr_storage& storage) {
+  storage = {};
+  if (ep.address.is_v4()) {
+    auto* sa = reinterpret_cast<sockaddr_in*>(&storage);
+    sa->sin_family = AF_INET;
+    sa->sin_port = htons(ep.port);
+    sa->sin_addr.s_addr = htonl(ep.address.v4().value());
+    return sizeof(sockaddr_in);
+  }
+  auto* sa = reinterpret_cast<sockaddr_in6*>(&storage);
+  sa->sin6_family = AF_INET6;
+  sa->sin6_port = htons(ep.port);
+  std::memcpy(sa->sin6_addr.s6_addr, ep.address.v6().bytes().data(), 16);
+  return sizeof(sockaddr_in6);
+}
+
+inline Endpoint from_sockaddr(const sockaddr_storage& storage) {
+  Endpoint ep;
+  if (storage.ss_family == AF_INET) {
+    const auto* sa = reinterpret_cast<const sockaddr_in*>(&storage);
+    ep.address = Ipv4(ntohl(sa->sin_addr.s_addr));
+    ep.port = ntohs(sa->sin_port);
+  } else {
+    const auto* sa = reinterpret_cast<const sockaddr_in6*>(&storage);
+    std::array<std::uint8_t, 16> bytes{};
+    std::memcpy(bytes.data(), sa->sin6_addr.s6_addr, 16);
+    ep.address = Ipv6(bytes);
+    ep.port = ntohs(sa->sin6_port);
+  }
+  return ep;
+}
+
+}  // namespace snmpv3fp::net::detail

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "net/ip.hpp"
 #include "util/bytes.hpp"
@@ -67,6 +68,31 @@ class Transport {
     datagram.payload.assign(payload.begin(), payload.end());
     datagram.time = time;
     send(std::move(datagram));
+  }
+
+  // Zero-copy batched send path (net/batched_udp.hpp). A transport that
+  // owns preallocated send frames hands one out here; the caller writes up
+  // to `max_len` payload bytes into the span and finishes the send with
+  // commit_send_frame() — no intermediate buffer, no copy. The default
+  // returns an empty span, meaning "unsupported": callers must then take
+  // the send()/send_view() path. An acquired frame is consumed only by the
+  // matching commit; acquiring again without committing abandons it.
+  virtual std::span<std::uint8_t> acquire_send_frame(std::size_t max_len) {
+    (void)max_len;
+    return {};
+  }
+
+  // Completes a send started by acquire_send_frame(): `len` is the number
+  // of payload bytes written into the acquired span; source/destination/
+  // time mean the same as on send(). Only called after a successful
+  // acquire.
+  virtual void commit_send_frame(const Endpoint& source,
+                                 const Endpoint& destination, std::size_t len,
+                                 util::VTime time) {
+    (void)source;
+    (void)destination;
+    (void)len;
+    (void)time;
   }
 
   // Pops the next datagram that has arrived by the transport's current

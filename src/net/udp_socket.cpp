@@ -11,45 +11,31 @@
 #include <cstring>
 #include <utility>
 
+#include "net/sockaddr_util.hpp"
+
 namespace snmpv3fp::net {
 
 namespace {
+using detail::from_sockaddr;
+using detail::to_sockaddr;
 using util::Result;
-
-Result<sockaddr_storage> to_sockaddr(const Endpoint& ep, socklen_t& len) {
-  sockaddr_storage storage{};
-  if (ep.address.is_v4()) {
-    auto* sa = reinterpret_cast<sockaddr_in*>(&storage);
-    sa->sin_family = AF_INET;
-    sa->sin_port = htons(ep.port);
-    sa->sin_addr.s_addr = htonl(ep.address.v4().value());
-    len = sizeof(sockaddr_in);
-  } else {
-    auto* sa = reinterpret_cast<sockaddr_in6*>(&storage);
-    sa->sin6_family = AF_INET6;
-    sa->sin6_port = htons(ep.port);
-    std::memcpy(sa->sin6_addr.s6_addr, ep.address.v6().bytes().data(), 16);
-    len = sizeof(sockaddr_in6);
-  }
-  return storage;
-}
-
-Endpoint from_sockaddr(const sockaddr_storage& storage) {
-  Endpoint ep;
-  if (storage.ss_family == AF_INET) {
-    const auto* sa = reinterpret_cast<const sockaddr_in*>(&storage);
-    ep.address = Ipv4(ntohl(sa->sin_addr.s_addr));
-    ep.port = ntohs(sa->sin_port);
-  } else {
-    const auto* sa = reinterpret_cast<const sockaddr_in6*>(&storage);
-    std::array<std::uint8_t, 16> bytes{};
-    std::memcpy(bytes.data(), sa->sin6_addr.s6_addr, 16);
-    ep.address = Ipv6(bytes);
-    ep.port = ntohs(sa->sin6_port);
-  }
-  return ep;
-}
+using util::Status;
 }  // namespace
+
+std::optional<SendOutcome> classify_send_errno(int error) {
+  switch (error) {
+    case EAGAIN:
+#if EAGAIN != EWOULDBLOCK
+    case EWOULDBLOCK:
+#endif
+    case ENOBUFS:  // same condition surfaced by some stacks/loopback paths
+      return SendOutcome::kWouldBlock;
+    case ECONNREFUSED:
+      return SendOutcome::kRefused;
+    default:
+      return std::nullopt;
+  }
+}
 
 Result<UdpSocket> UdpSocket::open(Family family) {
   const int domain = family == Family::kIpv4 ? AF_INET : AF_INET6;
@@ -83,46 +69,84 @@ UdpSocket::~UdpSocket() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<bool> UdpSocket::send_to(const Endpoint& destination,
-                                util::ByteView payload) {
-  socklen_t len = 0;
-  auto addr = to_sockaddr(destination, len);
-  if (!addr) return Result<bool>::failure(addr.error());
-  const ssize_t sent =
-      ::sendto(fd_, payload.data(), payload.size(), 0,
-               reinterpret_cast<const sockaddr*>(&addr.value()), len);
-  if (sent < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
-    return Result<bool>::failure(std::string("sendto: ") + std::strerror(errno));
-  }
-  return true;
+Status UdpSocket::bind_to(const Endpoint& local) {
+  sockaddr_storage addr{};
+  const socklen_t len = to_sockaddr(local, addr);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), len) != 0)
+    return Status::failure(std::string("bind: ") + std::strerror(errno));
+  return {};
 }
 
-Result<std::optional<Datagram>> UdpSocket::receive(int timeout_ms) {
+Status UdpSocket::connect_to(const Endpoint& peer) {
+  sockaddr_storage addr{};
+  const socklen_t len = to_sockaddr(peer, addr);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), len) != 0)
+    return Status::failure(std::string("connect: ") + std::strerror(errno));
+  return {};
+}
+
+Result<Endpoint> UdpSocket::local_endpoint() const {
+  sockaddr_storage storage{};
+  socklen_t len = sizeof storage;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&storage), &len) != 0)
+    return Result<Endpoint>::failure(std::string("getsockname: ") +
+                                     std::strerror(errno));
+  return from_sockaddr(storage);
+}
+
+Result<SendOutcome> UdpSocket::send_to(const Endpoint& destination,
+                                       util::ByteView payload) {
+  sockaddr_storage addr{};
+  const socklen_t len = to_sockaddr(destination, addr);
+  const ssize_t sent =
+      ::sendto(fd_, payload.data(), payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), len);
+  if (sent < 0) {
+    if (const auto outcome = classify_send_errno(errno)) return *outcome;
+    return Result<SendOutcome>::failure(std::string("sendto: ") +
+                                        std::strerror(errno));
+  }
+  return SendOutcome::kSent;
+}
+
+Result<RecvOutcome> UdpSocket::receive(int timeout_ms) {
   pollfd pfd{fd_, POLLIN, 0};
   const int ready = ::poll(&pfd, 1, timeout_ms);
   if (ready < 0)
-    return Result<std::optional<Datagram>>::failure(std::string("poll: ") +
-                                                    std::strerror(errno));
-  if (ready == 0) return std::optional<Datagram>{};
+    return Result<RecvOutcome>::failure(std::string("poll: ") +
+                                        std::strerror(errno));
+  if (ready == 0) return RecvOutcome{};
 
   util::Bytes buffer(65536);
   sockaddr_storage storage{};
   socklen_t len = sizeof storage;
+  // MSG_TRUNC makes recvfrom return the datagram's real wire size even
+  // when it exceeds the buffer, so truncation is detectable instead of
+  // silently clipping.
   const ssize_t received =
-      ::recvfrom(fd_, buffer.data(), buffer.size(), 0,
+      ::recvfrom(fd_, buffer.data(), buffer.size(), MSG_TRUNC,
                  reinterpret_cast<sockaddr*>(&storage), &len);
   if (received < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK)
-      return std::optional<Datagram>{};
-    return Result<std::optional<Datagram>>::failure(std::string("recvfrom: ") +
-                                                    std::strerror(errno));
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvOutcome{};
+    if (errno == ECONNREFUSED) {
+      // The kernel queued an ICMP port-unreachable against this connected
+      // socket: the probe's destination actively refused it.
+      RecvOutcome out;
+      out.refused = true;
+      return out;
+    }
+    return Result<RecvOutcome>::failure(std::string("recvfrom: ") +
+                                        std::strerror(errno));
   }
-  buffer.resize(static_cast<std::size_t>(received));
+  RecvOutcome out;
+  out.wire_bytes = static_cast<std::size_t>(received);
+  out.truncated = out.wire_bytes > buffer.size();
+  buffer.resize(std::min(out.wire_bytes, buffer.size()));
   Datagram dg;
   dg.source = from_sockaddr(storage);
   dg.payload = std::move(buffer);
-  return std::optional<Datagram>(std::move(dg));
+  out.datagram = std::move(dg);
+  return out;
 }
 
 }  // namespace snmpv3fp::net

@@ -3,7 +3,12 @@
 // This is the "live" path: the same probe bytes the simulator answers can
 // be sent at a real SNMP agent (see examples/quickstart.cpp --live). The
 // wrapper owns the file descriptor (Core Guidelines R.1) and exposes only
-// datagram-level operations.
+// datagram-level operations. Kernel error conditions surface as distinct
+// outcomes instead of one generic failure, so callers can account drop
+// causes separately: EAGAIN (send-buffer pressure — the pacer's explicit
+// backoff input), ECONNREFUSED (an ICMP port-unreachable bounced back to a
+// connected socket), and MSG_TRUNC (a datagram larger than the receive
+// buffer, delivered clipped).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,32 @@
 #include "util/result.hpp"
 
 namespace snmpv3fp::net {
+
+// What happened to one send_to(): delivered to the kernel, deferred by a
+// full send buffer, or rejected because the destination signalled
+// port-unreachable. Anything else is a Result failure.
+enum class SendOutcome {
+  kSent,
+  kWouldBlock,  // EAGAIN/EWOULDBLOCK: kernel send buffer full
+  kRefused,     // ECONNREFUSED: ICMP port-unreachable (connected sockets)
+};
+
+// One receive() call's result. `datagram` is empty on timeout. `truncated`
+// marks a datagram that was larger than the receive buffer — the payload
+// holds the clipped prefix and the byte count the wire actually carried is
+// in `wire_bytes`. `refused` marks an ICMP port-unreachable reported on a
+// connected socket (no datagram accompanies it).
+struct RecvOutcome {
+  std::optional<Datagram> datagram;
+  bool truncated = false;
+  bool refused = false;
+  std::size_t wire_bytes = 0;
+};
+
+// Maps a send-path errno to its outcome, or nullopt for errors that should
+// stay hard failures. Exposed so the error taxonomy is unit-testable
+// without provoking each condition from a real kernel.
+std::optional<SendOutcome> classify_send_errno(int error);
 
 class UdpSocket {
  public:
@@ -25,11 +56,24 @@ class UdpSocket {
   UdpSocket& operator=(const UdpSocket&) = delete;
   ~UdpSocket();
 
-  // Sends one datagram; returns false if the kernel would block.
-  util::Result<bool> send_to(const Endpoint& destination, util::ByteView payload);
+  // Binds to the given endpoint (port 0 = kernel-assigned).
+  util::Status bind_to(const Endpoint& local);
+
+  // Connects the socket to one peer. Connected sockets get ICMP errors
+  // (port unreachable -> SendOutcome::kRefused / RecvOutcome::refused)
+  // reported by the kernel; unconnected sockets silently drop them.
+  util::Status connect_to(const Endpoint& peer);
+
+  // The bound/assigned local endpoint.
+  util::Result<Endpoint> local_endpoint() const;
+
+  // Sends one datagram; never blocks. See SendOutcome for the non-failure
+  // cases a caller must handle.
+  util::Result<SendOutcome> send_to(const Endpoint& destination,
+                                    util::ByteView payload);
 
   // Receives one datagram if available within `timeout_ms` (0 = poll).
-  util::Result<std::optional<Datagram>> receive(int timeout_ms);
+  util::Result<RecvOutcome> receive(int timeout_ms);
 
   int fd() const { return fd_; }
 

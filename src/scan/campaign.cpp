@@ -235,6 +235,15 @@ std::uint64_t digest_config(const CampaignOptions& options,
   // manifests vs embedded JSON); never resume across the two modes.
   digest = util::hash_combine(
       digest, static_cast<std::uint64_t>(options.store.dir.empty() ? 0 : 1));
+  digest = util::hash_combine(
+      digest, static_cast<std::uint64_t>(options.response_timeout));
+  // Never resume a fabric checkpoint into a net-engine campaign (or the
+  // reverse): the transports carry incompatible state.
+  if (options.net_engine.has_value()) {
+    digest = util::hash_combine(digest, 0x7e7e7e7e7e7e7e7eull);
+    digest = util::hash_combine(
+        digest, static_cast<std::uint64_t>(options.net_engine->clock));
+  }
   if (options.target_spec.has_value()) {
     // Spec mode never materializes its targets; the sweep is identified by
     // its ranges and permutation parameters (a marker keeps a spec-mode
@@ -288,18 +297,40 @@ CampaignPair run_two_scan_campaign(topo::WorldModel& model,
                 net::Ipv6::from_groups({0x2001, 0xdb8, 0, 0, 0, 0, 0, 7})),
       54321};
 
-  // One fabric per shard, persistent across both scans (clock and stats
-  // continuity, like the former single fabric). Shards only ever read the
-  // model while probing (each holds its own device view, so lazy worlds
-  // derive into per-shard caches with no locking); churn is applied
-  // between the scans.
+  // One transport per shard, persistent across both scans (clock and stats
+  // continuity, like the former single fabric). Fabric mode: shards only
+  // ever read the model while probing (each holds its own device view, so
+  // lazy worlds derive into per-shard caches with no locking); churn is
+  // applied between the scans. Net mode: each shard opens its own
+  // BatchedUdpEngine socket and the wire's far side owns all delivery
+  // semantics; the engines likewise live across both scans.
   const std::size_t shard_count = std::max<std::size_t>(options.shards, 1);
+  const bool net_mode = options.net_engine.has_value();
+  const bool wall_mode =
+      net_mode && options.net_engine->clock == net::EngineClock::kWall;
   std::vector<std::unique_ptr<sim::Fabric>> fabrics;
-  fabrics.reserve(shard_count);
-  for (std::size_t shard = 0; shard < shard_count; ++shard) {
-    sim::FabricConfig config = options.fabric;
-    config.seed = util::hash_combine(options.fabric.seed, shard);
-    fabrics.push_back(std::make_unique<sim::Fabric>(model, config));
+  std::vector<std::unique_ptr<net::BatchedUdpEngine>> engines;
+  std::vector<net::Transport*> transports(shard_count, nullptr);
+  if (net_mode) {
+    engines.reserve(shard_count);
+    for (std::size_t shard = 0; shard < shard_count; ++shard) {
+      auto engine = net::BatchedUdpEngine::open(*options.net_engine);
+      if (!engine.ok()) {
+        CampaignPair failed;
+        failed.net_error = engine.error();
+        return failed;
+      }
+      engines.push_back(std::move(engine).value());
+      transports[shard] = engines.back().get();
+    }
+  } else {
+    fabrics.reserve(shard_count);
+    for (std::size_t shard = 0; shard < shard_count; ++shard) {
+      sim::FabricConfig config = options.fabric;
+      config.seed = util::hash_combine(options.fabric.seed, shard);
+      fabrics.push_back(std::make_unique<sim::Fabric>(model, config));
+      transports[shard] = fabrics.back().get();
+    }
   }
 
   const std::uint64_t digest = digest_config(options, targets, shard_count);
@@ -471,8 +502,10 @@ CampaignPair run_two_scan_campaign(topo::WorldModel& model,
       }
       if (resume_state != nullptr) {
         // Fabric state rides in the snapshot; a completed shard needs no
-        // re-probing at all, only its result and fabric back.
-        fabrics[shard]->restore(resume_state->fabric);
+        // re-probing at all, only its result and fabric back. Net engines
+        // carry no resumable transport state (the kernel socket is fresh),
+        // so their snapshots hold an empty FabricState.
+        if (!net_mode) fabrics[shard]->restore(resume_state->fabric);
         if (resume_state->complete) {
           shard_results[shard] = resume_state->partial;
           shard_results[shard].store = shard_store;
@@ -483,7 +516,8 @@ CampaignPair run_two_scan_campaign(topo::WorldModel& model,
           shard_spans[shard] = shard_span.finish_record();
           return;
         }
-      } else if (scan_index == 2 && resuming && resume_scan_index == 2) {
+      } else if (!net_mode && scan_index == 2 && resuming &&
+                 resume_scan_index == 2) {
         // Shard with no mid-scan-2 snapshot: its fabric continues from the
         // scan-1/scan-2 boundary.
         if (const auto* boundary = store.boundary_fabric(shard))
@@ -514,6 +548,17 @@ CampaignPair run_two_scan_campaign(topo::WorldModel& model,
       probe.seed = util::hash_combine(scan_seed, shard);
       probe.randomize_order = false;  // already shuffled globally
       probe.send_offset = static_cast<util::VTime>(begin) * gap;
+      probe.response_timeout = options.response_timeout;
+      if (wall_mode) {
+        // Real clocks tick for every shard at once: the target rate splits
+        // across shards and the virtual interleaving offsets collapse —
+        // wall schedules are wall schedules, not reconstructions of one
+        // sequential scan.
+        probe.rate_pps =
+            options.rate_pps / static_cast<double>(shard_count);
+        probe.send_offset = 0;
+        probe.wall_pacing = true;
+      }
       // Generated sweeps cover orders of magnitude more dead space than
       // they have responders; forgetting send times past the worst-case
       // round trip keeps the outstanding-probe map constant-sized. List
@@ -533,7 +578,7 @@ CampaignPair run_two_scan_campaign(topo::WorldModel& model,
         probe.checkpoint_every_n_targets = options.checkpoint_every_n_targets;
         probe.on_checkpoint = [&, shard](ShardScanState& state) {
           state.shard = shard;
-          state.fabric = fabrics[shard]->snapshot();
+          if (!net_mode) state.fabric = fabrics[shard]->snapshot();
           const bool keep_running =
               store.record_boundary(shard, std::move(state));
           // The flight trail lands on disk beside every checkpoint, so a
@@ -544,7 +589,7 @@ CampaignPair run_two_scan_campaign(topo::WorldModel& model,
           return keep_running;
         };
       }
-      Prober prober(*fabrics[shard], prober_source);
+      Prober prober(*transports[shard], prober_source);
       ScanResult result = prober.run(*slice, probe, start);
       result.store = shard_store;
       // A shard that ran to the end is complete even if a sibling already
@@ -561,7 +606,9 @@ CampaignPair run_two_scan_campaign(topo::WorldModel& model,
         std::sort(result.records.begin(), result.records.end(),
                   record_schedule_less);
       if (store.enabled() && ran_to_end)
-        store.mark_complete(shard, result, fabrics[shard]->snapshot(),
+        store.mark_complete(shard, result,
+                            net_mode ? sim::FabricState{}
+                                     : fabrics[shard]->snapshot(),
                             shard_store != nullptr
                                 ? std::optional<store::StoreManifest>(
                                       shard_store->manifest())
@@ -660,6 +707,7 @@ CampaignPair run_two_scan_campaign(topo::WorldModel& model,
   const auto collect_cache_stats = [&] {
     for (const auto& fabric : fabrics)
       out.responder_cache += fabric->cache_stats();
+    for (const auto& engine : engines) out.net_io += engine->stats();
   };
   if (resuming && resume_scan_index == 2) {
     // Scan 1 finished in a previous process: take its merged result (in

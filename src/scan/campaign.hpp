@@ -7,7 +7,9 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
+#include "net/batched_udp.hpp"
 #include "obs/obs.hpp"
 #include "scan/checkpoint.hpp"
 #include "scan/pacer.hpp"
@@ -83,6 +85,20 @@ struct CampaignOptions {
   // campaign output is bit-identical on or off; excluded from the
   // checkpoint config digest for the same reason thread count is.
   bool wire_fast_path = true;
+  // Real-socket transport (net/batched_udp.hpp): when set, each shard
+  // probes through its own BatchedUdpEngine opened from this config
+  // instead of a sim::Fabric — batched kernel I/O end to end, usually
+  // pointed at a sim::LoopbackReflector via EngineConfig::sim_peer. With
+  // EngineClock::kVirtual the campaign schedule (and output) matches the
+  // fabric's; with kWall the shards pace in real time: rate_pps splits
+  // across shards, send offsets collapse to zero and the prober switches
+  // to TokenBucketPacer. Fabric-side knobs (loss, jitter, policing) do
+  // not apply — the far side of the wire decides those.
+  std::optional<net::EngineConfig> net_engine;
+  // Post-send drain window handed to every shard prober. The 5 s default
+  // matches ProbeConfig's and the historical schedule bit for bit; wall
+  // campaigns shorten it so the tail wait is real seconds, not virtual.
+  util::VTime response_timeout = 5 * util::kSecond;
   // Failure-injection hook for tests/benches: simulate a kill by stopping
   // each shard once it has crossed N checkpoint boundaries (counted across
   // both scans). 0 = never. The campaign then returns with `interrupted`
@@ -102,6 +118,13 @@ struct CampaignPair {
   // True when a simulated kill stopped the campaign; scan results are
   // partial and the checkpoint file holds the resumable state.
   bool interrupted = false;
+  // Net-engine campaigns only: kernel I/O counters summed over every
+  // shard engine (all zeros in fabric mode), and the open() failure that
+  // aborted the campaign before any probe left (empty on success). A
+  // nonempty net_error means both scans are empty — sockets may simply be
+  // unavailable in the sandbox; callers treat it as a skip, not a crash.
+  net::NetIoStats net_io;
+  std::string net_error;
 };
 
 // Runs scan1, applies address churn through the model, runs scan2. The

@@ -44,6 +44,12 @@ struct PacerConfig {
   // set; with no signals the schedule is unchanged.
   bool use_rate_limit_signals = true;
   std::size_t rate_limit_signal_threshold = 1;
+  // TokenBucketPacer only: probes released back-to-back before the bucket
+  // empties and the sender must wait. Burst-granularity pacing is what
+  // lets the batched kernel transport fill whole sendmmsg batches instead
+  // of flushing one datagram per sub-millisecond sleep; the long-run rate
+  // is unchanged.
+  std::size_t burst_probes = 64;
 };
 
 // Serializable pacer state (doubles travel as IEEE bit patterns in the
@@ -89,6 +95,52 @@ class AdaptivePacer {
   PacerConfig config_;
   util::Rng& rng_;
   PacerState state_;
+};
+
+// Wall-clock pacing for the real-socket transport. A fixed 1/rate gap
+// forces one sub-millisecond sleep per probe, which flushes the kernel
+// batch at size one and defeats sendmmsg entirely; the token bucket
+// instead releases probes back-to-back while tokens last (at most
+// `PacerConfig::burst_probes`), then waits once per burst, preserving the
+// long-run rate at batch-friendly granularity.
+//
+// Rate control mirrors AdaptivePacer's window state machine — baseline
+// learning, collapse detection, explicit rate-limit signals
+// (net::BatchedUdpEngine reports kernel backpressure and ICMP refusals
+// through Transport::rate_limit_signals), multiplicative backoff/recovery
+// — but adds no rng jitter: wall schedules are not reproducible anyway,
+// and shards desynchronize naturally. State round-trips through the same
+// PacerState as AdaptivePacer, so campaign checkpoints carry either.
+//
+// The clock is whatever the caller passes as `now` — the prober feeds
+// transport time, tests feed a fake clock — so every decision is unit-
+// testable without sleeping (tests/test_net_engine.cpp).
+class TokenBucketPacer {
+ public:
+  TokenBucketPacer(double target_rate_pps, const PacerConfig& config);
+
+  // Earliest time the next probe may leave: `now` while the bucket holds
+  // a token, else when the refill earns one. Monotonic in `now`.
+  util::VTime next_send_time(util::VTime now);
+
+  // Window accounting, fed exactly like AdaptivePacer's.
+  void on_probe_sent(util::VTime now);
+  void on_responses(std::size_t count);
+  void on_rate_limit_signals(std::size_t count);
+
+  const PacerState& state() const { return state_; }
+  void restore(const PacerState& state);
+
+ private:
+  void refill(util::VTime now);
+  void evaluate_window();
+
+  double target_rate_pps_;
+  PacerConfig config_;
+  PacerState state_;
+  double tokens_ = 0.0;
+  util::VTime last_refill_ = 0;
+  bool primed_ = false;
 };
 
 }  // namespace snmpv3fp::scan

@@ -146,6 +146,14 @@ ScanResult Prober::run_impl(const TargetSequence& order,
                             const ProbeConfig& config, util::VTime start_time,
                             util::Rng& rng) {
   AdaptivePacer pacer(config.rate_pps, config.pacer, rng);
+  // Wall-clock campaigns swap the virtual fixed-gap scheduler for the
+  // token bucket; every pacer touchpoint below routes through `bucket`
+  // when it is engaged, so the two schedulers share the loop verbatim.
+  std::optional<TokenBucketPacer> bucket;
+  if (config.wall_pacing) bucket.emplace(config.rate_pps, config.pacer);
+  const auto pacer_state = [&]() -> const PacerState& {
+    return bucket.has_value() ? bucket->state() : pacer.state();
+  };
   // Wire fast path: one template per run (three full encodes to build),
   // stamped into one reusable buffer for every probe thereafter.
   const wire::ProbeTemplate probe_template;
@@ -184,7 +192,10 @@ ScanResult Prober::run_impl(const TargetSequence& order,
     start_index = config.resume->cursor;
     next_send = config.resume->next_send;
     rng.restore_state(config.resume->rng);
-    pacer.restore(config.resume->pacer);
+    if (bucket.has_value())
+      bucket->restore(config.resume->pacer);
+    else
+      pacer.restore(config.resume->pacer);
     if (sink != nullptr) {
       std::size_t index = 0;
       auto cursor = sink->cursor();
@@ -237,8 +248,23 @@ ScanResult Prober::run_impl(const TargetSequence& order,
         send_log.pop_front();
       }
     }
-    if (config.wire_fast_path &&
-        probe_template.stamp(msg_id, request_id, probe_scratch)) {
+    // Zero-copy frame path first: a batching transport hands out a
+    // preallocated kernel-bound frame and the template stamps straight
+    // into it — no scratch buffer, no copy between here and sendmmsg. The
+    // sim fabric returns an empty span and falls through unchanged.
+    if (const auto frame = config.wire_fast_path
+                               ? transport_.acquire_send_frame(
+                                     probe_template.size())
+                               : std::span<std::uint8_t>{};
+        frame.size() >= probe_template.size() &&
+        probe_template.stamp_into(msg_id, request_id,
+                                  frame.first(probe_template.size()))) {
+      result.probe_bytes = probe_template.size();
+      transport_.commit_send_frame(source_, {target, net::kSnmpPort},
+                                   probe_template.size(), send_time);
+      stamped_probes.add();
+    } else if (config.wire_fast_path &&
+               probe_template.stamp(msg_id, request_id, probe_scratch)) {
       result.probe_bytes = probe_scratch.size();
       transport_.send_view(source_, {target, net::kSnmpPort}, probe_scratch,
                            send_time);
@@ -254,29 +280,41 @@ ScanResult Prober::run_impl(const TargetSequence& order,
       transport_.send(std::move(probe));
       full_encodes.add();
     }
-    pacer.on_probe_sent();
-    next_send = pacer.schedule_after(next_send);
-    pacer.on_responses(drain(result, sink, by_source, sent_at, wire,
-                             telemetry));
+    if (bucket.has_value()) {
+      bucket->on_probe_sent(send_time);
+      next_send = bucket->next_send_time(transport_.now());
+    } else {
+      pacer.on_probe_sent();
+      next_send = pacer.schedule_after(next_send);
+    }
+    const std::size_t drained =
+        drain(result, sink, by_source, sent_at, wire, telemetry);
     const auto rate_limit_now = transport_.rate_limit_signals();
-    pacer.on_rate_limit_signals(
-        static_cast<std::size_t>(rate_limit_now - rate_limit_seen));
+    const auto rate_limit_delta =
+        static_cast<std::size_t>(rate_limit_now - rate_limit_seen);
     rate_limit_seen = rate_limit_now;
+    if (bucket.has_value()) {
+      bucket->on_responses(drained);
+      bucket->on_rate_limit_signals(rate_limit_delta);
+    } else {
+      pacer.on_responses(drained);
+      pacer.on_rate_limit_signals(rate_limit_delta);
+    }
 
     if (telemetry.flight.enabled() &&
-        pacer.state().backoffs != backoffs_reported) {
-      backoffs_reported = pacer.state().backoffs;
+        pacer_state().backoffs != backoffs_reported) {
+      backoffs_reported = pacer_state().backoffs;
       telemetry.flight.record(
           obs::FlightEventKind::kPacerBackoff, transport_.now(),
-          static_cast<std::int64_t>(pacer.state().rate_pps));
+          static_cast<std::int64_t>(pacer_state().rate_pps));
     }
     if (telemetry.timeline.enabled()) {
       obs::TimelinePoint point;
       point.targets_sent = i + 1;
       point.responses = sink != nullptr ? sink->size() : result.records.size();
       point.undecodable = result.undecodable_responses;
-      point.backoffs = pacer.state().backoffs;
-      point.pacer_rate_pps = pacer.state().rate_pps;
+      point.backoffs = pacer_state().backoffs;
+      point.pacer_rate_pps = pacer_state().rate_pps;
       point.store_resident_bytes =
           sink != nullptr ? static_cast<std::int64_t>(sink->resident_bytes())
                           : -1;
@@ -288,8 +326,8 @@ ScanResult Prober::run_impl(const TargetSequence& order,
       row.targets_sent = i + 1;
       row.responses = sink != nullptr ? sink->size() : result.records.size();
       row.undecodable = result.undecodable_responses;
-      row.backoffs = pacer.state().backoffs;
-      row.pacer_rate_pps = pacer.state().rate_pps;
+      row.backoffs = pacer_state().backoffs;
+      row.pacer_rate_pps = pacer_state().rate_pps;
       row.store_resident_bytes =
           sink != nullptr ? static_cast<std::int64_t>(sink->resident_bytes())
                           : -1;
@@ -302,12 +340,12 @@ ScanResult Prober::run_impl(const TargetSequence& order,
     // one would.
     if (config.checkpoint_every_n_targets != 0 && config.on_checkpoint &&
         (i + 1) % config.checkpoint_every_n_targets == 0) {
-      result.pacer_backoffs = pacer.state().backoffs;
+      result.pacer_backoffs = pacer_state().backoffs;
       ShardScanState state;
       state.cursor = i + 1;
       state.next_send = next_send;
       state.rng = rng.save_state();
-      state.pacer = pacer.state();
+      state.pacer = pacer_state();
       state.partial = result;  // sink mode: scalars only, records ride below
       if (sink != nullptr) state.store_manifest = sink->manifest();
       state.sent_at.assign(sent_at.begin(), sent_at.end());
@@ -321,18 +359,24 @@ ScanResult Prober::run_impl(const TargetSequence& order,
   }
   transport_.run_until(next_send + config.response_timeout);
   drain(result, sink, by_source, sent_at, wire, telemetry);
-  pacer.on_rate_limit_signals(static_cast<std::size_t>(
-      transport_.rate_limit_signals() - rate_limit_seen));
+  {
+    const auto tail = static_cast<std::size_t>(
+        transport_.rate_limit_signals() - rate_limit_seen);
+    if (bucket.has_value())
+      bucket->on_rate_limit_signals(tail);
+    else
+      pacer.on_rate_limit_signals(tail);
+  }
   if (sink != nullptr) sink->seal();
   result.end_time = transport_.now();
-  result.pacer_backoffs = pacer.state().backoffs;
+  result.pacer_backoffs = pacer_state().backoffs;
   if (telemetry.status.enabled()) {
     obs::ShardStatusRow row;
     row.targets_sent = order.size();
     row.responses = sink != nullptr ? sink->size() : result.records.size();
     row.undecodable = result.undecodable_responses;
-    row.backoffs = pacer.state().backoffs;
-    row.pacer_rate_pps = pacer.state().rate_pps;
+    row.backoffs = pacer_state().backoffs;
+    row.pacer_rate_pps = pacer_state().rate_pps;
     row.store_resident_bytes =
         sink != nullptr ? static_cast<std::int64_t>(sink->resident_bytes())
                         : -1;

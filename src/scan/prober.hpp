@@ -37,6 +37,11 @@ struct ProbeConfig {
   // Adaptive rate control (off by default: fixed-gap pacing, bit-identical
   // to the historical schedule).
   PacerConfig pacer;
+  // Wall-clock mode: schedule with TokenBucketPacer (burst-granularity
+  // releases sized for the batched kernel transport) instead of the
+  // fixed-gap virtual schedule. Only meaningful on transports whose now()
+  // is a real clock; virtual campaigns leave it off.
+  bool wall_pacing = false;
   // Checkpoint hook: after every `checkpoint_every_n_targets` probes the
   // prober snapshots its state (cursor, RNG, pacer, partial records,
   // outstanding send times — the transport/fabric part is the caller's to

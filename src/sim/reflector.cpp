@@ -1,0 +1,148 @@
+#include "sim/reflector.hpp"
+
+#include <cstring>
+
+namespace snmpv3fp::sim {
+
+namespace {
+using net::BatchedUdpEngine;
+using net::SimFrame;
+}  // namespace
+
+LoopbackReflector::LoopbackReflector(
+    const topo::WorldModel& model, const ReflectorConfig& config,
+    std::unique_ptr<net::BatchedUdpEngine> engine)
+    : config_(config),
+      view_(model.open_view()),
+      engine_(std::move(engine)),
+      rng_(config.seed) {}
+
+util::Result<std::unique_ptr<LoopbackReflector>> LoopbackReflector::start(
+    const topo::WorldModel& model, ReflectorConfig config) {
+  net::EngineConfig engine_config;
+  engine_config.family = net::Family::kIpv4;  // wire family; logical
+                                              // addresses ride the header
+  engine_config.clock = net::EngineClock::kWall;
+  engine_config.batch_size = config.batch_size;
+  engine_config.frame_bytes = 2048;  // responses outgrow 60-byte probes
+  engine_config.bind_loopback = true;
+  engine_config.sndbuf_bytes = config.sndbuf_bytes;
+  engine_config.rcvbuf_bytes = config.rcvbuf_bytes;
+  auto engine = BatchedUdpEngine::open(engine_config);
+  if (!engine.ok())
+    return util::Result<std::unique_ptr<LoopbackReflector>>::failure(
+        engine.error());
+  std::unique_ptr<LoopbackReflector> reflector(new LoopbackReflector(
+      model, config, std::move(engine).value()));
+  reflector->thread_ = std::thread(&LoopbackReflector::loop, reflector.get());
+  return util::Result<std::unique_ptr<LoopbackReflector>>(
+      std::move(reflector));
+}
+
+LoopbackReflector::~LoopbackReflector() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+ReflectorStats LoopbackReflector::stats() const {
+  ReflectorStats stats;
+  stats.frames = frames_.load(std::memory_order_relaxed);
+  stats.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  stats.dead = dead_.load(std::memory_order_relaxed);
+  stats.filtered = filtered_.load(std::memory_order_relaxed);
+  stats.delivered = delivered_.load(std::memory_order_relaxed);
+  stats.responses = responses_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void LoopbackReflector::loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // run_until really waits (wall clock), draining arrivals as they
+    // land; process() then serves everything queued.
+    engine_->run_until(engine_->now() + util::kMillisecond);
+    process();
+  }
+  // Final sweep so probes that raced the stop flag still get answers
+  // before the socket closes.
+  process();
+  engine_->flush();
+}
+
+void LoopbackReflector::respond_drop(const net::Endpoint& reply_to,
+                                     const net::SimFrame& probe,
+                                     util::VTime time) {
+  SimFrame notice;
+  notice.kind = SimFrame::kDrop;
+  notice.logical = probe.logical;
+  notice.time = time;
+  const auto span = engine_->acquire_send_frame(SimFrame::kWireSize);
+  if (span.size() < SimFrame::kWireSize) return;
+  notice.encode(span);
+  engine_->commit_send_frame({}, reply_to, SimFrame::kWireSize, time);
+}
+
+bool LoopbackReflector::process() {
+  bool any = false;
+  while (const auto view = engine_->receive_view()) {
+    any = true;
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    const auto probe = SimFrame::decode(view->payload);
+    if (!probe.has_value() || probe->kind != SimFrame::kData) {
+      bad_frames_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const util::ByteView payload =
+        view->payload.subspan(SimFrame::kWireSize);
+    const net::Endpoint reply_to = view->source;
+    // Same integer halving as sim::Fabric::deliver: at_device and arrival
+    // must be bit-identical to the fabric's for the equality contract.
+    const util::VTime at_device = probe->time + config_.rtt / 2;
+    const topo::Device* device = view_->device_at(probe->logical.address);
+    if (device == nullptr) {
+      dead_.fetch_add(1, std::memory_order_relaxed);
+      respond_drop(reply_to, *probe, at_device);
+      continue;
+    }
+    if (probe->logical.port != net::kSnmpPort) {
+      filtered_.fetch_add(1, std::memory_order_relaxed);
+      respond_drop(reply_to, *probe, at_device);
+      continue;
+    }
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    auto responses =
+        handle_udp(*device, payload, at_device, rng_, config_.agent);
+    if (responses.empty()) {
+      // The agent ignored the payload; the engine's flow window still
+      // needs an answer.
+      respond_drop(reply_to, *probe, at_device);
+      continue;
+    }
+    const util::VTime arrival = at_device + config_.rtt / 2;
+    for (const auto& response : responses) {
+      SimFrame header;
+      header.kind = SimFrame::kData;
+      header.logical = probe->logical;  // agents reply from the probed IP
+      header.time = arrival;
+      const std::size_t wire_len = SimFrame::kWireSize + response.size();
+      const auto span = engine_->acquire_send_frame(wire_len);
+      if (span.size() >= wire_len) {
+        header.encode(span);
+        std::memcpy(span.data() + SimFrame::kWireSize, response.data(),
+                    response.size());
+        engine_->commit_send_frame({}, reply_to, wire_len, arrival);
+      } else {
+        // Response outgrew the frame pool: allocating one-off send.
+        util::Bytes wire(wire_len);
+        header.encode({wire.data(), SimFrame::kWireSize});
+        std::memcpy(wire.data() + SimFrame::kWireSize, response.data(),
+                    response.size());
+        engine_->send_view({}, reply_to, wire, arrival);
+      }
+      responses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (any) engine_->flush();
+  return any;
+}
+
+}  // namespace snmpv3fp::sim

@@ -1,5 +1,7 @@
 #include "wire/probe_template.hpp"
 
+#include <cstring>
+
 #include "snmp/message.hpp"
 
 namespace snmpv3fp::wire {
@@ -52,6 +54,20 @@ bool ProbeTemplate::stamp(std::int32_t msg_id, std::int32_t request_id,
   // assign() reuses capacity: after the first stamp this is a 60-byte
   // memcpy with no heap traffic.
   out.assign(template_.begin(), template_.end());
+  out[msg_id_offset_] = static_cast<std::uint8_t>(msg_id >> 8);
+  out[msg_id_offset_ + 1] = static_cast<std::uint8_t>(msg_id & 0xff);
+  out[request_id_offset_] = static_cast<std::uint8_t>(request_id >> 8);
+  out[request_id_offset_ + 1] = static_cast<std::uint8_t>(request_id & 0xff);
+  return true;
+}
+
+bool ProbeTemplate::stamp_into(std::int32_t msg_id, std::int32_t request_id,
+                               std::span<std::uint8_t> out) const {
+  if (!valid_ || out.size() < template_.size() || msg_id < kMinTwoByteId ||
+      msg_id > kMaxTwoByteId || request_id < kMinTwoByteId ||
+      request_id > kMaxTwoByteId)
+    return false;
+  std::memcpy(out.data(), template_.data(), template_.size());
   out[msg_id_offset_] = static_cast<std::uint8_t>(msg_id >> 8);
   out[msg_id_offset_ + 1] = static_cast<std::uint8_t>(msg_id & 0xff);
   out[request_id_offset_] = static_cast<std::uint8_t>(request_id >> 8);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "util/bytes.hpp"
 
@@ -38,6 +39,15 @@ class ProbeTemplate {
   // failed; the caller then falls back to the full encoder.
   bool stamp(std::int32_t msg_id, std::int32_t request_id,
              util::Bytes& out) const;
+
+  // Stamps straight into caller-owned storage (a preallocated kernel batch
+  // frame — net::Transport::acquire_send_frame) instead of a growable
+  // buffer, extending the zero-allocation path end-to-end into the
+  // sendmmsg iovec array. Returns false — writing nothing — when either id
+  // is out of range, offset discovery failed, or `out` is smaller than the
+  // probe; the caller then falls back to stamp()/the full encoder.
+  bool stamp_into(std::int32_t msg_id, std::int32_t request_id,
+                  std::span<std::uint8_t> out) const;
 
   bool valid() const { return valid_; }
   std::size_t size() const { return template_.size(); }

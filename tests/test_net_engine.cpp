@@ -1,0 +1,493 @@
+// Real-socket campaign engine tests (net/batched_udp.hpp).
+//
+// Four layers, lowest first:
+//  1. TokenBucketPacer under a fake clock: burst release, refill rate,
+//     adaptive backoff/recovery and the min-rate floor — no sleeps.
+//  2. Wire plumbing: the SimFrame encapsulation codec and the UdpSocket
+//     send-errno taxonomy (EAGAIN/ECONNREFUSED as distinct outcomes).
+//  3. BatchedUdpEngine over loopback sockets: batched vs per-datagram
+//     delivery, truncation accounting, ICMP refusal surfacing.
+//  4. The tentpole contract: a full pipeline probing through real kernel
+//     sockets against a sim::LoopbackReflector produces a PipelineResult
+//     bit-identical to the sim-fabric run, at 1/2/8 threads.
+//
+// Every socket-touching test probes availability first and GTEST_SKIPs
+// when the sandbox denies sockets — CI shows the skip, never a silent
+// pass.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/pipeline.hpp"
+#include "net/batched_udp.hpp"
+#include "net/udp_socket.hpp"
+#include "scan/campaign.hpp"
+#include "scan/pacer.hpp"
+#include "sim/reflector.hpp"
+#include "topo/generator.hpp"
+#include "topo/world_model.hpp"
+
+namespace snmpv3fp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TokenBucketPacer (satellite: wall-clock pacer tests, fake clock only)
+// ---------------------------------------------------------------------------
+
+scan::PacerConfig bucket_config(std::size_t burst) {
+  scan::PacerConfig config;
+  config.burst_probes = burst;
+  return config;
+}
+
+TEST(TokenBucketPacer, OpensWithAFullBurstThenEarnsAtTheTargetRate) {
+  scan::TokenBucketPacer pacer(1000.0, bucket_config(8));
+  // First observation primes a full bucket: eight probes leave at t=0.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(pacer.next_send_time(0), 0) << "probe " << i;
+    pacer.on_probe_sent(0);
+  }
+  // Bucket empty: the next slot is one token away (1 ms at 1 kpps).
+  const util::VTime next = pacer.next_send_time(0);
+  EXPECT_GT(next, 0);
+  EXPECT_LE(next, util::kMillisecond + 10);
+  // At that time the token has been earned.
+  EXPECT_EQ(pacer.next_send_time(next), next);
+}
+
+TEST(TokenBucketPacer, RefillCapsAtTheBurstSize) {
+  scan::TokenBucketPacer pacer(1000.0, bucket_config(4));
+  pacer.next_send_time(0);  // prime
+  for (int i = 0; i < 4; ++i) pacer.on_probe_sent(0);
+  // Ten idle seconds earn 10000 tokens but the bucket holds four: the
+  // fifth back-to-back probe must wait.
+  const util::VTime later = 10 * util::kSecond;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(pacer.next_send_time(later), later);
+    pacer.on_probe_sent(later);
+  }
+  EXPECT_GT(pacer.next_send_time(later), later);
+}
+
+TEST(TokenBucketPacer, LongRunRateMatchesTheTarget) {
+  scan::TokenBucketPacer pacer(2000.0, bucket_config(64));
+  util::VTime now = 0;
+  std::size_t sent = 0;
+  while (now < util::kSecond) {
+    now = pacer.next_send_time(now);
+    if (now >= util::kSecond) break;
+    pacer.on_probe_sent(now);
+    ++sent;
+  }
+  // One virtual second at 2 kpps: the burst structure must not change the
+  // long-run rate (the initial full burst allows a small overshoot).
+  EXPECT_GE(sent, 1990u);
+  EXPECT_LE(sent, 2000u + 64u);
+}
+
+TEST(TokenBucketPacer, SilentWindowsBackOffAndHealthyWindowsRecover) {
+  scan::PacerConfig config = bucket_config(4);
+  config.adaptive = true;
+  config.window_probes = 4;
+  config.min_rate_pps = 100.0;
+  scan::TokenBucketPacer pacer(1000.0, config);
+  const auto run_window = [&](std::size_t responses) {
+    pacer.on_responses(responses);
+    for (int i = 0; i < 4; ++i) pacer.on_probe_sent(0);
+  };
+  run_window(4);  // window 1 learns the baseline (rate 1.0)
+  EXPECT_DOUBLE_EQ(pacer.state().rate_pps, 1000.0);
+  run_window(0);  // collapse: rate halves
+  EXPECT_DOUBLE_EQ(pacer.state().rate_pps, 500.0);
+  EXPECT_EQ(pacer.state().backoffs, 1u);
+  run_window(0);  // collapse again
+  EXPECT_DOUBLE_EQ(pacer.state().rate_pps, 250.0);
+  run_window(4);  // healthy: multiplicative recovery toward the target
+  EXPECT_DOUBLE_EQ(pacer.state().rate_pps, 312.5);
+  EXPECT_EQ(pacer.state().backoffs, 2u);
+}
+
+TEST(TokenBucketPacer, BackoffFloorsAtTheMinimumRate) {
+  scan::PacerConfig config = bucket_config(4);
+  config.adaptive = true;
+  config.window_probes = 2;
+  config.min_rate_pps = 100.0;
+  scan::TokenBucketPacer pacer(1000.0, config);
+  pacer.on_responses(2);
+  for (int i = 0; i < 2; ++i) pacer.on_probe_sent(0);  // baseline window
+  for (int window = 0; window < 10; ++window)
+    for (int i = 0; i < 2; ++i) pacer.on_probe_sent(0);  // all silent
+  EXPECT_DOUBLE_EQ(pacer.state().rate_pps, 100.0);
+  // The backed-off rate slows the schedule: one token now takes 10 ms.
+  pacer.next_send_time(0);
+  while (pacer.next_send_time(0) <= 0) pacer.on_probe_sent(0);
+  const util::VTime gap = pacer.next_send_time(0);
+  EXPECT_GE(gap, 9 * util::kMillisecond);
+}
+
+TEST(TokenBucketPacer, ExplicitRateLimitSignalsBackOffImmediately) {
+  scan::PacerConfig config = bucket_config(4);
+  config.adaptive = true;
+  config.window_probes = 2;
+  scan::TokenBucketPacer pacer(1000.0, config);
+  pacer.on_rate_limit_signals(1);
+  pacer.on_responses(2);
+  for (int i = 0; i < 2; ++i) pacer.on_probe_sent(0);
+  // Even the baseline-learning window backs off when the device said so.
+  EXPECT_EQ(pacer.state().backoffs, 1u);
+  EXPECT_DOUBLE_EQ(pacer.state().rate_pps, 500.0);
+  EXPECT_EQ(pacer.state().rate_limit_signals, 1u);
+}
+
+TEST(TokenBucketPacer, StateRoundTripsThroughRestore) {
+  scan::PacerConfig config = bucket_config(4);
+  config.adaptive = true;
+  config.window_probes = 2;
+  scan::TokenBucketPacer pacer(1000.0, config);
+  pacer.on_responses(2);
+  for (int i = 0; i < 4; ++i) pacer.on_probe_sent(0);
+  const scan::PacerState saved = pacer.state();
+
+  scan::TokenBucketPacer resumed(1000.0, config);
+  resumed.restore(saved);
+  EXPECT_DOUBLE_EQ(resumed.state().rate_pps, saved.rate_pps);
+  EXPECT_EQ(resumed.state().backoffs, saved.backoffs);
+  // The bucket re-primes full on the first post-restore observation.
+  EXPECT_EQ(resumed.next_send_time(5 * util::kSecond), 5 * util::kSecond);
+}
+
+// ---------------------------------------------------------------------------
+// SimFrame codec
+// ---------------------------------------------------------------------------
+
+TEST(SimFrame, RoundTripsV4AndV6Endpoints) {
+  net::SimFrame frame;
+  frame.kind = net::SimFrame::kData;
+  frame.logical = {net::IpAddress(net::Ipv4(203, 0, 113, 9)), 161};
+  frame.time = 1234567890123;
+  std::uint8_t wire[net::SimFrame::kWireSize];
+  frame.encode(wire);
+  const auto back = net::SimFrame::decode({wire, sizeof wire});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, net::SimFrame::kData);
+  EXPECT_EQ(back->logical, frame.logical);
+  EXPECT_EQ(back->time, frame.time);
+
+  net::SimFrame v6;
+  v6.kind = net::SimFrame::kDrop;
+  v6.logical = {net::IpAddress(net::Ipv6::from_groups(
+                    {0x2001, 0xdb8, 0, 0, 0, 0, 0, 0x99})),
+                54321};
+  v6.time = -1;  // negative vtimes survive (signed wire field)
+  v6.encode(wire);
+  const auto back6 = net::SimFrame::decode({wire, sizeof wire});
+  ASSERT_TRUE(back6.has_value());
+  EXPECT_EQ(back6->kind, net::SimFrame::kDrop);
+  EXPECT_EQ(back6->logical, v6.logical);
+  EXPECT_EQ(back6->time, v6.time);
+}
+
+TEST(SimFrame, RejectsShortAndGarbageInput) {
+  EXPECT_FALSE(net::SimFrame::decode({}).has_value());
+  std::uint8_t short_buf[net::SimFrame::kWireSize - 1] = {};
+  EXPECT_FALSE(net::SimFrame::decode({short_buf, sizeof short_buf}));
+  std::uint8_t garbage[net::SimFrame::kWireSize];
+  std::memset(garbage, 0x5a, sizeof garbage);  // kind 0x5a: not a frame
+  EXPECT_FALSE(net::SimFrame::decode({garbage, sizeof garbage}));
+}
+
+// ---------------------------------------------------------------------------
+// UdpSocket error taxonomy (satellite 1)
+// ---------------------------------------------------------------------------
+
+TEST(UdpSocketTaxonomy, ClassifiesSendErrnos) {
+  using net::SendOutcome;
+  EXPECT_EQ(net::classify_send_errno(EAGAIN), SendOutcome::kWouldBlock);
+  EXPECT_EQ(net::classify_send_errno(EWOULDBLOCK), SendOutcome::kWouldBlock);
+  EXPECT_EQ(net::classify_send_errno(ENOBUFS), SendOutcome::kWouldBlock);
+  EXPECT_EQ(net::classify_send_errno(ECONNREFUSED), SendOutcome::kRefused);
+  EXPECT_FALSE(net::classify_send_errno(EINVAL).has_value());
+  EXPECT_FALSE(net::classify_send_errno(EPERM).has_value());
+}
+
+TEST(UdpSocketTaxonomy, PortUnreachableSurfacesAsRefused) {
+  auto socket = net::UdpSocket::open(net::Family::kIpv4);
+  if (!socket.ok()) GTEST_SKIP() << "sockets unavailable: " << socket.error();
+  const net::Endpoint loopback{net::IpAddress(net::Ipv4(127, 0, 0, 1)), 0};
+  ASSERT_TRUE(socket.value().bind_to(loopback).ok());
+
+  // A freshly bound-then-closed port: nothing listens there.
+  net::Endpoint dead;
+  {
+    auto probe = net::UdpSocket::open(net::Family::kIpv4);
+    ASSERT_TRUE(probe.ok());
+    ASSERT_TRUE(probe.value().bind_to(loopback).ok());
+    auto local = probe.value().local_endpoint();
+    ASSERT_TRUE(local.ok());
+    dead = local.value();
+  }
+  ASSERT_TRUE(socket.value().connect_to(dead).ok());
+
+  const std::uint8_t payload[] = {0x42};
+  bool refused = false;
+  for (int attempt = 0; attempt < 5 && !refused; ++attempt) {
+    auto sent = socket.value().send_to(dead, {payload, 1});
+    ASSERT_TRUE(sent.ok()) << sent.error();
+    if (sent.value() == net::SendOutcome::kRefused) refused = true;
+    auto received = socket.value().receive(50);
+    if (received.ok() && received.value().refused) refused = true;
+  }
+  EXPECT_TRUE(refused) << "ICMP port-unreachable never surfaced";
+}
+
+// ---------------------------------------------------------------------------
+// BatchedUdpEngine over loopback
+// ---------------------------------------------------------------------------
+
+net::EngineConfig wall_engine_config(net::BatchMode mode) {
+  net::EngineConfig config;
+  config.clock = net::EngineClock::kWall;
+  config.batch = mode;
+  config.batch_size = 32;
+  config.flow_window = 0;  // non-encap: no reflector to answer
+  return config;
+}
+
+void expect_loopback_delivery(net::BatchMode mode) {
+  auto sender = net::BatchedUdpEngine::open(wall_engine_config(mode));
+  if (!sender.ok()) GTEST_SKIP() << "sockets unavailable: " << sender.error();
+  auto receiver = net::BatchedUdpEngine::open(wall_engine_config(mode));
+  ASSERT_TRUE(receiver.ok()) << receiver.error();
+  net::BatchedUdpEngine& tx = *sender.value();
+  net::BatchedUdpEngine& rx = *receiver.value();
+  const net::Endpoint destination = rx.local_endpoint();
+
+  constexpr std::size_t kCount = 100;
+  constexpr std::size_t kLen = 60;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    auto frame = tx.acquire_send_frame(kLen);
+    ASSERT_EQ(frame.size(), kLen);
+    std::memset(frame.data(), static_cast<int>(i & 0xff), kLen);
+    tx.commit_send_frame({}, destination, kLen, tx.now());
+  }
+  tx.flush();
+  EXPECT_EQ(tx.stats().datagrams_sent, kCount);
+  if (mode == net::BatchMode::kPerDatagram) {
+    EXPECT_EQ(tx.stats().sendmmsg_calls, 0u);
+    EXPECT_EQ(tx.stats().sendto_calls, kCount);
+  } else if (tx.batching()) {
+    EXPECT_GT(tx.stats().sendmmsg_calls, 0u);
+    EXPECT_EQ(tx.stats().sendto_calls, 0u);
+  }
+
+  std::size_t got = 0;
+  std::size_t checked_payloads = 0;
+  const util::VTime deadline = rx.now() + 2 * util::kSecond;
+  while (got < kCount && rx.now() < deadline) {
+    rx.run_until(rx.now() + 20 * util::kMillisecond);
+    while (const auto view = rx.receive_view()) {
+      ASSERT_EQ(view->payload.size(), kLen);
+      // Loopback preserves order, so the fill byte tracks the index.
+      if (view->payload[0] == static_cast<std::uint8_t>(got & 0xff))
+        ++checked_payloads;
+      EXPECT_EQ(view->source, tx.local_endpoint());
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, kCount);
+  EXPECT_EQ(checked_payloads, kCount);
+  EXPECT_EQ(rx.stats().datagrams_received, kCount);
+}
+
+TEST(BatchedUdpEngine, DeliversBatchedOverLoopback) {
+  expect_loopback_delivery(net::BatchMode::kAuto);
+}
+
+TEST(BatchedUdpEngine, DeliversPerDatagramOverLoopback) {
+  expect_loopback_delivery(net::BatchMode::kPerDatagram);
+}
+
+TEST(BatchedUdpEngine, OversizedDatagramsCountAsTruncated) {
+  auto sender = net::BatchedUdpEngine::open(
+      wall_engine_config(net::BatchMode::kAuto));
+  if (!sender.ok()) GTEST_SKIP() << "sockets unavailable: " << sender.error();
+  auto receiver = net::BatchedUdpEngine::open(
+      wall_engine_config(net::BatchMode::kAuto));
+  ASSERT_TRUE(receiver.ok()) << receiver.error();
+  net::BatchedUdpEngine& tx = *sender.value();
+  net::BatchedUdpEngine& rx = *receiver.value();
+
+  // Larger than the receiver's ring stride (max(2048, frame_bytes + 28)):
+  // the kernel clips it and the engine counts the truncation.
+  const util::Bytes oversize(4000, 0xab);
+  tx.send_view({}, rx.local_endpoint(), oversize, tx.now());
+  tx.flush();
+
+  std::size_t got = 0;
+  const util::VTime deadline = rx.now() + 2 * util::kSecond;
+  while (got == 0 && rx.now() < deadline) {
+    rx.run_until(rx.now() + 20 * util::kMillisecond);
+    while (const auto view = rx.receive_view()) {
+      EXPECT_LT(view->payload.size(), oversize.size());
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, 1u);
+  EXPECT_EQ(rx.stats().recv_truncated, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline equality: real sockets == sim fabric, bit for bit
+// ---------------------------------------------------------------------------
+
+// World restricted to the rng-unobservable subset: no engine-time jitter,
+// no future-time draws, no load-balancer backend selection. Everything
+// else (zero-time bugs, amplifiers, churn, dead space) stays.
+topo::WorldConfig deterministic_world() {
+  topo::WorldConfig config = topo::WorldConfig::tiny();
+  config.seed = 17;
+  config.future_time_rate = 0.0;
+  config.time_jitter_rate = 0.0;
+  config.load_balancer_rate = 0.0;
+  return config;
+}
+
+// Fabric restricted to the deterministic subset the reflector mirrors:
+// zero loss, one fixed (even) RTT, no faults, no policing.
+sim::FabricConfig deterministic_fabric() {
+  sim::FabricConfig fabric;
+  fabric.probe_loss = 0.0;
+  fabric.response_loss = 0.0;
+  fabric.min_rtt = 20 * util::kMillisecond;
+  fabric.max_rtt = 20 * util::kMillisecond;
+  return fabric;
+}
+
+core::PipelineResult run_equality_pipeline(bool net, std::size_t threads) {
+  core::PipelineOptions options;
+  options.world = deterministic_world();
+  options.fabric = deterministic_fabric();
+  options.parallel.threads = threads;
+  if (net) {
+    net::EngineConfig engine;
+    engine.clock = net::EngineClock::kVirtual;
+    // Eight shard engines share the reflector's receive buffer; a small
+    // batch (flow window = 2x batch) keeps their combined in-flight
+    // window far under it.
+    engine.batch_size = 16;
+    options.net_engine = engine;
+    options.net_rtt = 20 * util::kMillisecond;
+  }
+  return core::run_full_pipeline(options);
+}
+
+void expect_same_scan(const scan::ScanResult& a, const scan::ScanResult& b) {
+  EXPECT_EQ(a.start_time, b.start_time);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.targets_probed, b.targets_probed);
+  EXPECT_EQ(a.probe_bytes, b.probe_bytes);
+  EXPECT_EQ(a.undecodable_responses, b.undecodable_responses);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    ASSERT_EQ(ra.target, rb.target);
+    EXPECT_EQ(ra.engine_id, rb.engine_id);
+    EXPECT_EQ(ra.engine_boots, rb.engine_boots);
+    EXPECT_EQ(ra.engine_time, rb.engine_time);
+    EXPECT_EQ(ra.send_time, rb.send_time);
+    EXPECT_EQ(ra.receive_time, rb.receive_time);
+    EXPECT_EQ(ra.response_count, rb.response_count);
+    EXPECT_EQ(ra.response_bytes, rb.response_bytes);
+    EXPECT_EQ(ra.extra_engines, rb.extra_engines);
+  }
+}
+
+void expect_identical(const core::PipelineResult& sim_run,
+                      const core::PipelineResult& net_run) {
+  expect_same_scan(sim_run.v4_campaign.scan1, net_run.v4_campaign.scan1);
+  expect_same_scan(sim_run.v4_campaign.scan2, net_run.v4_campaign.scan2);
+  expect_same_scan(sim_run.v6_campaign.scan1, net_run.v6_campaign.scan1);
+  expect_same_scan(sim_run.v6_campaign.scan2, net_run.v6_campaign.scan2);
+
+  ASSERT_EQ(sim_run.v4_records.size(), net_run.v4_records.size());
+  ASSERT_EQ(sim_run.v6_records.size(), net_run.v6_records.size());
+  ASSERT_EQ(sim_run.resolution.sets.size(), net_run.resolution.sets.size());
+  for (std::size_t i = 0; i < sim_run.resolution.sets.size(); ++i) {
+    ASSERT_EQ(sim_run.resolution.sets[i].addresses,
+              net_run.resolution.sets[i].addresses);
+    EXPECT_EQ(sim_run.resolution.sets[i].engine_id,
+              net_run.resolution.sets[i].engine_id);
+  }
+  ASSERT_EQ(sim_run.devices.size(), net_run.devices.size());
+  for (std::size_t i = 0; i < sim_run.devices.size(); ++i) {
+    EXPECT_EQ(sim_run.devices[i].fingerprint.vendor,
+              net_run.devices[i].fingerprint.vendor);
+    EXPECT_EQ(sim_run.devices[i].is_router, net_run.devices[i].is_router);
+  }
+}
+
+TEST(NetEnginePipeline, BitIdenticalToSimFabricAcrossThreadCounts) {
+  {
+    net::EngineConfig probe;
+    auto available = net::BatchedUdpEngine::open(probe);
+    if (!available.ok())
+      GTEST_SKIP() << "sockets unavailable: " << available.error();
+  }
+  const core::PipelineResult sim_run = run_equality_pipeline(false, 1);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const core::PipelineResult net_run = run_equality_pipeline(true, threads);
+    if (!net_run.v4_campaign.net_error.empty())
+      GTEST_SKIP() << "net engine unavailable: "
+                   << net_run.v4_campaign.net_error;
+    expect_identical(sim_run, net_run);
+    // The probes really went through the kernel.
+    EXPECT_GT(net_run.v4_campaign.net_io.datagrams_sent, 0u);
+    EXPECT_EQ(sim_run.v4_campaign.net_io.datagrams_sent, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock campaign smoke test
+// ---------------------------------------------------------------------------
+
+TEST(NetEngineCampaign, WallClockCampaignCompletesAgainstTheReflector) {
+  topo::World world = topo::generate_world(deterministic_world());
+  topo::MaterializedWorldModel model(world);
+  sim::ReflectorConfig reflector_config;
+  auto reflector = sim::LoopbackReflector::start(model, reflector_config);
+  if (!reflector.ok())
+    GTEST_SKIP() << "sockets unavailable: " << reflector.error();
+
+  scan::CampaignOptions options;
+  options.family = net::Family::kIpv4;
+  options.rate_pps = 20000.0;
+  options.shards = 2;
+  options.response_timeout = 300 * util::kMillisecond;
+  net::EngineConfig engine;
+  engine.clock = net::EngineClock::kWall;
+  engine.batch_size = 32;
+  engine.sim_peer = reflector.value()->endpoint();
+  options.net_engine = engine;
+
+  const scan::CampaignPair pair = scan::run_two_scan_campaign(model, options);
+  ASSERT_TRUE(pair.net_error.empty()) << pair.net_error;
+  EXPECT_GT(pair.scan1.responsive(), 0u);
+  EXPECT_GT(pair.scan2.responsive(), 0u);
+  EXPECT_EQ(pair.scan1.targets_probed, pair.scan2.targets_probed);
+  EXPECT_GT(pair.net_io.datagrams_sent, 0u);
+  EXPECT_GT(pair.net_io.datagrams_received, 0u);
+  // Wall campaigns pace with the token bucket over real timestamps, so
+  // end_time really trails start_time.
+  EXPECT_GT(pair.scan1.end_time, pair.scan1.start_time);
+  const sim::ReflectorStats reflector_stats = reflector.value()->stats();
+  EXPECT_GT(reflector_stats.delivered, 0u);
+  EXPECT_EQ(reflector_stats.bad_frames, 0u);
+}
+
+}  // namespace
+}  // namespace snmpv3fp

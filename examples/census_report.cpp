@@ -260,7 +260,12 @@ int main(int argc, char** argv) {
   md << "_Per-network results are aggregated; no individual operator is\n"
         "identified (paper §3.3 ethics)._\n";
 
-  // Write artifacts.
+  // Write artifacts. An ofstream into a missing directory fails silently,
+  // so make sure out_dir exists first.
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+  }
   const auto md_path = out_dir / "census_report.md";
   const auto csv_path = out_dir / "vendor_share.csv";
   std::ofstream(md_path) << md.str();

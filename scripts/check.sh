@@ -41,8 +41,15 @@
 #      pipeline through actual kernel sockets must be bit-identical to the
 #      sim-fabric run) and bench_net --gate (batched sendmmsg+GSO send
 #      >= 2x the per-datagram loop at batch 64, zero allocations per
-#      probe, BENCH_net.json schema). Both print SKIP and pass when the
-#      sandbox denies sockets — visible, never silent.
+#      probe; ring drain >= 2x the recvmmsg drain with zero allocations
+#      per frame when CAP_NET_RAW grants rings; BENCH_net.json schema).
+#      Both print SKIP and pass when the sandbox denies sockets —
+#      visible, never silent.
+#   8. Ring-receive suite: test_packet_ring — the link-parser hostile
+#      corpus and EINTR regression tests always run; the live AF_PACKET
+#      suites (ring-vs-socket byte equality, fanout steering, pipeline
+#      bit-identity ring on/off across thread counts) GTEST_SKIP with a
+#      visible "SKIP (no CAP_NET_RAW)" line on unprivileged boxes.
 #
 # Usage: scripts/check.sh [--no-tsan] [--no-asan] [--quick-bench]
 set -euo pipefail
@@ -126,10 +133,19 @@ NET_TEST_OUT="$(cd build && ./tests/test_net_engine 2>&1)" || {
 echo "$NET_TEST_OUT" | grep -E "^\[  SKIPPED|sockets unavailable" || true
 echo "$NET_TEST_OUT" | tail -1
 
-echo "==> batched-I/O gate (bench_net --quick --gate: sendmmsg+GSO >= 2x per-datagram, zero allocs/probe)"
-# bench_net prints its own SKIP line and exits 0 when sockets are denied.
+echo "==> batched-I/O gate (bench_net --quick --gate: sendmmsg+GSO >= 2x per-datagram, ring rx >= 2x recvmmsg, zero allocs on both hot paths)"
+# bench_net prints its own SKIP line and exits 0 when sockets are denied;
+# without CAP_NET_RAW the rx ring gate self-skips the same way.
 (cd build/bench && ./bench_net --quick --gate | grep -E "SKIP|GATE" || true)
 # Propagate the gate verdict (grep above swallows the status).
 (cd build/bench && ./bench_net --quick --gate >/dev/null)
+
+echo "==> ring-receive suite (test_packet_ring: parser corpus, EINTR regressions, live AF_PACKET rings)"
+# The AF_PACKET suites GTEST_SKIP individually without CAP_NET_RAW;
+# surface those skip lines instead of hiding them, fail on any failure.
+RING_TEST_OUT="$(cd build && ./tests/test_packet_ring 2>&1)" || {
+  echo "$RING_TEST_OUT" | tail -30; exit 1; }
+echo "$RING_TEST_OUT" | grep -E "^\[  SKIPPED|SKIP \(no CAP_NET_RAW\)" || true
+echo "$RING_TEST_OUT" | tail -1
 
 echo "==> all checks passed"

@@ -50,30 +50,7 @@
 
 namespace snmpv3fp::net {
 
-// Syscall/drop-cause accounting for one engine (summed across shards into
-// scan::CampaignPair::net_io and reported by core/report.cpp).
-struct NetIoStats {
-  std::uint64_t datagrams_sent = 0;
-  std::uint64_t datagrams_received = 0;  // includes drop notices/bad frames
-  std::uint64_t sendmmsg_calls = 0;
-  std::uint64_t recvmmsg_calls = 0;
-  std::uint64_t sendto_calls = 0;    // per-datagram fallback sends
-  std::uint64_t recvfrom_calls = 0;  // per-datagram fallback receives
-  std::uint64_t gso_batches = 0;     // UDP_SEGMENT super-packets sent
-  // Drop/backpressure causes (satellite of the fabric's Table-1-style
-  // accounting, for the real data plane).
-  std::uint64_t send_pressure = 0;   // EAGAIN/ENOBUFS: kernel buffer full
-  std::uint64_t send_refused = 0;    // ECONNREFUSED: ICMP port unreachable
-  std::uint64_t send_errors = 0;     // hard errors; datagrams dropped
-  std::uint64_t recv_truncated = 0;  // datagram larger than the ring frame
-  std::uint64_t recv_bad_frame = 0;  // encap header failed to parse
-  std::uint64_t recv_errors = 0;     // hard receive errors
-  std::uint64_t drop_notices = 0;    // reflector dead/filtered notices
-  std::uint64_t flow_stalls = 0;     // flow-window waits that timed out
-
-  NetIoStats& operator+=(const NetIoStats& other);
-  bool operator==(const NetIoStats&) const = default;
-};
+class ShardRingView;  // net/packet_ring.hpp (NetIoStats: net/transport.hpp)
 
 enum class BatchMode {
   kAuto,         // sendmmsg/recvmmsg (+GSO) where available, else fallback
@@ -120,6 +97,12 @@ struct EngineConfig {
   // kVirtual encap (a virtual-time sender has no natural pacing and would
   // overrun the peer's receive buffer), disabled otherwise.
   std::size_t flow_window = 0;
+  // Allow UDP_SEGMENT send coalescing. Must be off for senders whose
+  // traffic an AF_PACKET ring captures: loopback never segments the
+  // super-datagram on the wire, so the tap would see one merged datagram
+  // where the UDP receive path sees many — the same reason capture stacks
+  // disable NIC segmentation offloads.
+  bool gso = true;
 };
 
 // The 28-byte sim-encapsulation header. Fixed layout:
@@ -167,6 +150,19 @@ class BatchedUdpEngine final : public Transport {
   std::uint64_t rate_limit_signals() const override {
     return stats_.send_pressure + stats_.send_refused;
   }
+  const NetIoStats* net_stats() const override { return &stats_; }
+
+  // Swaps the receive half from recvmmsg on the UDP socket to an
+  // AF_PACKET ring view (net/packet_ring.hpp): refills pull parsed UDP
+  // frames off the shard's fanout ring and readiness waits watch the
+  // ring fds alongside the socket. Sends are untouched — the UDP socket
+  // keeps flowing (and keeps the port reserved so the kernel does not
+  // ICMP-reject our responders). The view must outlive the engine; pass
+  // nullptr to fall back to recvmmsg. The socket's own receive queue is
+  // left unread while a ring is attached (the ring captures the same
+  // frames at the link layer).
+  void attach_ring(ShardRingView* ring);
+  bool ring_attached() const { return ring_view_ != nullptr; }
 
   // Pushes all pending frames into the kernel now (batch boundary).
   // Invalidates any acquired-but-uncommitted frame.
@@ -198,9 +194,15 @@ class BatchedUdpEngine final : public Transport {
   // Pulls a kernel batch into the rx ring. `force` bypasses the idle
   // throttle. Returns true when the ring has data afterwards.
   bool refill(bool force);
+  // Ring-view refill half: copies parsed frames from the attached
+  // AF_PACKET ring into the rx ring slots. Returns frames ingested.
+  std::size_t refill_from_ring(std::size_t cap, std::size_t stride);
   // Classifies one received wire datagram into the rx ring.
+  // `source_endpoint` (ring path) takes precedence over `source_storage`
+  // (a sockaddr_storage from recvmmsg/recvfrom) for the non-encap source.
   void ingest(std::size_t offset, std::size_t len, bool truncated,
-              const void* source_storage);
+              const void* source_storage,
+              const Endpoint* source_endpoint = nullptr);
   // Moves every ring entry (and everything still in the kernel) into the
   // owned inbox. Allocates — only called off the per-probe hot path.
   void drain_to_inbox();
@@ -244,6 +246,7 @@ class BatchedUdpEngine final : public Transport {
   std::deque<Datagram> inbox_;
 
   std::unique_ptr<MmsgArrays> mmsg_;
+  ShardRingView* ring_view_ = nullptr;  // non-owning; see attach_ring()
   NetIoStats stats_;
 };
 

@@ -1,0 +1,475 @@
+#include "net/packet_ring.hpp"
+
+#include "net/udp_socket.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+// <net/if.h> must precede the <linux/if_*.h> headers: the kernel uapi
+// headers suppress their conflicting struct/flag definitions only when
+// glibc's net/if.h has already been seen (libc-compat).
+#include <net/if.h>
+
+#include <arpa/inet.h>
+#include <linux/if_arp.h>
+#include <linux/if_ether.h>
+#include <linux/if_packet.h>
+#include <poll.h>
+#include <sys/ioctl.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace snmpv3fp::net {
+
+namespace {
+
+// Link/network constants, spelled locally so the parser stays a pure
+// function compilable (and unit-testable) without kernel headers.
+constexpr std::size_t kEthHeader = 14;
+constexpr std::size_t kSllHeader = 16;
+constexpr std::uint16_t kEtherIpv4 = 0x0800;
+constexpr std::uint16_t kEtherIpv6 = 0x86DD;
+constexpr std::uint16_t kEtherVlan = 0x8100;
+constexpr std::uint16_t kEtherQinQ = 0x88A8;
+constexpr std::uint8_t kProtoUdp = 17;
+// IPv6 extension headers the parser walks through. Anything else (ESP,
+// unknown) fails closed. The chain walk is iteration-bounded.
+constexpr std::uint8_t kExtHopByHop = 0;
+constexpr std::uint8_t kExtRouting = 43;
+constexpr std::uint8_t kExtFragment = 44;
+constexpr std::uint8_t kExtAuth = 51;
+constexpr std::uint8_t kExtDestOpts = 60;
+constexpr int kMaxExtHeaders = 8;
+
+std::uint16_t read_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+
+// Parses the IP layer starting at `at`; both branches bound every read
+// against frame.size() before touching it.
+bool parse_ip(util::ByteView frame, std::size_t at, RingFrame& out) {
+  if (at + 1 > frame.size()) return false;
+  const std::uint8_t version = frame[at] >> 4;
+
+  if (version == 4) {
+    if (at + 20 > frame.size()) return false;
+    const std::size_t ihl = (frame[at] & 0x0F) * std::size_t{4};
+    if (ihl < 20 || at + ihl > frame.size()) return false;
+    const std::size_t total_len = read_be16(&frame[at + 2]);
+    if (total_len < ihl + 8) return false;  // no room for a UDP header
+    if (frame[at + 9] != kProtoUdp) return false;
+    // Fragmented: a non-first fragment has no UDP header, a first
+    // fragment has an incomplete payload — fail closed on both.
+    const std::uint16_t frag = read_be16(&frame[at + 6]);
+    if ((frag & 0x3FFF) != 0) return false;  // MF flag or nonzero offset
+    const std::size_t udp_at = at + ihl;
+    if (udp_at + 8 > frame.size()) return false;
+    const std::size_t udp_len = read_be16(&frame[udp_at + 4]);
+    if (udp_len < 8) return false;
+    const std::size_t declared = udp_len - 8;
+    // Clamp the payload to what the IP datagram and the capture actually
+    // carry; delivering less than declared is a truncation, not an error.
+    const std::size_t ip_room =
+        total_len >= ihl + 8 ? total_len - ihl - 8 : 0;
+    const std::size_t cap_room = frame.size() - udp_at - 8;
+    const std::size_t have = std::min({declared, ip_room, cap_room});
+    out.source.address = IpAddress(
+        Ipv4((std::uint32_t{frame[at + 12]} << 24) |
+             (std::uint32_t{frame[at + 13]} << 16) |
+             (std::uint32_t{frame[at + 14]} << 8) | frame[at + 15]));
+    out.source.port = read_be16(&frame[udp_at]);
+    out.dst_port = read_be16(&frame[udp_at + 2]);
+    out.payload = frame.subspan(udp_at + 8, have);
+    out.truncated = have < declared;
+    return true;
+  }
+
+  if (version == 6) {
+    if (at + 40 > frame.size()) return false;
+    std::size_t payload_room = read_be16(&frame[at + 4]);
+    std::uint8_t next = frame[at + 6];
+    std::array<std::uint8_t, 16> src{};
+    std::memcpy(src.data(), &frame[at + 8], 16);
+    std::size_t cursor = at + 40;
+    for (int hop = 0; hop < kMaxExtHeaders && next != kProtoUdp; ++hop) {
+      std::size_t ext_len = 0;
+      switch (next) {
+        case kExtHopByHop:
+        case kExtRouting:
+        case kExtDestOpts:
+          if (cursor + 2 > frame.size()) return false;
+          ext_len = (std::size_t{frame[cursor + 1]} + 1) * 8;
+          break;
+        case kExtAuth:  // AH length unit differs: (len + 2) * 4
+          if (cursor + 2 > frame.size()) return false;
+          ext_len = (std::size_t{frame[cursor + 1]} + 2) * 4;
+          break;
+        case kExtFragment: {
+          if (cursor + 8 > frame.size()) return false;
+          const std::uint16_t frag = read_be16(&frame[cursor + 2]);
+          if ((frag & 0xFFF9) != 0) return false;  // offset != 0 or MF set
+          ext_len = 8;
+          break;
+        }
+        default:
+          return false;  // not UDP, not a walkable extension: fail closed
+      }
+      if (cursor + ext_len > frame.size() || ext_len > payload_room)
+        return false;
+      next = frame[cursor];
+      cursor += ext_len;
+      payload_room -= ext_len;
+    }
+    if (next != kProtoUdp) return false;
+    if (cursor + 8 > frame.size() || payload_room < 8) return false;
+    const std::size_t udp_len = read_be16(&frame[cursor + 4]);
+    if (udp_len < 8) return false;
+    const std::size_t declared = udp_len - 8;
+    const std::size_t ip_room = payload_room - 8;
+    const std::size_t cap_room = frame.size() - cursor - 8;
+    const std::size_t have = std::min({declared, ip_room, cap_room});
+    out.source.address = IpAddress(Ipv6(src));
+    out.source.port = read_be16(&frame[cursor]);
+    out.dst_port = read_be16(&frame[cursor + 2]);
+    out.payload = frame.subspan(cursor + 8, have);
+    out.truncated = have < declared;
+    return true;
+  }
+
+  return false;
+}
+
+}  // namespace
+
+bool parse_link_frame(util::ByteView frame, LinkType link, RingFrame& out) {
+  std::size_t at = 0;
+  std::uint16_t ethertype = 0;
+  if (link == LinkType::kEthernet) {
+    if (frame.size() < kEthHeader) return false;
+    ethertype = read_be16(&frame[12]);
+    at = kEthHeader;
+    // At most two VLAN tags (QinQ); each shifts the real ethertype 4 in.
+    for (int tags = 0; tags < 2 && (ethertype == kEtherVlan ||
+                                    ethertype == kEtherQinQ); ++tags) {
+      if (at + 4 > frame.size()) return false;
+      ethertype = read_be16(&frame[at + 2]);
+      at += 4;
+    }
+  } else {
+    if (frame.size() < kSllHeader) return false;
+    ethertype = read_be16(&frame[14]);
+    at = kSllHeader;
+  }
+  if (ethertype != kEtherIpv4 && ethertype != kEtherIpv6) return false;
+  return parse_ip(frame, at, out);
+}
+
+PacketRingConfig apply_ring_env(PacketRingConfig config) {
+  if (const char* env = std::getenv("SNMPFP_RING_BLOCKS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 4096)
+      config.block_count = static_cast<std::size_t>(v);
+  }
+  return config;
+}
+
+#if defined(__linux__)
+
+PacketRingReceiver::~PacketRingReceiver() {
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+util::Result<std::unique_ptr<PacketRingReceiver>> PacketRingReceiver::open(
+    const PacketRingConfig& config_in) {
+  using R = util::Result<std::unique_ptr<PacketRingReceiver>>;
+  PacketRingConfig config = config_in;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::size_t page_size = page > 0 ? static_cast<std::size_t>(page)
+                                         : 4096;
+  // TPACKET_V3 constraints: block size a multiple of the page size,
+  // frame size 16-aligned and dividing the block evenly.
+  config.frame_size =
+      std::max<std::size_t>(config.frame_size, 256) & ~std::size_t{15};
+  config.block_size =
+      ((std::max(config.block_size, config.frame_size) + page_size - 1) /
+       page_size) * page_size;
+  config.block_count = std::max<std::size_t>(config.block_count, 1);
+
+  const int fd = ::socket(AF_PACKET, SOCK_RAW, 0);
+  if (fd < 0)
+    return R::failure(std::string("socket(AF_PACKET): ") +
+                      std::strerror(errno));
+  std::unique_ptr<PacketRingReceiver> rx(new PacketRingReceiver());
+  rx->fd_ = fd;
+
+  const unsigned ifindex = ::if_nametoindex(config.interface.c_str());
+  if (ifindex == 0)
+    return R::failure("if_nametoindex(" + config.interface +
+                      "): " + std::strerror(errno));
+  {
+    // Link framing from the device's ARP hardware type. Ethernet and
+    // loopback carry Ethernet headers; anything exotic would need SLL
+    // via SOCK_DGRAM — reject rather than misparse.
+    ifreq ifr{};
+    std::strncpy(ifr.ifr_name, config.interface.c_str(), IFNAMSIZ - 1);
+    if (::ioctl(fd, SIOCGIFHWADDR, &ifr) != 0)
+      return R::failure(std::string("SIOCGIFHWADDR: ") +
+                        std::strerror(errno));
+    const int hw = ifr.ifr_hwaddr.sa_family;
+    if (hw != ARPHRD_ETHER && hw != ARPHRD_LOOPBACK)
+      return R::failure("unsupported link type on " + config.interface);
+    rx->link_ = LinkType::kEthernet;
+  }
+
+  const int version = TPACKET_V3;
+  if (::setsockopt(fd, SOL_PACKET, PACKET_VERSION, &version,
+                   sizeof version) != 0)
+    return R::failure(std::string("PACKET_VERSION: ") + std::strerror(errno));
+
+  tpacket_req3 req{};
+  req.tp_block_size = static_cast<unsigned>(config.block_size);
+  req.tp_block_nr = static_cast<unsigned>(config.block_count);
+  req.tp_frame_size = static_cast<unsigned>(config.frame_size);
+  req.tp_frame_nr = static_cast<unsigned>(
+      config.block_size / config.frame_size * config.block_count);
+  req.tp_retire_blk_tov = config.retire_tov_ms;
+  req.tp_feature_req_word = 0;
+  if (::setsockopt(fd, SOL_PACKET, PACKET_RX_RING, &req, sizeof req) != 0)
+    return R::failure(std::string("PACKET_RX_RING: ") + std::strerror(errno));
+
+  const std::size_t map_len = config.block_size * config.block_count;
+  void* map = ::mmap(nullptr, map_len, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_LOCKED, fd, 0);
+  if (map == MAP_FAILED)  // MAP_LOCKED can exceed RLIMIT_MEMLOCK; retry soft
+    map = ::mmap(nullptr, map_len, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED)
+    return R::failure(std::string("mmap ring: ") + std::strerror(errno));
+  rx->map_ = static_cast<std::uint8_t*>(map);
+  rx->map_len_ = map_len;
+  rx->block_size_ = config.block_size;
+  rx->block_count_ = config.block_count;
+
+  sockaddr_ll sll{};
+  sll.sll_family = AF_PACKET;
+  sll.sll_protocol = htons(ETH_P_ALL);
+  sll.sll_ifindex = static_cast<int>(ifindex);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sll), sizeof sll) != 0)
+    return R::failure(std::string("bind(AF_PACKET): ") + std::strerror(errno));
+  return R(std::move(rx));
+}
+
+util::Status PacketRingReceiver::join_fanout(int group_id) {
+  const int arg = (group_id & 0xFFFF) | (PACKET_FANOUT_HASH << 16);
+  if (::setsockopt(fd_, SOL_PACKET, PACKET_FANOUT, &arg, sizeof arg) != 0)
+    return util::Status::failure(std::string("PACKET_FANOUT: ") +
+                                 std::strerror(errno));
+  return {};
+}
+
+void PacketRingReceiver::update_kernel_drops() {
+  tpacket_stats_v3 st{};
+  socklen_t len = sizeof st;
+  // Cumulative since the last read — the kernel resets on getsockopt.
+  if (::getsockopt(fd_, SOL_PACKET, PACKET_STATISTICS, &st, &len) == 0)
+    counters_.drops += st.tp_drops;
+}
+
+bool PacketRingReceiver::advance_block() {
+  if (block_open_) {
+    // Release the fully-walked block back to the kernel and move on.
+    auto* desc = reinterpret_cast<tpacket_block_desc*>(
+        map_ + block_idx_ * block_size_);
+    __atomic_store_n(&desc->hdr.bh1.block_status, TP_STATUS_KERNEL,
+                     __ATOMIC_RELEASE);
+    block_open_ = false;
+    block_idx_ = (block_idx_ + 1) % block_count_;
+  }
+  auto* desc = reinterpret_cast<tpacket_block_desc*>(
+      map_ + block_idx_ * block_size_);
+  const std::uint32_t status =
+      __atomic_load_n(&desc->hdr.bh1.block_status, __ATOMIC_ACQUIRE);
+  if ((status & TP_STATUS_USER) == 0) return false;
+  block_open_ = true;
+  pkts_left_ = desc->hdr.bh1.num_pkts;
+  frame_at_ = reinterpret_cast<const std::uint8_t*>(desc) +
+              desc->hdr.bh1.offset_to_first_pkt;
+  ++counters_.blocks;
+  return true;  // an empty retired block still advances the walk
+}
+
+std::optional<RingFrame> PacketRingReceiver::next(int timeout_ms) {
+  for (;;) {
+    while (block_open_ && pkts_left_ > 0) {
+      const auto* hdr = reinterpret_cast<const tpacket3_hdr*>(frame_at_);
+      const std::uint8_t* raw = frame_at_ + hdr->tp_mac;
+      const std::uint32_t snaplen = hdr->tp_snaplen;
+      const auto* sll = reinterpret_cast<const sockaddr_ll*>(
+          frame_at_ + TPACKET_ALIGN(sizeof(tpacket3_hdr)));
+      const bool outgoing = sll->sll_pkttype == PACKET_OUTGOING;
+      const bool clipped = hdr->tp_len > hdr->tp_snaplen;
+      // Advance the walk first so a parse failure cannot stall it.
+      --pkts_left_;
+      frame_at_ = hdr->tp_next_offset != 0
+                      ? frame_at_ + hdr->tp_next_offset
+                      : frame_at_;  // last pkt; pkts_left_ is now 0
+      if (outgoing) continue;  // loopback shows our own sends; skip them
+      RingFrame frame;
+      if (!parse_link_frame({raw, snaplen}, link_, frame)) {
+        ++counters_.non_udp;
+        continue;
+      }
+      frame.truncated = frame.truncated || clipped;
+      ++counters_.frames;
+      return frame;
+    }
+    if (advance_block()) continue;
+    if (timeout_ms == 0) return std::nullopt;
+    pollfd pfd{fd_, POLLIN, 0};
+    if (poll_interruptible(&pfd, 1, timeout_ms) <= 0) return std::nullopt;
+    timeout_ms = 0;  // one wait per call: drain what arrived, then report
+  }
+}
+
+#else  // !__linux__
+
+PacketRingReceiver::~PacketRingReceiver() = default;
+
+util::Result<std::unique_ptr<PacketRingReceiver>> PacketRingReceiver::open(
+    const PacketRingConfig&) {
+  return util::Result<std::unique_ptr<PacketRingReceiver>>::failure(
+      "AF_PACKET rings require Linux");
+}
+
+util::Status PacketRingReceiver::join_fanout(int) {
+  return util::Status::failure("AF_PACKET rings require Linux");
+}
+
+void PacketRingReceiver::update_kernel_drops() {}
+
+bool PacketRingReceiver::advance_block() { return false; }
+
+std::optional<RingFrame> PacketRingReceiver::next(int) {
+  return std::nullopt;
+}
+
+#endif  // __linux__
+
+util::Result<std::unique_ptr<PacketRingGroup>> PacketRingGroup::create(
+    const PacketRingConfig& config_in, std::size_t shards) {
+  using R = util::Result<std::unique_ptr<PacketRingGroup>>;
+  const PacketRingConfig config = apply_ring_env(config_in);
+  shards = std::max<std::size_t>(shards, 1);
+  std::unique_ptr<PacketRingGroup> group(new PacketRingGroup());
+  // Fresh fanout id per group: ids are 16-bit per netns, and joining an
+  // id another process owns would splice us into their steering.
+  static std::atomic<int> g_fanout_seq{0};
+  const int fanout_id =
+#if defined(__linux__)
+      ((static_cast<int>(::getpid()) << 6) ^
+       g_fanout_seq.fetch_add(1, std::memory_order_relaxed)) &
+      0xFFFF;
+#else
+      g_fanout_seq.fetch_add(1, std::memory_order_relaxed) & 0xFFFF;
+#endif
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto receiver = PacketRingReceiver::open(config);
+    if (!receiver.ok()) return R::failure(receiver.error());
+    if (shards > 1) {
+      const auto joined = receiver.value()->join_fanout(fanout_id);
+      if (!joined.ok()) return R::failure(joined.error());
+    }
+    auto ring = std::make_unique<Ring>();
+    ring->receiver = std::move(receiver).value();
+    group->fds_.push_back(ring->receiver->fd());
+    group->rings_.push_back(std::move(ring));
+    group->inboxes_.push_back(std::make_unique<Inbox>());
+  }
+  group->views_.resize(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    group->views_[i].group_ = group.get();
+    group->views_[i].shard_ = i;
+  }
+  return R(std::move(group));
+}
+
+void PacketRingGroup::register_port(std::uint16_t port, std::size_t shard) {
+  port_to_shard_[port] = shard;
+}
+
+bool PacketRingGroup::pump(std::size_t shard) {
+  {
+    std::lock_guard<std::mutex> lock(inboxes_[shard]->mutex);
+    if (!inboxes_[shard]->frames.empty()) return true;
+  }
+  const std::size_t n = rings_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Own ring first; then steal from the others so a shard that stopped
+    // polling (finished its slice, or never scheduled at 1 thread)
+    // cannot strand frames the hash steered into its ring.
+    Ring& ring = *rings_[(shard + i) % n];
+    std::lock_guard<std::mutex> ring_lock(ring.mutex);
+    while (auto frame = ring.receiver->next(0)) {
+      const auto owner = port_to_shard_.find(frame->dst_port);
+      if (owner == port_to_shard_.end()) {
+        std::lock_guard<std::mutex> lock(foreign_mutex_);
+        ++foreign_port_;
+        continue;
+      }
+      OwnedFrame owned;
+      owned.payload.assign(frame->payload.begin(), frame->payload.end());
+      owned.source = frame->source;
+      owned.dst_port = frame->dst_port;
+      owned.truncated = frame->truncated;
+      std::lock_guard<std::mutex> lock(inboxes_[owner->second]->mutex);
+      inboxes_[owner->second]->frames.push_back(std::move(owned));
+    }
+    std::lock_guard<std::mutex> lock(inboxes_[shard]->mutex);
+    if (!inboxes_[shard]->frames.empty()) return true;
+  }
+  return false;
+}
+
+NetIoStats PacketRingGroup::stats() {
+  NetIoStats out;
+  for (auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    ring->receiver->update_kernel_drops();
+    const RingCounters& c = ring->receiver->counters();
+    out.ring_blocks += c.blocks;
+    out.ring_drops += c.drops;
+    out.ring_non_udp += c.non_udp;
+  }
+  std::lock_guard<std::mutex> lock(foreign_mutex_);
+  out.ring_foreign_port = foreign_port_;
+  return out;
+}
+
+std::optional<RingFrame> ShardRingView::poll() {
+  if (!group_->pump(shard_)) return std::nullopt;
+  auto& inbox = *group_->inboxes_[shard_];
+  std::lock_guard<std::mutex> lock(inbox.mutex);
+  if (inbox.frames.empty()) return std::nullopt;  // raced with a stealer? no —
+  // inboxes only grow under pump(); still, stay defensive.
+  PacketRingGroup::OwnedFrame& front = inbox.frames.front();
+  slot_payload_ = std::move(front.payload);
+  slot_.source = front.source;
+  slot_.dst_port = front.dst_port;
+  slot_.truncated = front.truncated;
+  slot_.payload = slot_payload_;
+  inbox.frames.pop_front();
+  ++delivered_;
+  return slot_;
+}
+
+const std::vector<int>& ShardRingView::fds() const { return group_->fds_; }
+
+}  // namespace snmpv3fp::net

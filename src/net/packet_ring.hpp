@@ -1,0 +1,233 @@
+// AF_PACKET TPACKET_V3 ring receive path (ROADMAP "AF_PACKET ring
+// receive"): the receive half of line-rate campaigns.
+//
+// PacketRingReceiver owns one AF_PACKET socket whose RX path is a
+// memory-mapped TPACKET_V3 ring: the kernel writes captured frames
+// straight into user-visible blocks and retires a block to user space
+// when it fills or its retire timeout expires — the scanner walks frames
+// with zero syscalls and zero copies, releasing whole blocks back to the
+// kernel as it advances past them (the idiom mercury and ZMap-class
+// capture stacks use to keep up with line rate). A bounded, fail-closed
+// link-layer parser (Ethernet/VLAN or cooked SLL -> IPv4/IPv6 with
+// extension headers -> UDP) turns each raw frame into a borrowed payload
+// view; anything it cannot prove well-formed is counted and dropped,
+// never delivered.
+//
+// PacketRingGroup scales this across campaign shards: N receivers join
+// one PACKET_FANOUT_HASH group, so the kernel steers each flow to exactly
+// one ring. Hash steering does not know which shard's UDP socket owns a
+// flow's destination port, so the group demuxes in user space: every
+// shard polls through a ShardRingView that drains rings (its own first,
+// then the others — a shard that finished probing must not strand frames
+// in its ring) into per-shard inboxes keyed by registered destination
+// port. BatchedUdpEngine::attach_ring() swaps its recvmmsg receive half
+// for such a view; sends keep flowing through the UDP socket, which also
+// keeps the port reserved (and thus the kernel answering with ICMP
+// instead of another ring's traffic).
+//
+// Requires CAP_NET_RAW (AF_PACKET sockets). open()/create() fail with a
+// Result on unprivileged boxes; every caller treats that as a visible
+// skip/fallback, never a crash.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace snmpv3fp::net {
+
+struct PacketRingConfig {
+  std::string interface = "lo";  // campaigns bind loopback engines
+  // Ring geometry: block_count blocks of block_size bytes (block_size is
+  // rounded up to a page multiple and must divide evenly into frames).
+  // 16 x 128 KiB holds ~10k typical probe-sized frames.
+  std::size_t block_size = 1u << 17;
+  std::size_t block_count = 16;  // SNMPFP_RING_BLOCKS overrides (create())
+  std::size_t frame_size = 2048;
+  // Kernel retires a non-full block to user space after this timeout, so
+  // a trickle of frames never sits invisible in an open block.
+  unsigned retire_tov_ms = 4;
+};
+
+// Applies the SNMPFP_RING_BLOCKS environment override (if set and a valid
+// positive integer) to `config.block_count`.
+PacketRingConfig apply_ring_env(PacketRingConfig config);
+
+// Per-receiver accounting, aggregated into NetIoStats ring_* counters.
+struct RingCounters {
+  std::uint64_t blocks = 0;        // retired blocks consumed
+  std::uint64_t frames = 0;        // well-formed inbound UDP frames yielded
+  std::uint64_t drops = 0;         // kernel PACKET_STATISTICS tp_drops
+  std::uint64_t non_udp = 0;       // frames the link parser rejected
+  std::uint64_t foreign_port = 0;  // UDP to a port no shard registered
+};
+
+// One parsed inbound UDP frame. `payload` is borrowed — from the mmap'd
+// ring (PacketRingReceiver::next) or from a demux inbox slot
+// (ShardRingView::poll) — and stays valid only until the next call on the
+// object that returned it.
+struct RingFrame {
+  Endpoint source;              // IP source + UDP source port
+  std::uint16_t dst_port = 0;   // UDP destination port (demux key)
+  util::ByteView payload;
+  bool truncated = false;       // snaplen clipped the UDP payload
+};
+
+// Link framing of the captured interface. Cooked SLL covers interfaces
+// that deliver without an Ethernet header (and gives the parser corpus a
+// second header shape to prove bounds on).
+enum class LinkType { kEthernet, kCookedSll };
+
+// Parses one captured link-layer frame down to its UDP payload. Bounded
+// and fail-closed: every header read is length-checked first, and a frame
+// whose link/IP/UDP headers are not fully present and well-formed is
+// rejected (returns false) rather than guessed at. Fragmented datagrams
+// are rejected (a non-first fragment has no UDP header; a first fragment
+// has an incomplete payload). A frame whose headers are intact but whose
+// payload was clipped by the capture length is delivered with
+// `out.truncated` set, mirroring recvmmsg's MSG_TRUNC semantics. Pure
+// function, unit-tested over a hostile corpus in tests/test_packet_ring.
+bool parse_link_frame(util::ByteView frame, LinkType link, RingFrame& out);
+
+class PacketRingReceiver {
+ public:
+  // Opens the AF_PACKET socket, installs the TPACKET_V3 ring and maps it.
+  // Fails without CAP_NET_RAW or when the interface does not exist.
+  static util::Result<std::unique_ptr<PacketRingReceiver>> open(
+      const PacketRingConfig& config);
+  ~PacketRingReceiver();
+
+  PacketRingReceiver(const PacketRingReceiver&) = delete;
+  PacketRingReceiver& operator=(const PacketRingReceiver&) = delete;
+
+  // Joins a PACKET_FANOUT_HASH group (every member must join before
+  // traffic flows; ids are 16-bit and per network namespace).
+  util::Status join_fanout(int group_id);
+
+  // Next inbound UDP frame, or nullopt when the ring is empty after
+  // waiting up to `timeout_ms` (0 = pure poll). The returned payload view
+  // points into the ring and is valid until the next next() call —
+  // blocks are released back to the kernel only when the walk advances
+  // past them. Outgoing loopback copies and non-UDP frames are skipped
+  // and counted, never returned. Not thread-safe; PacketRingGroup
+  // serializes access per receiver.
+  std::optional<RingFrame> next(int timeout_ms);
+
+  // Folds the kernel's PACKET_STATISTICS drop counter (cumulative since
+  // the last read) into counters().drops.
+  void update_kernel_drops();
+
+  const RingCounters& counters() const { return counters_; }
+  int fd() const { return fd_; }
+  LinkType link_type() const { return link_; }
+
+ private:
+  PacketRingReceiver() = default;
+
+  // Releases the current block to the kernel and opens the next retired
+  // one, if any. Returns true when a block with unread frames is open.
+  bool advance_block();
+
+  int fd_ = -1;
+  LinkType link_ = LinkType::kEthernet;
+  std::uint8_t* map_ = nullptr;
+  std::size_t map_len_ = 0;
+  std::size_t block_size_ = 0;
+  std::size_t block_count_ = 0;
+
+  std::size_t block_idx_ = 0;     // next block to open
+  bool block_open_ = false;
+  std::uint32_t pkts_left_ = 0;   // unread frames in the open block
+  const std::uint8_t* frame_at_ = nullptr;  // next frame header
+
+  RingCounters counters_;
+};
+
+class PacketRingGroup;
+
+// One shard's handle into the group: poll() yields the next frame whose
+// destination port this shard registered. Frames are copied out of the
+// rings into per-shard inboxes under the group's locks (rings are shared
+// across shard threads; a borrowed ring view cannot cross them), and the
+// returned view borrows the inbox slot — valid until the next poll().
+class ShardRingView {
+ public:
+  std::optional<RingFrame> poll();
+  // Ring fds a readiness wait must watch: a frame for this shard can land
+  // in any ring of the fanout group.
+  const std::vector<int>& fds() const;
+  // Frames this view delivered (the shard's ring_frames counter).
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  friend class PacketRingGroup;
+  PacketRingGroup* group_ = nullptr;
+  std::size_t shard_ = 0;
+  std::uint64_t delivered_ = 0;
+  // Owns the bytes behind the last returned view.
+  util::Bytes slot_payload_;
+  RingFrame slot_;
+};
+
+// N fanout receivers + user-space port demux. create() opens every
+// receiver and joins them into a fresh PACKET_FANOUT_HASH group (no
+// fanout when shards == 1 — one ring sees everything). register_port()
+// calls must all happen before traffic flows; poll() is safe from
+// concurrent shard threads.
+class PacketRingGroup {
+ public:
+  static util::Result<std::unique_ptr<PacketRingGroup>> create(
+      const PacketRingConfig& config, std::size_t shards);
+
+  void register_port(std::uint16_t port, std::size_t shard);
+  ShardRingView* view(std::size_t shard) { return &views_[shard]; }
+  std::size_t shards() const { return views_.size(); }
+
+  // Ring counters aggregated over every receiver (reads kernel drop
+  // stats first), expressed as a NetIoStats with only ring_* fields set
+  // so campaigns can fold it straight into CampaignPair::net_io.
+  NetIoStats stats();
+
+ private:
+  friend class ShardRingView;
+  PacketRingGroup() = default;
+
+  // Drains every ring (shard's own first) into the inboxes until the
+  // shard's inbox has a frame or all rings are empty. Returns true when
+  // the shard's inbox is non-empty.
+  bool pump(std::size_t shard);
+
+  struct OwnedFrame {
+    util::Bytes payload;
+    Endpoint source;
+    std::uint16_t dst_port = 0;
+    bool truncated = false;
+  };
+  struct Ring {
+    std::unique_ptr<PacketRingReceiver> receiver;
+    std::mutex mutex;
+  };
+  struct Inbox {
+    std::mutex mutex;
+    std::deque<OwnedFrame> frames;
+  };
+
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::vector<ShardRingView> views_;
+  std::vector<int> fds_;
+  std::unordered_map<std::uint16_t, std::size_t> port_to_shard_;
+  std::mutex foreign_mutex_;
+  std::uint64_t foreign_port_ = 0;
+};
+
+}  // namespace snmpv3fp::net

@@ -18,6 +18,44 @@ namespace snmpv3fp::net {
 
 inline constexpr std::uint16_t kSnmpPort = 161;
 
+// Syscall/drop-cause accounting for one real-socket transport (summed
+// across shards into scan::CampaignPair::net_io and reported by
+// core/report.cpp). Lives here rather than in batched_udp.hpp so
+// Transport can expose it polymorphically (net_stats() below) and the
+// packet-ring layer can aggregate into it without depending on the
+// engine.
+struct NetIoStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;  // includes drop notices/bad frames
+  std::uint64_t sendmmsg_calls = 0;
+  std::uint64_t recvmmsg_calls = 0;
+  std::uint64_t sendto_calls = 0;    // per-datagram fallback sends
+  std::uint64_t recvfrom_calls = 0;  // per-datagram fallback receives
+  std::uint64_t gso_batches = 0;     // UDP_SEGMENT super-packets sent
+  // AF_PACKET TPACKET_V3 ring receive (net/packet_ring.hpp). blocks/
+  // drops/non_udp/foreign_port are per-ring (a campaign folds them in
+  // once from the PacketRingGroup); frames counts what each engine
+  // consumed, so it sums correctly across shards.
+  std::uint64_t ring_blocks = 0;        // retired ring blocks consumed
+  std::uint64_t ring_frames = 0;        // UDP frames delivered off rings
+  std::uint64_t ring_drops = 0;         // kernel tp_drops (ring overrun)
+  std::uint64_t ring_non_udp = 0;       // frames the link parser rejected
+  std::uint64_t ring_foreign_port = 0;  // UDP to an unregistered port
+  // Drop/backpressure causes (satellite of the fabric's Table-1-style
+  // accounting, for the real data plane).
+  std::uint64_t send_pressure = 0;   // EAGAIN/ENOBUFS: kernel buffer full
+  std::uint64_t send_refused = 0;    // ECONNREFUSED: ICMP port unreachable
+  std::uint64_t send_errors = 0;     // hard errors; datagrams dropped
+  std::uint64_t recv_truncated = 0;  // datagram larger than the ring frame
+  std::uint64_t recv_bad_frame = 0;  // encap header failed to parse
+  std::uint64_t recv_errors = 0;     // hard receive errors
+  std::uint64_t drop_notices = 0;    // reflector dead/filtered notices
+  std::uint64_t flow_stalls = 0;     // flow-window waits that timed out
+
+  NetIoStats& operator+=(const NetIoStats& other);
+  bool operator==(const NetIoStats&) const = default;
+};
+
 struct Endpoint {
   IpAddress address;
   std::uint16_t port = 0;
@@ -123,6 +161,12 @@ class Transport {
   // transports that cannot observe it; the adaptive pacer consumes deltas
   // of this counter as a fast backoff input (scan/pacer.hpp).
   virtual std::uint64_t rate_limit_signals() const { return 0; }
+
+  // Kernel I/O counters for transports that have them (the batched
+  // engine), nullptr otherwise. Telemetry-only: the prober copies ring/
+  // syscall counters into the status dashboard through this, never feeds
+  // them back into scan decisions.
+  virtual const NetIoStats* net_stats() const { return nullptr; }
 
  protected:
   // Backing storage for the default receive_view(): keeps the last popped

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -21,6 +22,38 @@ using detail::to_sockaddr;
 using util::Result;
 using util::Status;
 }  // namespace
+
+int poll_interruptible(struct pollfd* fds, unsigned long nfds,
+                       int timeout_ms) {
+  const auto started = std::chrono::steady_clock::now();
+  int remaining = timeout_ms;
+  int ready;
+  while ((ready = ::poll(fds, static_cast<nfds_t>(nfds), remaining)) < 0 &&
+         errno == EINTR) {
+    if (timeout_ms < 0) continue;  // indefinite wait: re-arm as-is
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - started);
+    remaining = timeout_ms - static_cast<int>(elapsed.count());
+    if (remaining <= 0) return 0;  // budget spent across the interruptions
+  }
+  return ready;
+}
+
+RecvErrnoAction classify_recv_errno(int error) {
+  switch (error) {
+    case EINTR:
+      return RecvErrnoAction::kRetry;
+    case EAGAIN:
+#if EAGAIN != EWOULDBLOCK
+    case EWOULDBLOCK:
+#endif
+      return RecvErrnoAction::kEmpty;
+    case ECONNREFUSED:
+      return RecvErrnoAction::kRefused;
+    default:
+      return RecvErrnoAction::kHard;
+  }
+}
 
 std::optional<SendOutcome> classify_send_errno(int error) {
   switch (error) {
@@ -111,7 +144,9 @@ Result<SendOutcome> UdpSocket::send_to(const Endpoint& destination,
 
 Result<RecvOutcome> UdpSocket::receive(int timeout_ms) {
   pollfd pfd{fd_, POLLIN, 0};
-  const int ready = ::poll(&pfd, 1, timeout_ms);
+  // classify_recv_errno(EINTR) == kRetry: an interrupting signal is not a
+  // receive failure; the wait re-arms with whatever timeout remains.
+  const int ready = poll_interruptible(&pfd, 1, timeout_ms);
   if (ready < 0)
     return Result<RecvOutcome>::failure(std::string("poll: ") +
                                         std::strerror(errno));
@@ -123,17 +158,27 @@ Result<RecvOutcome> UdpSocket::receive(int timeout_ms) {
   // MSG_TRUNC makes recvfrom return the datagram's real wire size even
   // when it exceeds the buffer, so truncation is detectable instead of
   // silently clipping.
-  const ssize_t received =
-      ::recvfrom(fd_, buffer.data(), buffer.size(), MSG_TRUNC,
-                 reinterpret_cast<sockaddr*>(&storage), &len);
+  ssize_t received;
+  while ((received =
+              ::recvfrom(fd_, buffer.data(), buffer.size(), MSG_TRUNC,
+                         reinterpret_cast<sockaddr*>(&storage), &len)) < 0 &&
+         classify_recv_errno(errno) == RecvErrnoAction::kRetry) {
+    len = sizeof storage;
+  }
   if (received < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvOutcome{};
-    if (errno == ECONNREFUSED) {
-      // The kernel queued an ICMP port-unreachable against this connected
-      // socket: the probe's destination actively refused it.
-      RecvOutcome out;
-      out.refused = true;
-      return out;
+    switch (classify_recv_errno(errno)) {
+      case RecvErrnoAction::kEmpty:
+        return RecvOutcome{};
+      case RecvErrnoAction::kRefused: {
+        // The kernel queued an ICMP port-unreachable against this
+        // connected socket: the probe's destination actively refused it.
+        RecvOutcome out;
+        out.refused = true;
+        return out;
+      }
+      case RecvErrnoAction::kRetry:  // unreachable; the loop retried
+      case RecvErrnoAction::kHard:
+        break;
     }
     return Result<RecvOutcome>::failure(std::string("recvfrom: ") +
                                         std::strerror(errno));

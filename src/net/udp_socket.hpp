@@ -17,6 +17,8 @@
 #include "net/transport.hpp"
 #include "util/result.hpp"
 
+struct pollfd;  // <poll.h>; forward-declared to keep it out of this header
+
 namespace snmpv3fp::net {
 
 // What happened to one send_to(): delivered to the kernel, deferred by a
@@ -44,6 +46,28 @@ struct RecvOutcome {
 // stay hard failures. Exposed so the error taxonomy is unit-testable
 // without provoking each condition from a real kernel.
 std::optional<SendOutcome> classify_send_errno(int error);
+
+// What a receive-path errno means for the caller's loop. EINTR is the
+// load-bearing case: a timer or profiling signal interrupting a blocking
+// wait must retry, never surface as a receive error — every recv-side
+// loop (UdpSocket::receive, BatchedUdpEngine's refill and poll waits)
+// consults this, the receive analogue of classify_send_errno.
+enum class RecvErrnoAction {
+  kRetry,    // EINTR: a signal interrupted the call; retry it
+  kEmpty,    // EAGAIN/EWOULDBLOCK: nothing queued right now
+  kRefused,  // ECONNREFUSED: ICMP port-unreachable latched on the socket
+  kHard,     // anything else: a real receive error
+};
+RecvErrnoAction classify_recv_errno(int error);
+
+// poll(2) with the EINTR contract applied: an interrupting signal re-arms
+// the wait with the time that remains of `timeout_ms`, so a fast timer
+// can neither surface as an error nor pin the caller past its deadline
+// (retrying with the full timeout would never terminate under a
+// repeating signal). Returns poll's result; 0 also when the budget ran
+// out mid-retry. timeout_ms < 0 retries indefinitely, like poll.
+int poll_interruptible(struct pollfd* fds, unsigned long nfds,
+                       int timeout_ms);
 
 class UdpSocket {
  public:

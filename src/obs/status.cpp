@@ -52,6 +52,7 @@ void StatusBoard::update_slot(std::size_t slot, const ShardStatusRow& row) {
   target.responses = row.responses;
   target.undecodable = row.undecodable;
   target.backoffs = row.backoffs;
+  target.ring_frames = row.ring_frames;
   target.pacer_rate_pps = row.pacer_rate_pps;
   target.store_resident_bytes = row.store_resident_bytes;
   target.virtual_now = row.virtual_now;
@@ -88,6 +89,7 @@ void row_to_json(JsonWriter& json, const ShardStatusRow& row) {
   json.kv("responses", row.responses);
   json.kv("undecodable", row.undecodable);
   json.kv("backoffs", row.backoffs);
+  json.kv("ring_frames", row.ring_frames);
   json.kv("response_rate", row.response_rate());
   json.kv("pacer_rate_pps", row.pacer_rate_pps);
   json.kv("resident_bytes", row.store_resident_bytes);
@@ -100,7 +102,7 @@ void row_to_json(JsonWriter& json, const ShardStatusRow& row) {
 std::string render_json(const std::vector<ShardStatusRow>& rows,
                         double wall_ms) {
   std::uint64_t targets = 0, sent = 0, responses = 0, undecodable = 0,
-                backoffs = 0;
+                backoffs = 0, ring_frames = 0;
   std::int64_t resident = -1;
   double eta = 0.0;
   bool complete = !rows.empty();
@@ -110,6 +112,7 @@ std::string render_json(const std::vector<ShardStatusRow>& rows,
     responses += row.responses;
     undecodable += row.undecodable;
     backoffs += row.backoffs;
+    ring_frames += row.ring_frames;
     if (row.store_resident_bytes >= 0) {
       if (resident < 0) resident = 0;
       resident += row.store_resident_bytes;
@@ -129,6 +132,7 @@ std::string render_json(const std::vector<ShardStatusRow>& rows,
   json.kv("responses", responses);
   json.kv("undecodable", undecodable);
   json.kv("backoffs", backoffs);
+  json.kv("ring_frames", ring_frames);
   json.kv("response_rate",
           sent == 0 ? 0.0
                     : static_cast<double>(responses) /
@@ -235,9 +239,13 @@ std::string render_status_dashboard(const JsonValue& status) {
       out += "B";
     }
   }
+  if (totals != nullptr && num(totals->find("ring_frames")) >= 1.0) {
+    out += "  ring ";
+    out += util::fmt_compact(num(totals->find("ring_frames")));
+  }
   out += "\n";
   util::TablePrinter table({"stage", "shard", "progress", "resp%", "pps",
-                            "backoffs", "undecodable", "eta"});
+                            "backoffs", "undecodable", "ring", "eta"});
   if (shards != nullptr && shards->is_array()) {
     for (const auto& row : shards->items()) {
       const JsonValue* stage = row.find("stage");
@@ -252,6 +260,8 @@ std::string render_status_dashboard(const JsonValue& status) {
               static_cast<std::size_t>(num(row.find("backoffs")))),
           util::fmt_count(
               static_cast<std::size_t>(num(row.find("undecodable")))),
+          util::fmt_count(
+              static_cast<std::size_t>(num(row.find("ring_frames")))),
           row.find("complete") != nullptr && row.find("complete")->as_bool()
               ? "done"
               : fmt_eta(num(row.find("eta_s"))),

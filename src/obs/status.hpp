@@ -46,6 +46,9 @@ struct ShardStatusRow {
   std::uint64_t responses = 0;
   std::uint64_t undecodable = 0;
   std::uint64_t backoffs = 0;
+  // Frames this shard's engine pulled off its AF_PACKET ring view
+  // (net/packet_ring.hpp); stays 0 for fabric or recvmmsg transports.
+  std::uint64_t ring_frames = 0;
   double pacer_rate_pps = 0.0;
   std::int64_t store_resident_bytes = -1;  // -1: not store-backed
   util::VTime virtual_now = 0;

@@ -331,6 +331,8 @@ ScanResult Prober::run_impl(const TargetSequence& order,
       row.store_resident_bytes =
           sink != nullptr ? static_cast<std::int64_t>(sink->resident_bytes())
                           : -1;
+      if (const auto* net = transport_.net_stats())
+        row.ring_frames = net->ring_frames;
       row.virtual_now = transport_.now();
       telemetry.status.update(row);
     }
@@ -380,6 +382,8 @@ ScanResult Prober::run_impl(const TargetSequence& order,
     row.store_resident_bytes =
         sink != nullptr ? static_cast<std::int64_t>(sink->resident_bytes())
                         : -1;
+    if (const auto* net = transport_.net_stats())
+      row.ring_frames = net->ring_frames;
     row.virtual_now = transport_.now();
     row.complete = true;
     telemetry.status.update(row);

@@ -28,6 +28,7 @@ util::Result<std::unique_ptr<LoopbackReflector>> LoopbackReflector::start(
   engine_config.bind_loopback = true;
   engine_config.sndbuf_bytes = config.sndbuf_bytes;
   engine_config.rcvbuf_bytes = config.rcvbuf_bytes;
+  engine_config.gso = config.gso;
   auto engine = BatchedUdpEngine::open(engine_config);
   if (!engine.ok())
     return util::Result<std::unique_ptr<LoopbackReflector>>::failure(
